@@ -1,0 +1,105 @@
+// Claim C5 — "Designers can retrieve the state of the project by
+// performing queries. Therefore, designers know exactly what data still
+// needs to be modified before reaching a planned state" (paper §1).
+//
+// Measures the designer-facing query latencies (out-of-date scan,
+// distance-to-planned-state, hierarchy membership, full report) as the
+// meta-database grows.
+#include "bench_util.hpp"
+
+#include "query/query.hpp"
+#include "query/report.hpp"
+
+namespace {
+
+using namespace damocles;
+
+benchutil::FlowProject MakeAgedProject(int blocks) {
+  auto project = benchutil::MakeFlowProject(5, blocks, 2, 3);
+  workload::TraceSpec trace;
+  trace.n_actions = 200;
+  trace.seed = 5;
+  workload::RunDesignSession(*project.server, project.flow, project.blocks,
+                             trace);
+  return project;
+}
+
+void BM_QueryOutOfDate(benchmark::State& state) {
+  auto project = MakeAgedProject(static_cast<int>(state.range(0)));
+  query::ProjectQuery q(project.server->database());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.OutOfDate());
+  }
+  state.counters["objects"] =
+      static_cast<double>(project.server->database().Stats().live_objects);
+}
+BENCHMARK(BM_QueryOutOfDate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_QueryPlannedState(benchmark::State& state) {
+  auto project = MakeAgedProject(static_cast<int>(state.range(0)));
+  query::ProjectQuery q(project.server->database());
+  const std::vector<query::PlannedProperty> plan = {
+      {"uptodate", "true"}, {"result_0", "good"}, {"result_1", "good"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.DistanceToPlannedState(plan, {}));
+  }
+}
+BENCHMARK(BM_QueryPlannedState)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_QueryHierarchy(benchmark::State& state) {
+  auto project = MakeAgedProject(8);
+  query::ProjectQuery q(project.server->database());
+  const metadb::Oid root{"blk0_sub", "view_0", 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.HierarchyMembers(root));
+  }
+}
+BENCHMARK(BM_QueryHierarchy);
+
+void BM_FullReport(benchmark::State& state) {
+  auto project = MakeAgedProject(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::BuildProjectReport(project.server->database()));
+  }
+}
+BENCHMARK(BM_FullReport)->Arg(4)->Arg(64);
+
+void PrintSeries() {
+  benchutil::PrintHeader(
+      "Claim C5: project-state queries", "paper section 1 / 3.2",
+      "After a 200-action session: what a designer learns from one query.");
+
+  auto project = MakeAgedProject(16);
+  query::ProjectQuery q(project.server->database());
+  const auto stale = q.OutOfDate();
+  const auto blockers = q.DistanceToPlannedState(
+      {{"uptodate", "true"}, {"result_0", "good"}, {"result_1", "good"}}, {});
+  const auto report = query::BuildProjectReport(project.server->database());
+
+  std::printf("database: %zu live objects, %zu live links\n",
+              project.server->database().Stats().live_objects,
+              project.server->database().Stats().live_links);
+  std::printf("out-of-date objects ....... %zu\n", stale.size());
+  std::printf("planned-state blockers .... %zu\n", blockers.size());
+  std::printf("latest-version rows ....... %zu (state-ok %zu)\n",
+              report.total, report.state_ok);
+  std::printf("\nSample of the blocker list (first 5):\n");
+  for (size_t i = 0; i < blockers.size() && i < 5; ++i) {
+    std::printf("  %s %s = '%s' (needs '%s')\n",
+                FormatOid(blockers[i].oid).c_str(),
+                blockers[i].property.c_str(),
+                blockers[i].actual_value.c_str(),
+                blockers[i].required_value.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench regenerates one figure or quantified claim of the paper
+// (see DESIGN.md §4 and EXPERIMENTS.md). Benches print their series as
+// aligned text tables — the "rows the paper reports" — and then run
+// google-benchmark timings where wall-clock numbers matter.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "engine/project_server.hpp"
+#include "workload/edtc.hpp"
+#include "workload/generators.hpp"
+
+namespace damocles::benchutil {
+
+/// A server with the EDTC blueprint loaded.
+inline std::unique_ptr<engine::ProjectServer> MakeEdtcServer() {
+  auto server = std::make_unique<engine::ProjectServer>("bench");
+  server->InitializeBlueprint(workload::EdtcBlueprintText());
+  return server;
+}
+
+/// A server with an n-view flow blueprint and one instantiated block
+/// hierarchy: `blocks` roots, each with the full view chain, plus a
+/// use-link tree of the given depth/fanout under each root's view_0.
+struct FlowProject {
+  std::unique_ptr<engine::ProjectServer> server;
+  workload::FlowSpec flow;
+  std::vector<std::string> blocks;
+};
+
+inline FlowProject MakeFlowProject(int n_views, int n_blocks,
+                                   int hierarchy_depth = 0,
+                                   int hierarchy_fanout = 2) {
+  FlowProject project;
+  project.flow.n_views = n_views;
+  project.server = std::make_unique<engine::ProjectServer>("bench");
+  project.server->InitializeBlueprint(
+      workload::MakeFlowBlueprint(project.flow, "bench"));
+  for (int i = 0; i < n_blocks; ++i) {
+    const std::string block = "blk" + std::to_string(i);
+    workload::InstantiateFlow(*project.server, project.flow, block);
+    if (hierarchy_depth > 0) {
+      workload::HierarchySpec spec;
+      spec.depth = hierarchy_depth;
+      spec.fanout = hierarchy_fanout;
+      spec.view = "view_0";
+      spec.root_block = block + "_sub";
+      workload::BuildHierarchy(*project.server, spec);
+    }
+    project.blocks.push_back(block);
+  }
+  return project;
+}
+
+/// Prints the standard bench header naming the experiment.
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* what) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s  (%s)\n%s\n", experiment, paper_ref, what);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace damocles::benchutil

@@ -1,0 +1,147 @@
+#include "baseline/activity_driven.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace damocles::baseline {
+
+namespace {
+
+std::string Key(const std::string& block, const std::string& view) {
+  std::string key = block;
+  key.push_back('\0');
+  key += view;
+  return key;
+}
+
+}  // namespace
+
+const char* DataStateName(DataState state) noexcept {
+  switch (state) {
+    case DataState::kMissing:
+      return "missing";
+    case DataState::kStale:
+      return "stale";
+    case DataState::kValid:
+      return "valid";
+  }
+  return "unknown";
+}
+
+ActivityDrivenManager::ActivityDrivenManager(std::vector<ActivityDef> flow)
+    : flow_(std::move(flow)) {}
+
+const ActivityDef* ActivityDrivenManager::FindActivity(
+    const std::string& name) const {
+  for (const ActivityDef& activity : flow_) {
+    if (activity.name == name) return &activity;
+  }
+  return nullptr;
+}
+
+std::optional<ActivityTicket> ActivityDrivenManager::BeginActivity(
+    const std::string& activity_name, const std::string& block) {
+  ++stats_.begin_requests;
+  const ActivityDef* activity = FindActivity(activity_name);
+  if (activity == nullptr) {
+    throw NotFoundError("BeginActivity: unknown activity '" + activity_name +
+                        "'");
+  }
+
+  // Verify every input view; any miss blocks the designer.
+  for (const std::string& view : activity->input_views) {
+    ++stats_.state_checks;
+    if (StateOf(block, view) != DataState::kValid) {
+      ++stats_.denials;
+      return std::nullopt;
+    }
+  }
+  // Inputs and outputs are locked for the activity's duration.
+  for (const std::string& view : activity->input_views) {
+    const std::string key = Key(block, view);
+    if (locks_[key]) {
+      ++stats_.denials;
+      return std::nullopt;
+    }
+  }
+  for (const std::string& view : activity->input_views) {
+    locks_[Key(block, view)] = true;
+    ++stats_.locks_taken;
+  }
+  for (const std::string& view : activity->output_views) {
+    locks_[Key(block, view)] = true;
+    ++stats_.locks_taken;
+  }
+
+  ActivityTicket ticket;
+  ticket.activity = activity_name;
+  ticket.block = block;
+  ticket.id = next_ticket_++;
+  return ticket;
+}
+
+void ActivityDrivenManager::EndActivity(const ActivityTicket& ticket,
+                                        bool success) {
+  const ActivityDef* activity = FindActivity(ticket.activity);
+  if (activity == nullptr) {
+    throw NotFoundError("EndActivity: unknown activity '" + ticket.activity +
+                        "'");
+  }
+  for (const std::string& view : activity->input_views) {
+    locks_[Key(ticket.block, view)] = false;
+  }
+  for (const std::string& view : activity->output_views) {
+    locks_[Key(ticket.block, view)] = false;
+    if (success) {
+      states_[Key(ticket.block, view)] = DataState::kValid;
+      ++stats_.state_updates;
+      InvalidateDownstream(ticket.block, view);
+    }
+  }
+}
+
+DataState ActivityDrivenManager::StateOf(const std::string& block,
+                                         const std::string& view) const {
+  const auto it = states_.find(Key(block, view));
+  return it == states_.end() ? DataState::kMissing : it->second;
+}
+
+void ActivityDrivenManager::SeedData(const std::string& block,
+                                     const std::string& view) {
+  states_[Key(block, view)] = DataState::kValid;
+  ++stats_.state_updates;
+}
+
+void ActivityDrivenManager::InvalidateDownstream(const std::string& block,
+                                                 const std::string& view) {
+  // The manager owns the methodology: the flow definition tells it which
+  // views are derived from which, so a change fans out along activity
+  // input->output edges.
+  std::deque<std::string> frontier{view};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const ActivityDef& activity : flow_) {
+      bool consumes = false;
+      for (const std::string& input : activity.input_views) {
+        if (input == current) {
+          consumes = true;
+          break;
+        }
+      }
+      if (!consumes) continue;
+      for (const std::string& output : activity.output_views) {
+        auto& state = states_[Key(block, output)];
+        if (state == DataState::kValid) {
+          state = DataState::kStale;
+          ++stats_.invalidations;
+          ++stats_.state_updates;
+          frontier.push_back(output);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace damocles::baseline

@@ -1,0 +1,97 @@
+// Activity-driven flow manager: the NELSIS-style baseline.
+//
+// Paper §4: "In the NELSIS framework the data flow management is driven
+// by design activities, whereas DAMOCLES has an observer approach ...
+// which is perceived as non obstructive to the designers since it does
+// not impose a methodology."
+//
+// In an activity-driven framework every design action must be announced
+// up front: the designer begins an activity, the manager checks the
+// flow graph, verifies input states, takes locks, and only then may the
+// tool run; afterwards the manager updates states synchronously. The
+// obstruction cost — checks, locks, denials — is exactly what
+// bench_claim_overhead measures against the observer engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace damocles::baseline {
+
+/// Data state as the activity-driven manager tracks it.
+enum class DataState {
+  kMissing,  ///< Never produced.
+  kStale,    ///< Produced, then an upstream input changed.
+  kValid,    ///< Produced and current.
+};
+
+const char* DataStateName(DataState state) noexcept;
+
+/// One activity (tool) in the flow definition.
+struct ActivityDef {
+  std::string name;                      ///< e.g. "netlister".
+  std::vector<std::string> input_views;  ///< Views that must be kValid.
+  std::vector<std::string> output_views; ///< Views this activity produces.
+};
+
+/// Statistics the baseline accumulates; tracking operations are the
+/// currency compared against the observer engine.
+struct ActivityStats {
+  size_t begin_requests = 0;
+  size_t denials = 0;          ///< Begin refused (missing/stale inputs, lock).
+  size_t state_checks = 0;     ///< Individual input-state verifications.
+  size_t locks_taken = 0;
+  size_t state_updates = 0;    ///< Synchronous post-activity updates.
+  size_t invalidations = 0;    ///< Downstream views marked stale.
+};
+
+/// A running activity handle.
+struct ActivityTicket {
+  std::string activity;
+  std::string block;
+  uint64_t id = 0;
+};
+
+/// The activity-driven (obstructive) flow manager.
+class ActivityDrivenManager {
+ public:
+  /// The flow definition is fixed up front — the methodology is imposed,
+  /// which is precisely what DAMOCLES avoids.
+  explicit ActivityDrivenManager(std::vector<ActivityDef> flow);
+
+  /// Requests permission to run `activity` on `block`. Checks every
+  /// input view's state and takes locks. Returns a ticket when granted.
+  std::optional<ActivityTicket> BeginActivity(const std::string& activity,
+                                              const std::string& block);
+
+  /// Commits the activity: outputs become kValid, locks are released,
+  /// and every transitively downstream view of the outputs is marked
+  /// kStale (the manager knows the whole flow statically).
+  void EndActivity(const ActivityTicket& ticket, bool success);
+
+  /// State of (block, view) as tracked by the manager.
+  DataState StateOf(const std::string& block, const std::string& view) const;
+
+  /// Marks a view valid without an activity (seeding initial data).
+  void SeedData(const std::string& block, const std::string& view);
+
+  const ActivityStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = ActivityStats{}; }
+
+ private:
+  const ActivityDef* FindActivity(const std::string& name) const;
+  void InvalidateDownstream(const std::string& block,
+                            const std::string& view);
+
+  std::vector<ActivityDef> flow_;
+  // (block '\0' view) -> state.
+  std::map<std::string, DataState> states_;
+  std::map<std::string, bool> locks_;
+  ActivityStats stats_;
+  uint64_t next_ticket_ = 1;
+};
+
+}  // namespace damocles::baseline

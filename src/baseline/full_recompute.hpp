@@ -1,0 +1,45 @@
+// Full-recompute invalidation baseline.
+//
+// The paper's run-time engine propagates a change *selectively*: only
+// OIDs reachable from the change across qualifying links are touched.
+// The classic alternative (make-style) rederives everything: after any
+// change, sweep the whole meta-database and recompute every object's
+// up-to-date flag from version timestamps. bench_claim_propagation
+// compares the two; the test suite checks they agree on final states.
+#pragma once
+
+#include <cstddef>
+
+#include "metadb/meta_database.hpp"
+
+namespace damocles::baseline {
+
+/// Statistics of a full-recompute tracker.
+struct RecomputeStats {
+  size_t sweeps = 0;           ///< Full recomputations performed.
+  size_t objects_visited = 0;  ///< Sum of objects touched over all sweeps.
+  size_t links_visited = 0;    ///< Sum of links examined over all sweeps.
+  size_t property_writes = 0;  ///< uptodate values actually changed.
+};
+
+/// Make-style staleness tracker. An object is out of date iff some
+/// transitive upstream source (via in-links: the objects it is derived
+/// from, its hierarchy parents' sources, ...) has a strictly newer
+/// creation timestamp.
+class FullRecomputeTracker {
+ public:
+  explicit FullRecomputeTracker(metadb::MetaDatabase& db) : db_(db) {}
+
+  /// Recomputes the `uptodate` property of every live object. Called
+  /// after every change event — that is the point of the baseline.
+  void RecomputeAll();
+
+  const RecomputeStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = RecomputeStats{}; }
+
+ private:
+  metadb::MetaDatabase& db_;
+  RecomputeStats stats_;
+};
+
+}  // namespace damocles::baseline

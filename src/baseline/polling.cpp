@@ -1,0 +1,41 @@
+#include "baseline/polling.hpp"
+
+namespace damocles::baseline {
+
+namespace {
+
+std::string Key(const std::string& block, const std::string& view) {
+  std::string key = block;
+  key.push_back('\0');
+  key += view;
+  return key;
+}
+
+}  // namespace
+
+std::vector<DetectedChange> PollingTracker::Poll(int64_t now) {
+  ++stats_.polls;
+  std::vector<DetectedChange> changes;
+
+  workspace_.ForEachFile([&](const metadb::Oid& oid,
+                             const metadb::DesignFile& file) {
+    ++stats_.files_scanned;
+    // Only the latest version of each pair is of interest; older
+    // versions are immutable.
+    if (oid.version != workspace_.LatestVersion(oid.block, oid.view)) return;
+    int64_t& seen = snapshot_[Key(oid.block, oid.view)];
+    if (file.modified_at > seen) {
+      DetectedChange change;
+      change.oid = oid;
+      change.modified_at = file.modified_at;
+      change.detected_at = now;
+      changes.push_back(change);
+      ++stats_.changes_detected;
+      stats_.total_detection_lag += now - file.modified_at;
+      seen = file.modified_at;
+    }
+  });
+  return changes;
+}
+
+}  // namespace damocles::baseline

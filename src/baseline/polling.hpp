@@ -1,0 +1,62 @@
+// Polling tracker baseline.
+//
+// Before event-driven tracking, design managers rediscovered changes by
+// scanning the repository on a timer (cron-style). The polling tracker
+// snapshots workspace modification times and diffs them on every poll;
+// its cost is O(files) per poll whether or not anything changed, and its
+// detection latency is up to one full poll interval — the two numbers
+// bench_fig1_architecture and bench_claim_overhead contrast with the
+// event queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metadb/workspace.hpp"
+
+namespace damocles::baseline {
+
+/// A change discovered by a poll.
+struct DetectedChange {
+  metadb::Oid oid;
+  int64_t modified_at = 0;  ///< When the data actually changed.
+  int64_t detected_at = 0;  ///< When the poll saw it.
+};
+
+struct PollingStats {
+  size_t polls = 0;
+  size_t files_scanned = 0;
+  size_t changes_detected = 0;
+  int64_t total_detection_lag = 0;  ///< Sum of (detected - modified).
+
+  double AverageLagSeconds() const {
+    return changes_detected == 0
+               ? 0.0
+               : static_cast<double>(total_detection_lag) /
+                     static_cast<double>(changes_detected);
+  }
+};
+
+/// Scans a workspace for new/modified design files.
+class PollingTracker {
+ public:
+  explicit PollingTracker(const metadb::Workspace& workspace)
+      : workspace_(workspace) {}
+
+  /// One poll at simulated time `now`: scans every (block, view) pair's
+  /// latest version and reports those newer than the last snapshot.
+  std::vector<DetectedChange> Poll(int64_t now);
+
+  const PollingStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = PollingStats{}; }
+
+ private:
+  const metadb::Workspace& workspace_;
+  // (block '\0' view) -> last seen modification time.
+  std::map<std::string, int64_t> snapshot_;
+  PollingStats stats_;
+};
+
+}  // namespace damocles::baseline

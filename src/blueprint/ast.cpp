@@ -1,0 +1,24 @@
+#include "blueprint/ast.hpp"
+
+namespace damocles::blueprint {
+
+const PropertyTemplate* ViewTemplate::FindProperty(
+    std::string_view property_name) const {
+  for (const PropertyTemplate& property : properties) {
+    if (property.name == property_name) return &property;
+  }
+  return nullptr;
+}
+
+const ViewTemplate* Blueprint::FindView(std::string_view view_name) const {
+  for (const ViewTemplate& view : views) {
+    if (view.name == view_name) return &view;
+  }
+  return nullptr;
+}
+
+const ViewTemplate* Blueprint::DefaultView() const {
+  return FindView(kDefaultViewName);
+}
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,228 @@
+#include "blueprint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace damocles::blueprint {
+
+namespace {
+
+constexpr std::array<std::string_view, 22> kKeywords = {
+    "blueprint", "endblueprint", "view",   "endview", "property",
+    "default",   "copy",         "move",   "link_from", "use_link",
+    "propagates", "type",        "let",    "when",    "do",
+    "done",      "post",         "exec",   "notify",  "to",
+    "up",        "down",
+};
+
+// 'and' / 'or' / 'not' are expression operators; they are lexed as
+// keywords too so the expression parser can recognise them without
+// string comparisons against identifiers.
+constexpr std::array<std::string_view, 3> kOperators = {"and", "or", "not"};
+
+bool IsWordStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == '-';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  bool AtEnd() const noexcept { return pos_ >= source_.size(); }
+  char Peek() const noexcept { return source_[pos_]; }
+  char PeekAhead() const noexcept {
+    return pos_ + 1 < source_.size() ? source_[pos_ + 1] : '\0';
+  }
+
+  char Advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+bool IsBlueprintKeyword(std::string_view word) noexcept {
+  for (const std::string_view keyword : kKeywords) {
+    if (word == keyword) return true;
+  }
+  for (const std::string_view keyword : kOperators) {
+    if (word == keyword) return true;
+  }
+  return false;
+}
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cursor(source);
+
+  const auto push = [&](TokenKind kind, std::string text, int line,
+                        int column) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+
+  while (!cursor.AtEnd()) {
+    const int line = cursor.line();
+    const int column = cursor.column();
+    const char c = cursor.Peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cursor.Advance();
+      continue;
+    }
+    if (c == '#') {
+      while (!cursor.AtEnd() && cursor.Peek() != '\n') cursor.Advance();
+      continue;
+    }
+    if (c == '"') {
+      cursor.Advance();
+      std::string body;
+      bool closed = false;
+      while (!cursor.AtEnd()) {
+        const char d = cursor.Advance();
+        if (d == '\\' && !cursor.AtEnd()) {
+          body.push_back(cursor.Advance());
+          continue;
+        }
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        body.push_back(d);
+      }
+      if (!closed) {
+        throw ParseError("unterminated string literal", line, column);
+      }
+      push(TokenKind::kString, std::move(body), line, column);
+      continue;
+    }
+    if (c == '$') {
+      cursor.Advance();
+      std::string name;
+      while (!cursor.AtEnd() && IsWordChar(cursor.Peek())) {
+        name.push_back(cursor.Advance());
+      }
+      if (name.empty()) {
+        throw ParseError("'$' must be followed by a variable name", line,
+                         column);
+      }
+      push(TokenKind::kVariable, std::move(name), line, column);
+      continue;
+    }
+    if (IsWordStart(c)) {
+      std::string word;
+      while (!cursor.AtEnd() && IsWordChar(cursor.Peek())) {
+        word.push_back(cursor.Advance());
+      }
+      const TokenKind kind = IsBlueprintKeyword(word) ? TokenKind::kKeyword
+                                                      : TokenKind::kIdentifier;
+      push(kind, std::move(word), line, column);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Bare numbers appear as property values; lex them as identifiers.
+      std::string word;
+      while (!cursor.AtEnd() && IsWordChar(cursor.Peek())) {
+        word.push_back(cursor.Advance());
+      }
+      push(TokenKind::kIdentifier, std::move(word), line, column);
+      continue;
+    }
+
+    switch (c) {
+      case '=':
+        cursor.Advance();
+        if (!cursor.AtEnd() && cursor.Peek() == '=') {
+          cursor.Advance();
+          push(TokenKind::kEqEq, "==", line, column);
+        } else {
+          push(TokenKind::kEquals, "=", line, column);
+        }
+        continue;
+      case '!':
+        cursor.Advance();
+        if (!cursor.AtEnd() && cursor.Peek() == '=') {
+          cursor.Advance();
+          push(TokenKind::kNotEq, "!=", line, column);
+          continue;
+        }
+        throw ParseError("unexpected '!' (did you mean '!='?)", line, column);
+      case '(':
+        cursor.Advance();
+        push(TokenKind::kLParen, "(", line, column);
+        continue;
+      case ')':
+        cursor.Advance();
+        push(TokenKind::kRParen, ")", line, column);
+        continue;
+      case ';':
+        cursor.Advance();
+        push(TokenKind::kSemicolon, ";", line, column);
+        continue;
+      case ',':
+        cursor.Advance();
+        push(TokenKind::kComma, ",", line, column);
+        continue;
+      default:
+        throw ParseError(std::string("illegal character '") + c + "'", line,
+                         column);
+    }
+  }
+
+  tokens.push_back(Token{TokenKind::kEnd, "", cursor.line(), cursor.column()});
+  return tokens;
+}
+
+const char* TokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kEqEq:
+      return "'=='";
+    case TokenKind::kNotEq:
+      return "'!='";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEnd:
+      return "end of file";
+  }
+  return "unknown";
+}
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,25 @@
+// Lexer for the ASCII blueprint rule files (paper §3.2).
+//
+// The language is free-form: newlines are whitespace, `#` starts a
+// comment to end of line. Keywords are reserved; everything else that
+// looks like a word is an identifier. `$name` is a substitution
+// variable; double-quoted strings keep their `$` sequences raw (they
+// are template-expanded at rule execution time).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "blueprint/token.hpp"
+
+namespace damocles::blueprint {
+
+/// True if `word` is reserved by the blueprint language.
+bool IsBlueprintKeyword(std::string_view word) noexcept;
+
+/// Tokenizes a complete rule file. Throws ParseError on illegal
+/// characters or unterminated strings. The result always ends with a
+/// kEnd token.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace damocles::blueprint

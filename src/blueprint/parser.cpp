@@ -1,0 +1,381 @@
+#include "blueprint/parser.hpp"
+
+#include <unordered_set>
+
+#include "blueprint/lexer.hpp"
+#include "common/error.hpp"
+
+namespace damocles::blueprint {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(Tokenize(source)) {}
+
+  Blueprint ParseFile() {
+    Blueprint blueprint;
+    ExpectKeyword("blueprint");
+    blueprint.name = ExpectIdentifier("blueprint name");
+
+    std::unordered_set<std::string> seen_views;
+    while (!Peek().IsKeyword("endblueprint")) {
+      if (Peek().Is(TokenKind::kEnd)) {
+        Fail("missing 'endblueprint'");
+      }
+      ExpectKeyword("view");
+      ViewTemplate view = ParseView();
+      if (!seen_views.insert(view.name).second) {
+        Fail("duplicate view '" + view.name + "'");
+      }
+      blueprint.views.push_back(std::move(view));
+    }
+    ExpectKeyword("endblueprint");
+    if (!Peek().Is(TokenKind::kEnd)) {
+      Fail("unexpected input after 'endblueprint'");
+    }
+    return blueprint;
+  }
+
+ private:
+  // --- Token plumbing ------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    const Token& token = Peek();
+    throw ParseError(message + " (at " + TokenKindName(token.kind) +
+                         (token.text.empty() ? "" : " '" + token.text + "'") +
+                         ")",
+                     token.line, token.column);
+  }
+
+  void ExpectKeyword(const char* word) {
+    if (!Peek().IsKeyword(word)) {
+      Fail(std::string("expected '") + word + "'");
+    }
+    Advance();
+  }
+
+  bool AcceptKeyword(const char* word) {
+    if (Peek().IsKeyword(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  std::string ExpectIdentifier(const char* what) {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      Fail(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // --- Values -----------------------------------------------------------
+
+  /// A value token: identifier literal, quoted string or $variable.
+  /// Returns the value as a StringTemplate (identifiers are literal).
+  StringTemplate ParseValueTemplate(const char* what) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdentifier:
+        Advance();
+        return StringTemplate::Literal(token.text);
+      case TokenKind::kString:
+        Advance();
+        return StringTemplate::Parse(token.text);
+      case TokenKind::kVariable:
+        Advance();
+        return StringTemplate::Variable(token.text);
+      default:
+        Fail(std::string("expected ") + what);
+    }
+  }
+
+  bool PeekIsValue() const {
+    const TokenKind kind = Peek().kind;
+    return kind == TokenKind::kIdentifier || kind == TokenKind::kString ||
+           kind == TokenKind::kVariable;
+  }
+
+  // --- Views ---------------------------------------------------------------
+
+  ViewTemplate ParseView() {
+    ViewTemplate view;
+    // 'default' is a keyword (property defaults) but is also the name of
+    // the special view that applies to all views (paper §3.4).
+    if (Peek().IsKeyword("default")) {
+      Advance();
+      view.name = Blueprint::kDefaultViewName;
+    } else {
+      view.name = ExpectIdentifier("view name");
+    }
+
+    while (true) {
+      const Token& token = Peek();
+      if (token.IsKeyword("endview")) {
+        Advance();
+        return view;
+      }
+      // Leniency: the paper's own example omits an endview; a following
+      // 'view' or 'endblueprint' closes the current one.
+      if (token.IsKeyword("view") || token.IsKeyword("endblueprint")) {
+        return view;
+      }
+      if (token.Is(TokenKind::kEnd)) {
+        Fail("missing 'endview' for view '" + view.name + "'");
+      }
+
+      if (AcceptKeyword("property")) {
+        ParsePropertyTemplate(view);
+      } else if (AcceptKeyword("link_from")) {
+        ParseLinkFrom(view);
+      } else if (AcceptKeyword("use_link")) {
+        ParseUseLink(view);
+      } else if (AcceptKeyword("let")) {
+        ParseLet(view);
+      } else if (AcceptKeyword("when")) {
+        ParseWhen(view);
+      } else {
+        Fail("expected a view member (property / link_from / use_link / "
+             "let / when)");
+      }
+    }
+  }
+
+  void ParsePropertyTemplate(ViewTemplate& view) {
+    PropertyTemplate property;
+    property.name = ExpectIdentifier("property name");
+    ExpectKeyword("default");
+    property.default_value = ParseLiteralValue("property default value");
+    property.carry = ParseCarryPolicy();
+    if (view.FindProperty(property.name) != nullptr) {
+      Fail("duplicate property template '" + property.name + "' in view '" +
+           view.name + "'");
+    }
+    view.properties.push_back(std::move(property));
+  }
+
+  /// Literal value (identifier or string); $vars are not allowed in
+  /// template defaults — they have no OID context at creation time.
+  std::string ParseLiteralValue(const char* what) {
+    const Token& token = Peek();
+    if (token.Is(TokenKind::kIdentifier) || token.Is(TokenKind::kString)) {
+      Advance();
+      return token.text;
+    }
+    Fail(std::string("expected ") + what);
+  }
+
+  metadb::CarryPolicy ParseCarryPolicy() {
+    if (AcceptKeyword("copy")) return metadb::CarryPolicy::kCopy;
+    if (AcceptKeyword("move")) return metadb::CarryPolicy::kMove;
+    return metadb::CarryPolicy::kNone;
+  }
+
+  void ParseLinkFrom(ViewTemplate& view) {
+    LinkTemplate link;
+    link.kind = metadb::LinkKind::kDerive;
+    link.from_view = ExpectIdentifier("source view name");
+    // The paper writes the carry keyword either right after the view
+    // name ("link_from synth_lib move propagates ...") or at the end
+    // ("link_from NetList propagates OutOfDate type derive_from MOVE").
+    link.carry = ParseCarryPolicy();
+    ExpectKeyword("propagates");
+    link.propagates = ParseEventList();
+    if (AcceptKeyword("type")) {
+      link.type = ExpectIdentifier("link type");
+    }
+    if (link.carry == metadb::CarryPolicy::kNone) {
+      link.carry = ParseCarryPolicy();
+    }
+    view.links.push_back(std::move(link));
+  }
+
+  void ParseUseLink(ViewTemplate& view) {
+    LinkTemplate link;
+    link.kind = metadb::LinkKind::kUse;
+    link.carry = ParseCarryPolicy();
+    ExpectKeyword("propagates");
+    link.propagates = ParseEventList();
+    if (link.carry == metadb::CarryPolicy::kNone) {
+      link.carry = ParseCarryPolicy();
+    }
+    view.links.push_back(std::move(link));
+  }
+
+  std::vector<std::string> ParseEventList() {
+    std::vector<std::string> events;
+    events.push_back(ExpectIdentifier("event name"));
+    while (Peek().Is(TokenKind::kComma)) {
+      Advance();
+      events.push_back(ExpectIdentifier("event name"));
+    }
+    return events;
+  }
+
+  void ParseLet(ViewTemplate& view) {
+    std::string property = ExpectIdentifier("assignment target");
+    if (!Peek().Is(TokenKind::kEquals)) {
+      Fail("expected '=' in continuous assignment");
+    }
+    Advance();
+    Expr expr = ParseExpr();
+    view.assignments.emplace_back(std::move(property), std::move(expr));
+  }
+
+  // --- Run-time rules ------------------------------------------------------
+
+  void ParseWhen(ViewTemplate& view) {
+    RuntimeRule rule;
+    rule.event = ExpectIdentifier("event name");
+    ExpectKeyword("do");
+    rule.actions.push_back(ParseAction());
+    while (Peek().Is(TokenKind::kSemicolon)) {
+      Advance();
+      if (Peek().IsKeyword("done")) break;  // Trailing ';' is tolerated.
+      rule.actions.push_back(ParseAction());
+    }
+    ExpectKeyword("done");
+    view.rules.push_back(std::move(rule));
+  }
+
+  Action ParseAction() {
+    if (AcceptKeyword("exec")) {
+      ActionExec action;
+      action.script = ParseValueTemplate("script name");
+      while (PeekIsValue()) {
+        action.args.push_back(ParseValueTemplate("script argument"));
+      }
+      return action;
+    }
+    if (AcceptKeyword("notify")) {
+      ActionNotify action;
+      action.message = ParseValueTemplate("notification message");
+      return action;
+    }
+    if (AcceptKeyword("post")) {
+      ActionPost action;
+      action.event = ExpectIdentifier("event name");
+      if (AcceptKeyword("up")) {
+        action.direction = events::Direction::kUp;
+      } else if (AcceptKeyword("down")) {
+        action.direction = events::Direction::kDown;
+      } else {
+        Fail("expected 'up' or 'down' after posted event name");
+      }
+      if (AcceptKeyword("to")) {
+        action.to_view = ExpectIdentifier("target view name");
+      }
+      if (PeekIsValue()) {
+        action.arg = ParseValueTemplate("post argument");
+      }
+      return action;
+    }
+    // Otherwise: assignment "<property> = <value>".
+    ActionAssign action;
+    action.property = ExpectIdentifier("action");
+    if (!Peek().Is(TokenKind::kEquals)) {
+      Fail("expected '=' in assignment action");
+    }
+    Advance();
+    action.value = ParseValueTemplate("assignment value");
+    return action;
+  }
+
+  // --- Expressions -----------------------------------------------------------
+
+  Expr ParseExpr() { return ParseOr(); }
+
+  Expr ParseOr() {
+    Expr lhs = ParseAnd();
+    while (AcceptKeyword("or")) {
+      Expr rhs = ParseAnd();
+      lhs = Expr::MakeBinary(Expr::Kind::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Expr ParseAnd() {
+    Expr lhs = ParseUnary();
+    while (AcceptKeyword("and")) {
+      Expr rhs = ParseUnary();
+      lhs = Expr::MakeBinary(Expr::Kind::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Expr ParseUnary() {
+    if (AcceptKeyword("not")) {
+      return Expr::MakeNot(ParseUnary());
+    }
+    return ParsePrimary();
+  }
+
+  Expr ParsePrimary() {
+    if (Peek().Is(TokenKind::kLParen)) {
+      Advance();
+      Expr inner = ParseExpr();
+      if (!Peek().Is(TokenKind::kRParen)) {
+        Fail("expected ')'");
+      }
+      Advance();
+      return MaybeComparison(std::move(inner));
+    }
+    return MaybeComparison(ParseExprValue());
+  }
+
+  /// Parses an optional trailing `== value` / `!= value`.
+  Expr MaybeComparison(Expr lhs) {
+    if (Peek().Is(TokenKind::kEqEq)) {
+      Advance();
+      return Expr::MakeBinary(Expr::Kind::kEq, std::move(lhs),
+                              ParseExprValue());
+    }
+    if (Peek().Is(TokenKind::kNotEq)) {
+      Advance();
+      return Expr::MakeBinary(Expr::Kind::kNe, std::move(lhs),
+                              ParseExprValue());
+    }
+    return lhs;
+  }
+
+  Expr ParseExprValue() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdentifier:
+      case TokenKind::kString:
+        Advance();
+        return Expr::MakeLiteral(token.text);
+      case TokenKind::kVariable:
+        Advance();
+        return Expr::MakeVar(token.text);
+      case TokenKind::kLParen: {
+        Advance();
+        Expr inner = ParseExpr();
+        if (!Peek().Is(TokenKind::kRParen)) {
+          Fail("expected ')'");
+        }
+        Advance();
+        return inner;
+      }
+      default:
+        Fail("expected a value in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Blueprint ParseBlueprint(std::string_view source) {
+  Parser parser(source);
+  return parser.ParseFile();
+}
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,40 @@
+// Recursive-descent parser for blueprint rule files.
+//
+// Grammar (paper §3.2 / §3.4; [] optional, * repetition, | choice):
+//
+//   file        := 'blueprint' IDENT view* 'endblueprint'
+//   view        := 'view' IDENT member* ('endview' | &'view' | &'endblueprint')
+//   member      := property | link_from | use_link | let | when
+//   property    := 'property' IDENT 'default' value ['copy'|'move']
+//   link_from   := 'link_from' IDENT ['move'|'copy'] 'propagates' events
+//                  ['type' IDENT] ['move'|'copy']
+//   use_link    := 'use_link' ['move'|'copy'] 'propagates' events
+//   events      := IDENT (',' IDENT)*
+//   let         := 'let' IDENT '=' expr
+//   when        := 'when' IDENT 'do' action (';' action)* 'done'
+//   action      := assign | exec | notify | post
+//   assign      := IDENT '=' value
+//   exec        := 'exec' value value*
+//   notify      := 'notify' value
+//   post        := 'post' IDENT ('up'|'down') ['to' IDENT] [value]
+//   value       := IDENT | STRING | VARIABLE
+//   expr        := or ; or := and ('or' and)* ; and := un ('and' un)*
+//   un          := 'not' un | prim
+//   prim        := '(' expr ')' | value (('=='|'!=') value)?
+//
+// The paper's own sample omits one `endview`; the parser is lenient and
+// lets a new `view` or `endblueprint` implicitly close the open view.
+#pragma once
+
+#include <string_view>
+
+#include "blueprint/ast.hpp"
+
+namespace damocles::blueprint {
+
+/// Parses a complete blueprint file. Throws ParseError with line/column
+/// on the first syntax error, and on semantic errors the engine cannot
+/// tolerate (duplicate view names, duplicate property templates).
+Blueprint ParseBlueprint(std::string_view source);
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,20 @@
+// Pretty-printer: renders a parsed Blueprint back to rule-file syntax.
+//
+// Printing then re-parsing a blueprint yields a structurally identical
+// blueprint (round-trip property checked by the test suite); the printer
+// is also used by the examples to show the effective rule set.
+#pragma once
+
+#include <string>
+
+#include "blueprint/ast.hpp"
+
+namespace damocles::blueprint {
+
+/// Renders one action in rule syntax (without trailing ';').
+std::string FormatAction(const Action& action);
+
+/// Renders a complete blueprint as a rule file.
+std::string FormatBlueprint(const Blueprint& blueprint);
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,59 @@
+// Substitution templates for rule bodies.
+//
+// Rule actions carry strings with embedded variables, e.g.
+//   "$owner: Your oid $OID has been modified"
+// The template is parsed once at blueprint-load time into literal and
+// variable pieces; execution only concatenates.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace damocles::blueprint {
+
+/// Resolves a variable name ("arg", "oid", "user", or a property name)
+/// to its value. Returning an empty string is valid (unknown variables
+/// expand to nothing, matching shell behaviour of the wrapper scripts).
+using VariableResolver = std::function<std::string(std::string_view)>;
+
+/// A pre-parsed "$"-substitution template.
+class StringTemplate {
+ public:
+  StringTemplate() = default;
+
+  /// Parses `text`; `$name` and `${name}`-free forms are supported
+  /// ($ followed by word characters). `$$` escapes a literal dollar.
+  static StringTemplate Parse(std::string_view text);
+
+  /// A template consisting of a single variable reference, e.g. built
+  /// from the bare token `$arg` in an assignment.
+  static StringTemplate Variable(std::string_view name);
+
+  /// A template with no substitutions.
+  static StringTemplate Literal(std::string_view text);
+
+  /// Expands the template through `resolver`.
+  std::string Expand(const VariableResolver& resolver) const;
+
+  /// True when the template contains no variable pieces.
+  bool IsPureLiteral() const noexcept;
+
+  /// The original source text (for pretty-printing).
+  const std::string& source() const noexcept { return source_; }
+
+  /// Names of all variables referenced, in order of appearance.
+  std::vector<std::string> VariableNames() const;
+
+ private:
+  struct Piece {
+    bool is_variable = false;
+    std::string text;  ///< Literal text or variable name.
+  };
+
+  std::string source_;
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,38 @@
+// Token stream for the BluePrint rule-file language.
+#pragma once
+
+#include <string>
+
+namespace damocles::blueprint {
+
+enum class TokenKind {
+  kIdentifier,  ///< view / property / event / value names.
+  kVariable,    ///< $arg, $oid, $user, $<property>.
+  kString,      ///< double-quoted, may contain $substitutions.
+  kKeyword,     ///< reserved words (blueprint, view, when, ...).
+  kEquals,      ///< =
+  kEqEq,        ///< ==
+  kNotEq,       ///< !=
+  kLParen,      ///< (
+  kRParen,      ///< )
+  kSemicolon,   ///< ;
+  kComma,       ///< ,
+  kEnd,         ///< end of input.
+};
+
+const char* TokenKindName(TokenKind kind) noexcept;
+
+/// One lexed token with its source position (1-based).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< Identifier/keyword/variable name or string body.
+  int line = 0;
+  int column = 0;
+
+  bool Is(TokenKind k) const noexcept { return kind == k; }
+  bool IsKeyword(const char* word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+};
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,228 @@
+#include "blueprint/validator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace damocles::blueprint {
+
+namespace {
+
+/// Variables the engine always resolves, independent of templates.
+const std::unordered_set<std::string>& BuiltinVariables() {
+  static const std::unordered_set<std::string> kBuiltins = {
+      "arg",  "oid",  "OID",     "user", "owner",
+      "date", "event", "dir",    "block", "view",
+      "version"};
+  return kBuiltins;
+}
+
+class Validator {
+ public:
+  explicit Validator(const Blueprint& bp) : bp_(bp) {}
+
+  ValidationReport Run() {
+    CollectDeclarations();
+    for (const ViewTemplate& view : bp_.views) {
+      CheckLinks(view);
+      CheckContinuousAssignments(view);
+      CheckRules(view);
+      CheckShadowing(view);
+    }
+    CheckDeadTraffic();
+    return std::move(report_);
+  }
+
+ private:
+  void Add(DiagnosticSeverity severity, const std::string& view,
+           std::string code, std::string message) {
+    report_.diagnostics.push_back(
+        Diagnostic{severity, view, std::move(code), std::move(message)});
+  }
+
+  void CollectDeclarations() {
+    for (const ViewTemplate& view : bp_.views) {
+      view_names_.insert(view.name);
+      for (const PropertyTemplate& property : view.properties) {
+        declared_properties_[view.name].insert(property.name);
+      }
+      for (const ContinuousAssignment& assignment : view.assignments) {
+        declared_properties_[view.name].insert(assignment.property);
+      }
+      // Properties written by assign actions also count as defined.
+      for (const RuntimeRule& rule : view.rules) {
+        for (const Action& action : rule.actions) {
+          if (const auto* assign = std::get_if<ActionAssign>(&action)) {
+            declared_properties_[view.name].insert(assign->property);
+          }
+        }
+      }
+      for (const LinkTemplate& link : view.links) {
+        for (const std::string& event : link.propagates) {
+          propagated_events_.insert(event);
+        }
+      }
+      for (const RuntimeRule& rule : view.rules) {
+        handled_events_.insert(rule.event);
+      }
+    }
+  }
+
+  bool PropertyVisible(const std::string& view,
+                       const std::string& property) const {
+    const auto in = [&](const std::string& scope) {
+      const auto it = declared_properties_.find(scope);
+      return it != declared_properties_.end() &&
+             it->second.find(property) != it->second.end();
+    };
+    return in(view) || in(Blueprint::kDefaultViewName);
+  }
+
+  void CheckLinks(const ViewTemplate& view) {
+    for (const LinkTemplate& link : view.links) {
+      if (link.kind == metadb::LinkKind::kDerive) {
+        if (view_names_.find(link.from_view) == view_names_.end()) {
+          Add(DiagnosticSeverity::kError, view.name, "unknown-link-view",
+              "link_from names view '" + link.from_view +
+                  "' which is not declared in this blueprint");
+        }
+        if (link.from_view == view.name) {
+          Add(DiagnosticSeverity::kError, view.name, "self-link",
+              "link_from names its own view '" + view.name +
+                  "' (hierarchy within a view uses use_link)");
+        }
+      }
+      if (link.propagates.empty()) {
+        Add(DiagnosticSeverity::kError, view.name, "empty-propagates",
+            "a link template propagates no events; the link would be "
+            "untraversable");
+      }
+    }
+  }
+
+  void CheckContinuousAssignments(const ViewTemplate& view) {
+    for (const ContinuousAssignment& assignment : view.assignments) {
+      std::vector<std::string> variables;
+      assignment.expr.CollectVariables(variables);
+      for (const std::string& variable : variables) {
+        if (BuiltinVariables().contains(variable)) continue;
+        if (PropertyVisible(view.name, variable)) continue;
+        Add(DiagnosticSeverity::kWarning, view.name, "unknown-variable",
+            "continuous assignment of '" + assignment.property +
+                "' reads $" + variable +
+                " which no property template in scope defines");
+      }
+    }
+  }
+
+  void CheckRules(const ViewTemplate& view) {
+    std::set<std::pair<std::string, std::string>> assigned;
+    for (const RuntimeRule& rule : view.rules) {
+      for (const Action& action : rule.actions) {
+        if (const auto* post = std::get_if<ActionPost>(&action)) {
+          if (!post->to_view.empty() &&
+              view_names_.find(post->to_view) == view_names_.end()) {
+            Add(DiagnosticSeverity::kWarning, view.name, "unknown-post-view",
+                "rule for '" + rule.event + "' posts to view '" +
+                    post->to_view + "' which is not declared");
+          }
+          if (post->to_view.empty() &&
+              propagated_events_.find(post->event) ==
+                  propagated_events_.end()) {
+            Add(DiagnosticSeverity::kWarning, view.name, "undelivered-post",
+                "rule for '" + rule.event + "' posts '" + post->event +
+                    "' " + events::DirectionName(post->direction) +
+                    " but no link template propagates that event");
+          }
+        } else if (const auto* assign = std::get_if<ActionAssign>(&action)) {
+          if (!assigned.emplace(rule.event, assign->property).second) {
+            Add(DiagnosticSeverity::kWarning, view.name, "duplicate-rule",
+                "property '" + assign->property +
+                    "' is assigned more than once on event '" + rule.event +
+                    "'");
+          }
+        }
+      }
+    }
+  }
+
+  void CheckShadowing(const ViewTemplate& view) {
+    if (view.name == Blueprint::kDefaultViewName) return;
+    const ViewTemplate* default_view = bp_.DefaultView();
+    if (default_view == nullptr) return;
+    for (const PropertyTemplate& property : view.properties) {
+      const PropertyTemplate* base = default_view->FindProperty(property.name);
+      if (base != nullptr && base->default_value != property.default_value) {
+        Add(DiagnosticSeverity::kWarning, view.name, "shadowed-property",
+            "property '" + property.name + "' shadows the default view's "
+            "with a different default ('" + property.default_value +
+                "' vs '" + base->default_value + "')");
+      }
+    }
+  }
+
+  void CheckDeadTraffic() {
+    for (const std::string& event : propagated_events_) {
+      if (handled_events_.find(event) == handled_events_.end()) {
+        Add(DiagnosticSeverity::kWarning, "", "unread-event",
+            "links propagate '" + event +
+                "' but no run-time rule reacts to it");
+      }
+    }
+  }
+
+  const Blueprint& bp_;
+  ValidationReport report_;
+  std::unordered_set<std::string> view_names_;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      declared_properties_;
+  std::unordered_set<std::string> propagated_events_;
+  std::unordered_set<std::string> handled_events_;
+};
+
+}  // namespace
+
+const char* DiagnosticSeverityName(DiagnosticSeverity severity) noexcept {
+  return severity == DiagnosticSeverity::kError ? "error" : "warning";
+}
+
+bool ValidationReport::HasErrors() const { return ErrorCount() > 0; }
+
+size_t ValidationReport::ErrorCount() const {
+  return static_cast<size_t>(std::count_if(
+      diagnostics.begin(), diagnostics.end(), [](const Diagnostic& d) {
+        return d.severity == DiagnosticSeverity::kError;
+      }));
+}
+
+size_t ValidationReport::WarningCount() const {
+  return diagnostics.size() - ErrorCount();
+}
+
+std::vector<Diagnostic> ValidationReport::WithCode(
+    const std::string& code) const {
+  std::vector<Diagnostic> matches;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.code == code) matches.push_back(diagnostic);
+  }
+  return matches;
+}
+
+ValidationReport ValidateBlueprint(const Blueprint& bp) {
+  return Validator(bp).Run();
+}
+
+std::string FormatValidationReport(const ValidationReport& report) {
+  if (report.diagnostics.empty()) return "blueprint is clean\n";
+  std::string text;
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    text += std::string(DiagnosticSeverityName(diagnostic.severity)) + " [" +
+            diagnostic.code + "]";
+    if (!diagnostic.view.empty()) text += " in view " + diagnostic.view;
+    text += ": " + diagnostic.message + "\n";
+  }
+  return text;
+}
+
+}  // namespace damocles::blueprint

@@ -1,0 +1,68 @@
+// Static validation of parsed blueprints.
+//
+// The project administrator writes rule files by hand (paper §3.2); the
+// parser catches syntax errors, but a well-formed blueprint can still be
+// silently broken: a rule posts an event no link template propagates, a
+// link names a view that is never declared, a continuous assignment
+// reads a property no template defines. The validator finds these before
+// the blueprint is installed — the kind of lint a production deployment
+// runs in the administrator's editor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blueprint/ast.hpp"
+
+namespace damocles::blueprint {
+
+enum class DiagnosticSeverity {
+  kWarning,  ///< Suspicious but legal; the engine will run it.
+  kError,    ///< Almost certainly a broken flow definition.
+};
+
+const char* DiagnosticSeverityName(DiagnosticSeverity severity) noexcept;
+
+/// One finding, tied to the view it was found in.
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kWarning;
+  std::string view;     ///< View the finding belongs to ("" = global).
+  std::string code;     ///< Stable identifier, e.g. "unknown-link-view".
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Result of validating one blueprint.
+struct ValidationReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool HasErrors() const;
+  size_t ErrorCount() const;
+  size_t WarningCount() const;
+
+  /// All diagnostics with the given code (test/tooling helper).
+  std::vector<Diagnostic> WithCode(const std::string& code) const;
+};
+
+/// Validates `bp`. Checks performed:
+///   unknown-link-view   (error)   link_from names an undeclared view
+///   self-link           (error)   link_from names its own view
+///   empty-propagates    (error)   a link template propagates no events
+///   undelivered-post    (warning) a rule posts an event with a direction
+///                                 but no link template propagates it
+///   unknown-post-view   (warning) 'post ... to V' names an undeclared view
+///   unread-event        (warning) a link propagates an event no rule
+///                                 reacts to (dead traffic)
+///   unknown-variable    (warning) a continuous assignment reads a
+///                                 property no template in scope defines
+///                                 (and it is not a built-in variable)
+///   duplicate-rule      (warning) two rules in one view for the same
+///                                 event with an identical action kind
+///                                 assigning the same property
+///   shadowed-property   (warning) a view redefines a default-view
+///                                 property with a different default
+ValidationReport ValidateBlueprint(const Blueprint& bp);
+
+/// Formats a report as one diagnostic per line.
+std::string FormatValidationReport(const ValidationReport& report);
+
+}  // namespace damocles::blueprint

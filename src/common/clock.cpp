@@ -1,0 +1,30 @@
+#include "common/clock.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace damocles {
+
+void SimClock::Advance(int64_t delta_seconds) {
+  if (delta_seconds < 0) {
+    throw Error("SimClock::Advance: simulated time cannot move backwards");
+  }
+  now_seconds_ += delta_seconds;
+}
+
+std::string SimClock::FormatDate() const { return FormatDate(now_seconds_); }
+
+std::string SimClock::FormatDate(int64_t seconds) {
+  const int64_t day = seconds / 86400;
+  const int64_t within = seconds % 86400;
+  const int hours = static_cast<int>(within / 3600);
+  const int minutes = static_cast<int>((within % 3600) / 60);
+  const int secs = static_cast<int>(within % 60);
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "day %lld %02d:%02d:%02d",
+                static_cast<long long>(day), hours, minutes, secs);
+  return buffer;
+}
+
+}  // namespace damocles

@@ -1,0 +1,42 @@
+// Virtual clock for deterministic timestamps.
+//
+// The paper's run-time rules reference a $date variable and the
+// tool-scheduling evaluation reasons about design-cycle time. A virtual
+// clock makes both reproducible: design activities advance simulated
+// time explicitly, so two runs of the same event trace produce identical
+// meta-data (including $date-derived property values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace damocles {
+
+/// Simulated wall clock. Time is measured in integer seconds since a
+/// nominal project epoch; helpers format it as a human-readable date.
+class SimClock {
+ public:
+  /// Starts at the project epoch (day 0, 00:00:00).
+  SimClock() = default;
+
+  /// Starts at an explicit offset in seconds.
+  explicit SimClock(int64_t start_seconds) : now_seconds_(start_seconds) {}
+
+  /// Current simulated time in seconds since the epoch.
+  int64_t NowSeconds() const noexcept { return now_seconds_; }
+
+  /// Advances the clock; negative deltas are rejected (time is monotone).
+  void Advance(int64_t delta_seconds);
+
+  /// Formats the current time as "day D HH:MM:SS" — the format wrapper
+  /// programs see in the $date substitution variable.
+  std::string FormatDate() const;
+
+  /// Formats an arbitrary timestamp with the same format.
+  static std::string FormatDate(int64_t seconds);
+
+ private:
+  int64_t now_seconds_ = 0;
+};
+
+}  // namespace damocles

@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+namespace damocles {
+
+namespace {
+
+std::string FormatParseMessage(const std::string& message, int line,
+                               int column) {
+  return "parse error at line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ": " + message;
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : Error(FormatParseMessage(message, line, column)),
+      line_(line),
+      column_(column) {}
+
+}  // namespace damocles

@@ -1,0 +1,61 @@
+// Error types shared across the DAMOCLES/BluePrint reproduction.
+//
+// The library reports unrecoverable misuse (unknown OID, malformed rule
+// file, permission violation) with exceptions, per the error-handling
+// guidance of the C++ Core Guidelines (E.2): throw to signal that a
+// function cannot perform its assigned task.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace damocles {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a lookup names an object that does not exist
+/// (unknown OID, unknown view, unknown link, unknown configuration).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the BluePrint parser on a malformed rule file. Carries the
+/// 1-based line and column of the offending token.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Raised when a design activity is denied by a project policy
+/// (e.g. a wrapper program asking to run a tool on out-of-date input).
+class PermissionError : public Error {
+ public:
+  explicit PermissionError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed event messages received over the wire protocol.
+class WireFormatError : public Error {
+ public:
+  explicit WireFormatError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an operation would corrupt meta-database invariants
+/// (duplicate OID creation, link endpoints in different databases, ...).
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace damocles

@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace damocles {
+
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+Log::Sink g_sink;
+std::mutex g_mutex;
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[damocles %s] %s\n", LogLevelName(level),
+               message.c_str());
+}
+
+}  // namespace
+
+void Log::SetLevel(LogLevel level) noexcept { g_level = level; }
+
+LogLevel Log::Level() noexcept { return g_level; }
+
+void Log::SetSink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::Write(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    DefaultSink(level, message);
+  }
+}
+
+const char* LogLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+}  // namespace damocles

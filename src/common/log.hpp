@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// DAMOCLES is "non-obstructive": tracking must never get in the way of
+// design activity. The logger follows suit — it is off by default, costs
+// a single branch when disabled, and writes to a caller-supplied sink so
+// tests can capture output.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace damocles {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logger configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Minimum level that is emitted; defaults to kOff (silent).
+  static void SetLevel(LogLevel level) noexcept;
+  static LogLevel Level() noexcept;
+
+  /// Replaces the output sink. Passing nullptr restores the default
+  /// stderr sink.
+  static void SetSink(Sink sink);
+
+  static void Write(LogLevel level, const std::string& message);
+
+  static void Debug(const std::string& message) {
+    Write(LogLevel::kDebug, message);
+  }
+  static void Info(const std::string& message) {
+    Write(LogLevel::kInfo, message);
+  }
+  static void Warning(const std::string& message) {
+    Write(LogLevel::kWarning, message);
+  }
+  static void Error(const std::string& message) {
+    Write(LogLevel::kError, message);
+  }
+};
+
+/// Human-readable name of a level ("debug", "info", ...).
+const char* LogLevelName(LogLevel level) noexcept;
+
+}  // namespace damocles

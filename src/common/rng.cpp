@@ -1,0 +1,101 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace damocles {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotateLeft(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // xoshiro's state must not be all-zero; SplitMix64 seeding guarantees
+  // a well-mixed non-degenerate state from any 64-bit seed.
+  uint64_t mix = seed;
+  for (auto& word : state_) word = SplitMix64(mix);
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo > hi) throw Error("Rng::UniformInt: lo > hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>((*this)());
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = max() - max() % span;
+  uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  if (weights.empty()) throw Error("Rng::WeightedIndex: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw Error("Rng::WeightedIndex: non-positive sum");
+  double draw = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::Identifier(const std::string& prefix) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  uint64_t bits = (*this)();
+  std::string suffix(4, '0');
+  for (char& c : suffix) {
+    c = kHex[bits & 0xf];
+    bits >>= 4;
+  }
+  return prefix + "_" + suffix;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  for (size_t i = n; i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(indices[i - 1], indices[j]);
+  }
+  return indices;
+}
+
+}  // namespace damocles

@@ -1,0 +1,143 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace damocles {
+
+namespace {
+
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && IsSpace(text[begin])) ++begin;
+  while (end > begin && IsSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> Split(std::string_view text, char separator) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(Trim(text.substr(start)));
+      return pieces;
+    }
+    pieces.emplace_back(Trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && IsSpace(text[i])) ++i;
+    const size_t start = i;
+    while (i < text.size() && !IsSpace(text[i])) ++i;
+    if (i > start) pieces.emplace_back(text.substr(start, i - start));
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) result.append(separator);
+    result.append(pieces[i]);
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string QuoteString(std::string_view text) {
+  std::string result;
+  result.reserve(text.size() + 2);
+  result.push_back('"');
+  for (const char c : text) {
+    if (c == '"' || c == '\\') result.push_back('\\');
+    result.push_back(c);
+  }
+  result.push_back('"');
+  return result;
+}
+
+bool UnquoteString(std::string_view text, size_t& pos, std::string& out) {
+  if (pos >= text.size() || text[pos] != '"') return false;
+  std::string result;
+  size_t i = pos + 1;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      result.push_back(text[i + 1]);
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      pos = i + 1;
+      out = std::move(result);
+      return true;
+    }
+    result.push_back(c);
+    ++i;
+  }
+  return false;
+}
+
+bool IsIdentifier(std::string_view name) {
+  if (name.empty()) return false;
+  const char first = name.front();
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+    return false;
+  }
+  for (const char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string result;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      result.append(text.substr(start));
+      return result;
+    }
+    result.append(text.substr(start, pos - start));
+    result.append(to);
+    start = pos + from.size();
+  }
+}
+
+}  // namespace damocles

@@ -1,0 +1,34 @@
+#include "common/symbol.hpp"
+
+#include "common/error.hpp"
+
+namespace damocles {
+
+SymbolTable::SymbolTable() {
+  texts_.emplace_back();
+  ids_.emplace("", 0);
+}
+
+SymbolId SymbolTable::Intern(std::string_view text) {
+  const auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(texts_.size());
+  texts_.emplace_back(text);
+  ids_.emplace(texts_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view text) const {
+  const auto it = ids_.find(std::string(text));
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& SymbolTable::Text(SymbolId id) const {
+  if (id >= texts_.size()) {
+    throw NotFoundError("SymbolTable::Text: unknown symbol id " +
+                        std::to_string(id));
+  }
+  return texts_[id];
+}
+
+}  // namespace damocles

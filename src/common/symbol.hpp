@@ -1,0 +1,44 @@
+// Interned symbols for hot-path name comparisons.
+//
+// Event names, view names and property names are compared constantly in
+// the propagation inner loop. Interning maps each distinct string to a
+// dense integer id so the engine compares integers instead of strings
+// and can index side tables by symbol id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace damocles {
+
+/// Dense id for an interned string. Id 0 is reserved for the empty string.
+using SymbolId = uint32_t;
+
+/// A string interner. Not thread-safe; each engine owns one.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  /// Returns the id for `text`, interning it on first use.
+  SymbolId Intern(std::string_view text);
+
+  /// Returns the id for `text` if already interned, or kNoSymbol.
+  SymbolId Find(std::string_view text) const;
+
+  /// The text for an id. Throws NotFoundError on an unknown id.
+  const std::string& Text(SymbolId id) const;
+
+  /// Number of interned symbols (including the reserved empty string).
+  size_t size() const noexcept { return texts_.size(); }
+
+  static constexpr SymbolId kNoSymbol = ~SymbolId{0};
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> texts_;
+};
+
+}  // namespace damocles

@@ -1,0 +1,49 @@
+#include "engine/designer_workspace.hpp"
+
+#include "common/error.hpp"
+
+namespace damocles::engine {
+
+metadb::Oid DesignerWorkspace::SaveDraft(std::string_view block,
+                                         std::string_view view,
+                                         std::string_view content) {
+  return sandbox_.CheckIn(block, view, content, owner_,
+                          server_.clock().NowSeconds());
+}
+
+std::string DesignerWorkspace::LatestDraft(std::string_view block,
+                                           std::string_view view) const {
+  const int version = sandbox_.LatestVersion(block, view);
+  if (version == 0) return std::string();
+  const auto file = sandbox_.Read(
+      metadb::Oid{std::string(block), std::string(view), version});
+  return file.has_value() ? file->content : std::string();
+}
+
+metadb::Oid DesignerWorkspace::Promote(std::string_view block,
+                                       std::string_view view) {
+  const int version = sandbox_.LatestVersion(block, view);
+  if (version == 0) {
+    throw NotFoundError("Promote: no draft of " + std::string(block) + "." +
+                        std::string(view) + " in " + owner_ + "'s sandbox");
+  }
+  const auto file = sandbox_.Read(
+      metadb::Oid{std::string(block), std::string(view), version});
+  ++promotions_;
+  return server_.CheckIn(block, view, file->content, owner_);
+}
+
+metadb::Oid DesignerWorkspace::Pull(std::string_view block,
+                                    std::string_view view) {
+  const int version = server_.workspace().LatestVersion(block, view);
+  if (version == 0) {
+    throw NotFoundError("Pull: the project has no version of " +
+                        std::string(block) + "." + std::string(view));
+  }
+  const auto file = server_.workspace().Read(
+      metadb::Oid{std::string(block), std::string(view), version});
+  return sandbox_.CheckIn(block, view, file->content, owner_,
+                          server_.clock().NowSeconds());
+}
+
+}  // namespace damocles::engine

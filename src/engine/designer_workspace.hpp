@@ -1,0 +1,62 @@
+// Private designer workspaces and promotion.
+//
+// Paper §3.3: "every time a new version of schematic is promoted
+// (checked in) to the project workspace" — designers iterate in private
+// sandboxes the tracking system does not watch; only *promotion* into
+// the project workspace creates a tracked version and fires the ckin
+// machinery. This keeps tracking non-obstructive during high-churn
+// editing: a hundred sandbox saves cost the project server nothing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/project_server.hpp"
+#include "metadb/workspace.hpp"
+
+namespace damocles::engine {
+
+/// A designer's private sandbox bound to one project server.
+class DesignerWorkspace {
+ public:
+  DesignerWorkspace(ProjectServer& server, std::string owner)
+      : server_(server),
+        owner_(std::move(owner)),
+        sandbox_(owner_ + ".sandbox") {}
+
+  const std::string& owner() const noexcept { return owner_; }
+
+  /// Saves a draft in the sandbox. Untracked: the project's meta-data
+  /// and event queue are untouched.
+  metadb::Oid SaveDraft(std::string_view block, std::string_view view,
+                        std::string_view content);
+
+  /// Number of drafts of (block, view) in the sandbox.
+  int DraftVersion(std::string_view block, std::string_view view) const {
+    return sandbox_.LatestVersion(block, view);
+  }
+
+  /// Reads the latest draft content ("" when none).
+  std::string LatestDraft(std::string_view block, std::string_view view)
+      const;
+
+  /// Promotes the latest draft into the project workspace: this is the
+  /// tracked check-in (templates apply, ckin fires, policies gate).
+  /// Throws NotFoundError when no draft exists.
+  metadb::Oid Promote(std::string_view block, std::string_view view);
+
+  /// Pulls the latest project version of (block, view) into the sandbox
+  /// as a new draft (the "update my sandbox" operation). Throws
+  /// NotFoundError when the project has no such data.
+  metadb::Oid Pull(std::string_view block, std::string_view view);
+
+  size_t promotions() const noexcept { return promotions_; }
+
+ private:
+  ProjectServer& server_;
+  std::string owner_;
+  metadb::Workspace sandbox_;
+  size_t promotions_ = 0;
+};
+
+}  // namespace damocles::engine

@@ -1,0 +1,105 @@
+#include "engine/project_server.hpp"
+
+#include "blueprint/parser.hpp"
+#include "common/error.hpp"
+
+namespace damocles::engine {
+
+ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
+    : project_name_(std::move(project_name)),
+      options_(options),
+      engine_(std::make_unique<RunTimeEngine>(db_, clock_, options.engine)),
+      workspace_(project_name_ + ".workspace") {
+  // The observer hook: DAMOCLES watches the repository, designers never
+  // talk to the tracking system directly.
+  workspace_.AddObserver([this](const metadb::WorkspaceNotification& note) {
+    if (note.action != metadb::WorkspaceAction::kCheckIn) return;
+    engine_->OnCreateObject(note.oid.block, note.oid.view, note.user);
+    events::EventMessage event;
+    event.name = "ckin";
+    event.direction = options_.checkin_direction;
+    event.target = note.oid;
+    event.user = note.user;
+    event.timestamp = note.timestamp;
+    event.origin = events::EventOrigin::kExternal;
+    engine_->PostEvent(std::move(event));
+  });
+}
+
+void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
+  EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
+  engine_->LoadBlueprint(blueprint::ParseBlueprint(rule_file_text));
+  if (options_.retemplate_on_init) engine_->RetemplateLinks();
+}
+
+void ProjectServer::SetProjectPhase(std::string phase) {
+  phase_ = std::move(phase);
+  if (policy_ != nullptr) policy_->SetPhase(phase_);
+}
+
+void ProjectServer::EnforcePolicy(policy::Operation operation,
+                                  std::string_view user,
+                                  std::string_view view,
+                                  std::string_view block) const {
+  if (policy_ == nullptr) return;
+  policy::PolicyRequest request;
+  request.operation = operation;
+  request.user = std::string(user);
+  request.view = std::string(view);
+  request.block = std::string(block);
+  const policy::PolicyDecision decision = policy_->Evaluate(request);
+  if (!decision.allowed) {
+    throw PermissionError("project policy: " + decision.reason);
+  }
+}
+
+metadb::Oid ProjectServer::CheckIn(std::string_view block,
+                                   std::string_view view,
+                                   std::string_view content,
+                                   std::string_view user) {
+  EnforcePolicy(policy::Operation::kCheckIn, user, view, block);
+  const metadb::Oid oid =
+      workspace_.CheckIn(block, view, content, user, clock_.NowSeconds());
+  if (options_.auto_drain) engine_->ProcessAll();
+  return oid;
+}
+
+metadb::Oid ProjectServer::CheckOut(std::string_view block,
+                                    std::string_view view,
+                                    std::string_view user) {
+  EnforcePolicy(policy::Operation::kCheckOut, user, view, block);
+  return workspace_.CheckOut(block, view, user, clock_.NowSeconds());
+}
+
+metadb::LinkId ProjectServer::RegisterLink(metadb::LinkKind kind,
+                                           const metadb::Oid& from,
+                                           const metadb::Oid& to) {
+  EnforcePolicy(policy::Operation::kRegisterLink, "", to.view, to.block);
+  const auto from_id = db_.FindObject(from);
+  const auto to_id = db_.FindObject(to);
+  if (!from_id.has_value() || !to_id.has_value()) {
+    throw NotFoundError("RegisterLink: unknown endpoint " +
+                        FormatOid(!from_id.has_value() ? from : to));
+  }
+  return engine_->OnCreateLink(kind, *from_id, *to_id);
+}
+
+void ProjectServer::SubmitWireLine(std::string_view line,
+                                   std::string_view user) {
+  events::EventMessage event = events::ParseWireEvent(line);
+  event.user = std::string(user);
+  Submit(std::move(event));
+}
+
+void ProjectServer::Submit(events::EventMessage event) {
+  // Policies gate designer-originated traffic; events the engine's own
+  // rules post internally are not re-checked.
+  EnforcePolicy(policy::Operation::kPostEvent, event.user, event.name,
+                event.target.block);
+  engine_->PostEvent(std::move(event));
+  if (options_.auto_drain) engine_->ProcessAll();
+}
+
+size_t ProjectServer::Drain() { return engine_->ProcessAll(); }
+
+}  // namespace damocles::engine

@@ -1,0 +1,122 @@
+// The DAMOCLES project server (paper Fig. 1).
+//
+// Owns the meta-database, the run-time engine, the simulated clock and
+// one workspace, and wires them together:
+//  * workspace check-ins are observed (non-obstructively) and turned
+//    into meta-data registration plus a `ckin` event;
+//  * wrapper programs submit textual `postEvent` lines over the
+//    simulated network channel;
+//  * designers query project state through the query layer, which takes
+//    a const reference to the database.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "engine/run_time_engine.hpp"
+#include "events/wire.hpp"
+#include "metadb/meta_database.hpp"
+#include "metadb/workspace.hpp"
+#include "policy/policy_engine.hpp"
+
+namespace damocles::engine {
+
+/// Server configuration.
+struct ServerOptions {
+  EngineOptions engine;
+  /// Direction stamped on auto-posted ckin events; the paper's sample
+  /// command uses `up` ("postEvent ckin up reg,verilog,4 ...").
+  events::Direction checkin_direction = events::Direction::kUp;
+  /// Process the queue after every submitted event (interactive mode)
+  /// instead of waiting for an explicit Drain() (batch mode).
+  bool auto_drain = true;
+  /// On InitializeBlueprint, re-apply the new link templates to every
+  /// existing link (PROPAGATE / TYPE / carry). This makes switching
+  /// between loose and strict blueprints effective for data created
+  /// under the previous phase (paper §3.2).
+  bool retemplate_on_init = true;
+};
+
+/// Facade bundling the tracking system's moving parts.
+class ProjectServer {
+ public:
+  explicit ProjectServer(std::string project_name, ServerOptions options = {});
+
+  // Non-copyable, non-movable: the workspace observer captures `this`.
+  ProjectServer(const ProjectServer&) = delete;
+  ProjectServer& operator=(const ProjectServer&) = delete;
+
+  const std::string& project_name() const noexcept { return project_name_; }
+
+  /// Initializes (or re-initializes, between project phases) the
+  /// blueprint from rule-file text. Throws ParseError on bad input.
+  void InitializeBlueprint(std::string_view rule_file_text);
+
+  // --- Project policies --------------------------------------------------
+
+  /// Installs a policy engine; designer operations are checked against
+  /// it from now on (nullptr removes the policy — everything allowed).
+  /// The engine is not owned and must outlive the server.
+  void SetPolicy(policy::PolicyEngine* policy) noexcept { policy_ = policy; }
+  policy::PolicyEngine* policy() const noexcept { return policy_; }
+
+  /// Sets the project phase the policy rules match against.
+  void SetProjectPhase(std::string phase);
+  const std::string& project_phase() const noexcept { return phase_; }
+
+  // --- Designer-facing operations -------------------------------------
+
+  /// Checks design data in; the observer registers the new version with
+  /// the engine and posts `ckin`. Returns the new OID.
+  metadb::Oid CheckIn(std::string_view block, std::string_view view,
+                      std::string_view content, std::string_view user);
+
+  /// Checks the latest version out for editing.
+  metadb::Oid CheckOut(std::string_view block, std::string_view view,
+                       std::string_view user);
+
+  /// Registers a link created by a design activity (tools call this via
+  /// their wrappers, e.g. the synthesizer registering hierarchy).
+  metadb::LinkId RegisterLink(metadb::LinkKind kind, const metadb::Oid& from,
+                              const metadb::Oid& to);
+
+  /// Accepts one wire-protocol line ("postEvent ckin up cpu,hdl,3 ...").
+  void SubmitWireLine(std::string_view line, std::string_view user);
+
+  /// Posts an already parsed event.
+  void Submit(events::EventMessage event);
+
+  /// Drains the event queue; returns events processed.
+  size_t Drain();
+
+  /// Advances simulated time (design activities take time).
+  void AdvanceClock(int64_t seconds) { clock_.Advance(seconds); }
+
+  // --- Component access --------------------------------------------------
+
+  metadb::MetaDatabase& database() noexcept { return db_; }
+  const metadb::MetaDatabase& database() const noexcept { return db_; }
+  RunTimeEngine& engine() noexcept { return *engine_; }
+  const RunTimeEngine& engine() const noexcept { return *engine_; }
+  metadb::Workspace& workspace() noexcept { return workspace_; }
+  SimClock& clock() noexcept { return clock_; }
+
+ private:
+  /// Throws PermissionError when the installed policy denies the request.
+  void EnforcePolicy(policy::Operation operation, std::string_view user,
+                     std::string_view view, std::string_view block) const;
+
+  std::string project_name_;
+  ServerOptions options_;
+  SimClock clock_;
+  metadb::MetaDatabase db_;
+  std::unique_ptr<RunTimeEngine> engine_;
+  metadb::Workspace workspace_;
+  policy::PolicyEngine* policy_ = nullptr;
+  std::string phase_;
+};
+
+}  // namespace damocles::engine

@@ -1,0 +1,619 @@
+#include "engine/run_time_engine.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace damocles::engine {
+
+using blueprint::Blueprint;
+using blueprint::ViewTemplate;
+using events::Direction;
+using events::EventMessage;
+using metadb::CarryPolicy;
+using metadb::Link;
+using metadb::LinkId;
+using metadb::LinkKind;
+using metadb::MetaObject;
+using metadb::Oid;
+using metadb::OidId;
+
+RunTimeEngine::RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
+                             EngineOptions options)
+    : db_(db), clock_(clock), options_(options) {}
+
+void RunTimeEngine::LoadBlueprint(Blueprint blueprint) {
+  blueprint_ = std::make_unique<Blueprint>(std::move(blueprint));
+}
+
+const Blueprint& RunTimeEngine::Current() const {
+  if (!blueprint_) throw Error("RunTimeEngine: no blueprint loaded");
+  return *blueprint_;
+}
+
+// --- Creation notifications ---------------------------------------------------
+
+OidId RunTimeEngine::OnCreateObject(std::string_view block,
+                                    std::string_view view,
+                                    std::string_view user) {
+  const OidId id =
+      db_.CreateNextVersion(block, view, user, clock_.NowSeconds());
+  const std::optional<OidId> previous = db_.PreviousVersion(id);
+
+  if (blueprint_) {
+    ++stats_.objects_templated;
+    // Default-view templates apply to every view; specific templates
+    // follow so they can override a default-view property's value.
+    const ViewTemplate* sources[2] = {blueprint_->DefaultView(),
+                                      blueprint_->FindView(view)};
+    for (const ViewTemplate* source : sources) {
+      if (source == nullptr) continue;
+      for (const blueprint::PropertyTemplate& property : source->properties) {
+        std::string value = property.default_value;
+        if (previous.has_value() &&
+            property.carry != CarryPolicy::kNone) {
+          if (const std::string* carried =
+                  db_.GetProperty(*previous, property.name)) {
+            value = *carried;
+            ++stats_.properties_carried;
+            if (property.carry == CarryPolicy::kMove) {
+              db_.RemoveProperty(*previous, property.name);
+            }
+          }
+        }
+        SetPropertyCounted(id, property.name, value);
+      }
+    }
+  }
+
+  // Carry link instances whose policy asks for it (paper Fig. 3). Both
+  // endpoints can shift: a new REG.schematic version pulls the use link
+  // from its parent; a new GDSII version pulls the derive link from the
+  // netlist.
+  if (previous.has_value()) {
+    const std::vector<LinkId> ins = db_.InLinks(*previous);
+    for (const LinkId link_id : ins) {
+      const Link& link = db_.GetLink(link_id);
+      if (link.carry == CarryPolicy::kMove) {
+        db_.MoveLinkEndpoint(link_id, /*endpoint_from=*/false, id);
+        ++stats_.links_carried;
+      } else if (link.carry == CarryPolicy::kCopy) {
+        db_.CreateLink(link.kind, link.from, id, link.propagates, link.type,
+                       link.carry);
+        ++stats_.links_carried;
+      }
+    }
+    const std::vector<LinkId> outs = db_.OutLinks(*previous);
+    for (const LinkId link_id : outs) {
+      const Link& link = db_.GetLink(link_id);
+      if (link.carry == CarryPolicy::kMove) {
+        db_.MoveLinkEndpoint(link_id, /*endpoint_from=*/true, id);
+        ++stats_.links_carried;
+      } else if (link.carry == CarryPolicy::kCopy) {
+        db_.CreateLink(link.kind, id, link.to, link.propagates, link.type,
+                       link.carry);
+        ++stats_.links_carried;
+      }
+    }
+  }
+
+  RefreshComputedProperties(id);
+  return id;
+}
+
+LinkId RunTimeEngine::OnCreateLink(LinkKind kind, OidId from, OidId to) {
+  const MetaObject& from_object = db_.GetObject(from);
+  const MetaObject& to_object = db_.GetObject(to);
+
+  // Idempotence: tools re-run constantly (the netlister fires on every
+  // schematic check-in) and re-announce the same relation; a duplicate
+  // link would double propagation work and bloat the meta-data. An
+  // existing live link with identical kind and endpoints is the same
+  // relation — return it.
+  for (const LinkId existing : db_.OutLinks(from)) {
+    const Link& link = db_.GetLink(existing);
+    if (link.kind == kind && link.to == to) return existing;
+  }
+
+  const blueprint::LinkTemplate* match =
+      FindLinkTemplate(kind, from_object.oid.view, to_object.oid.view);
+
+  std::vector<std::string> propagates;
+  std::string type;
+  CarryPolicy carry = CarryPolicy::kNone;
+  if (match != nullptr) {
+    propagates = match->propagates;
+    type = match->type;
+    carry = match->carry;
+    ++stats_.links_templated;
+  } else {
+    ++stats_.links_untemplated;
+  }
+
+  const LinkId id =
+      db_.CreateLink(kind, from, to, std::move(propagates), type, carry);
+  // Mirror the template content into queryable link properties, the way
+  // DAMOCLES annotates Link objects (paper §2).
+  Link& link = db_.GetLinkMutable(id);
+  std::string propagate_list;
+  for (size_t i = 0; i < link.propagates.size(); ++i) {
+    if (i != 0) propagate_list += ",";
+    propagate_list += link.propagates[i];
+  }
+  link.properties["PROPAGATE"] = propagate_list;
+  if (!link.type.empty()) link.properties["TYPE"] = link.type;
+  return id;
+}
+
+size_t RunTimeEngine::RetemplateLinks() {
+  if (!blueprint_) return 0;
+  size_t touched = 0;
+  std::vector<LinkId> live;
+  db_.ForEachLink([&](LinkId id, const Link&) { live.push_back(id); });
+  for (const LinkId id : live) {
+    Link& link = db_.GetLinkMutable(id);
+    const blueprint::LinkTemplate* match =
+        FindLinkTemplate(link.kind, db_.GetObject(link.from).oid.view,
+                         db_.GetObject(link.to).oid.view);
+    std::vector<std::string> propagates;
+    std::string type;
+    CarryPolicy carry = CarryPolicy::kNone;
+    if (match != nullptr) {
+      propagates = match->propagates;
+      type = match->type;
+      carry = match->carry;
+    }
+    if (link.propagates == propagates && link.type == type &&
+        link.carry == carry) {
+      continue;
+    }
+    link.propagates = std::move(propagates);
+    link.type = std::move(type);
+    link.carry = carry;
+    std::string propagate_list;
+    for (size_t i = 0; i < link.propagates.size(); ++i) {
+      if (i != 0) propagate_list += ",";
+      propagate_list += link.propagates[i];
+    }
+    link.properties["PROPAGATE"] = propagate_list;
+    if (link.type.empty()) {
+      link.properties.erase("TYPE");
+    } else {
+      link.properties["TYPE"] = link.type;
+    }
+    ++touched;
+  }
+  return touched;
+}
+
+const blueprint::LinkTemplate* RunTimeEngine::FindLinkTemplate(
+    LinkKind kind, std::string_view from_view, std::string_view to_view)
+    const {
+  if (!blueprint_) return nullptr;
+  // link_from templates live in the *target* view; use_link templates in
+  // the shared view of both endpoints. Specific view first, then default.
+  const ViewTemplate* sources[2] = {blueprint_->FindView(to_view),
+                                    blueprint_->DefaultView()};
+  for (const ViewTemplate* source : sources) {
+    if (source == nullptr) continue;
+    for (const blueprint::LinkTemplate& candidate : source->links) {
+      if (candidate.kind != kind) continue;
+      if (kind == LinkKind::kUse) return &candidate;
+      if (candidate.from_view == from_view) return &candidate;
+    }
+  }
+  return nullptr;
+}
+
+// --- Event intake ----------------------------------------------------------------
+
+void RunTimeEngine::PostEvent(EventMessage event) {
+  if (event.timestamp == 0) event.timestamp = clock_.NowSeconds();
+  queue_.Push(std::move(event));
+}
+
+bool RunTimeEngine::ProcessOne() {
+  if (processing_) return false;  // Re-entrant call from a script.
+  std::optional<EventMessage> event = queue_.Pop();
+  if (!event.has_value()) return false;
+
+  ++stats_.events_processed;
+  if (event->origin == events::EventOrigin::kExternal) {
+    ++stats_.external_events;
+  }
+  journal_.Record(*event);
+
+  const std::optional<OidId> target = db_.FindObject(event->target);
+  if (!target.has_value()) {
+    if (options_.strict_targets) {
+      throw NotFoundError("event '" + event->name + "' targets unknown OID " +
+                          FormatOid(event->target));
+    }
+    ++stats_.dangling_events;
+    Log::Warning("dropping event '" + event->name + "' for unknown OID " +
+                 FormatOid(event->target));
+    return true;
+  }
+
+  {
+    processing_ = true;
+    ProcessWave(*target, std::move(*event));
+    processing_ = false;
+  }
+
+  // The wave is complete: dispatch the wrapper scripts it launched.
+  // Scripts run outside the processing window so they can create
+  // objects, register links and check data in; the events they cause
+  // queue up behind this one (strict FIFO is preserved).
+  std::vector<ExecRequest> launches;
+  launches.swap(pending_execs_);
+  for (const ExecRequest& request : launches) {
+    if (executor_ == nullptr) break;
+    const int status = executor_->Execute(request);
+    if (status != 0) {
+      Log::Warning("script '" + request.script + "' exited with status " +
+                   std::to_string(status));
+    }
+  }
+  return true;
+}
+
+size_t RunTimeEngine::ProcessAll() {
+  if (processing_) return 0;  // Re-entrant call from a script.
+  size_t processed = 0;
+  while (ProcessOne()) ++processed;
+  return processed;
+}
+
+// --- Wave processing -----------------------------------------------------------
+
+void RunTimeEngine::ProcessWave(OidId start, EventMessage event) {
+  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, std::move(event));
+}
+
+void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
+                                      bool seeds_are_origin,
+                                      EventMessage event) {
+  ++stats_.waves_started;
+  size_t extent = 0;
+
+  // Work item of the wave: deliver `event` at `target`. An OID
+  // processes a given wave at most once — the shared visited set makes
+  // cyclic link graphs (and parallel links) terminate.
+  struct Delivery {
+    OidId target;
+    bool is_origin;
+  };
+  std::deque<Delivery> frontier;
+  std::unordered_set<uint32_t> visited;
+  for (const OidId seed : seeds) {
+    if (visited.insert(seed.value()).second) {
+      frontier.push_back(Delivery{seed, seeds_are_origin});
+    }
+  }
+
+  while (!frontier.empty()) {
+    const Delivery delivery = frontier.front();
+    frontier.pop_front();
+
+    if (extent >= options_.max_wave_deliveries) {
+      ++stats_.waves_truncated;
+      Log::Warning("propagation wave truncated at " + std::to_string(extent) +
+                   " deliveries (event '" + event.name + "')");
+      break;
+    }
+    ++extent;
+
+    if (!delivery.is_origin) {
+      ++stats_.propagated_deliveries;
+      if (options_.journal_propagated) {
+        EventMessage record = event;
+        record.target = db_.GetObject(delivery.target).oid;
+        record.origin = events::EventOrigin::kPropagated;
+        journal_.Record(record);
+      }
+    }
+
+    // Phases 1-4 at this OID. Direction-posted events (post without a
+    // 'to' clause) start their own sub-waves from this OID afterwards.
+    EventMessage local = event;
+    local.target = db_.GetObject(delivery.target).oid;
+    std::vector<EventMessage> direction_posts;
+    RunRulesAt(delivery.target, local, direction_posts);
+
+    // Phase 5: propagate the incoming event across qualifying links.
+    const auto try_deliver = [&](OidId next) {
+      if (visited.insert(next.value()).second) {
+        frontier.push_back(Delivery{next, /*is_origin=*/false});
+      }
+    };
+    if (event.direction == Direction::kDown) {
+      for (const LinkId link_id : db_.OutLinks(delivery.target)) {
+        const Link& link = db_.GetLink(link_id);
+        if (link.Propagates(event.name)) try_deliver(link.to);
+      }
+    } else {
+      for (const LinkId link_id : db_.InLinks(delivery.target)) {
+        const Link& link = db_.GetLink(link_id);
+        if (link.Propagates(event.name)) try_deliver(link.from);
+      }
+    }
+
+    // Direction-posted events are "directly propagated from the current
+    // OID" (paper §3.2, example 2): the posting OID's rules are *not*
+    // re-run; all qualifying neighbours seed ONE sub-wave so shared
+    // downstream objects are delivered to once, not once per link.
+    for (EventMessage& posted : direction_posts) {
+      std::vector<OidId> posted_seeds;
+      std::unordered_set<uint32_t> seen;
+      const auto collect = [&](OidId next) {
+        if (seen.insert(next.value()).second) posted_seeds.push_back(next);
+      };
+      if (posted.direction == Direction::kDown) {
+        for (const LinkId link_id : db_.OutLinks(delivery.target)) {
+          const Link& link = db_.GetLink(link_id);
+          if (link.Propagates(posted.name)) collect(link.to);
+        }
+      } else {
+        for (const LinkId link_id : db_.InLinks(delivery.target)) {
+          const Link& link = db_.GetLink(link_id);
+          if (link.Propagates(posted.name)) collect(link.from);
+        }
+      }
+      if (!posted_seeds.empty()) {
+        posted.origin = events::EventOrigin::kPropagated;
+        ProcessWaveSeeded(std::move(posted_seeds), /*seeds_are_origin=*/false,
+                          std::move(posted));
+      }
+    }
+  }
+
+  if (extent > stats_.max_wave_extent) stats_.max_wave_extent = extent;
+}
+
+// --- Rule execution ---------------------------------------------------------------
+
+void RunTimeEngine::ForEachMatchingRule(
+    std::string_view view, std::string_view event_name,
+    const std::function<void(const blueprint::RuntimeRule&)>& fn) const {
+  if (!blueprint_) return;
+  const ViewTemplate* sources[2] = {blueprint_->DefaultView(),
+                                    blueprint_->FindView(view)};
+  for (const ViewTemplate* source : sources) {
+    if (source == nullptr) continue;
+    for (const blueprint::RuntimeRule& rule : source->rules) {
+      if (rule.event == event_name) fn(rule);
+    }
+  }
+}
+
+void RunTimeEngine::RunRulesAt(OidId target, const EventMessage& event,
+                               std::vector<EventMessage>& direction_posts) {
+  const std::string view = db_.GetObject(target).oid.view;
+
+  // Phase 1: assignments.
+  ForEachMatchingRule(view, event.name, [&](const blueprint::RuntimeRule& rule) {
+    for (const blueprint::Action& action : rule.actions) {
+      if (const auto* assign = std::get_if<blueprint::ActionAssign>(&action)) {
+        ExecuteAssign(target, *assign, event);
+      }
+    }
+  });
+
+  // Phase 2: continuous assignments are re-evaluated.
+  RefreshComputedProperties(target);
+
+  // Phase 3: exec (and notify — "a script can be executed (i.e. to send
+  // warnings to users, to invoke tools)").
+  ForEachMatchingRule(view, event.name, [&](const blueprint::RuntimeRule& rule) {
+    for (const blueprint::Action& action : rule.actions) {
+      if (const auto* exec = std::get_if<blueprint::ActionExec>(&action)) {
+        ExecuteExec(target, *exec, event);
+      } else if (const auto* notify =
+                     std::get_if<blueprint::ActionNotify>(&action)) {
+        ExecuteNotify(target, *notify, event);
+      }
+    }
+  });
+
+  // Phase 4: posts.
+  ForEachMatchingRule(view, event.name, [&](const blueprint::RuntimeRule& rule) {
+    for (const blueprint::Action& action : rule.actions) {
+      if (const auto* post = std::get_if<blueprint::ActionPost>(&action)) {
+        ExecutePost(target, *post, event, direction_posts);
+      }
+    }
+  });
+}
+
+void RunTimeEngine::ExecuteAssign(OidId target,
+                                  const blueprint::ActionAssign& act,
+                                  const EventMessage& event) {
+  ++stats_.assign_actions;
+  const std::string value = act.value.Expand(MakeResolver(target, event));
+  SetPropertyCounted(target, act.property, value);
+}
+
+void RunTimeEngine::ExecuteExec(OidId target, const blueprint::ActionExec& act,
+                                const EventMessage& event) {
+  ++stats_.exec_actions;
+  if (executor_ == nullptr) return;
+  const blueprint::VariableResolver resolver = MakeResolver(target, event);
+  ExecRequest request;
+  request.script = act.script.Expand(resolver);
+  request.args.reserve(act.args.size());
+  for (const blueprint::StringTemplate& arg : act.args) {
+    request.args.push_back(arg.Expand(resolver));
+  }
+  request.target = db_.GetObject(target).oid;
+  request.event = event.name;
+  request.user = event.user;
+  request.timestamp = clock_.NowSeconds();
+  // Launched now, dispatched after the wave (see ProcessOne): a wrapper
+  // script's effects must not interleave with the propagation of the
+  // event that launched it.
+  pending_execs_.push_back(std::move(request));
+}
+
+void RunTimeEngine::ExecuteNotify(OidId target,
+                                  const blueprint::ActionNotify& act,
+                                  const EventMessage& event) {
+  ++stats_.notify_actions;
+  if (!notification_sink_) return;
+  Notification notification;
+  notification.message = act.message.Expand(MakeResolver(target, event));
+  notification.target = db_.GetObject(target).oid;
+  notification.event = event.name;
+  notification.timestamp = clock_.NowSeconds();
+  notification_sink_(notification);
+}
+
+void RunTimeEngine::ExecutePost(OidId target, const blueprint::ActionPost& act,
+                                const EventMessage& event,
+                                std::vector<EventMessage>& direction_posts) {
+  ++stats_.post_actions;
+  EventMessage posted;
+  posted.name = act.event;
+  posted.direction = act.direction;
+  posted.arg = act.arg.Expand(MakeResolver(target, event));
+  posted.user = event.user;
+  posted.timestamp = clock_.NowSeconds();
+  posted.origin = events::EventOrigin::kRule;
+
+  if (act.to_view.empty()) {
+    // Example 2 form: "post outofdate up" — directly propagated from the
+    // current OID within this wave.
+    direction_posts.push_back(std::move(posted));
+    return;
+  }
+
+  // Example 1 form: "post behavioral_sim_ok down to VerilogNetList" —
+  // posted to the nearest OIDs of the named view; they go through the
+  // FIFO queue like any other event.
+  const std::vector<OidId> targets =
+      FindNearestOfView(target, act.direction, act.to_view);
+  if (targets.empty()) {
+    ++stats_.post_to_misses;
+    Log::Warning("post " + act.event + " to " + act.to_view +
+                 ": no reachable OID of that view");
+    return;
+  }
+  for (const OidId to : targets) {
+    EventMessage copy = posted;
+    copy.target = db_.GetObject(to).oid;
+    ++stats_.rule_posted_events;
+    queue_.Push(std::move(copy));
+  }
+}
+
+void RunTimeEngine::RefreshComputedProperties(OidId id) {
+  if (!blueprint_) return;
+  const std::string view = db_.GetObject(id).oid.view;
+  const ViewTemplate* sources[2] = {blueprint_->DefaultView(),
+                                    blueprint_->FindView(view)};
+  // Continuous assignments may read each other; two passes let simple
+  // one-level chains settle deterministically (document: deeper chains
+  // settle on subsequent events, matching an implementation that
+  // re-evaluates on every meta-data change).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const ViewTemplate* source : sources) {
+      if (source == nullptr) continue;
+      for (const blueprint::ContinuousAssignment& assignment :
+           source->assignments) {
+        ++stats_.reevaluations;
+        EventMessage no_event;  // Continuous assignments see no $arg.
+        no_event.target = db_.GetObject(id).oid;
+        const std::string value =
+            assignment.expr.EvaluateBool(MakeResolver(id, no_event))
+                ? "true"
+                : "false";
+        SetPropertyCounted(id, assignment.property, value);
+      }
+    }
+  }
+}
+
+blueprint::VariableResolver RunTimeEngine::MakeResolver(
+    OidId target, const EventMessage& event) const {
+  // The resolver snapshots the event by value (cheap strings) but reads
+  // properties live from the database so assignment chains observe
+  // earlier writes.
+  const EventMessage snapshot = event;
+  return [this, target, snapshot](std::string_view name) -> std::string {
+    if (name == "arg") return snapshot.arg;
+    if (name == "oid") return metadb::FormatOidWire(snapshot.target);
+    if (name == "OID") return metadb::FormatOid(snapshot.target);
+    if (name == "user") return snapshot.user;
+    if (name == "event") return snapshot.name;
+    if (name == "dir") return events::DirectionName(snapshot.direction);
+    if (name == "date") return SimClock::FormatDate(clock_.NowSeconds());
+    if (name == "block") return snapshot.target.block;
+    if (name == "view") return snapshot.target.view;
+    if (name == "version") return std::to_string(snapshot.target.version);
+    if (name == "owner") {
+      const MetaObject& object = db_.GetObject(target);
+      const auto it = object.properties.find("owner");
+      return it != object.properties.end() ? it->second : object.created_by;
+    }
+    if (const std::string* value =
+            db_.GetProperty(target, std::string(name))) {
+      return *value;
+    }
+    return std::string();
+  };
+}
+
+std::vector<OidId> RunTimeEngine::FindNearestOfView(
+    OidId start, Direction direction, std::string_view view) const {
+  // Breadth-first search in the event direction, not gated by PROPAGATE:
+  // 'post ... to <View>' names its target explicitly, it does not ask
+  // permission of the links in between. The nearest frontier containing
+  // OIDs of the requested view wins.
+  std::deque<std::pair<OidId, size_t>> frontier;
+  std::unordered_set<uint32_t> visited;
+  std::vector<OidId> found;
+  size_t found_depth = 0;
+
+  frontier.emplace_back(start, 0);
+  visited.insert(start.value());
+
+  while (!frontier.empty()) {
+    const auto [current, depth] = frontier.front();
+    frontier.pop_front();
+    if (!found.empty() && depth > found_depth) break;
+
+    if (current != start && db_.GetObject(current).oid.view == view) {
+      if (found.empty()) found_depth = depth;
+      found.push_back(current);
+      continue;  // Don't search beyond a hit.
+    }
+
+    const auto expand = [&](OidId next) {
+      if (visited.insert(next.value()).second) {
+        frontier.emplace_back(next, depth + 1);
+      }
+    };
+    if (direction == Direction::kDown) {
+      for (const LinkId link_id : db_.OutLinks(current)) {
+        expand(db_.GetLink(link_id).to);
+      }
+    } else {
+      for (const LinkId link_id : db_.InLinks(current)) {
+        expand(db_.GetLink(link_id).from);
+      }
+    }
+  }
+  return found;
+}
+
+void RunTimeEngine::SetPropertyCounted(OidId id, const std::string& name,
+                                       const std::string& value) {
+  const std::string* existing = db_.GetProperty(id, name);
+  if (existing != nullptr && *existing == value) return;
+  db_.SetProperty(id, name, value);
+  ++stats_.property_writes;
+}
+
+}  // namespace damocles::engine

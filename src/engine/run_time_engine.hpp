@@ -1,0 +1,206 @@
+// The BluePrint run-time engine (paper §3.2) — the event-driven machine
+// that is the paper's primary contribution.
+//
+// Responsibilities:
+//  * template application: when the tracking system is informed of a new
+//    OID or Link, attach the properties/links the blueprint prescribes
+//    and carry values across versions (copy/move);
+//  * event processing, strictly FIFO, with the paper's phase order:
+//      1. assign rules           (property updates)
+//      2. continuous assignments (re-evaluated)
+//      3. exec rules             (wrapper scripts / notify)
+//      4. post rules             (new events)
+//      5. propagation            (event X plus direction-posted events)
+//  * propagation: an event crosses a link iff the link's PROPAGATE list
+//    names it and the link orientation matches the event direction; each
+//    receiving OID runs its own rules and propagates further.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blueprint/ast.hpp"
+#include "common/clock.hpp"
+#include "engine/script_executor.hpp"
+#include "engine/stats.hpp"
+#include "events/event.hpp"
+#include "events/event_queue.hpp"
+#include "events/journal.hpp"
+#include "metadb/meta_database.hpp"
+
+namespace damocles::engine {
+
+/// Engine tuning knobs.
+struct EngineOptions {
+  /// Safety cap on deliveries within one propagation wave. A healthy
+  /// blueprint never approaches this; a cyclic propagate-everything
+  /// blueprint is stopped and counted in stats().waves_truncated.
+  size_t max_wave_deliveries = 1u << 20;
+
+  /// Record propagated deliveries in the journal (besides queue events).
+  bool journal_propagated = true;
+
+  /// Throw NotFoundError on events targeting unknown OIDs instead of
+  /// counting them as dangling and moving on.
+  bool strict_targets = false;
+};
+
+/// The run-time engine. Owns the FIFO queue and the journal; operates on
+/// an externally owned meta-database (several engines can be pointed at
+/// snapshots of the same project in tests).
+class RunTimeEngine {
+ public:
+  using NotificationSink = std::function<void(const Notification&)>;
+
+  RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
+                EngineOptions options = {});
+
+  // --- BluePrint lifecycle -------------------------------------------
+
+  /// Installs (or replaces) the blueprint. Replacing rules mid-project
+  /// is how the paper "loosens" tracking between phases; meta-data is
+  /// untouched, only future events see the new rules. Call
+  /// RetemplateLinks() afterwards to also refresh link annotations.
+  void LoadBlueprint(blueprint::Blueprint blueprint);
+
+  /// Re-applies the current blueprint's link templates to every live
+  /// link: PROPAGATE, TYPE and the carry policy are refreshed (links
+  /// with no matching template keep their endpoints but propagate
+  /// nothing). This is the meta-data half of "re-initializing the
+  /// BluePrint mechanism" between project phases (paper §3.2). Returns
+  /// the number of links touched.
+  size_t RetemplateLinks();
+
+  bool HasBlueprint() const noexcept { return blueprint_ != nullptr; }
+  const blueprint::Blueprint& Current() const;
+
+  /// Wires the script executor used by exec rules (may be null: exec
+  /// actions are then counted but skipped).
+  void SetScriptExecutor(ScriptExecutor* executor) noexcept {
+    executor_ = executor;
+  }
+
+  /// Receives notify-action output (defaults to discarding).
+  void SetNotificationSink(NotificationSink sink) {
+    notification_sink_ = std::move(sink);
+  }
+
+  // --- Creation notifications (template rules) --------------------------
+
+  /// Informs the engine that a design activity created a new version of
+  /// (block, view). Creates the meta-object, applies property templates
+  /// (default / copy / move), carries move/copy links over from the
+  /// previous version and refreshes continuous assignments.
+  metadb::OidId OnCreateObject(std::string_view block, std::string_view view,
+                               std::string_view user);
+
+  /// Informs the engine that a design activity created a link. The
+  /// matching link template (looked up in the target's view, then the
+  /// default view) supplies PROPAGATE / TYPE / carry.
+  metadb::LinkId OnCreateLink(metadb::LinkKind kind, metadb::OidId from,
+                              metadb::OidId to);
+
+  // --- Event intake -----------------------------------------------------
+
+  /// Queues an event (FIFO).
+  void PostEvent(events::EventMessage event);
+
+  /// Processes the head event; returns false when the queue is empty.
+  bool ProcessOne();
+
+  /// Drains the queue; returns the number of queue events processed.
+  size_t ProcessAll();
+
+  // --- State access ------------------------------------------------------
+
+  /// Re-evaluates all continuous assignments of one OID (exposed for
+  /// callers that mutate properties directly, e.g. the query layer's
+  /// what-if analysis).
+  void RefreshComputedProperties(metadb::OidId id);
+
+  metadb::MetaDatabase& database() noexcept { return db_; }
+  const metadb::MetaDatabase& database() const noexcept { return db_; }
+  events::EventQueue& queue() noexcept { return queue_; }
+  const events::EventJournal& journal() const noexcept { return journal_; }
+  const EngineStats& stats() const noexcept { return stats_; }
+  SimClock& clock() noexcept { return clock_; }
+
+  /// Zeroes the statistics (benchmark warm-up support).
+  void ResetStats() noexcept { stats_ = EngineStats{}; }
+
+ private:
+  /// Rule phases executed at one OID for one event.
+  void RunRulesAt(metadb::OidId target, const events::EventMessage& event,
+                  std::vector<events::EventMessage>& direction_posts);
+
+  void ExecuteAssign(metadb::OidId target, const blueprint::ActionAssign& act,
+                     const events::EventMessage& event);
+  void ExecuteExec(metadb::OidId target, const blueprint::ActionExec& act,
+                   const events::EventMessage& event);
+  void ExecuteNotify(metadb::OidId target, const blueprint::ActionNotify& act,
+                     const events::EventMessage& event);
+  void ExecutePost(metadb::OidId target, const blueprint::ActionPost& act,
+                   const events::EventMessage& event,
+                   std::vector<events::EventMessage>& direction_posts);
+
+  /// Runs one full wave: rules at the target, then link-filtered BFS.
+  void ProcessWave(metadb::OidId start, events::EventMessage event);
+
+  /// Wave engine: delivers `event` to every seed (and onward through
+  /// qualifying links) with one shared visited set. `seeds_are_origin`
+  /// marks seeds as queue-event targets (not propagated deliveries).
+  void ProcessWaveSeeded(std::vector<metadb::OidId> seeds,
+                         bool seeds_are_origin, events::EventMessage event);
+
+  /// Collects the matching rule actions for (view of target, event).
+  /// Default-view rules come first, then the specific view's.
+  void ForEachMatchingRule(
+      std::string_view view, std::string_view event_name,
+      const std::function<void(const blueprint::RuntimeRule&)>& fn) const;
+
+  /// Variable resolver bound to one OID + one event.
+  blueprint::VariableResolver MakeResolver(
+      metadb::OidId target, const events::EventMessage& event) const;
+
+  /// Finds the nearest OIDs of `view` reachable from `start` in
+  /// `direction` (BFS over links regardless of PROPAGATE).
+  std::vector<metadb::OidId> FindNearestOfView(
+      metadb::OidId start, events::Direction direction,
+      std::string_view view) const;
+
+  /// Link-template lookup for OnCreateLink.
+  const blueprint::LinkTemplate* FindLinkTemplate(
+      metadb::LinkKind kind, std::string_view from_view,
+      std::string_view to_view) const;
+
+  void SetPropertyCounted(metadb::OidId id, const std::string& name,
+                          const std::string& value);
+
+  metadb::MetaDatabase& db_;
+  SimClock& clock_;
+  EngineOptions options_;
+  std::unique_ptr<blueprint::Blueprint> blueprint_;
+  ScriptExecutor* executor_ = nullptr;
+  NotificationSink notification_sink_;
+
+  events::EventQueue queue_;
+  events::EventJournal journal_;
+  EngineStats stats_;
+
+  // Wrapper scripts are *launched* in rule phase 3 but their effects
+  // arrive asynchronously (they are shell scripts talking back over the
+  // network). We model that by collecting requests during the wave and
+  // dispatching them once the wave has fully propagated; anything the
+  // scripts post goes through the FIFO queue like any other activity.
+  std::vector<ExecRequest> pending_execs_;
+  // Re-entrancy guard: scripts invoked by the engine may call back into
+  // ProcessAll (e.g. a wrapper checking data in); the nested call is a
+  // no-op and the outer loop drains the queue.
+  bool processing_ = false;
+};
+
+}  // namespace damocles::engine

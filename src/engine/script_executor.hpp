@@ -1,0 +1,46 @@
+// The engine-side interface to wrapper scripts.
+//
+// `exec` run-time rules invoke shell scripts in the paper; here the
+// script layer is abstract so the tool library (damocles::tools) can
+// register simulated EDA tools while tests plug in recording stubs.
+// Defining the interface in the engine keeps the dependency one-way:
+// tools depends on engine, never the reverse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metadb/oid.hpp"
+
+namespace damocles::engine {
+
+/// Everything a script invocation sees.
+struct ExecRequest {
+  std::string script;              ///< Script name, e.g. "netlister.sh".
+  std::vector<std::string> args;   ///< Expanded arguments.
+  metadb::Oid target;              ///< OID whose rule fired.
+  std::string event;               ///< Event that triggered the rule.
+  std::string user;                ///< Acting designer.
+  int64_t timestamp = 0;           ///< SimClock seconds.
+};
+
+/// Executes wrapper scripts on behalf of exec rules.
+class ScriptExecutor {
+ public:
+  virtual ~ScriptExecutor() = default;
+
+  /// Runs the script; returns its exit status (0 = success). May post
+  /// new events back to the engine (they are queued FIFO behind the
+  /// event being processed).
+  virtual int Execute(const ExecRequest& request) = 0;
+};
+
+/// A notification produced by a `notify` action.
+struct Notification {
+  std::string message;
+  metadb::Oid target;
+  std::string event;
+  int64_t timestamp = 0;
+};
+
+}  // namespace damocles::engine

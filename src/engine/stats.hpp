@@ -1,0 +1,42 @@
+// Counters the run-time engine maintains while processing events.
+//
+// These feed the benchmark harness: the paper's "non-obstructive /
+// light-weight" claim is quantified as per-activity tracking cost, and
+// the selective-propagation claim as deliveries per wave.
+#pragma once
+
+#include <cstddef>
+
+namespace damocles::engine {
+
+struct EngineStats {
+  // Event traffic.
+  size_t events_processed = 0;      ///< Queue events fully processed.
+  size_t external_events = 0;       ///< Of those, posted by wrappers.
+  size_t rule_posted_events = 0;    ///< Events enqueued by post actions.
+  size_t propagated_deliveries = 0; ///< OIDs reached by propagation waves.
+  size_t dangling_events = 0;       ///< Events whose target OID is unknown.
+
+  // Rule execution.
+  size_t assign_actions = 0;
+  size_t exec_actions = 0;
+  size_t notify_actions = 0;
+  size_t post_actions = 0;
+  size_t reevaluations = 0;         ///< Continuous-assignment evaluations.
+  size_t property_writes = 0;       ///< Property values actually changed.
+
+  // Template application.
+  size_t objects_templated = 0;
+  size_t links_templated = 0;
+  size_t links_untemplated = 0;     ///< Created with no matching template.
+  size_t links_carried = 0;         ///< Moved/copied to a new version.
+  size_t properties_carried = 0;    ///< Copied/moved from previous version.
+
+  // Propagation health.
+  size_t waves_started = 0;
+  size_t waves_truncated = 0;       ///< Hit the max-delivery safety cap.
+  size_t max_wave_extent = 0;       ///< Largest single wave observed.
+  size_t post_to_misses = 0;        ///< 'post ... to <View>' found no OID.
+};
+
+}  // namespace damocles::engine

@@ -1,0 +1,198 @@
+#include "engine/wire_session.hpp"
+
+#include "blueprint/validator.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "metadb/config_builder.hpp"
+#include "query/report.hpp"
+
+namespace damocles::engine {
+
+namespace {
+
+constexpr const char* kHelp =
+    "commands:\n"
+    "  postEvent <ev> <up|down> <block,view,version> [\"arg\"]\n"
+    "  checkin <block> <view> [\"content\"]\n"
+    "  checkout <block> <view>\n"
+    "  link <use|derive> <from-oid> <to-oid>\n"
+    "  query outofdate | query state <oid> | query block <block>\n"
+    "  blockers <prop>=<value> [...]\n"
+    "  report | snapshot <name> | validate | advance <seconds> | help\n";
+
+std::string NextWord(std::string_view& rest) {
+  size_t i = 0;
+  while (i < rest.size() && rest[i] == ' ') ++i;
+  const size_t start = i;
+  while (i < rest.size() && rest[i] != ' ') ++i;
+  std::string word(rest.substr(start, i - start));
+  rest.remove_prefix(i);
+  return word;
+}
+
+/// Remaining text as one argument: quoted or verbatim-trimmed.
+std::string RestArgument(std::string_view rest) {
+  const std::string_view trimmed = Trim(rest);
+  if (!trimmed.empty() && trimmed.front() == '"') {
+    size_t pos = 0;
+    std::string out;
+    if (UnquoteString(trimmed, pos, out)) return out;
+  }
+  return std::string(trimmed);
+}
+
+}  // namespace
+
+std::string WireSession::HandleLine(std::string_view line) {
+  ++commands_handled_;
+  try {
+    return Dispatch(line);
+  } catch (const Error& error) {
+    return std::string("error: ") + error.what() + "\n";
+  }
+}
+
+std::string WireSession::Dispatch(std::string_view line) {
+  std::string_view rest = line;
+  const std::string command = NextWord(rest);
+  if (command.empty() || command == "help") return kHelp;
+
+  if (command == "postEvent") {
+    server_.SubmitWireLine(line, user_);
+    return "ok\n";
+  }
+
+  if (command == "checkin") {
+    const std::string block = NextWord(rest);
+    const std::string view = NextWord(rest);
+    if (block.empty() || view.empty()) {
+      return "error: usage: checkin <block> <view> [\"content\"]\n";
+    }
+    const std::string content = RestArgument(rest);
+    const metadb::Oid oid = server_.CheckIn(block, view, content, user_);
+    return "ok " + metadb::FormatOidWire(oid) + "\n";
+  }
+
+  if (command == "checkout") {
+    const std::string block = NextWord(rest);
+    const std::string view = NextWord(rest);
+    if (block.empty() || view.empty()) {
+      return "error: usage: checkout <block> <view>\n";
+    }
+    const metadb::Oid oid = server_.CheckOut(block, view, user_);
+    return "ok " + metadb::FormatOidWire(oid) + "\n";
+  }
+
+  if (command == "link") {
+    const std::string kind_word = NextWord(rest);
+    const std::string from_word = NextWord(rest);
+    const std::string to_word = NextWord(rest);
+    if (to_word.empty()) {
+      return "error: usage: link <use|derive> <from-oid> <to-oid>\n";
+    }
+    metadb::LinkKind kind;
+    if (kind_word == "use") {
+      kind = metadb::LinkKind::kUse;
+    } else if (kind_word == "derive") {
+      kind = metadb::LinkKind::kDerive;
+    } else {
+      return "error: link kind must be 'use' or 'derive'\n";
+    }
+    server_.RegisterLink(kind, metadb::ParseOidWire(from_word),
+                         metadb::ParseOidWire(to_word));
+    return "ok\n";
+  }
+
+  if (command == "query") {
+    query::ProjectQuery q(server_.database());
+    const std::string what = NextWord(rest);
+    if (what == "outofdate") {
+      const auto matches = q.OutOfDate();
+      std::string out = std::to_string(matches.size()) + " out of date\n";
+      for (const auto& match : matches) {
+        out += "  " + metadb::FormatOid(match.oid) + "\n";
+      }
+      return out;
+    }
+    if (what == "state") {
+      const metadb::Oid oid = metadb::ParseOidWire(NextWord(rest));
+      const auto id = server_.database().FindObject(oid);
+      if (!id.has_value()) {
+        return "error: no such OID " + metadb::FormatOid(oid) + "\n";
+      }
+      const metadb::MetaObject& object = server_.database().GetObject(*id);
+      std::string out = metadb::FormatOid(oid) + "\n";
+      for (const auto& [name, value] : object.properties) {
+        out += "  " + name + " = '" + value + "'\n";
+      }
+      return out;
+    }
+    if (what == "block") {
+      const std::string block = NextWord(rest);
+      const auto matches = q.FindByBlock(block);
+      std::string out = std::to_string(matches.size()) + " object(s)\n";
+      for (const auto& match : matches) {
+        out += "  " + metadb::FormatOid(match.oid) + "\n";
+      }
+      return out;
+    }
+    return "error: usage: query outofdate|state <oid>|block <block>\n";
+  }
+
+  if (command == "blockers") {
+    std::vector<query::PlannedProperty> plan;
+    while (true) {
+      const std::string pair = NextWord(rest);
+      if (pair.empty()) break;
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return "error: blockers arguments are <prop>=<value>\n";
+      }
+      plan.push_back(query::PlannedProperty{pair.substr(0, eq),
+                                            pair.substr(eq + 1)});
+    }
+    if (plan.empty()) {
+      return "error: usage: blockers <prop>=<value> [...]\n";
+    }
+    query::ProjectQuery q(server_.database());
+    return query::FormatBlockers(q.DistanceToPlannedState(plan, {}));
+  }
+
+  if (command == "report") {
+    return query::FormatProjectReport(
+        query::BuildProjectReport(server_.database()));
+  }
+
+  if (command == "snapshot") {
+    const std::string name = NextWord(rest);
+    if (name.empty()) return "error: usage: snapshot <name>\n";
+    auto config = metadb::BuildFullSnapshot(server_.database(), name,
+                                            server_.clock().NowSeconds());
+    const size_t addresses = config.AddressCount();
+    server_.database().SaveConfiguration(std::move(config));
+    return "ok snapshot '" + name + "' with " + std::to_string(addresses) +
+           " addresses\n";
+  }
+
+  if (command == "validate") {
+    if (!server_.engine().HasBlueprint()) {
+      return "error: no blueprint installed\n";
+    }
+    return blueprint::FormatValidationReport(
+        blueprint::ValidateBlueprint(server_.engine().Current()));
+  }
+
+  if (command == "advance") {
+    const std::string seconds = NextWord(rest);
+    try {
+      server_.AdvanceClock(std::stoll(seconds));
+    } catch (const std::exception&) {
+      return "error: usage: advance <seconds>\n";
+    }
+    return "ok " + server_.clock().FormatDate() + "\n";
+  }
+
+  return "error: unknown command '" + command + "' (try 'help')\n";
+}
+
+}  // namespace damocles::engine

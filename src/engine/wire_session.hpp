@@ -1,0 +1,55 @@
+// A line-oriented command session against the project server.
+//
+// The paper's tracking system is a network service: wrapper scripts and
+// designers talk to it in plain text. This session implements that
+// surface — postEvent plus the designer-facing query commands — so a
+// telnet-style client, a wrapper script or a test can drive the whole
+// system through one string-in/string-out interface.
+//
+// Commands:
+//   postEvent <ev> <up|down> <block,view,version> ["arg"]
+//   checkin <block> <view> ["content"]
+//   checkout <block> <view>
+//   link <use|derive> <block,view,version> <block,view,version>
+//   query outofdate
+//   query state <block,view,version>
+//   query block <block>
+//   blockers <prop>=<value> [<prop>=<value> ...]
+//   report
+//   snapshot <name>
+//   validate
+//   advance <seconds>
+//   help
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/project_server.hpp"
+
+namespace damocles::engine {
+
+/// One authenticated session (the user is fixed at construction, the
+/// way a per-connection identity would be).
+class WireSession {
+ public:
+  WireSession(ProjectServer& server, std::string user)
+      : server_(server), user_(std::move(user)) {}
+
+  /// Executes one command line and returns the textual response.
+  /// Errors are reported in-band ("error: ..."), never thrown — a
+  /// malformed remote command must not take the server down.
+  std::string HandleLine(std::string_view line);
+
+  const std::string& user() const noexcept { return user_; }
+  size_t commands_handled() const noexcept { return commands_handled_; }
+
+ private:
+  std::string Dispatch(std::string_view line);
+
+  ProjectServer& server_;
+  std::string user_;
+  size_t commands_handled_ = 0;
+};
+
+}  // namespace damocles::engine

@@ -1,0 +1,42 @@
+#include "events/event.hpp"
+
+#include "common/strings.hpp"
+
+namespace damocles::events {
+
+const char* DirectionName(Direction direction) noexcept {
+  return direction == Direction::kUp ? "up" : "down";
+}
+
+const char* EventOriginName(EventOrigin origin) noexcept {
+  switch (origin) {
+    case EventOrigin::kExternal:
+      return "external";
+    case EventOrigin::kRule:
+      return "rule";
+    case EventOrigin::kPropagated:
+      return "propagated";
+    case EventOrigin::kSystem:
+      return "system";
+  }
+  return "unknown";
+}
+
+std::string FormatEvent(const EventMessage& event) {
+  std::string text = event.name;
+  text += " ";
+  text += DirectionName(event.direction);
+  text += " ";
+  text += metadb::FormatOid(event.target);
+  if (!event.arg.empty()) {
+    text += " ";
+    text += QuoteString(event.arg);
+  }
+  for (const std::string& extra : event.extra_args) {
+    text += " ";
+    text += QuoteString(extra);
+  }
+  return text;
+}
+
+}  // namespace damocles::events

@@ -1,0 +1,57 @@
+// Design event messages.
+//
+// Paper §3.1: "An event message consists of an event name, a propagation
+// direction (either up or down through the links), a target OID and
+// optional arguments:  postEvent ckin up reg,verilog,4 'logic sim passed'"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadb/oid.hpp"
+
+namespace damocles::events {
+
+/// Propagation direction through links. `kDown` travels along link
+/// orientation (source -> target), `kUp` against it.
+enum class Direction {
+  kUp,
+  kDown,
+};
+
+const char* DirectionName(Direction direction) noexcept;
+
+/// How an event entered the system; used for audit and by the engine's
+/// statistics.
+enum class EventOrigin {
+  kExternal,   ///< Posted by a wrapper program / designer.
+  kRule,       ///< Posted by a run-time rule (post action).
+  kPropagated, ///< Delivered across a link by the propagation walker.
+  kSystem,     ///< Synthesised by the tracking system (create / newlink).
+};
+
+const char* EventOriginName(EventOrigin origin) noexcept;
+
+/// One event message. Events are small value types; the queue copies
+/// them freely.
+struct EventMessage {
+  std::string name;                  ///< Event name, e.g. "ckin".
+  Direction direction = Direction::kDown;
+  metadb::Oid target;                ///< The OID the event is aimed at.
+  std::string arg;                   ///< First optional argument ($arg).
+  std::vector<std::string> extra_args;  ///< Further optional arguments.
+  std::string user;                  ///< Acting designer ($user).
+  int64_t timestamp = 0;             ///< SimClock seconds at posting.
+  EventOrigin origin = EventOrigin::kExternal;
+
+  /// Events the tracking system itself synthesises.
+  static constexpr const char* kCreate = "create";    ///< New OID version.
+  static constexpr const char* kNewLink = "newlink";  ///< New link instance.
+};
+
+/// Human-readable one-line rendering, e.g.
+/// "ckin up <reg.verilog.4> \"logic sim passed\"".
+std::string FormatEvent(const EventMessage& event);
+
+}  // namespace damocles::events

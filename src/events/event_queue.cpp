@@ -1,0 +1,27 @@
+#include "events/event_queue.hpp"
+
+#include <algorithm>
+
+namespace damocles::events {
+
+void EventQueue::Push(EventMessage event) {
+  queue_.push_back(std::move(event));
+  ++stats_.enqueued;
+  stats_.high_water_mark = std::max(stats_.high_water_mark, queue_.size());
+}
+
+std::optional<EventMessage> EventQueue::Pop() {
+  if (queue_.empty()) return std::nullopt;
+  EventMessage event = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.dequeued;
+  return event;
+}
+
+const EventMessage* EventQueue::Peek() const {
+  return queue_.empty() ? nullptr : &queue_.front();
+}
+
+void EventQueue::Clear() { queue_.clear(); }
+
+}  // namespace damocles::events

@@ -1,0 +1,48 @@
+// The FIFO design-event queue in front of the BluePrint engine.
+//
+// Paper §3.1: "the design activities are converted to events and sent to
+// the project BluePrint, where they are queued. ... Events are processed
+// sequentially, first-in first-out."
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "events/event.hpp"
+
+namespace damocles::events {
+
+/// Counters describing queue traffic since construction.
+struct QueueStats {
+  size_t enqueued = 0;
+  size_t dequeued = 0;
+  size_t high_water_mark = 0;  ///< Largest depth ever observed.
+};
+
+/// Strict FIFO queue of event messages.
+class EventQueue {
+ public:
+  /// Appends an event at the tail.
+  void Push(EventMessage event);
+
+  /// Pops the head event, or nullopt when empty.
+  std::optional<EventMessage> Pop();
+
+  /// Head event without removing it, or nullptr when empty.
+  const EventMessage* Peek() const;
+
+  bool Empty() const noexcept { return queue_.empty(); }
+  size_t Depth() const noexcept { return queue_.size(); }
+  const QueueStats& Stats() const noexcept { return stats_; }
+
+  /// Drops all queued events (used when re-initializing a blueprint
+  /// between project phases).
+  void Clear();
+
+ private:
+  std::deque<EventMessage> queue_;
+  QueueStats stats_;
+};
+
+}  // namespace damocles::events

@@ -1,0 +1,38 @@
+#include "events/journal.hpp"
+
+namespace damocles::events {
+
+void EventJournal::Record(const EventMessage& event) {
+  JournalRecord record;
+  record.sequence = records_.size();
+  record.event = event;
+  records_.push_back(std::move(record));
+}
+
+void EventJournal::Clear() { records_.clear(); }
+
+std::vector<EventMessage> EventJournal::ExternalTrace() const {
+  std::vector<EventMessage> trace;
+  for (const JournalRecord& record : records_) {
+    if (record.event.origin == EventOrigin::kExternal ||
+        record.event.origin == EventOrigin::kSystem) {
+      trace.push_back(record.event);
+    }
+  }
+  return trace;
+}
+
+std::string EventJournal::Dump() const {
+  std::string text;
+  for (const JournalRecord& record : records_) {
+    text += std::to_string(record.sequence);
+    text += ": [";
+    text += EventOriginName(record.event.origin);
+    text += "] ";
+    text += FormatEvent(record.event);
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace damocles::events

@@ -1,0 +1,48 @@
+// Append-only journal of design events.
+//
+// Keeps the full audit trail the tracking system needs: every event the
+// engine processed, in order, with its origin. Supports replay — feeding
+// a recorded trace back through a fresh engine must reproduce identical
+// meta-data, which the determinism tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace damocles::events {
+
+/// One journal record: an event plus its position in processing order.
+struct JournalRecord {
+  size_t sequence = 0;
+  EventMessage event;
+};
+
+/// In-memory audit journal.
+class EventJournal {
+ public:
+  /// Appends a record; sequence numbers are assigned densely from 0.
+  void Record(const EventMessage& event);
+
+  const std::vector<JournalRecord>& Records() const noexcept {
+    return records_;
+  }
+
+  size_t Size() const noexcept { return records_.size(); }
+  bool Empty() const noexcept { return records_.empty(); }
+  void Clear();
+
+  /// Returns only the externally originated events — the trace to feed a
+  /// fresh engine for replay (rule/propagation events are re-derived).
+  std::vector<EventMessage> ExternalTrace() const;
+
+  /// Multi-line dump for diagnostics, one record per line.
+  std::string Dump() const;
+
+ private:
+  std::vector<JournalRecord> records_;
+};
+
+}  // namespace damocles::events

@@ -1,0 +1,94 @@
+#include "events/wire.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace damocles::events {
+
+namespace {
+
+constexpr std::string_view kCommand = "postEvent";
+
+/// Reads the next token starting at `pos`: either a double-quoted string
+/// or a run of non-space characters. Returns false at end of line.
+bool NextToken(std::string_view line, size_t& pos, std::string& out) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    if (!UnquoteString(line, pos, out)) {
+      throw WireFormatError("unterminated quoted argument: '" +
+                            std::string(line) + "'");
+    }
+    return true;
+  }
+  const size_t start = pos;
+  while (pos < line.size() && line[pos] != ' ') ++pos;
+  out.assign(line.substr(start, pos - start));
+  return true;
+}
+
+}  // namespace
+
+std::string FormatWireEvent(const EventMessage& event) {
+  std::string line(kCommand);
+  line += " ";
+  line += event.name;
+  line += " ";
+  line += DirectionName(event.direction);
+  line += " ";
+  line += metadb::FormatOidWire(event.target);
+  if (!event.arg.empty() || !event.extra_args.empty()) {
+    line += " ";
+    line += QuoteString(event.arg);
+  }
+  for (const std::string& extra : event.extra_args) {
+    line += " ";
+    line += QuoteString(extra);
+  }
+  return line;
+}
+
+EventMessage ParseWireEvent(std::string_view line) {
+  size_t pos = 0;
+  std::string token;
+
+  if (!NextToken(line, pos, token) || token != kCommand) {
+    throw WireFormatError("expected 'postEvent', got '" + token + "'");
+  }
+
+  EventMessage event;
+  if (!NextToken(line, pos, event.name) || event.name.empty()) {
+    throw WireFormatError("postEvent: missing event name");
+  }
+  if (!damocles::IsIdentifier(event.name)) {
+    throw WireFormatError("postEvent: malformed event name '" + event.name +
+                          "'");
+  }
+
+  if (!NextToken(line, pos, token)) {
+    throw WireFormatError("postEvent: missing direction");
+  }
+  if (token == "up") {
+    event.direction = Direction::kUp;
+  } else if (token == "down") {
+    event.direction = Direction::kDown;
+  } else {
+    throw WireFormatError("postEvent: direction must be 'up' or 'down', got '" +
+                          token + "'");
+  }
+
+  if (!NextToken(line, pos, token)) {
+    throw WireFormatError("postEvent: missing target OID");
+  }
+  event.target = metadb::ParseOidWire(token);
+
+  if (NextToken(line, pos, event.arg)) {
+    while (NextToken(line, pos, token)) {
+      event.extra_args.push_back(token);
+    }
+  }
+  event.origin = EventOrigin::kExternal;
+  return event;
+}
+
+}  // namespace damocles::events

@@ -1,0 +1,27 @@
+// Wire codec for the postEvent protocol.
+//
+// Wrapper programs are shell scripts; they talk to the BluePrint server
+// in a plain-text, line-oriented protocol (paper §3.1):
+//
+//   postEvent ckin up reg,verilog,4 "logic sim passed"
+//
+// This module converts between that textual form and EventMessage.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "events/event.hpp"
+
+namespace damocles::events {
+
+/// Serializes an event to the wire form. Inverse of ParseWireEvent for
+/// the fields carried on the wire (user/timestamp/origin are transport
+/// metadata and are not serialized).
+std::string FormatWireEvent(const EventMessage& event);
+
+/// Parses one wire line. Accepts both bare-word and double-quoted
+/// arguments. Throws WireFormatError on malformed input.
+EventMessage ParseWireEvent(std::string_view line);
+
+}  // namespace damocles::events

@@ -1,0 +1,33 @@
+// Configuration objects: light-weight snapshots of database addresses.
+//
+// Paper §2: "The third type of meta-data objects are Configurations,
+// which consist of a set of database addresses, referencing OIDs and
+// Links. This implementation results in light weight configuration
+// objects, which can be used to store results of volume queries."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadb/ids.hpp"
+
+namespace damocles::metadb {
+
+/// A named set of database addresses. A configuration does not own the
+/// objects it references — it is a handle set, so building one never
+/// copies meta-data (contrast with the deep-copy baseline measured in
+/// bench_claim_configuration).
+struct Configuration {
+  std::string name;        ///< Snapshot name, e.g. "tapeout_candidate_3".
+  std::string built_from;  ///< Free-form provenance ("hierarchy of cpu", ...).
+  int64_t created_at = 0;  ///< SimClock seconds at creation.
+
+  std::vector<OidId> oids;    ///< Referenced meta-objects.
+  std::vector<LinkId> links;  ///< Referenced links.
+
+  bool Empty() const noexcept { return oids.empty() && links.empty(); }
+  size_t AddressCount() const noexcept { return oids.size() + links.size(); }
+};
+
+}  // namespace damocles::metadb

@@ -1,0 +1,70 @@
+// Strongly typed handles into the meta-database.
+//
+// The meta-database stores meta-objects and links in dense arrays;
+// handles are array indices wrapped in distinct types so an OID handle
+// can never be passed where a link handle is expected. Configurations
+// (paper §2) are "sets of database addresses" — exactly these handles —
+// which is what makes them light-weight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace damocles::metadb {
+
+namespace internal {
+
+/// A dense, type-tagged index. The tag type is never instantiated; it
+/// only differentiates handle types at compile time.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Id a, Id b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Id a, Id b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  static constexpr uint32_t kInvalidValue = ~uint32_t{0};
+
+ private:
+  uint32_t value_ = kInvalidValue;
+};
+
+}  // namespace internal
+
+struct OidTag;
+struct LinkTag;
+struct ConfigTag;
+
+/// Handle to a meta-object (the paper's "OID" database address).
+using OidId = internal::Id<OidTag>;
+
+/// Handle to a Link object.
+using LinkId = internal::Id<LinkTag>;
+
+/// Handle to a Configuration object.
+using ConfigId = internal::Id<ConfigTag>;
+
+}  // namespace damocles::metadb
+
+namespace std {
+
+template <typename Tag>
+struct hash<damocles::metadb::internal::Id<Tag>> {
+  size_t operator()(damocles::metadb::internal::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+
+}  // namespace std

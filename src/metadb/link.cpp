@@ -1,0 +1,27 @@
+#include "metadb/link.hpp"
+
+namespace damocles::metadb {
+
+const char* LinkKindName(LinkKind kind) noexcept {
+  switch (kind) {
+    case LinkKind::kUse:
+      return "use";
+    case LinkKind::kDerive:
+      return "derive";
+  }
+  return "unknown";
+}
+
+const char* CarryPolicyName(CarryPolicy policy) noexcept {
+  switch (policy) {
+    case CarryPolicy::kNone:
+      return "none";
+    case CarryPolicy::kCopy:
+      return "copy";
+    case CarryPolicy::kMove:
+      return "move";
+  }
+  return "unknown";
+}
+
+}  // namespace damocles::metadb

@@ -1,0 +1,399 @@
+#include "metadb/meta_database.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace damocles::metadb {
+
+namespace {
+
+std::string ChainKey(std::string_view block, std::string_view view) {
+  std::string key;
+  key.reserve(block.size() + 1 + view.size());
+  key.append(block);
+  key.push_back('\0');
+  key.append(view);
+  return key;
+}
+
+}  // namespace
+
+// --- Meta-object lifecycle ---------------------------------------------------
+
+OidId MetaDatabase::CreateObject(const Oid& oid, std::string_view user,
+                                 int64_t timestamp) {
+  if (oid.block.empty() || oid.view.empty()) {
+    throw IntegrityError("CreateObject: empty block or view name");
+  }
+  if (by_oid_.find(oid) != by_oid_.end()) {
+    throw IntegrityError("CreateObject: duplicate OID " + FormatOid(oid));
+  }
+  auto& chain = chains_[ChainKey(oid.block, oid.view)];
+  const int expected =
+      chain.empty() ? 1 : objects_[chain.back().value()].oid.version + 1;
+  if (oid.version != expected) {
+    throw IntegrityError("CreateObject: version " +
+                         std::to_string(oid.version) + " of " +
+                         FormatOid(oid) + " out of sequence (expected " +
+                         std::to_string(expected) + ")");
+  }
+
+  const OidId id(static_cast<uint32_t>(objects_.size()));
+  MetaObject object;
+  object.oid = oid;
+  object.created_at = timestamp;
+  object.created_by = std::string(user);
+  objects_.push_back(std::move(object));
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+
+  by_oid_.emplace(oid, id);
+  chain.push_back(id);
+  return id;
+}
+
+OidId MetaDatabase::CreateNextVersion(std::string_view block,
+                                      std::string_view view,
+                                      std::string_view user,
+                                      int64_t timestamp) {
+  const auto it = chains_.find(ChainKey(block, view));
+  int next = 1;
+  if (it != chains_.end() && !it->second.empty()) {
+    next = objects_[it->second.back().value()].oid.version + 1;
+  }
+  return CreateObject(Oid{std::string(block), std::string(view), next}, user,
+                      timestamp);
+}
+
+void MetaDatabase::DeleteObject(OidId id) {
+  CheckObjectHandle(id);
+  MetaObject& object = objects_[id.value()];
+  object.alive = false;
+  // Copy: DeleteLink mutates the adjacency vectors we are iterating.
+  const std::vector<LinkId> out = out_links_[id.value()];
+  for (const LinkId link : out) DeleteLink(link);
+  const std::vector<LinkId> in = in_links_[id.value()];
+  for (const LinkId link : in) DeleteLink(link);
+  by_oid_.erase(object.oid);
+}
+
+// --- Lookup --------------------------------------------------------------------
+
+std::optional<OidId> MetaDatabase::FindObject(const Oid& oid) const {
+  const auto it = by_oid_.find(oid);
+  if (it == by_oid_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<OidId> MetaDatabase::FindLatest(std::string_view block,
+                                              std::string_view view) const {
+  const auto it = chains_.find(ChainKey(block, view));
+  if (it == chains_.end()) return std::nullopt;
+  // Walk backwards past deleted versions.
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (objects_[rit->value()].alive) return *rit;
+  }
+  return std::nullopt;
+}
+
+std::vector<OidId> MetaDatabase::VersionChain(std::string_view block,
+                                              std::string_view view) const {
+  const auto it = chains_.find(ChainKey(block, view));
+  if (it == chains_.end()) return {};
+  return it->second;
+}
+
+std::optional<OidId> MetaDatabase::PreviousVersion(OidId id) const {
+  CheckObjectHandle(id);
+  const MetaObject& object = objects_[id.value()];
+  const auto it = chains_.find(ChainKey(object.oid.block, object.oid.view));
+  if (it == chains_.end()) return std::nullopt;
+  const auto& chain = it->second;
+  // Chains are ordered by strictly increasing version: binary search.
+  const auto pos = std::lower_bound(
+      chain.begin(), chain.end(), object.oid.version,
+      [this](OidId entry, int version) {
+        return objects_[entry.value()].oid.version < version;
+      });
+  if (pos == chain.end() || *pos != id || pos == chain.begin()) {
+    return std::nullopt;
+  }
+  return *(pos - 1);
+}
+
+const MetaObject& MetaDatabase::GetObject(OidId id) const {
+  CheckObjectHandle(id);
+  return objects_[id.value()];
+}
+
+MetaObject& MetaDatabase::GetObjectMutable(OidId id) {
+  CheckObjectHandle(id);
+  return objects_[id.value()];
+}
+
+// --- Properties -------------------------------------------------------------------
+
+void MetaDatabase::SetProperty(OidId id, const std::string& name,
+                               const std::string& value) {
+  CheckObjectHandle(id);
+  objects_[id.value()].properties[name] = value;
+}
+
+const std::string* MetaDatabase::GetProperty(OidId id,
+                                             const std::string& name) const {
+  CheckObjectHandle(id);
+  const auto& properties = objects_[id.value()].properties;
+  const auto it = properties.find(name);
+  return it == properties.end() ? nullptr : &it->second;
+}
+
+bool MetaDatabase::RemoveProperty(OidId id, const std::string& name) {
+  CheckObjectHandle(id);
+  return objects_[id.value()].properties.erase(name) > 0;
+}
+
+// --- Links -----------------------------------------------------------------------
+
+LinkId MetaDatabase::CreateLink(LinkKind kind, OidId from, OidId to,
+                                std::vector<std::string> propagates,
+                                std::string type, CarryPolicy carry) {
+  CheckObjectHandle(from);
+  CheckObjectHandle(to);
+  if (from == to) {
+    throw IntegrityError("CreateLink: self-link on " +
+                         FormatOid(objects_[from.value()].oid));
+  }
+  if (!objects_[from.value()].alive || !objects_[to.value()].alive) {
+    throw IntegrityError("CreateLink: endpoint is deleted");
+  }
+  if (kind == LinkKind::kUse &&
+      objects_[from.value()].oid.view != objects_[to.value()].oid.view) {
+    throw IntegrityError(
+        "CreateLink: use link endpoints must share a view type (" +
+        FormatOid(objects_[from.value()].oid) + " vs " +
+        FormatOid(objects_[to.value()].oid) + ")");
+  }
+
+  const LinkId id(static_cast<uint32_t>(links_.size()));
+  Link link;
+  link.kind = kind;
+  link.from = from;
+  link.to = to;
+  link.propagates = std::move(propagates);
+  link.type = std::move(type);
+  link.carry = carry;
+  links_.push_back(std::move(link));
+
+  out_links_[from.value()].push_back(id);
+  in_links_[to.value()].push_back(id);
+  return id;
+}
+
+void MetaDatabase::DeleteLink(LinkId id) {
+  CheckLinkHandle(id);
+  Link& link = links_[id.value()];
+  if (!link.alive) return;
+  DetachLinkFromAdjacency(id);
+  link.alive = false;
+}
+
+const Link& MetaDatabase::GetLink(LinkId id) const {
+  CheckLinkHandle(id);
+  return links_[id.value()];
+}
+
+Link& MetaDatabase::GetLinkMutable(LinkId id) {
+  CheckLinkHandle(id);
+  return links_[id.value()];
+}
+
+void MetaDatabase::MoveLinkEndpoint(LinkId id, bool endpoint_from,
+                                    OidId new_endpoint) {
+  CheckLinkHandle(id);
+  CheckObjectHandle(new_endpoint);
+  Link& link = links_[id.value()];
+  if (!link.alive) {
+    throw IntegrityError("MoveLinkEndpoint: link is deleted");
+  }
+  if (!objects_[new_endpoint.value()].alive) {
+    throw IntegrityError("MoveLinkEndpoint: new endpoint is deleted");
+  }
+  OidId& endpoint = endpoint_from ? link.from : link.to;
+  const OidId other = endpoint_from ? link.to : link.from;
+  if (new_endpoint == other) {
+    throw IntegrityError("MoveLinkEndpoint: would create a self-link");
+  }
+  if (endpoint == new_endpoint) return;
+  if (link.kind == LinkKind::kUse &&
+      objects_[new_endpoint.value()].oid.view !=
+          objects_[other.value()].oid.view) {
+    throw IntegrityError(
+        "MoveLinkEndpoint: use link endpoints must share a view type");
+  }
+
+  auto& old_list =
+      endpoint_from ? out_links_[endpoint.value()] : in_links_[endpoint.value()];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), id),
+                 old_list.end());
+  endpoint = new_endpoint;
+  auto& new_list = endpoint_from ? out_links_[new_endpoint.value()]
+                                 : in_links_[new_endpoint.value()];
+  new_list.push_back(id);
+}
+
+const std::vector<LinkId>& MetaDatabase::OutLinks(OidId id) const {
+  CheckObjectHandle(id);
+  return out_links_[id.value()];
+}
+
+const std::vector<LinkId>& MetaDatabase::InLinks(OidId id) const {
+  CheckObjectHandle(id);
+  return in_links_[id.value()];
+}
+
+// --- Configurations ------------------------------------------------------------
+
+ConfigId MetaDatabase::SaveConfiguration(Configuration config) {
+  if (config.name.empty()) {
+    throw IntegrityError("SaveConfiguration: configuration needs a name");
+  }
+  for (const OidId oid : config.oids) CheckObjectHandle(oid);
+  for (const LinkId link : config.links) CheckLinkHandle(link);
+
+  const auto it = config_by_name_.find(config.name);
+  if (it != config_by_name_.end()) {
+    configurations_[it->second.value()] = std::move(config);
+    return it->second;
+  }
+  const ConfigId id(static_cast<uint32_t>(configurations_.size()));
+  config_by_name_.emplace(config.name, id);
+  configurations_.push_back(std::move(config));
+  return id;
+}
+
+std::optional<ConfigId> MetaDatabase::FindConfiguration(
+    std::string_view name) const {
+  const auto it = config_by_name_.find(std::string(name));
+  if (it == config_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Configuration& MetaDatabase::GetConfiguration(ConfigId id) const {
+  if (!id.valid() || id.value() >= configurations_.size()) {
+    throw NotFoundError("GetConfiguration: invalid configuration handle");
+  }
+  return configurations_[id.value()];
+}
+
+std::vector<std::string> MetaDatabase::ConfigurationNames() const {
+  std::vector<std::string> names;
+  names.reserve(config_by_name_.size());
+  for (const auto& [name, id] : config_by_name_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// --- Enumeration ---------------------------------------------------------------
+
+void MetaDatabase::ForEachObject(
+    const std::function<void(OidId, const MetaObject&)>& fn) const {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].alive) fn(OidId(static_cast<uint32_t>(i)), objects_[i]);
+  }
+}
+
+void MetaDatabase::ForEachLink(
+    const std::function<void(LinkId, const Link&)>& fn) const {
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].alive) fn(LinkId(static_cast<uint32_t>(i)), links_[i]);
+  }
+}
+
+DatabaseStats MetaDatabase::Stats() const {
+  DatabaseStats stats;
+  for (const MetaObject& object : objects_) {
+    if (object.alive) {
+      ++stats.live_objects;
+      stats.property_values += object.properties.size();
+    } else {
+      ++stats.dead_objects;
+    }
+  }
+  for (const Link& link : links_) {
+    if (link.alive) {
+      ++stats.live_links;
+    } else {
+      ++stats.dead_links;
+    }
+  }
+  stats.configurations = configurations_.size();
+  return stats;
+}
+
+// --- Persistence support -----------------------------------------------------
+
+OidId MetaDatabase::RestoreObjectSlot(MetaObject object) {
+  const OidId id(static_cast<uint32_t>(objects_.size()));
+  auto& chain = chains_[ChainKey(object.oid.block, object.oid.view)];
+  if (!chain.empty()) {
+    const int previous = objects_[chain.back().value()].oid.version;
+    if (object.oid.version <= previous) {
+      throw IntegrityError("RestoreObjectSlot: version order violated for " +
+                           FormatOid(object.oid));
+    }
+  }
+  if (object.alive && by_oid_.find(object.oid) != by_oid_.end()) {
+    throw IntegrityError("RestoreObjectSlot: duplicate live OID " +
+                         FormatOid(object.oid));
+  }
+  if (object.alive) by_oid_.emplace(object.oid, id);
+  chain.push_back(id);
+  objects_.push_back(std::move(object));
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  return id;
+}
+
+LinkId MetaDatabase::RestoreLinkSlot(Link link) {
+  const LinkId id(static_cast<uint32_t>(links_.size()));
+  if (link.alive) {
+    CheckObjectHandle(link.from);
+    CheckObjectHandle(link.to);
+    out_links_[link.from.value()].push_back(id);
+    in_links_[link.to.value()].push_back(id);
+  }
+  links_.push_back(std::move(link));
+  return id;
+}
+
+ConfigId MetaDatabase::RestoreConfigurationSlot(Configuration config) {
+  const ConfigId id(static_cast<uint32_t>(configurations_.size()));
+  if (!config.name.empty()) config_by_name_.emplace(config.name, id);
+  configurations_.push_back(std::move(config));
+  return id;
+}
+
+// --- Internal -------------------------------------------------------------------
+
+void MetaDatabase::CheckObjectHandle(OidId id) const {
+  if (!id.valid() || id.value() >= objects_.size()) {
+    throw NotFoundError("invalid OID handle");
+  }
+}
+
+void MetaDatabase::CheckLinkHandle(LinkId id) const {
+  if (!id.valid() || id.value() >= links_.size()) {
+    throw NotFoundError("invalid link handle");
+  }
+}
+
+void MetaDatabase::DetachLinkFromAdjacency(LinkId id) {
+  const Link& link = links_[id.value()];
+  auto& out = out_links_[link.from.value()];
+  out.erase(std::remove(out.begin(), out.end(), id), out.end());
+  auto& in = in_links_[link.to.value()];
+  in.erase(std::remove(in.begin(), in.end(), id), in.end());
+}
+
+}  // namespace damocles::metadb

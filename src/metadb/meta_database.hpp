@@ -1,0 +1,188 @@
+// The DAMOCLES meta-database.
+//
+// Stores meta-objects (OIDs), Links and Configurations; maintains the
+// version history per (block, view) pair and link adjacency per object.
+// This is the substrate the project BluePrint's run-time engine operates
+// on (paper §2).
+//
+// Storage model: dense vectors with tombstoning. Handles (OidId, LinkId,
+// ConfigId) are indices into those vectors and stay valid for the life
+// of the database, which is what makes Configuration objects — sets of
+// handles — light-weight snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "metadb/configuration.hpp"
+#include "metadb/ids.hpp"
+#include "metadb/link.hpp"
+#include "metadb/meta_object.hpp"
+#include "metadb/oid.hpp"
+
+namespace damocles::metadb {
+
+/// Aggregate statistics, used by benches and the query layer.
+struct DatabaseStats {
+  size_t live_objects = 0;
+  size_t dead_objects = 0;
+  size_t live_links = 0;
+  size_t dead_links = 0;
+  size_t configurations = 0;
+  size_t property_values = 0;
+};
+
+/// The meta-database. Not thread-safe; the run-time engine serializes
+/// all access through its FIFO event queue, matching the paper's
+/// "events are processed sequentially, first-in first-out".
+class MetaDatabase {
+ public:
+  MetaDatabase() = default;
+
+  // MetaDatabase owns large index structures; copying is almost always
+  // a bug (use Configuration snapshots instead), so copies are disabled
+  // while moves remain available.
+  MetaDatabase(const MetaDatabase&) = delete;
+  MetaDatabase& operator=(const MetaDatabase&) = delete;
+  MetaDatabase(MetaDatabase&&) = default;
+  MetaDatabase& operator=(MetaDatabase&&) = default;
+
+  // --- Meta-object lifecycle -------------------------------------------
+
+  /// Creates the meta-object for `oid`. Throws IntegrityError if the
+  /// triplet already exists or if the version is not exactly one past
+  /// the latest existing version of (block, view) (1 for the first).
+  OidId CreateObject(const Oid& oid, std::string_view user,
+                     int64_t timestamp);
+
+  /// Creates the next version of (block, view): version 1 if none
+  /// exists, latest+1 otherwise. Returns the new handle.
+  OidId CreateNextVersion(std::string_view block, std::string_view view,
+                          std::string_view user, int64_t timestamp);
+
+  /// Marks the object dead and removes all of its links.
+  void DeleteObject(OidId id);
+
+  // --- Lookup ------------------------------------------------------------
+
+  /// Handle for an exact triplet, or nullopt.
+  std::optional<OidId> FindObject(const Oid& oid) const;
+
+  /// Handle for the latest live version of (block, view), or nullopt.
+  std::optional<OidId> FindLatest(std::string_view block,
+                                  std::string_view view) const;
+
+  /// All versions (live and dead) of (block, view), oldest first.
+  std::vector<OidId> VersionChain(std::string_view block,
+                                  std::string_view view) const;
+
+  /// Handle of the version preceding `id` in its chain, or nullopt.
+  std::optional<OidId> PreviousVersion(OidId id) const;
+
+  /// The object behind a handle. Throws NotFoundError on a stale or
+  /// invalid handle.
+  const MetaObject& GetObject(OidId id) const;
+  MetaObject& GetObjectMutable(OidId id);
+
+  // --- Properties ---------------------------------------------------------
+
+  void SetProperty(OidId id, const std::string& name,
+                   const std::string& value);
+  /// Returns nullptr when the property is absent.
+  const std::string* GetProperty(OidId id, const std::string& name) const;
+  bool RemoveProperty(OidId id, const std::string& name);
+
+  // --- Links ---------------------------------------------------------------
+
+  /// Creates a link `from -> to`. Both endpoints must be live objects of
+  /// this database. Use links additionally require both endpoints to
+  /// share a view type (paper §3.2: "the parent and child views of the
+  /// use link are of the same view type").
+  LinkId CreateLink(LinkKind kind, OidId from, OidId to,
+                    std::vector<std::string> propagates, std::string type,
+                    CarryPolicy carry);
+
+  void DeleteLink(LinkId id);
+
+  const Link& GetLink(LinkId id) const;
+  Link& GetLinkMutable(LinkId id);
+
+  /// Re-points an endpoint of a live link (the version-shift of paper
+  /// Fig. 3). `endpoint_from == true` moves the source, else the target.
+  void MoveLinkEndpoint(LinkId id, bool endpoint_from, OidId new_endpoint);
+
+  /// Live links whose source / target is `id`.
+  const std::vector<LinkId>& OutLinks(OidId id) const;
+  const std::vector<LinkId>& InLinks(OidId id) const;
+
+  // --- Configurations ------------------------------------------------------
+
+  /// Stores a configuration under its name; replaces any previous
+  /// configuration of the same name.
+  ConfigId SaveConfiguration(Configuration config);
+
+  /// Looks a configuration up by name, or nullopt.
+  std::optional<ConfigId> FindConfiguration(std::string_view name) const;
+
+  const Configuration& GetConfiguration(ConfigId id) const;
+
+  /// Names of all stored configurations, sorted.
+  std::vector<std::string> ConfigurationNames() const;
+
+  // --- Enumeration -----------------------------------------------------------
+
+  /// Calls `fn` for every live object.
+  void ForEachObject(const std::function<void(OidId, const MetaObject&)>& fn)
+      const;
+
+  /// Calls `fn` for every live link.
+  void ForEachLink(const std::function<void(LinkId, const Link&)>& fn) const;
+
+  DatabaseStats Stats() const;
+
+  size_t ObjectSlotCount() const noexcept { return objects_.size(); }
+  size_t LinkSlotCount() const noexcept { return links_.size(); }
+  size_t ConfigurationSlotCount() const noexcept {
+    return configurations_.size();
+  }
+
+  // --- Persistence support ---------------------------------------------
+  // Raw slot appends used by LoadDatabaseText to reconstruct a database
+  // with handle-identical layout (tombstones included). They validate
+  // version ordering and endpoint ranges but intentionally bypass the
+  // creation-time sequencing checks; do not use them outside the
+  // persistence layer.
+
+  /// Appends an object slot verbatim and rebuilds the indexes for it.
+  OidId RestoreObjectSlot(MetaObject object);
+
+  /// Appends a link slot verbatim; live links are wired into adjacency.
+  LinkId RestoreLinkSlot(Link link);
+
+  /// Appends a configuration slot verbatim.
+  ConfigId RestoreConfigurationSlot(Configuration config);
+
+ private:
+  void CheckObjectHandle(OidId id) const;
+  void CheckLinkHandle(LinkId id) const;
+  void DetachLinkFromAdjacency(LinkId id);
+
+  std::vector<MetaObject> objects_;
+  std::vector<Link> links_;
+  std::vector<Configuration> configurations_;
+
+  std::unordered_map<Oid, OidId, OidHash> by_oid_;
+  // (block + '\0' + view) -> version chain, oldest first.
+  std::unordered_map<std::string, std::vector<OidId>> chains_;
+  std::unordered_map<std::string, ConfigId> config_by_name_;
+
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
+};
+
+}  // namespace damocles::metadb

@@ -1,0 +1,50 @@
+#include "metadb/oid.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace damocles::metadb {
+
+std::string FormatOid(const Oid& oid) {
+  return "<" + oid.block + "." + oid.view + "." + std::to_string(oid.version) +
+         ">";
+}
+
+std::string FormatOidWire(const Oid& oid) {
+  return oid.block + "," + oid.view + "," + std::to_string(oid.version);
+}
+
+Oid ParseOidWire(std::string_view text) {
+  const auto pieces = Split(text, ',');
+  if (pieces.size() != 3) {
+    throw WireFormatError("OID must be 'block,view,version': '" +
+                          std::string(text) + "'");
+  }
+  if (pieces[0].empty() || pieces[1].empty()) {
+    throw WireFormatError("OID has empty block or view: '" +
+                          std::string(text) + "'");
+  }
+  int version = 0;
+  const auto& piece = pieces[2];
+  const auto [ptr, ec] =
+      std::from_chars(piece.data(), piece.data() + piece.size(), version);
+  if (ec != std::errc{} || ptr != piece.data() + piece.size() || version < 1) {
+    throw WireFormatError("OID has malformed version: '" + std::string(text) +
+                          "'");
+  }
+  return Oid{pieces[0], pieces[1], version};
+}
+
+size_t OidHash::operator()(const Oid& oid) const noexcept {
+  const size_t h1 = std::hash<std::string>{}(oid.block);
+  const size_t h2 = std::hash<std::string>{}(oid.view);
+  const size_t h3 = std::hash<int>{}(oid.version);
+  size_t seed = h1;
+  seed ^= h2 + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  seed ^= h3 + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+}  // namespace damocles::metadb

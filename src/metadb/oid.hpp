@@ -1,0 +1,48 @@
+// The OID triplet: <block-name, view-type, version-number>.
+//
+// Paper §2: "To each design object corresponds a meta-data object
+// (referenced by an OID ...) which is defined by a triplet of
+// block-name, view-type and version number."
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace damocles::metadb {
+
+/// Identity of a design object as seen by the tracking system.
+struct Oid {
+  std::string block;  ///< Block name, e.g. "cpu" or "alu".
+  std::string view;   ///< View type, e.g. "schematic" or "GDSII".
+  int version = 1;    ///< Version number, starting at 1.
+
+  friend bool operator==(const Oid& a, const Oid& b) {
+    return a.version == b.version && a.block == b.block && a.view == b.view;
+  }
+  friend bool operator!=(const Oid& a, const Oid& b) { return !(a == b); }
+
+  /// Orders by block, then view, then version — the order version
+  /// chains are reported in.
+  friend bool operator<(const Oid& a, const Oid& b) {
+    if (a.block != b.block) return a.block < b.block;
+    if (a.view != b.view) return a.view < b.view;
+    return a.version < b.version;
+  }
+};
+
+/// Formats an OID in the paper's display style: "<cpu.schematic.4>".
+std::string FormatOid(const Oid& oid);
+
+/// Formats an OID in the wire style used by postEvent: "cpu,schematic,4".
+std::string FormatOidWire(const Oid& oid);
+
+/// Parses the wire style ("cpu,schematic,4"). Throws WireFormatError on
+/// malformed input (wrong arity, empty fields, non-numeric version).
+Oid ParseOidWire(std::string_view text);
+
+/// Hash functor so Oid can key unordered containers.
+struct OidHash {
+  size_t operator()(const Oid& oid) const noexcept;
+};
+
+}  // namespace damocles::metadb

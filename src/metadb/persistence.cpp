@@ -1,0 +1,292 @@
+#include "metadb/persistence.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace damocles::metadb {
+
+namespace {
+
+constexpr std::string_view kMagic = "damocles-metadb v1";
+
+void WriteProperties(std::ostream& out, const char* keyword,
+                     const PropertyMap& properties) {
+  for (const auto& [name, value] : properties) {
+    out << "  " << keyword << " " << QuoteString(name) << " "
+        << QuoteString(value) << "\n";
+  }
+}
+
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next non-empty line, trimmed. Returns false at end of stream.
+  bool Next(std::string& line) {
+    while (std::getline(in_, raw_)) {
+      ++line_number_;
+      const std::string_view trimmed = Trim(raw_);
+      if (trimmed.empty()) continue;
+      line.assign(trimmed);
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw WireFormatError("metadb load, line " + std::to_string(line_number_) +
+                          ": " + message);
+  }
+
+ private:
+  std::istream& in_;
+  std::string raw_;
+  int line_number_ = 0;
+};
+
+int64_t ParseInt(LineReader& reader, std::string_view token) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    reader.Fail("expected integer, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::string ParseQuoted(LineReader& reader, const std::string& line,
+                        size_t& pos) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  std::string out;
+  if (!UnquoteString(line, pos, out)) {
+    reader.Fail("expected quoted string in '" + line + "'");
+  }
+  return out;
+}
+
+std::vector<std::string> ParseQuotedList(LineReader& reader,
+                                         const std::string& line, size_t pos) {
+  std::vector<std::string> values;
+  while (true) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) return values;
+    std::string value;
+    if (!UnquoteString(line, pos, value)) {
+      reader.Fail("expected quoted string in '" + line + "'");
+    }
+    values.push_back(std::move(value));
+  }
+}
+
+}  // namespace
+
+void SaveDatabaseText(const MetaDatabase& db, std::ostream& out) {
+  out << kMagic << "\n";
+
+  out << "objects " << db.ObjectSlotCount() << "\n";
+  for (size_t i = 0; i < db.ObjectSlotCount(); ++i) {
+    const MetaObject& object = db.GetObject(OidId(static_cast<uint32_t>(i)));
+    out << "object " << i << " alive=" << (object.alive ? 1 : 0) << "\n";
+    out << "  oid " << QuoteString(object.oid.block) << " "
+        << QuoteString(object.oid.view) << " " << object.oid.version << "\n";
+    out << "  created " << object.created_at << " "
+        << QuoteString(object.created_by) << "\n";
+    WriteProperties(out, "prop", object.properties);
+    out << "end\n";
+  }
+
+  out << "links " << db.LinkSlotCount() << "\n";
+  for (size_t i = 0; i < db.LinkSlotCount(); ++i) {
+    const Link& link = db.GetLink(LinkId(static_cast<uint32_t>(i)));
+    out << "link " << i << " alive=" << (link.alive ? 1 : 0) << " kind="
+        << LinkKindName(link.kind) << " carry=" << CarryPolicyName(link.carry)
+        << " from=" << link.from.value() << " to=" << link.to.value() << "\n";
+    out << "  type " << QuoteString(link.type) << "\n";
+    out << "  propagates";
+    for (const std::string& event : link.propagates) {
+      out << " " << QuoteString(event);
+    }
+    out << "\n";
+    WriteProperties(out, "lprop", link.properties);
+    out << "end\n";
+  }
+
+  out << "configs " << db.ConfigurationSlotCount() << "\n";
+  for (size_t i = 0; i < db.ConfigurationSlotCount(); ++i) {
+    const Configuration& config =
+        db.GetConfiguration(ConfigId(static_cast<uint32_t>(i)));
+    out << "config " << QuoteString(config.name) << " " << config.created_at
+        << "\n";
+    out << "  from " << QuoteString(config.built_from) << "\n";
+    out << "  coids";
+    for (const OidId id : config.oids) out << " " << id.value();
+    out << "\n";
+    out << "  clinks";
+    for (const LinkId id : config.links) out << " " << id.value();
+    out << "\n";
+    out << "end\n";
+  }
+}
+
+MetaDatabase LoadDatabaseText(std::istream& in) {
+  LineReader reader(in);
+  std::string line;
+
+  if (!reader.Next(line) || line != kMagic) {
+    reader.Fail("missing magic header '" + std::string(kMagic) + "'");
+  }
+
+  MetaDatabase db;
+
+  if (!reader.Next(line) || !StartsWith(line, "objects ")) {
+    reader.Fail("expected 'objects <count>'");
+  }
+  const int64_t object_count = ParseInt(reader, Trim(line.substr(8)));
+  for (int64_t i = 0; i < object_count; ++i) {
+    if (!reader.Next(line) || !StartsWith(line, "object ")) {
+      reader.Fail("expected 'object <slot> alive=<0|1>'");
+    }
+    const auto header = SplitWhitespace(line);
+    if (header.size() != 3 || !StartsWith(header[2], "alive=")) {
+      reader.Fail("malformed object header '" + line + "'");
+    }
+    MetaObject object;
+    object.alive = header[2] == "alive=1";
+
+    while (reader.Next(line) && line != "end") {
+      if (StartsWith(line, "oid ")) {
+        size_t pos = 4;
+        object.oid.block = ParseQuoted(reader, line, pos);
+        object.oid.view = ParseQuoted(reader, line, pos);
+        object.oid.version =
+            static_cast<int>(ParseInt(reader, Trim(line.substr(pos))));
+      } else if (StartsWith(line, "created ")) {
+        const auto pieces = SplitWhitespace(line);
+        if (pieces.size() < 2) reader.Fail("malformed created line");
+        object.created_at = ParseInt(reader, pieces[1]);
+        size_t pos = line.find('"');
+        if (pos != std::string::npos) {
+          object.created_by = ParseQuoted(reader, line, pos);
+        }
+      } else if (StartsWith(line, "prop ")) {
+        size_t pos = 5;
+        std::string name = ParseQuoted(reader, line, pos);
+        std::string value = ParseQuoted(reader, line, pos);
+        object.properties.emplace(std::move(name), std::move(value));
+      } else {
+        reader.Fail("unexpected object line '" + line + "'");
+      }
+    }
+    db.RestoreObjectSlot(std::move(object));
+  }
+
+  if (!reader.Next(line) || !StartsWith(line, "links ")) {
+    reader.Fail("expected 'links <count>'");
+  }
+  const int64_t link_count = ParseInt(reader, Trim(line.substr(6)));
+  for (int64_t i = 0; i < link_count; ++i) {
+    if (!reader.Next(line) || !StartsWith(line, "link ")) {
+      reader.Fail("expected link header");
+    }
+    const auto header = SplitWhitespace(line);
+    if (header.size() != 7) reader.Fail("malformed link header '" + line + "'");
+    Link link;
+    link.alive = header[2] == "alive=1";
+    if (header[3] == "kind=use") {
+      link.kind = LinkKind::kUse;
+    } else if (header[3] == "kind=derive") {
+      link.kind = LinkKind::kDerive;
+    } else {
+      reader.Fail("unknown link kind '" + header[3] + "'");
+    }
+    if (header[4] == "carry=none") {
+      link.carry = CarryPolicy::kNone;
+    } else if (header[4] == "carry=copy") {
+      link.carry = CarryPolicy::kCopy;
+    } else if (header[4] == "carry=move") {
+      link.carry = CarryPolicy::kMove;
+    } else {
+      reader.Fail("unknown carry policy '" + header[4] + "'");
+    }
+    if (!StartsWith(header[5], "from=") || !StartsWith(header[6], "to=")) {
+      reader.Fail("malformed link endpoints '" + line + "'");
+    }
+    link.from =
+        OidId(static_cast<uint32_t>(ParseInt(reader, header[5].substr(5))));
+    link.to =
+        OidId(static_cast<uint32_t>(ParseInt(reader, header[6].substr(3))));
+
+    while (reader.Next(line) && line != "end") {
+      if (StartsWith(line, "type ")) {
+        size_t pos = 5;
+        link.type = ParseQuoted(reader, line, pos);
+      } else if (StartsWith(line, "propagates")) {
+        link.propagates = ParseQuotedList(reader, line, 10);
+      } else if (StartsWith(line, "lprop ")) {
+        size_t pos = 6;
+        std::string name = ParseQuoted(reader, line, pos);
+        std::string value = ParseQuoted(reader, line, pos);
+        link.properties.emplace(std::move(name), std::move(value));
+      } else {
+        reader.Fail("unexpected link line '" + line + "'");
+      }
+    }
+    db.RestoreLinkSlot(std::move(link));
+  }
+
+  if (!reader.Next(line) || !StartsWith(line, "configs ")) {
+    reader.Fail("expected 'configs <count>'");
+  }
+  const int64_t config_count = ParseInt(reader, Trim(line.substr(8)));
+  for (int64_t i = 0; i < config_count; ++i) {
+    if (!reader.Next(line) || !StartsWith(line, "config ")) {
+      reader.Fail("expected config header");
+    }
+    Configuration config;
+    size_t pos = 7;
+    config.name = ParseQuoted(reader, line, pos);
+    config.created_at = ParseInt(reader, Trim(line.substr(pos)));
+
+    while (reader.Next(line) && line != "end") {
+      if (StartsWith(line, "from ")) {
+        size_t from_pos = 5;
+        config.built_from = ParseQuoted(reader, line, from_pos);
+      } else if (StartsWith(line, "coids")) {
+        for (const std::string& token :
+             SplitWhitespace(line.substr(5))) {
+          config.oids.push_back(
+              OidId(static_cast<uint32_t>(ParseInt(reader, token))));
+        }
+      } else if (StartsWith(line, "clinks")) {
+        for (const std::string& token :
+             SplitWhitespace(line.substr(6))) {
+          config.links.push_back(
+              LinkId(static_cast<uint32_t>(ParseInt(reader, token))));
+        }
+      } else {
+        reader.Fail("unexpected config line '" + line + "'");
+      }
+    }
+    db.RestoreConfigurationSlot(std::move(config));
+  }
+
+  return db;
+}
+
+std::string SaveDatabaseString(const MetaDatabase& db) {
+  std::ostringstream out;
+  SaveDatabaseText(db, out);
+  return out.str();
+}
+
+MetaDatabase LoadDatabaseString(const std::string& text) {
+  std::istringstream in(text);
+  return LoadDatabaseText(in);
+}
+
+}  // namespace damocles::metadb

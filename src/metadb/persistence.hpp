@@ -1,0 +1,29 @@
+// Text persistence for the meta-database.
+//
+// The on-disk format is line-oriented and human-inspectable, in the
+// spirit of the paper's ASCII blueprint files. All slots — including
+// tombstoned ones — are saved so that handles (OidId / LinkId) are
+// bit-identical after a round trip; configurations store raw handles
+// and would otherwise dangle.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metadb/meta_database.hpp"
+
+namespace damocles::metadb {
+
+/// Writes the full database to `out`. Deterministic: two saves of equal
+/// databases produce byte-identical text.
+void SaveDatabaseText(const MetaDatabase& db, std::ostream& out);
+
+/// Reads a database previously written by SaveDatabaseText. Throws
+/// WireFormatError on malformed input.
+MetaDatabase LoadDatabaseText(std::istream& in);
+
+/// Convenience wrappers over string buffers.
+std::string SaveDatabaseString(const MetaDatabase& db);
+MetaDatabase LoadDatabaseString(const std::string& text);
+
+}  // namespace damocles::metadb

@@ -1,0 +1,139 @@
+#include "metadb/workspace.hpp"
+
+#include "common/error.hpp"
+
+namespace damocles::metadb {
+
+namespace {
+
+std::string PairKey(std::string_view block, std::string_view view) {
+  std::string key;
+  key.reserve(block.size() + 1 + view.size());
+  key.append(block);
+  key.push_back('\0');
+  key.append(view);
+  return key;
+}
+
+}  // namespace
+
+const char* WorkspaceActionName(WorkspaceAction action) noexcept {
+  switch (action) {
+    case WorkspaceAction::kCheckOut:
+      return "checkout";
+    case WorkspaceAction::kCheckIn:
+      return "checkin";
+    case WorkspaceAction::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+void Workspace::AddObserver(Observer observer) {
+  observers_.push_back(std::move(observer));
+}
+
+Oid Workspace::CheckOut(std::string_view block, std::string_view view,
+                        std::string_view user, int64_t timestamp) {
+  const std::string key = PairKey(block, view);
+  const auto latest_it = latest_.find(key);
+  if (latest_it == latest_.end()) {
+    throw NotFoundError("CheckOut: no versions of " + std::string(block) +
+                        "." + std::string(view));
+  }
+  auto& holder = checkouts_[key];
+  if (!holder.empty() && holder != user) {
+    throw PermissionError("CheckOut: " + std::string(block) + "." +
+                          std::string(view) + " is checked out by " + holder);
+  }
+  holder = std::string(user);
+
+  const Oid oid{std::string(block), std::string(view), latest_it->second};
+  files_.at(oid).checked_out_by = holder;
+  Notify({WorkspaceAction::kCheckOut, oid, holder, timestamp});
+  return oid;
+}
+
+Oid Workspace::CheckIn(std::string_view block, std::string_view view,
+                       std::string_view content, std::string_view user,
+                       int64_t timestamp) {
+  const std::string key = PairKey(block, view);
+  const auto holder_it = checkouts_.find(key);
+  if (holder_it != checkouts_.end() && !holder_it->second.empty() &&
+      holder_it->second != user) {
+    throw PermissionError("CheckIn: " + std::string(block) + "." +
+                          std::string(view) + " is checked out by " +
+                          holder_it->second);
+  }
+
+  int& latest = latest_[key];
+  const Oid previous{std::string(block), std::string(view), latest};
+  if (latest > 0) files_.at(previous).checked_out_by.clear();
+  ++latest;
+  const Oid oid{std::string(block), std::string(view), latest};
+
+  DesignFile file;
+  file.content = std::string(content);
+  file.modified_at = timestamp;
+  files_.emplace(oid, std::move(file));
+  if (holder_it != checkouts_.end()) holder_it->second.clear();
+
+  Notify({WorkspaceAction::kCheckIn, oid, std::string(user), timestamp});
+  return oid;
+}
+
+void Workspace::Delete(const Oid& oid, std::string_view user,
+                       int64_t timestamp) {
+  const auto it = files_.find(oid);
+  if (it == files_.end()) {
+    throw NotFoundError("Delete: no such design file " + FormatOid(oid));
+  }
+  files_.erase(it);
+  const std::string key = PairKey(oid.block, oid.view);
+  const auto latest_it = latest_.find(key);
+  if (latest_it != latest_.end() && latest_it->second == oid.version) {
+    // Roll the latest pointer back to the newest remaining version.
+    int newest = 0;
+    for (const auto& [stored_oid, file] : files_) {
+      if (stored_oid.block == oid.block && stored_oid.view == oid.view) {
+        newest = std::max(newest, stored_oid.version);
+      }
+    }
+    if (newest == 0) {
+      latest_.erase(latest_it);
+      checkouts_.erase(key);
+    } else {
+      latest_it->second = newest;
+    }
+  }
+  Notify({WorkspaceAction::kDelete, oid, std::string(user), timestamp});
+}
+
+std::optional<DesignFile> Workspace::Read(const Oid& oid) const {
+  const auto it = files_.find(oid);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Workspace::LatestVersion(std::string_view block,
+                             std::string_view view) const {
+  const auto it = latest_.find(PairKey(block, view));
+  return it == latest_.end() ? 0 : it->second;
+}
+
+std::string Workspace::CheckedOutBy(std::string_view block,
+                                    std::string_view view) const {
+  const auto it = checkouts_.find(PairKey(block, view));
+  return it == checkouts_.end() ? std::string() : it->second;
+}
+
+void Workspace::ForEachFile(
+    const std::function<void(const Oid&, const DesignFile&)>& fn) const {
+  for (const auto& [oid, file] : files_) fn(oid, file);
+}
+
+void Workspace::Notify(const WorkspaceNotification& notification) const {
+  for (const Observer& observer : observers_) observer(notification);
+}
+
+}  // namespace damocles::metadb

@@ -1,0 +1,103 @@
+// Workspaces: the design-data repositories DAMOCLES observes.
+//
+// Paper §2: "DAMOCLES manages data repositories, called workspaces by
+// associating them to a meta-database."  The workspace stores the
+// actual design data (here: simulated file contents keyed by OID) and
+// emits observer notifications on every transaction — the hook through
+// which the non-obstructive tracking system watches design activity
+// without sitting in the designer's way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metadb/oid.hpp"
+
+namespace damocles::metadb {
+
+/// Kinds of workspace transactions observers are told about.
+enum class WorkspaceAction {
+  kCheckOut,  ///< A designer acquired a working copy.
+  kCheckIn,   ///< A new version was promoted to the workspace.
+  kDelete,    ///< A design object was removed.
+};
+
+const char* WorkspaceActionName(WorkspaceAction action) noexcept;
+
+/// Notification describing one workspace transaction.
+struct WorkspaceNotification {
+  WorkspaceAction action = WorkspaceAction::kCheckIn;
+  Oid oid;           ///< The design object affected (version after the action).
+  std::string user;  ///< Acting designer.
+  int64_t timestamp = 0;
+};
+
+/// One stored design file.
+struct DesignFile {
+  std::string content;
+  std::string checked_out_by;  ///< Empty when not checked out.
+  int64_t modified_at = 0;
+};
+
+/// A design-data repository. Versions are immutable once checked in;
+/// a check-in of (block, view) always creates the next version.
+class Workspace {
+ public:
+  using Observer = std::function<void(const WorkspaceNotification&)>;
+
+  explicit Workspace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Registers an observer; every subsequent transaction is reported.
+  void AddObserver(Observer observer);
+
+  /// Checks out the latest version of (block, view) for `user`.
+  /// Throws PermissionError if another user holds a checkout, and
+  /// NotFoundError if the object does not exist.
+  Oid CheckOut(std::string_view block, std::string_view view,
+               std::string_view user, int64_t timestamp);
+
+  /// Promotes `content` as the next version of (block, view). Releases
+  /// any checkout held by `user`. Returns the new OID.
+  Oid CheckIn(std::string_view block, std::string_view view,
+              std::string_view content, std::string_view user,
+              int64_t timestamp);
+
+  /// Removes a specific version. Throws NotFoundError if absent.
+  void Delete(const Oid& oid, std::string_view user, int64_t timestamp);
+
+  /// Reads a stored design file, or nullopt.
+  std::optional<DesignFile> Read(const Oid& oid) const;
+
+  /// Latest version number of (block, view); 0 when none exists.
+  int LatestVersion(std::string_view block, std::string_view view) const;
+
+  /// Who currently holds the checkout of (block, view); empty if nobody.
+  std::string CheckedOutBy(std::string_view block, std::string_view view)
+      const;
+
+  size_t FileCount() const noexcept { return files_.size(); }
+
+  /// Calls `fn` for every stored design file, in OID order (polling
+  /// trackers scan the repository this way).
+  void ForEachFile(
+      const std::function<void(const Oid&, const DesignFile&)>& fn) const;
+
+ private:
+  void Notify(const WorkspaceNotification& notification) const;
+
+  std::string name_;
+  std::map<Oid, DesignFile> files_;
+  // (block '\0' view) -> latest version / holder of the checkout.
+  std::map<std::string, int> latest_;
+  std::map<std::string, std::string> checkouts_;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace damocles::metadb

@@ -1,0 +1,235 @@
+#include "policy/policy_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace damocles::policy {
+
+const char* OperationName(Operation operation) noexcept {
+  switch (operation) {
+    case Operation::kCheckIn:
+      return "checkin";
+    case Operation::kCheckOut:
+      return "checkout";
+    case Operation::kPostEvent:
+      return "post_event";
+    case Operation::kRegisterLink:
+      return "register_link";
+    case Operation::kSnapshot:
+      return "snapshot";
+    case Operation::kReinitBlueprint:
+      return "reinit_blueprint";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::optional<Operation> ParseOperation(std::string_view word) {
+  static constexpr std::pair<const char*, Operation> kOperations[] = {
+      {"checkin", Operation::kCheckIn},
+      {"checkout", Operation::kCheckOut},
+      {"post_event", Operation::kPostEvent},
+      {"register_link", Operation::kRegisterLink},
+      {"snapshot", Operation::kSnapshot},
+      {"reinit_blueprint", Operation::kReinitBlueprint},
+  };
+  for (const auto& [name, operation] : kOperations) {
+    if (word == name) return operation;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void PolicyEngine::AddGroup(const std::string& name,
+                            std::vector<std::string> members) {
+  for (auto& [existing_name, existing_members] : groups_) {
+    if (existing_name == name) {
+      for (std::string& member : members) {
+        existing_members.push_back(std::move(member));
+      }
+      return;
+    }
+  }
+  groups_.emplace_back(name, std::move(members));
+}
+
+bool PolicyEngine::IsMember(std::string_view name,
+                            std::string_view user) const {
+  for (const auto& [group_name, members] : groups_) {
+    if (group_name != name) continue;
+    return std::find(members.begin(), members.end(), user) != members.end();
+  }
+  return false;
+}
+
+void PolicyEngine::AddRule(PolicyRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool PolicyEngine::RuleMatches(const PolicyRule& rule,
+                               const PolicyRequest& request) const {
+  if (rule.operation != request.operation) return false;
+  if (!rule.phase.empty() && rule.phase != phase_) return false;
+  if (!rule.view.empty() && rule.view != request.view) return false;
+  if (!rule.block.empty() && rule.block != request.block) return false;
+  if (!rule.user.empty()) {
+    if (rule.user.front() == '@') {
+      if (!IsMember(std::string_view(rule.user).substr(1), request.user)) {
+        return false;
+      }
+    } else if (rule.user != request.user) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PolicyDecision PolicyEngine::Evaluate(const PolicyRequest& request) const {
+  ++evaluations_;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (!RuleMatches(rules_[i], request)) continue;
+    PolicyDecision decision;
+    decision.matched_rule = static_cast<int>(i);
+    decision.allowed = rules_[i].effect == Effect::kAllow;
+    if (!decision.allowed) {
+      ++denials_;
+      decision.reason = rules_[i].reason.empty()
+                            ? std::string(OperationName(request.operation)) +
+                                  " denied by project policy"
+                            : rules_[i].reason;
+    }
+    return decision;
+  }
+  return PolicyDecision{};  // Default: allow, non-obstructively.
+}
+
+PolicyEngine ParsePolicyText(std::string_view text) {
+  PolicyEngine engine;
+  int line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    std::string_view raw = end == std::string_view::npos
+                               ? text.substr(start)
+                               : text.substr(start, end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_number;
+
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    // Tokenize, honouring quoted reason strings.
+    std::vector<std::string> words;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+      if (pos >= line.size()) break;
+      const size_t quote = line.find('"', pos);
+      const size_t space = line.find(' ', pos);
+      if (quote != std::string_view::npos &&
+          (space == std::string_view::npos || quote < space)) {
+        // A token containing a quoted part: key="value with spaces".
+        std::string head(line.substr(pos, quote - pos));
+        size_t qpos = quote;
+        std::string body;
+        if (!UnquoteString(line, qpos, body)) {
+          throw ParseError("unterminated quote in policy rule", line_number,
+                           static_cast<int>(quote) + 1);
+        }
+        words.push_back(head + body);
+        pos = qpos;
+        continue;
+      }
+      const size_t token_end =
+          space == std::string_view::npos ? line.size() : space;
+      words.emplace_back(line.substr(pos, token_end - pos));
+      pos = token_end;
+    }
+    if (words.empty()) continue;
+
+    if (words[0] == "group") {
+      if (words.size() < 3) {
+        throw ParseError("group needs a name and at least one member",
+                         line_number, 1);
+      }
+      engine.AddGroup(words[1],
+                      std::vector<std::string>(words.begin() + 2,
+                                               words.end()));
+      continue;
+    }
+
+    PolicyRule rule;
+    if (words[0] == "allow") {
+      rule.effect = Effect::kAllow;
+    } else if (words[0] == "deny") {
+      rule.effect = Effect::kDeny;
+    } else {
+      throw ParseError("expected 'allow', 'deny' or 'group', got '" +
+                           words[0] + "'",
+                       line_number, 1);
+    }
+    if (words.size() < 2) {
+      throw ParseError("rule needs an operation", line_number, 1);
+    }
+    const auto operation = ParseOperation(words[1]);
+    if (!operation.has_value()) {
+      throw ParseError("unknown operation '" + words[1] + "'", line_number,
+                       1);
+    }
+    rule.operation = *operation;
+
+    for (size_t i = 2; i < words.size(); ++i) {
+      const std::string& word = words[i];
+      const size_t eq = word.find('=');
+      if (eq == std::string::npos) {
+        throw ParseError("expected key=value, got '" + word + "'",
+                         line_number, 1);
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      if (key == "user") {
+        rule.user = value;
+      } else if (key == "view" || key == "event") {
+        rule.view = value;
+      } else if (key == "block") {
+        rule.block = value;
+      } else if (key == "phase") {
+        rule.phase = value;
+      } else if (key == "reason") {
+        rule.reason = value;
+      } else {
+        throw ParseError("unknown rule key '" + key + "'", line_number, 1);
+      }
+    }
+    engine.AddRule(std::move(rule));
+  }
+  return engine;
+}
+
+std::string FormatPolicy(const PolicyEngine& engine) {
+  std::string text;
+  for (const auto& [name, members] : engine.groups()) {
+    text += "group " + name;
+    for (const std::string& member : members) text += " " + member;
+    text += "\n";
+  }
+  for (const PolicyRule& rule : engine.rules()) {
+    text += rule.effect == Effect::kAllow ? "allow " : "deny ";
+    text += OperationName(rule.operation);
+    if (!rule.user.empty()) text += " user=" + rule.user;
+    if (!rule.view.empty()) text += " view=" + rule.view;
+    if (!rule.block.empty()) text += " block=" + rule.block;
+    if (!rule.phase.empty()) text += " phase=" + rule.phase;
+    if (!rule.reason.empty()) {
+      text += " reason=" + QuoteString(rule.reason);
+    }
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace damocles::policy

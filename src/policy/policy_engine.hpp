@@ -1,0 +1,122 @@
+// Project policies: who may do what, when.
+//
+// The paper's title promises "project policies in IC design"; §3.3
+// sketches the mechanism (wrapper-side gating) and §3.2 the phases
+// ("different BluePrints can be defined ... for each phase of a
+// project"). This module makes policies first-class: an ordered rule
+// list over (user/group, operation, view/block scope, project phase),
+// evaluated first-match, consulted by the project server before any
+// state-changing designer operation.
+//
+// In DAMOCLES' non-obstructive spirit the default is ALLOW — policies
+// carve out restrictions (e.g. "only cad_admins install libraries",
+// "layout is frozen during signoff"), they do not impose a methodology.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace damocles::policy {
+
+/// Operations the project server gates.
+enum class Operation {
+  kCheckIn,
+  kCheckOut,
+  kPostEvent,
+  kRegisterLink,
+  kSnapshot,
+  kReinitBlueprint,
+};
+
+const char* OperationName(Operation operation) noexcept;
+
+/// What a rule says about a matching request.
+enum class Effect {
+  kAllow,
+  kDeny,
+};
+
+/// One policy rule. Empty string fields are wildcards. For kPostEvent
+/// the `view` field matches the event name; for the other operations it
+/// matches the design view.
+struct PolicyRule {
+  Effect effect = Effect::kDeny;
+  Operation operation = Operation::kCheckIn;
+  std::string user;   ///< User name, "@group" reference, or "" = any.
+  std::string view;   ///< View (or event name for kPostEvent); "" = any.
+  std::string block;  ///< Block name; "" = any.
+  std::string phase;  ///< Project phase; "" = any phase.
+  std::string reason; ///< Shown to the denied designer.
+};
+
+/// A policy request as the server sees it.
+struct PolicyRequest {
+  Operation operation = Operation::kCheckIn;
+  std::string user;
+  std::string view;   ///< Or event name, for kPostEvent.
+  std::string block;
+};
+
+/// Decision with provenance.
+struct PolicyDecision {
+  bool allowed = true;
+  std::string reason;       ///< Denial reason ("" when allowed).
+  int matched_rule = -1;    ///< Index of the matching rule, -1 = default.
+};
+
+/// Ordered-rule policy engine with named groups.
+class PolicyEngine {
+ public:
+  /// Defines (or extends) a group. Group references in rules use
+  /// "@name" in the user field.
+  void AddGroup(const std::string& name, std::vector<std::string> members);
+
+  /// True if `user` is in group `name`.
+  bool IsMember(std::string_view name, std::string_view user) const;
+
+  /// Appends a rule (rules match first-to-last).
+  void AddRule(PolicyRule rule);
+
+  size_t RuleCount() const noexcept { return rules_.size(); }
+  const std::vector<PolicyRule>& rules() const noexcept { return rules_; }
+  const std::vector<std::pair<std::string, std::vector<std::string>>>&
+  groups() const noexcept {
+    return groups_;
+  }
+
+  /// Sets the current project phase ("" = no phase).
+  void SetPhase(std::string phase) { phase_ = std::move(phase); }
+  const std::string& phase() const noexcept { return phase_; }
+
+  /// Evaluates a request: first matching rule wins; no match = allow.
+  PolicyDecision Evaluate(const PolicyRequest& request) const;
+
+  /// Statistics (evaluations / denials since construction).
+  size_t evaluations() const noexcept { return evaluations_; }
+  size_t denials() const noexcept { return denials_; }
+
+ private:
+  bool RuleMatches(const PolicyRule& rule, const PolicyRequest& request)
+      const;
+
+  std::vector<PolicyRule> rules_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups_;
+  std::string phase_;
+  mutable size_t evaluations_ = 0;
+  mutable size_t denials_ = 0;
+};
+
+/// Parses a policy file: one rule per line,
+///   allow|deny <operation> [user=<u>] [view=<v>] [block=<b>]
+///              [phase=<p>] [reason="..."]
+///   group <name> <member> [member ...]
+/// '#' starts a comment. Throws ParseError on malformed lines.
+PolicyEngine ParsePolicyText(std::string_view text);
+
+/// Renders the engine's groups and rules back to the text format
+/// (parse -> format -> parse is stable).
+std::string FormatPolicy(const PolicyEngine& engine);
+
+}  // namespace damocles::policy

@@ -1,0 +1,114 @@
+// Project-state queries over the meta-database.
+//
+// Paper §1: "Designers can retrieve the state of the project by
+// performing queries. Therefore, designers know exactly what data still
+// needs to be modified before reaching a planned state in the project."
+//
+// The query layer is strictly read-only (const MetaDatabase&): running
+// queries never perturbs tracking state, preserving the observer,
+// non-obstructive discipline.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blueprint/expr.hpp"
+#include "metadb/config_builder.hpp"
+#include "metadb/meta_database.hpp"
+
+namespace damocles::query {
+
+/// One query hit.
+struct Match {
+  metadb::OidId id;
+  metadb::Oid oid;
+};
+
+/// A (property, required value) pair describing part of a planned state.
+struct PlannedProperty {
+  std::string property;
+  std::string required_value;
+};
+
+/// An OID that still blocks a planned state, with the reason.
+struct Blocker {
+  metadb::Oid oid;
+  std::string property;
+  std::string actual_value;
+  std::string required_value;
+};
+
+/// Read-only query interface bound to one meta-database.
+class ProjectQuery {
+ public:
+  explicit ProjectQuery(const metadb::MetaDatabase& db) : db_(db) {}
+
+  // --- Object finders -----------------------------------------------------
+
+  /// All live objects of a view type, ordered by (block, version).
+  std::vector<Match> FindByView(std::string_view view) const;
+
+  /// All live views of a block, ordered by (view, version).
+  std::vector<Match> FindByBlock(std::string_view block) const;
+
+  /// Live objects whose property `name` equals `value`.
+  std::vector<Match> FindByProperty(std::string_view name,
+                                    std::string_view value) const;
+
+  /// Live objects satisfying an arbitrary predicate.
+  std::vector<Match> FindWhere(
+      const std::function<bool(const metadb::MetaObject&)>& predicate) const;
+
+  /// Live objects for which the blueprint expression evaluates true.
+  /// $variables resolve to the object's properties ($block/$view/
+  /// $version are built-in).
+  std::vector<Match> FindMatching(const blueprint::Expr& expr) const;
+
+  /// Only the latest version of each (block, view), restricted to
+  /// objects matching `predicate` (pass nullptr for all).
+  std::vector<Match> LatestVersions(
+      const std::function<bool(const metadb::MetaObject&)>& predicate) const;
+
+  // --- Design-state queries ---------------------------------------------
+
+  /// Objects whose `uptodate` property is "false" — the paper's central
+  /// change-tracking question.
+  std::vector<Match> OutOfDate() const;
+
+  /// Value of the conventional `state` property, or nullopt when the
+  /// object has none.
+  std::optional<std::string> StateOf(const metadb::Oid& oid) const;
+
+  /// The "distance to a planned state": every (object, property) in
+  /// scope whose value differs from the plan. Scope = latest versions
+  /// of the given views (empty = all views).
+  std::vector<Blocker> DistanceToPlannedState(
+      const std::vector<PlannedProperty>& plan,
+      const std::vector<std::string>& views) const;
+
+  // --- Structure queries -----------------------------------------------------
+
+  /// The hierarchy below `root` through use links (root included).
+  std::vector<Match> HierarchyMembers(const metadb::Oid& root) const;
+
+  /// Objects from which `oid` is (transitively) derived, following
+  /// derive links upstream.
+  std::vector<Match> DerivationSources(const metadb::Oid& oid) const;
+
+  /// Builds a configuration from a query, ready to be saved — the
+  /// paper's "results of volume queries" use of configurations.
+  metadb::Configuration ToConfiguration(
+      std::string name, const std::vector<Match>& matches,
+      int64_t timestamp) const;
+
+ private:
+  blueprint::VariableResolver ResolverFor(const metadb::MetaObject& object)
+      const;
+
+  const metadb::MetaDatabase& db_;
+};
+
+}  // namespace damocles::query

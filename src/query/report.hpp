@@ -1,0 +1,45 @@
+// Human-readable project-state reports.
+//
+// The paper's conclusion mentions a graphical interface "to visualize
+// the design state relative to its flow" as future work; this textual
+// report is the library's equivalent: a per-view, per-block summary of
+// the design state a project administrator reads at a glance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metadb/meta_database.hpp"
+#include "query/query.hpp"
+
+namespace damocles::query {
+
+/// One row of the state report.
+struct ReportRow {
+  metadb::Oid oid;
+  std::string state;     ///< Value of `state` ("" when untracked).
+  std::string uptodate;  ///< Value of `uptodate` ("" when untracked).
+  size_t property_count = 0;
+  size_t out_links = 0;
+  size_t in_links = 0;
+};
+
+/// A formatted project report.
+struct ProjectReport {
+  std::vector<ReportRow> rows;  ///< Latest version of each (block, view).
+  size_t out_of_date = 0;
+  size_t state_ok = 0;
+  size_t total = 0;
+};
+
+/// Builds a report over the latest versions of every (block, view).
+ProjectReport BuildProjectReport(const metadb::MetaDatabase& db);
+
+/// Renders the report as an aligned text table.
+std::string FormatProjectReport(const ProjectReport& report);
+
+/// Renders the blockers of a planned state ("what still needs to be
+/// modified before reaching a planned state").
+std::string FormatBlockers(const std::vector<Blocker>& blockers);
+
+}  // namespace damocles::query

@@ -1,0 +1,102 @@
+// Design tasks: the paper's future-work extension, implemented.
+//
+// Paper conclusion: "We are currently investigating ways to incorporate
+// the notion of design tasks to the project BluePrint which gives a
+// higher level of description of design activities and their
+// environment."
+//
+// A task is a named milestone over the meta-data: a set of goal
+// conditions (property == value on the latest version of given views of
+// given blocks) plus dependencies on other tasks. The task graph is
+// evaluated against the live meta-database — tasks are never "checked
+// off" by hand; they are satisfied exactly when the data says so, in the
+// same observer spirit as the rest of DAMOCLES.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metadb/meta_database.hpp"
+#include "query/query.hpp"
+
+namespace damocles::tasks {
+
+/// One goal condition: the latest version of (block, view) must have
+/// `property` == `required_value`. An empty block means "every block
+/// that has this view".
+struct GoalCondition {
+  std::string block;
+  std::string view;
+  std::string property;
+  std::string required_value;
+};
+
+/// Evaluation status of a task.
+enum class TaskStatus {
+  kBlocked,    ///< A dependency is not yet satisfied.
+  kReady,      ///< Dependencies satisfied, goals not yet met.
+  kSatisfied,  ///< All goal conditions hold.
+};
+
+const char* TaskStatusName(TaskStatus status) noexcept;
+
+/// A task definition.
+struct TaskDef {
+  std::string name;
+  std::string description;
+  std::vector<GoalCondition> goals;
+  std::vector<std::string> depends_on;  ///< Names of prerequisite tasks.
+};
+
+/// Evaluation result for one task.
+struct TaskEvaluation {
+  std::string name;
+  TaskStatus status = TaskStatus::kBlocked;
+  /// Conditions that do not hold yet (empty when satisfied).
+  std::vector<query::Blocker> open_goals;
+  /// Unsatisfied dependencies (empty unless blocked).
+  std::vector<std::string> open_dependencies;
+};
+
+/// A project's task graph. Definitions are static; evaluation reads the
+/// live meta-database.
+class TaskGraph {
+ public:
+  /// Adds a task. Throws IntegrityError on duplicate names, unknown
+  /// dependencies, dependency cycles, or tasks without goals.
+  void AddTask(TaskDef task);
+
+  size_t size() const noexcept { return tasks_.size(); }
+  const TaskDef* Find(std::string_view name) const;
+
+  /// Task names in a valid execution order (dependencies first).
+  std::vector<std::string> TopologicalOrder() const;
+
+  /// Evaluates one task against the database (dependencies included).
+  TaskEvaluation Evaluate(const metadb::MetaDatabase& db,
+                          std::string_view name) const;
+
+  /// Evaluates every task, in topological order.
+  std::vector<TaskEvaluation> EvaluateAll(const metadb::MetaDatabase& db)
+      const;
+
+  /// The frontier: tasks that are ready (unblocked, not yet satisfied) —
+  /// what the project should work on next.
+  std::vector<std::string> NextTasks(const metadb::MetaDatabase& db) const;
+
+  /// Overall progress: satisfied / total.
+  double Progress(const metadb::MetaDatabase& db) const;
+
+ private:
+  bool GoalsSatisfied(const metadb::MetaDatabase& db, const TaskDef& task,
+                      std::vector<query::Blocker>* open_goals) const;
+
+  std::vector<TaskDef> tasks_;
+};
+
+/// Renders an evaluation as an aligned text table.
+std::string FormatTaskReport(const std::vector<TaskEvaluation>& evaluations);
+
+}  // namespace damocles::tasks

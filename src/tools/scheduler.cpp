@@ -1,0 +1,35 @@
+#include "tools/scheduler.hpp"
+
+namespace damocles::tools {
+
+ToolScheduler::ToolScheduler(engine::ProjectServer& server)
+    : server_(server), registry_(/*strict=*/false) {
+  server_.engine().SetScriptExecutor(&registry_);
+}
+
+void ToolScheduler::InstallStandardScripts(Netlister& netlister) {
+  const auto run_netlister = [this, &netlister](
+                                 const engine::ExecRequest& request) {
+    const int status = netlister.RunFromScript(request);
+    ledger_.push_back(ScheduledRun{request.script, request.target,
+                                   request.event, status, request.timestamp});
+    return status;
+  };
+  registry_.Register("netlister", run_netlister);
+  registry_.Register("netlister.sh", run_netlister);
+}
+
+void ToolScheduler::Register(std::string name, ScriptFn fn) {
+  registry_.Register(std::move(name),
+                     [this, fn = std::move(fn)](
+                         const engine::ExecRequest& request) {
+                       const int status = fn(request);
+                       ledger_.push_back(ScheduledRun{request.script,
+                                                      request.target,
+                                                      request.event, status,
+                                                      request.timestamp});
+                       return status;
+                     });
+}
+
+}  // namespace damocles::tools

@@ -1,0 +1,34 @@
+#include "tools/script_registry.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace damocles::tools {
+
+void ScriptRegistry::Register(std::string name, ScriptFn fn) {
+  scripts_[std::move(name)] = std::move(fn);
+}
+
+int ScriptRegistry::Execute(const engine::ExecRequest& request) {
+  history_.push_back(request);
+  const auto it = scripts_.find(request.script);
+  if (it == scripts_.end()) {
+    if (strict_) {
+      throw NotFoundError("ScriptRegistry: unknown script '" + request.script +
+                          "'");
+    }
+    Log::Warning("unknown script '" + request.script + "' (exit 127)");
+    return 127;
+  }
+  return it->second(request);
+}
+
+size_t ScriptRegistry::CallCount(const std::string& name) const {
+  size_t count = 0;
+  for (const engine::ExecRequest& request : history_) {
+    if (request.script == name) ++count;
+  }
+  return count;
+}
+
+}  // namespace damocles::tools

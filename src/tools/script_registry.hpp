@@ -1,0 +1,53 @@
+// Script registry: the library's stand-in for the shell-script wrapper
+// programs of the paper.
+//
+// exec run-time rules name scripts ("netlister.sh"); the registry maps
+// those names to C++ callables. Every invocation is recorded so tests
+// and benches can assert on automatic tool scheduling.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/script_executor.hpp"
+
+namespace damocles::tools {
+
+/// Callable backing one script name.
+using ScriptFn = std::function<int(const engine::ExecRequest&)>;
+
+/// Registry of wrapper scripts, pluggable into the run-time engine.
+class ScriptRegistry : public engine::ScriptExecutor {
+ public:
+  /// When true, executing an unregistered script throws NotFoundError;
+  /// when false it returns exit status 127 (shell "command not found").
+  explicit ScriptRegistry(bool strict = false) : strict_(strict) {}
+
+  /// Registers (or replaces) a script.
+  void Register(std::string name, ScriptFn fn);
+
+  bool Has(const std::string& name) const {
+    return scripts_.find(name) != scripts_.end();
+  }
+
+  int Execute(const engine::ExecRequest& request) override;
+
+  /// Complete invocation history, in execution order.
+  const std::vector<engine::ExecRequest>& History() const noexcept {
+    return history_;
+  }
+
+  /// Number of invocations of one script.
+  size_t CallCount(const std::string& name) const;
+
+  void ClearHistory() { history_.clear(); }
+
+ private:
+  bool strict_;
+  std::unordered_map<std::string, ScriptFn> scripts_;
+  std::vector<engine::ExecRequest> history_;
+};
+
+}  // namespace damocles::tools

@@ -1,0 +1,157 @@
+// The simulated EDA tool suite.
+//
+// The paper's design flow (Figs. 4-5) involves a synthesis tool, a
+// schematic generator/editor, a netlister, simulators, a layout editor,
+// DRC and LVS. Real tools are proprietary; these simulations reproduce
+// exactly the behaviour the tracking system sees: they read design data
+// from the workspace, create new versions and links, and post result
+// events through wrapper programs. Tool outcomes are a deterministic
+// function of the design content (a content hash) so runs reproduce,
+// with an optional injected defect rate for workload realism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tools/wrapper.hpp"
+
+namespace damocles::tools {
+
+/// Deterministic verdict model shared by the checking tools: content
+/// whose hash lands below `defect_rate` fails. defect_rate 0 = always
+/// pass; 1 = always fail.
+struct VerdictModel {
+  double defect_rate = 0.0;
+
+  /// "good" or a failure message derived from the content.
+  std::string Judge(const std::string& content, const char* failure) const;
+};
+
+/// Writes HDL models: check-out / edit / check-in cycles.
+class HdlEditor : public WrapperProgram {
+ public:
+  explicit HdlEditor(engine::ProjectServer& server)
+      : WrapperProgram(server, "hdl_editor") {}
+
+  /// Saves a new HDL model version for `block` and returns its OID.
+  metadb::Oid Edit(const std::string& block, const std::string& content,
+                   const std::string& user);
+};
+
+/// HDL simulator: judges the latest HDL model and posts `hdl_sim`.
+class HdlSimulator : public WrapperProgram {
+ public:
+  HdlSimulator(engine::ProjectServer& server, VerdictModel model)
+      : WrapperProgram(server, "hdl_simulator"), model_(model) {}
+
+  /// Runs the simulation; returns the verdict it posted, or "" when
+  /// permission was denied (no HDL model).
+  std::string Simulate(const std::string& block, const std::string& user);
+
+ private:
+  VerdictModel model_;
+};
+
+/// Synthesis tool: HDL model -> schematic hierarchy.
+///
+/// Creates one schematic OID for the block and one per sub-block,
+/// wires use links (hierarchy), a derive link from the HDL model and a
+/// depend_on link from the synthesis library.
+class SynthesisTool : public WrapperProgram {
+ public:
+  explicit SynthesisTool(engine::ProjectServer& server)
+      : WrapperProgram(server, "synthesis") {}
+
+  /// Requires the HDL model's sim_result to be "good" (the gate of
+  /// paper §3.3). Returns the top schematic OID on success.
+  std::optional<metadb::Oid> Synthesize(
+      const std::string& block, const std::vector<std::string>& sub_blocks,
+      const std::string& user);
+};
+
+/// Netlister: schematic -> netlist, derive link from the schematic.
+class Netlister : public WrapperProgram {
+ public:
+  explicit Netlister(engine::ProjectServer& server)
+      : WrapperProgram(server, "netlister") {}
+
+  std::optional<metadb::Oid> Netlist(const std::string& block,
+                                     const std::string& user);
+
+  /// Script-registry entry point: `exec netlister "$oid"`.
+  int RunFromScript(const engine::ExecRequest& request);
+};
+
+/// Netlist simulator: posts `nl_sim` with its verdict.
+class NetlistSimulator : public WrapperProgram {
+ public:
+  NetlistSimulator(engine::ProjectServer& server, VerdictModel model)
+      : WrapperProgram(server, "nl_simulator"), model_(model) {}
+
+  /// Gate: the netlist must be up to date (paper §3.3's example).
+  std::string Simulate(const std::string& block, const std::string& user);
+
+ private:
+  VerdictModel model_;
+};
+
+/// Layout editor: produces the layout view, linked as an equivalence
+/// of the schematic.
+class LayoutEditor : public WrapperProgram {
+ public:
+  explicit LayoutEditor(engine::ProjectServer& server)
+      : WrapperProgram(server, "layout_editor") {}
+
+  std::optional<metadb::Oid> Draw(const std::string& block,
+                                  const std::string& user);
+};
+
+/// Design-rule check: posts `drc`.
+class DrcTool : public WrapperProgram {
+ public:
+  DrcTool(engine::ProjectServer& server, VerdictModel model)
+      : WrapperProgram(server, "drc"), model_(model) {}
+
+  std::string Check(const std::string& block, const std::string& user);
+
+ private:
+  VerdictModel model_;
+};
+
+/// Layout-versus-schematic check: posts `lvs`.
+class LvsTool : public WrapperProgram {
+ public:
+  LvsTool(engine::ProjectServer& server, VerdictModel model)
+      : WrapperProgram(server, "lvs"), model_(model) {}
+
+  std::string Check(const std::string& block, const std::string& user);
+
+ private:
+  VerdictModel model_;
+};
+
+/// Installs new synthesis-library versions. The EDTC blueprint makes
+/// schematics depend_on the library, so an installation invalidates
+/// every derived schematic (paper §3.4: "the installation of a new
+/// version of the library will automatically invalidate data which
+/// depends on it").
+class LibraryInstaller : public WrapperProgram {
+ public:
+  explicit LibraryInstaller(engine::ProjectServer& server)
+      : WrapperProgram(server, "lib_installer") {}
+
+  metadb::Oid Install(const std::string& library_block,
+                      const std::string& content, const std::string& user);
+};
+
+/// View-type names shared by tools, blueprints and workloads.
+namespace views {
+inline constexpr const char* kHdlModel = "HDL_model";
+inline constexpr const char* kSynthLib = "synth_lib";
+inline constexpr const char* kSchematic = "schematic";
+inline constexpr const char* kNetlist = "netlist";
+inline constexpr const char* kLayout = "layout";
+}  // namespace views
+
+}  // namespace damocles::tools

@@ -1,0 +1,71 @@
+// Wrapper-program support: permission gating on input state.
+//
+// Paper §3.3: "Tool scheduling is implemented by the wrapper programs.
+// The program queries the meta-database, requesting the permission to
+// access data and to run the tool. The permission is given based on the
+// state of the input data. For example, prior to running a simulation,
+// the wrapper makes sure that the input netlist is up to date."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/project_server.hpp"
+#include "metadb/oid.hpp"
+
+namespace damocles::tools {
+
+/// One property requirement on a tool's input data.
+struct InputRequirement {
+  std::string property;
+  std::string required_value;
+};
+
+/// Result of a permission request.
+struct PermissionDecision {
+  bool granted = false;
+  std::string reason;  ///< Human-readable denial reason ("" when granted).
+};
+
+/// Checks the latest version of (block, view) against the requirements.
+/// Denies when the object is unknown or any required property differs.
+PermissionDecision RequestPermission(
+    const engine::ProjectServer& server, const std::string& block,
+    const std::string& view, const std::vector<InputRequirement>& requirements);
+
+/// Base class for simulated EDA tools. Concrete tools implement Run()
+/// and use the protected helpers to touch the workspace and post events
+/// exactly the way a wrapper shell script would.
+class WrapperProgram {
+ public:
+  WrapperProgram(engine::ProjectServer& server, std::string tool_name)
+      : server_(server), tool_name_(std::move(tool_name)) {}
+  virtual ~WrapperProgram() = default;
+
+  const std::string& tool_name() const noexcept { return tool_name_; }
+
+  /// Number of times the tool body actually ran.
+  size_t runs() const noexcept { return runs_; }
+  /// Number of times permission was denied.
+  size_t denials() const noexcept { return denials_; }
+
+ protected:
+  /// Gate + count helper: returns true (and counts a run) when all
+  /// requirements hold, else counts a denial.
+  bool Gate(const std::string& block, const std::string& view,
+            const std::vector<InputRequirement>& requirements);
+
+  /// Posts an event over the wire protocol, as a wrapper script does.
+  void PostWire(const std::string& event, events::Direction direction,
+                const metadb::Oid& target, const std::string& arg,
+                const std::string& user);
+
+  engine::ProjectServer& server_;
+
+ private:
+  std::string tool_name_;
+  size_t runs_ = 0;
+  size_t denials_ = 0;
+};
+
+}  // namespace damocles::tools

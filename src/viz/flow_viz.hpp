@@ -1,0 +1,43 @@
+// Design-state visualization relative to the flow.
+//
+// Paper conclusion: "we are working on a graphical interface to
+// visualize the design state relative to its flow."  This module is the
+// library's version of that interface: a textual flow diagram (the shape
+// of paper Fig. 5), a per-block state view, and Graphviz DOT export for
+// actual graphics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "blueprint/ast.hpp"
+#include "metadb/meta_database.hpp"
+
+namespace damocles::viz {
+
+/// Renders the blueprint's view/link topology as indented text — which
+/// views are tracked, which links feed them, what each link propagates.
+std::string RenderFlowDiagram(const blueprint::Blueprint& bp);
+
+/// Renders the state of one block relative to the flow: for every view
+/// the block has, the latest version, its tracked properties and the
+/// state of its incoming links.
+std::string RenderBlockState(const metadb::MetaDatabase& db,
+                             std::string_view block);
+
+/// Options for DOT export.
+struct DotOptions {
+  /// Only include the latest version of each (block, view).
+  bool latest_only = true;
+  /// Color nodes by the `uptodate` property (green/red/grey).
+  bool color_by_state = true;
+  /// Include link labels (TYPE + PROPAGATE).
+  bool label_links = true;
+};
+
+/// Exports the meta-data graph as Graphviz DOT ("dot -Tsvg ..." renders
+/// the picture the paper's GUI would have shown).
+std::string ExportDot(const metadb::MetaDatabase& db,
+                      const DotOptions& options = {});
+
+}  // namespace damocles::viz

@@ -1,0 +1,45 @@
+// The EDTC example (paper §3.4): blueprint text and scenario driver.
+//
+// This is the paper's complete worked example, kept verbatim-equivalent
+// in our syntax. Tests, examples and the Fig. 4/5 benches all run the
+// same scenario through this module so they agree on every detail.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/project_server.hpp"
+#include "tools/scheduler.hpp"
+#include "tools/simulated_tools.hpp"
+
+namespace damocles::workload {
+
+/// The complete EDTC_example blueprint of paper §3.4.
+std::string EdtcBlueprintText();
+
+/// A "loosened" variant for the early design phase (paper §3.2: "early
+/// in the design cycle ... the BluePrint can be 'loosened' thereby
+/// limiting change propagation"): identical views, but derive links do
+/// not propagate outofdate.
+std::string EdtcLoosenedBlueprintText();
+
+/// One step of the recorded scenario, for reporting.
+struct ScenarioStep {
+  std::string description;
+  std::string detail;
+};
+
+/// Drives the full §3.4 designer scenario against `server`:
+///  1. create <CPU.HDL_model.1>, simulate (bad result),
+///  2. fix the model -> v2, simulate (good),
+///  3. synthesize -> <CPU.schematic.1> + <REG.schematic.1> hierarchy,
+///     netlist is created automatically by the exec rule,
+///  4. modify the HDL model -> v3; ckin posts outofdate down, the
+///     schematic hierarchy and netlist become out of date.
+/// Returns the step log. The caller provides the server with the EDTC
+/// blueprint already initialized and a scheduler with the netlister
+/// script installed.
+std::vector<ScenarioStep> RunEdtcScenario(engine::ProjectServer& server,
+                                          tools::ToolScheduler& scheduler);
+
+}  // namespace damocles::workload

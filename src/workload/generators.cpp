@@ -1,0 +1,203 @@
+#include "workload/generators.hpp"
+
+#include "common/error.hpp"
+#include "metadb/link.hpp"
+
+namespace damocles::workload {
+
+using metadb::LinkKind;
+using metadb::Oid;
+
+// --- Hierarchies ---------------------------------------------------------------
+
+size_t HierarchyBlockCount(const HierarchySpec& spec) {
+  if (spec.fanout <= 0 || spec.depth < 0) return spec.depth >= 0 ? 1 : 0;
+  if (spec.fanout == 1) return static_cast<size_t>(spec.depth) + 1;
+  size_t count = 0;
+  size_t level = 1;
+  for (int d = 0; d <= spec.depth; ++d) {
+    count += level;
+    level *= static_cast<size_t>(spec.fanout);
+  }
+  return count;
+}
+
+GeneratedHierarchy BuildHierarchy(engine::ProjectServer& server,
+                                  const HierarchySpec& spec) {
+  if (spec.depth < 0 || spec.fanout < 1) {
+    throw Error("BuildHierarchy: depth must be >= 0 and fanout >= 1");
+  }
+  GeneratedHierarchy result;
+
+  // Breadth-first creation: parents exist before their children, so
+  // use links can be registered as soon as a child is checked in.
+  struct Pending {
+    std::string block;
+    int depth;
+  };
+  std::vector<Pending> frontier{{spec.root_block, 0}};
+  result.root =
+      server.CheckIn(spec.root_block, spec.view, "generated root", "workload");
+  result.blocks.push_back(spec.root_block);
+
+  size_t cursor = 0;
+  while (cursor < frontier.size()) {
+    const Pending current = frontier[cursor++];
+    if (current.depth >= spec.depth) continue;
+    const Oid parent{current.block, spec.view,
+                     server.workspace().LatestVersion(current.block,
+                                                      spec.view)};
+    for (int child = 0; child < spec.fanout; ++child) {
+      const std::string child_block =
+          current.block + "_" + std::to_string(child);
+      const Oid child_oid = server.CheckIn(child_block, spec.view,
+                                           "generated block", "workload");
+      server.RegisterLink(LinkKind::kUse, parent, child_oid);
+      ++result.use_links;
+      result.blocks.push_back(child_block);
+      frontier.push_back({child_block, current.depth + 1});
+    }
+  }
+  return result;
+}
+
+// --- Flow graphs ------------------------------------------------------------------
+
+std::vector<std::string> FlowViewNames(const FlowSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(spec.n_views));
+  for (int i = 0; i < spec.n_views; ++i) {
+    names.push_back("view_" + std::to_string(i));
+  }
+  return names;
+}
+
+std::string MakeFlowBlueprint(const FlowSpec& spec, const std::string& name) {
+  if (spec.n_views < 1) throw Error("MakeFlowBlueprint: need >= 1 view");
+  const std::vector<std::string> views = FlowViewNames(spec);
+
+  std::string text = "blueprint " + name + "\n";
+  text += "view default\n";
+  text += "  property uptodate default true\n";
+  if (spec.post_outofdate_on_ckin) {
+    text += "  when ckin do uptodate = true; post outofdate down done\n";
+  } else {
+    text += "  when ckin do uptodate = true done\n";
+  }
+  text += "  when outofdate do uptodate = false done\n";
+  text += "endview\n";
+
+  for (int i = 0; i < spec.n_views; ++i) {
+    text += "view " + views[static_cast<size_t>(i)] + "\n";
+    for (int p = 0; p < spec.properties_per_view; ++p) {
+      text += "  property result_" + std::to_string(p) + " default bad\n";
+      text += "  when res" + std::to_string(p) + " do result_" +
+              std::to_string(p) + " = $arg done\n";
+    }
+    if (spec.properties_per_view > 0) {
+      text += "  let state = ";
+      for (int p = 0; p < spec.properties_per_view; ++p) {
+        if (p != 0) text += " and ";
+        text += "($result_" + std::to_string(p) + " == good)";
+      }
+      text += " and ($uptodate == true)\n";
+    }
+    if (i > 0) {
+      const bool propagates = spec.propagation_cutoff < 0 ||
+                              i <= spec.propagation_cutoff;
+      text += "  link_from " + views[static_cast<size_t>(i - 1)] +
+              " move propagates " + (propagates ? "outofdate" : "nothing") +
+              " type derive_from\n";
+    }
+    // Hierarchy is supported in every view of the flow.
+    text += "  use_link move propagates outofdate\n";
+    text += "endview\n";
+  }
+  text += "endblueprint\n";
+  return text;
+}
+
+Oid InstantiateFlow(engine::ProjectServer& server, const FlowSpec& spec,
+                    const std::string& block) {
+  const std::vector<std::string> views = FlowViewNames(spec);
+  Oid previous;
+  Oid golden;
+  for (int i = 0; i < spec.n_views; ++i) {
+    const Oid oid = server.CheckIn(block, views[static_cast<size_t>(i)],
+                                   "seed data for " + block, "workload");
+    if (i == 0) {
+      golden = oid;
+    } else {
+      server.RegisterLink(LinkKind::kDerive, previous, oid);
+    }
+    previous = oid;
+  }
+  return golden;
+}
+
+// --- Traces ------------------------------------------------------------------------
+
+TraceStats RunDesignSession(engine::ProjectServer& server,
+                            const FlowSpec& flow,
+                            const std::vector<std::string>& blocks,
+                            const TraceSpec& trace) {
+  if (blocks.empty()) throw Error("RunDesignSession: no blocks");
+  Rng rng(trace.seed);
+  const std::vector<std::string> views = FlowViewNames(flow);
+  TraceStats stats;
+
+  for (size_t action = 0; action < trace.n_actions; ++action) {
+    server.AdvanceClock(trace.think_time_seconds);
+    const std::string user =
+        "designer_" + std::to_string(rng.UniformInt(0, trace.n_designers - 1));
+    const std::string& block =
+        blocks[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(blocks.size()) - 1))];
+
+    const size_t kind = rng.WeightedIndex(
+        {trace.p_checkin, trace.p_sim_result, trace.p_lib_install});
+    switch (kind) {
+      case 0: {
+        // Re-edit the golden view; ckin invalidates downstream data.
+        server.CheckIn(block, views.front(),
+                       "edit #" + std::to_string(action), user);
+        ++stats.checkins;
+        break;
+      }
+      case 1: {
+        // Post a result event on a random non-golden view.
+        const size_t view_index = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(views.size()) - 1));
+        const int version =
+            server.workspace().LatestVersion(block, views[view_index]);
+        if (version == 0) break;
+        events::EventMessage event;
+        event.name = "res" + std::to_string(rng.UniformInt(
+                                 0, flow.properties_per_view > 0
+                                        ? flow.properties_per_view - 1
+                                        : 0));
+        event.direction = events::Direction::kUp;
+        event.target = Oid{block, views[view_index], version};
+        event.arg = rng.Chance(0.8) ? "good" : "3 errors";
+        event.user = user;
+        server.Submit(std::move(event));
+        ++stats.result_events;
+        break;
+      }
+      default: {
+        // A mid-flow view is regenerated (models a library update or a
+        // tool re-run): checking it in re-validates it and invalidates
+        // further-derived views.
+        const size_t view_index = static_cast<size_t>(rng.UniformInt(
+            1, std::max<int64_t>(1, static_cast<int64_t>(views.size()) - 1)));
+        server.CheckIn(block, views[view_index],
+                       "regenerated #" + std::to_string(action), user);
+        ++stats.installs;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace damocles::workload

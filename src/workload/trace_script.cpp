@@ -1,0 +1,90 @@
+#include "workload/trace_script.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "events/wire.hpp"
+
+namespace damocles::workload {
+
+namespace {
+
+constexpr std::string_view kAnnotation = "#@ ";
+
+}  // namespace
+
+std::string SaveTraceScript(const std::vector<events::EventMessage>& trace) {
+  std::string text = "# damocles trace script, " +
+                     std::to_string(trace.size()) + " event(s)\n";
+  for (const events::EventMessage& event : trace) {
+    text += std::string(kAnnotation) + "user=" + event.user +
+            " t=" + std::to_string(event.timestamp) + "\n";
+    text += events::FormatWireEvent(event) + "\n";
+  }
+  return text;
+}
+
+std::vector<events::EventMessage> LoadTraceScript(std::string_view text) {
+  std::vector<events::EventMessage> trace;
+  std::string pending_user;
+  int64_t pending_timestamp = 0;
+
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    const std::string_view raw = end == std::string_view::npos
+                                     ? text.substr(start)
+                                     : text.substr(start, end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+
+    const std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+
+    if (StartsWith(line, kAnnotation)) {
+      pending_user.clear();
+      pending_timestamp = 0;
+      for (const std::string& piece :
+           SplitWhitespace(line.substr(kAnnotation.size()))) {
+        if (StartsWith(piece, "user=")) {
+          pending_user = piece.substr(5);
+        } else if (StartsWith(piece, "t=")) {
+          const std::string value = piece.substr(2);
+          const auto [ptr, ec] = std::from_chars(
+              value.data(), value.data() + value.size(), pending_timestamp);
+          if (ec != std::errc{}) {
+            throw WireFormatError("trace script: malformed timestamp '" +
+                                  value + "'");
+          }
+        }
+      }
+      continue;
+    }
+    if (line.front() == '#') continue;  // Plain comment.
+
+    events::EventMessage event = events::ParseWireEvent(line);
+    event.user = pending_user;
+    event.timestamp = pending_timestamp;
+    trace.push_back(std::move(event));
+    pending_user.clear();
+    pending_timestamp = 0;
+  }
+  return trace;
+}
+
+size_t ReplayTrace(engine::ProjectServer& server,
+                   const std::vector<events::EventMessage>& trace) {
+  size_t submitted = 0;
+  for (const events::EventMessage& event : trace) {
+    if (event.timestamp > server.clock().NowSeconds()) {
+      server.AdvanceClock(event.timestamp - server.clock().NowSeconds());
+    }
+    events::EventMessage copy = event;
+    copy.timestamp = server.clock().NowSeconds();
+    server.Submit(std::move(copy));
+    ++submitted;
+  }
+  return submitted;
+}
+
+}  // namespace damocles::workload

@@ -1,0 +1,36 @@
+// Replayable trace scripts.
+//
+// The audit journal's external trace can be saved as a plain-text
+// script of postEvent lines (the exact wire format wrapper programs
+// use), versioned alongside the design data, and replayed against a
+// fresh server — reproducing a project history for post-mortem analysis
+// or regression testing of a new blueprint against old traffic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/project_server.hpp"
+#include "events/event.hpp"
+
+namespace damocles::workload {
+
+/// Serializes events as a script: one `postEvent` line each, with
+/// `# user=<u> t=<seconds>` annotations so replay preserves identity
+/// and simulated timing.
+std::string SaveTraceScript(const std::vector<events::EventMessage>& trace);
+
+/// Parses a script back into events. Lines starting with '#' that are
+/// not annotations, and blank lines, are ignored. Throws WireFormatError
+/// on malformed postEvent lines.
+std::vector<events::EventMessage> LoadTraceScript(std::string_view text);
+
+/// Replays a trace against a server: advances the simulated clock to
+/// each event's timestamp and submits it. Returns events submitted.
+/// Events whose targets do not exist in the server are counted by the
+/// engine as dangling (exactly like live traffic).
+size_t ReplayTrace(engine::ProjectServer& server,
+                   const std::vector<events::EventMessage>& trace);
+
+}  // namespace damocles::workload

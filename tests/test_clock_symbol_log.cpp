@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/symbol.hpp"
+
+namespace damocles {
+namespace {
+
+TEST(SimClock, StartsAtEpoch) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowSeconds(), 0);
+  EXPECT_EQ(clock.FormatDate(), "day 0 00:00:00");
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(3600);
+  clock.Advance(65);
+  EXPECT_EQ(clock.NowSeconds(), 3665);
+  EXPECT_EQ(clock.FormatDate(), "day 0 01:01:05");
+}
+
+TEST(SimClock, RollsOverDays) {
+  SimClock clock(2 * 86400 + 3 * 3600 + 4 * 60 + 5);
+  EXPECT_EQ(clock.FormatDate(), "day 2 03:04:05");
+}
+
+TEST(SimClock, RejectsBackwardsTime) {
+  SimClock clock;
+  EXPECT_THROW(clock.Advance(-1), Error);
+}
+
+TEST(SimClock, StaticFormat) {
+  EXPECT_EQ(SimClock::FormatDate(59), "day 0 00:00:59");
+  EXPECT_EQ(SimClock::FormatDate(86400), "day 1 00:00:00");
+}
+
+TEST(SymbolTable, EmptyStringIsSymbolZero) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern(""), 0u);
+  EXPECT_EQ(table.Text(0), "");
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable table;
+  const SymbolId a = table.Intern("ckin");
+  const SymbolId b = table.Intern("ckin");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.Text(a), "ckin");
+}
+
+TEST(SymbolTable, DistinctStringsDistinctIds) {
+  SymbolTable table;
+  EXPECT_NE(table.Intern("ckin"), table.Intern("ckout"));
+  EXPECT_EQ(table.size(), 3u);  // "", ckin, ckout.
+}
+
+TEST(SymbolTable, FindWithoutIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("missing"), SymbolTable::kNoSymbol);
+  table.Intern("present");
+  EXPECT_NE(table.Find("present"), SymbolTable::kNoSymbol);
+}
+
+TEST(SymbolTable, TextThrowsOnUnknownId) {
+  SymbolTable table;
+  EXPECT_THROW(table.Text(999), NotFoundError);
+}
+
+TEST(Log, SilentByDefaultAndCapturable) {
+  std::vector<std::string> captured;
+  Log::SetSink([&](LogLevel, const std::string& message) {
+    captured.push_back(message);
+  });
+
+  Log::SetLevel(LogLevel::kOff);
+  Log::Warning("dropped");
+  EXPECT_TRUE(captured.empty());
+
+  Log::SetLevel(LogLevel::kWarning);
+  Log::Debug("below threshold");
+  Log::Warning("captured");
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "captured");
+
+  Log::SetLevel(LogLevel::kOff);
+  Log::SetSink(nullptr);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "off");
+}
+
+}  // namespace
+}  // namespace damocles

@@ -1,0 +1,241 @@
+// Template-rule application: paper Figs. 2 and 3.
+#include <gtest/gtest.h>
+
+#include "blueprint/parser.hpp"
+#include "common/clock.hpp"
+#include "engine/run_time_engine.hpp"
+
+namespace damocles::engine {
+namespace {
+
+using metadb::CarryPolicy;
+using metadb::LinkKind;
+using metadb::MetaDatabase;
+using metadb::Oid;
+using metadb::OidId;
+
+class TemplateTest : public ::testing::Test {
+ protected:
+  TemplateTest() : engine_(db_, clock_) {}
+
+  void Load(const std::string& source) {
+    engine_.LoadBlueprint(blueprint::ParseBlueprint(source));
+  }
+
+  std::string Prop(OidId id, const std::string& name) {
+    const std::string* value = db_.GetProperty(id, name);
+    return value == nullptr ? std::string("<absent>") : *value;
+  }
+
+  MetaDatabase db_;
+  SimClock clock_;
+  RunTimeEngine engine_;
+};
+
+TEST_F(TemplateTest, Figure2PropertyCopyAcrossVersions) {
+  // Paper Fig. 2: "property DRC default bad copy" — v6 copies the DRC
+  // value of v5 instead of re-defaulting.
+  Load(R"(blueprint f2
+          view GDSII
+            property DRC default bad copy
+          endview
+          endblueprint)");
+  const OidId v5 = engine_.OnCreateObject("alu", "GDSII", "alice");
+  EXPECT_EQ(Prop(v5, "DRC"), "bad");  // First version: default value.
+  db_.SetProperty(v5, "DRC", "ok");
+
+  const OidId v6 = engine_.OnCreateObject("alu", "GDSII", "alice");
+  EXPECT_EQ(Prop(v6, "DRC"), "ok");   // Copied from the previous version.
+  EXPECT_EQ(Prop(v5, "DRC"), "ok");   // Copy leaves the source in place.
+}
+
+TEST_F(TemplateTest, PropertyMoveRemovesFromPreviousVersion) {
+  Load(R"(blueprint t
+          view v
+            property tag default none move
+          endview
+          endblueprint)");
+  const OidId v1 = engine_.OnCreateObject("b", "v", "u");
+  db_.SetProperty(v1, "tag", "golden");
+  const OidId v2 = engine_.OnCreateObject("b", "v", "u");
+  EXPECT_EQ(Prop(v2, "tag"), "golden");
+  EXPECT_EQ(Prop(v1, "tag"), "<absent>");
+}
+
+TEST_F(TemplateTest, PropertyWithoutCarryRedefaults) {
+  Load(R"(blueprint t
+          view v
+            property fresh default empty
+          endview
+          endblueprint)");
+  const OidId v1 = engine_.OnCreateObject("b", "v", "u");
+  db_.SetProperty(v1, "fresh", "modified");
+  const OidId v2 = engine_.OnCreateObject("b", "v", "u");
+  EXPECT_EQ(Prop(v2, "fresh"), "empty");
+}
+
+TEST_F(TemplateTest, DefaultViewPropertiesApplyToEveryView) {
+  Load(R"(blueprint t
+          view default
+            property uptodate default true
+          endview
+          view v
+            property own default x
+          endview
+          endblueprint)");
+  const OidId tracked = engine_.OnCreateObject("b", "v", "u");
+  EXPECT_EQ(Prop(tracked, "uptodate"), "true");
+  EXPECT_EQ(Prop(tracked, "own"), "x");
+  // A view without its own template still gets default-view properties.
+  const OidId other = engine_.OnCreateObject("b", "unlisted", "u");
+  EXPECT_EQ(Prop(other, "uptodate"), "true");
+  EXPECT_EQ(Prop(other, "own"), "<absent>");
+}
+
+TEST_F(TemplateTest, SpecificViewOverridesDefaultViewProperty) {
+  Load(R"(blueprint t
+          view default
+            property uptodate default true
+          endview
+          view pessimistic
+            property uptodate default false
+          endview
+          endblueprint)");
+  const OidId id = engine_.OnCreateObject("b", "pessimistic", "u");
+  EXPECT_EQ(Prop(id, "uptodate"), "false");
+}
+
+TEST_F(TemplateTest, Figure3MoveLinkShiftsToNewVersion) {
+  // Paper Fig. 3: the derive link NetList -> GDSII.v5 carries MOVE; when
+  // GDSII.v6 is created the link is shifted to point at v6.
+  Load(R"(blueprint f3
+          view GDSII
+            link_from NetList propagates OutOfDate type derive_from move
+          endview
+          view NetList
+          endview
+          endblueprint)");
+  const OidId netlist = engine_.OnCreateObject("alu", "NetList", "u");
+  const OidId v5 = engine_.OnCreateObject("alu", "GDSII", "u");
+  const auto link = engine_.OnCreateLink(LinkKind::kDerive, netlist, v5);
+  EXPECT_EQ(db_.GetLink(link).carry, CarryPolicy::kMove);
+  EXPECT_EQ(db_.GetLink(link).type, "derive_from");
+
+  const OidId v6 = engine_.OnCreateObject("alu", "GDSII", "u");
+  EXPECT_EQ(db_.GetLink(link).to, v6);
+  EXPECT_TRUE(db_.InLinks(v5).empty());
+  EXPECT_EQ(db_.InLinks(v6).size(), 1u);
+  EXPECT_EQ(engine_.stats().links_carried, 1u);
+}
+
+TEST_F(TemplateTest, MoveLinkShiftsSourceEndpointToo) {
+  // The use link <cpu.SCHEMA.x> -> <reg.SCHEMA.y> must follow new
+  // versions of either endpoint (paper §3.4's REG.schematic.2 example).
+  Load(R"(blueprint t
+          view SCHEMA
+            use_link move propagates outofdate
+          endview
+          endblueprint)");
+  const OidId cpu1 = engine_.OnCreateObject("cpu", "SCHEMA", "u");
+  const OidId reg1 = engine_.OnCreateObject("reg", "SCHEMA", "u");
+  const auto link = engine_.OnCreateLink(LinkKind::kUse, cpu1, reg1);
+
+  const OidId reg2 = engine_.OnCreateObject("reg", "SCHEMA", "u");
+  EXPECT_EQ(db_.GetLink(link).from, cpu1);
+  EXPECT_EQ(db_.GetLink(link).to, reg2);
+
+  const OidId cpu2 = engine_.OnCreateObject("cpu", "SCHEMA", "u");
+  EXPECT_EQ(db_.GetLink(link).from, cpu2);
+  EXPECT_EQ(db_.GetLink(link).to, reg2);
+}
+
+TEST_F(TemplateTest, CopyLinkDuplicatesToNewVersion) {
+  Load(R"(blueprint t
+          view sink
+            link_from source propagates ev type derived copy
+          endview
+          view source
+          endview
+          endblueprint)");
+  const OidId src = engine_.OnCreateObject("b", "source", "u");
+  const OidId v1 = engine_.OnCreateObject("b", "sink", "u");
+  engine_.OnCreateLink(LinkKind::kDerive, src, v1);
+
+  const OidId v2 = engine_.OnCreateObject("b", "sink", "u");
+  // Old link still attached to v1, duplicate attached to v2.
+  EXPECT_EQ(db_.InLinks(v1).size(), 1u);
+  EXPECT_EQ(db_.InLinks(v2).size(), 1u);
+  EXPECT_EQ(db_.OutLinks(src).size(), 2u);
+}
+
+TEST_F(TemplateTest, PlainLinkStaysOnOldVersion) {
+  Load(R"(blueprint t
+          view sink
+            link_from source propagates ev type derived
+          endview
+          view source
+          endview
+          endblueprint)");
+  const OidId src = engine_.OnCreateObject("b", "source", "u");
+  const OidId v1 = engine_.OnCreateObject("b", "sink", "u");
+  engine_.OnCreateLink(LinkKind::kDerive, src, v1);
+  const OidId v2 = engine_.OnCreateObject("b", "sink", "u");
+  EXPECT_EQ(db_.InLinks(v1).size(), 1u);
+  EXPECT_TRUE(db_.InLinks(v2).empty());
+}
+
+TEST_F(TemplateTest, OnCreateLinkAttachesTemplateAnnotations) {
+  Load(R"(blueprint t
+          view netlist
+            link_from schematic propagates nl_sim, outofdate type derived
+          endview
+          view schematic
+          endview
+          endblueprint)");
+  const OidId sch = engine_.OnCreateObject("cpu", "schematic", "u");
+  const OidId net = engine_.OnCreateObject("cpu", "netlist", "u");
+  const auto link_id = engine_.OnCreateLink(LinkKind::kDerive, sch, net);
+  const metadb::Link& link = db_.GetLink(link_id);
+  EXPECT_TRUE(link.Propagates("nl_sim"));
+  EXPECT_TRUE(link.Propagates("outofdate"));
+  EXPECT_FALSE(link.Propagates("ckin"));
+  EXPECT_EQ(link.type, "derived");
+  // PROPAGATE / TYPE are mirrored as queryable link properties (paper §2).
+  EXPECT_EQ(link.properties.at("PROPAGATE"), "nl_sim,outofdate");
+  EXPECT_EQ(link.properties.at("TYPE"), "derived");
+  EXPECT_EQ(engine_.stats().links_templated, 1u);
+}
+
+TEST_F(TemplateTest, UntemplatedLinkPropagatesNothing) {
+  Load(R"(blueprint t
+          view a
+          endview
+          view b
+          endview
+          endblueprint)");
+  const OidId a = engine_.OnCreateObject("x", "a", "u");
+  const OidId b = engine_.OnCreateObject("x", "b", "u");
+  const auto link = engine_.OnCreateLink(LinkKind::kDerive, a, b);
+  EXPECT_TRUE(db_.GetLink(link).propagates.empty());
+  EXPECT_EQ(engine_.stats().links_untemplated, 1u);
+}
+
+TEST_F(TemplateTest, ContinuousAssignmentInitializedAtCreation) {
+  Load(R"(blueprint t
+          view v
+            property r default bad
+            let state = ($r == good)
+          endview
+          endblueprint)");
+  const OidId id = engine_.OnCreateObject("b", "v", "u");
+  EXPECT_EQ(Prop(id, "state"), "false");
+}
+
+TEST_F(TemplateTest, CreationWithoutBlueprintStillWorks) {
+  // The tracking system can run blueprint-less (bare meta-data mode).
+  const OidId id = engine_.OnCreateObject("b", "v", "u");
+  EXPECT_TRUE(db_.GetObject(id).properties.empty());
+}
+
+}  // namespace
+}  // namespace damocles::engine

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "events/event.hpp"
+#include "events/event_queue.hpp"
+#include "events/journal.hpp"
+#include "events/wire.hpp"
+
+namespace damocles::events {
+namespace {
+
+using metadb::Oid;
+
+// --- Wire codec ---------------------------------------------------------------
+
+TEST(Wire, ParsesThePaperExample) {
+  // Paper §3.1: postEvent ckin up reg,verilog,4 "logic sim passed"
+  const EventMessage event =
+      ParseWireEvent("postEvent ckin up reg,verilog,4 \"logic sim passed\"");
+  EXPECT_EQ(event.name, "ckin");
+  EXPECT_EQ(event.direction, Direction::kUp);
+  EXPECT_EQ(event.target, (Oid{"reg", "verilog", 4}));
+  EXPECT_EQ(event.arg, "logic sim passed");
+  EXPECT_EQ(event.origin, EventOrigin::kExternal);
+}
+
+TEST(Wire, ParsesBareWordArgument) {
+  const EventMessage event =
+      ParseWireEvent("postEvent hdl_sim up cpu,HDL_model,2 good");
+  EXPECT_EQ(event.arg, "good");
+}
+
+TEST(Wire, ParsesWithoutArgument) {
+  const EventMessage event =
+      ParseWireEvent("postEvent outofdate down cpu,schematic,1");
+  EXPECT_EQ(event.arg, "");
+  EXPECT_TRUE(event.extra_args.empty());
+}
+
+TEST(Wire, ParsesExtraArguments) {
+  const EventMessage event = ParseWireEvent(
+      "postEvent lvs up alu,layout,2 \"is_equiv\" \"runtime 42s\" third");
+  EXPECT_EQ(event.arg, "is_equiv");
+  ASSERT_EQ(event.extra_args.size(), 2u);
+  EXPECT_EQ(event.extra_args[0], "runtime 42s");
+  EXPECT_EQ(event.extra_args[1], "third");
+}
+
+TEST(Wire, FormatParsesBack) {
+  EventMessage event;
+  event.name = "drc";
+  event.direction = Direction::kDown;
+  event.target = Oid{"alu", "layout", 7};
+  event.arg = "good";
+  event.extra_args = {"detail 1"};
+  const EventMessage parsed = ParseWireEvent(FormatWireEvent(event));
+  EXPECT_EQ(parsed.name, event.name);
+  EXPECT_EQ(parsed.direction, event.direction);
+  EXPECT_EQ(parsed.target, event.target);
+  EXPECT_EQ(parsed.arg, event.arg);
+  EXPECT_EQ(parsed.extra_args, event.extra_args);
+}
+
+TEST(Wire, RejectsWrongCommand) {
+  EXPECT_THROW(ParseWireEvent("sendEvent ckin up a,b,1"), WireFormatError);
+  EXPECT_THROW(ParseWireEvent(""), WireFormatError);
+}
+
+TEST(Wire, RejectsBadDirection) {
+  EXPECT_THROW(ParseWireEvent("postEvent ckin sideways a,b,1"),
+               WireFormatError);
+}
+
+TEST(Wire, RejectsMissingFields) {
+  EXPECT_THROW(ParseWireEvent("postEvent"), WireFormatError);
+  EXPECT_THROW(ParseWireEvent("postEvent ckin"), WireFormatError);
+  EXPECT_THROW(ParseWireEvent("postEvent ckin up"), WireFormatError);
+}
+
+TEST(Wire, RejectsMalformedEventName) {
+  EXPECT_THROW(ParseWireEvent("postEvent 4bad up a,b,1"), WireFormatError);
+}
+
+TEST(Wire, RejectsMalformedOid) {
+  EXPECT_THROW(ParseWireEvent("postEvent ckin up a,b"), WireFormatError);
+  EXPECT_THROW(ParseWireEvent("postEvent ckin up a,b,x"), WireFormatError);
+}
+
+TEST(Wire, RejectsUnterminatedQuote) {
+  EXPECT_THROW(ParseWireEvent("postEvent ckin up a,b,1 \"oops"),
+               WireFormatError);
+}
+
+TEST(Event, FormatIsReadable) {
+  EventMessage event;
+  event.name = "ckin";
+  event.direction = Direction::kUp;
+  event.target = Oid{"reg", "verilog", 4};
+  event.arg = "logic sim passed";
+  EXPECT_EQ(FormatEvent(event),
+            "ckin up <reg.verilog.4> \"logic sim passed\"");
+}
+
+// --- Queue ------------------------------------------------------------------------
+
+EventMessage MakeEvent(const std::string& name) {
+  EventMessage event;
+  event.name = name;
+  event.target = Oid{"cpu", "hdl", 1};
+  return event;
+}
+
+TEST(EventQueue, StrictFifo) {
+  EventQueue queue;
+  queue.Push(MakeEvent("first"));
+  queue.Push(MakeEvent("second"));
+  queue.Push(MakeEvent("third"));
+  EXPECT_EQ(queue.Pop()->name, "first");
+  EXPECT_EQ(queue.Pop()->name, "second");
+  EXPECT_EQ(queue.Pop()->name, "third");
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(EventQueue, PeekDoesNotConsume) {
+  EventQueue queue;
+  EXPECT_EQ(queue.Peek(), nullptr);
+  queue.Push(MakeEvent("only"));
+  ASSERT_NE(queue.Peek(), nullptr);
+  EXPECT_EQ(queue.Peek()->name, "only");
+  EXPECT_EQ(queue.Depth(), 1u);
+}
+
+TEST(EventQueue, StatsTrackTraffic) {
+  EventQueue queue;
+  queue.Push(MakeEvent("a"));
+  queue.Push(MakeEvent("b"));
+  queue.Pop();
+  queue.Push(MakeEvent("c"));
+  const QueueStats& stats = queue.Stats();
+  EXPECT_EQ(stats.enqueued, 3u);
+  EXPECT_EQ(stats.dequeued, 1u);
+  EXPECT_EQ(stats.high_water_mark, 2u);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue queue;
+  queue.Push(MakeEvent("a"));
+  queue.Clear();
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Stats().enqueued, 1u);
+}
+
+// --- Journal --------------------------------------------------------------------------
+
+TEST(EventJournal, RecordsInOrderWithSequence) {
+  EventJournal journal;
+  journal.Record(MakeEvent("a"));
+  journal.Record(MakeEvent("b"));
+  ASSERT_EQ(journal.Size(), 2u);
+  EXPECT_EQ(journal.Records()[0].sequence, 0u);
+  EXPECT_EQ(journal.Records()[1].sequence, 1u);
+  EXPECT_EQ(journal.Records()[1].event.name, "b");
+}
+
+TEST(EventJournal, ExternalTraceFiltersDerivedEvents) {
+  EventJournal journal;
+  EventMessage external = MakeEvent("ckin");
+  external.origin = EventOrigin::kExternal;
+  EventMessage rule = MakeEvent("outofdate");
+  rule.origin = EventOrigin::kRule;
+  EventMessage propagated = MakeEvent("outofdate");
+  propagated.origin = EventOrigin::kPropagated;
+  journal.Record(external);
+  journal.Record(rule);
+  journal.Record(propagated);
+
+  const auto trace = journal.ExternalTrace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].name, "ckin");
+}
+
+TEST(EventJournal, DumpMentionsOriginAndEvent) {
+  EventJournal journal;
+  EventMessage event = MakeEvent("ckin");
+  event.origin = EventOrigin::kExternal;
+  journal.Record(event);
+  const std::string dump = journal.Dump();
+  EXPECT_NE(dump.find("[external]"), std::string::npos);
+  EXPECT_NE(dump.find("ckin"), std::string::npos);
+}
+
+TEST(EventJournal, ClearEmpties) {
+  EventJournal journal;
+  journal.Record(MakeEvent("a"));
+  journal.Clear();
+  EXPECT_TRUE(journal.Empty());
+}
+
+}  // namespace
+}  // namespace damocles::events

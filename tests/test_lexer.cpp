@@ -1,0 +1,133 @@
+#include "blueprint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace damocles::blueprint {
+namespace {
+
+std::vector<Token> Lex(std::string_view source) { return Tokenize(source); }
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kEnd));
+}
+
+TEST(Lexer, KeywordsAreRecognized) {
+  const auto tokens = Lex("blueprint view when do done endview");
+  ASSERT_EQ(tokens.size(), 7u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(tokens[i].Is(TokenKind::kKeyword)) << i;
+  }
+}
+
+TEST(Lexer, IdentifiersKeepDotsAndDashes) {
+  const auto tokens = Lex("netlister.sh HDL_model foo-bar");
+  EXPECT_EQ(tokens[0].text, "netlister.sh");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[1].text, "HDL_model");
+  EXPECT_EQ(tokens[2].text, "foo-bar");
+}
+
+TEST(Lexer, ExpressionOperatorsAreKeywords) {
+  const auto tokens = Lex("a and b or not c");
+  EXPECT_TRUE(tokens[1].IsKeyword("and"));
+  EXPECT_TRUE(tokens[3].IsKeyword("or"));
+  EXPECT_TRUE(tokens[4].IsKeyword("not"));
+}
+
+TEST(Lexer, VariablesDropTheDollar) {
+  const auto tokens = Lex("$arg $oid");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kVariable));
+  EXPECT_EQ(tokens[0].text, "arg");
+  EXPECT_EQ(tokens[1].text, "oid");
+}
+
+TEST(Lexer, DollarWithoutNameFails) {
+  EXPECT_THROW(Lex("$ foo"), ParseError);
+}
+
+TEST(Lexer, StringsKeepDollarRaw) {
+  const auto tokens = Lex("\"$oid changed by $user\"");
+  ASSERT_TRUE(tokens[0].Is(TokenKind::kString));
+  EXPECT_EQ(tokens[0].text, "$oid changed by $user");
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto tokens = Lex(R"("say \"hi\" and \\ back")");
+  EXPECT_EQ(tokens[0].text, "say \"hi\" and \\ back");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_THROW(Lex("\"never ends"), ParseError);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  const auto tokens = Lex("# a comment\nview # trailing\nname");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].IsKeyword("view"));
+  EXPECT_EQ(tokens[1].text, "name");
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  const auto tokens = Lex("= == != ( ) ; ,");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kEquals));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kEqEq));
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kNotEq));
+  EXPECT_TRUE(tokens[3].Is(TokenKind::kLParen));
+  EXPECT_TRUE(tokens[4].Is(TokenKind::kRParen));
+  EXPECT_TRUE(tokens[5].Is(TokenKind::kSemicolon));
+  EXPECT_TRUE(tokens[6].Is(TokenKind::kComma));
+}
+
+TEST(Lexer, EqualsFollowedByValue) {
+  const auto tokens = Lex("uptodate = true");
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kEquals));
+  EXPECT_EQ(tokens[2].text, "true");
+}
+
+TEST(Lexer, BangAloneFails) {
+  EXPECT_THROW(Lex("a ! b"), ParseError);
+}
+
+TEST(Lexer, IllegalCharacterFails) {
+  EXPECT_THROW(Lex("a @ b"), ParseError);
+  EXPECT_THROW(Lex("{}"), ParseError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = Lex("view\n  name");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, ErrorCarriesPosition) {
+  try {
+    Lex("view\n  @");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 2);
+    EXPECT_EQ(error.column(), 3);
+  }
+}
+
+TEST(Lexer, NumbersLexAsIdentifiers) {
+  const auto tokens = Lex("version 42");
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[1].text, "42");
+}
+
+TEST(Lexer, KeywordPredicate) {
+  EXPECT_TRUE(IsBlueprintKeyword("when"));
+  EXPECT_TRUE(IsBlueprintKeyword("propagates"));
+  EXPECT_TRUE(IsBlueprintKeyword("and"));
+  EXPECT_FALSE(IsBlueprintKeyword("ckin"));
+  EXPECT_FALSE(IsBlueprintKeyword("schematic"));
+}
+
+}  // namespace
+}  // namespace damocles::blueprint

@@ -1,0 +1,292 @@
+#include "blueprint/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blueprint/printer.hpp"
+#include "common/error.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::blueprint {
+namespace {
+
+using metadb::CarryPolicy;
+using metadb::LinkKind;
+
+TEST(Parser, MinimalBlueprint) {
+  const Blueprint bp = ParseBlueprint("blueprint empty endblueprint");
+  EXPECT_EQ(bp.name, "empty");
+  EXPECT_TRUE(bp.views.empty());
+}
+
+TEST(Parser, PropertyTemplateDefaults) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view GDSII
+      property DRC default bad copy
+      property note default "not yet reviewed"
+      property counter default 0 move
+    endview
+    endblueprint)");
+  const ViewTemplate* view = bp.FindView("GDSII");
+  ASSERT_NE(view, nullptr);
+  ASSERT_EQ(view->properties.size(), 3u);
+  EXPECT_EQ(view->properties[0].name, "DRC");
+  EXPECT_EQ(view->properties[0].default_value, "bad");
+  EXPECT_EQ(view->properties[0].carry, CarryPolicy::kCopy);
+  EXPECT_EQ(view->properties[1].default_value, "not yet reviewed");
+  EXPECT_EQ(view->properties[1].carry, CarryPolicy::kNone);
+  EXPECT_EQ(view->properties[2].carry, CarryPolicy::kMove);
+}
+
+TEST(Parser, DuplicatePropertyRejected) {
+  EXPECT_THROW(ParseBlueprint(R"(
+    blueprint t
+    view v
+      property p default a
+      property p default b
+    endview
+    endblueprint)"),
+               ParseError);
+}
+
+TEST(Parser, LinkFromWithCarryAfterViewName) {
+  // Paper: "link_from synth_lib move propagates outofdate type depend_on"
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view schematic
+      link_from synth_lib move propagates outofdate type depend_on
+    endview
+    endblueprint)");
+  const LinkTemplate& link = bp.FindView("schematic")->links[0];
+  EXPECT_EQ(link.kind, LinkKind::kDerive);
+  EXPECT_EQ(link.from_view, "synth_lib");
+  EXPECT_EQ(link.carry, CarryPolicy::kMove);
+  ASSERT_EQ(link.propagates.size(), 1u);
+  EXPECT_EQ(link.propagates[0], "outofdate");
+  EXPECT_EQ(link.type, "depend_on");
+}
+
+TEST(Parser, LinkFromWithCarryAtEnd) {
+  // Paper Fig. 3: "link_from NetList propagates OutOfDate type derive_from MOVE"
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view GDSII
+      link_from NetList propagates OutOfDate type derive_from move
+    endview
+    endblueprint)");
+  const LinkTemplate& link = bp.FindView("GDSII")->links[0];
+  EXPECT_EQ(link.carry, CarryPolicy::kMove);
+  EXPECT_EQ(link.type, "derive_from");
+}
+
+TEST(Parser, LinkFromMultipleEvents) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view netlist
+      link_from schematic propagates nl_sim, outofdate type derived
+    endview
+    endblueprint)");
+  const LinkTemplate& link = bp.FindView("netlist")->links[0];
+  ASSERT_EQ(link.propagates.size(), 2u);
+  EXPECT_EQ(link.propagates[0], "nl_sim");
+  EXPECT_EQ(link.propagates[1], "outofdate");
+}
+
+TEST(Parser, UseLinkHasNoSourceView) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view schematic
+      use_link move propagates outofdate
+    endview
+    endblueprint)");
+  const LinkTemplate& link = bp.FindView("schematic")->links[0];
+  EXPECT_EQ(link.kind, LinkKind::kUse);
+  EXPECT_TRUE(link.from_view.empty());
+  EXPECT_EQ(link.carry, CarryPolicy::kMove);
+}
+
+TEST(Parser, ContinuousAssignment) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view layout
+      let state = ($drc_result == good) and ($uptodate == true)
+    endview
+    endblueprint)");
+  const auto& assignments = bp.FindView("layout")->assignments;
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].property, "state");
+}
+
+TEST(Parser, RuntimeRuleWithAllActionKinds) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view v
+      when ckin do
+        uptodate = true;
+        last_check_in_date = $date;
+        exec netlister "$oid" extra_arg;
+        notify "$owner: Your oid $OID has been modified";
+        post outofdate down;
+        post behavioral_sim_ok down to VerilogNetList
+      done
+    endview
+    endblueprint)");
+  const RuntimeRule& rule = bp.FindView("v")->rules[0];
+  EXPECT_EQ(rule.event, "ckin");
+  ASSERT_EQ(rule.actions.size(), 6u);
+
+  const auto& assign1 = std::get<ActionAssign>(rule.actions[0]);
+  EXPECT_EQ(assign1.property, "uptodate");
+  EXPECT_EQ(assign1.value.source(), "true");
+
+  const auto& assign2 = std::get<ActionAssign>(rule.actions[1]);
+  EXPECT_EQ(assign2.value.source(), "$date");
+
+  const auto& exec = std::get<ActionExec>(rule.actions[2]);
+  EXPECT_EQ(exec.script.source(), "netlister");
+  ASSERT_EQ(exec.args.size(), 2u);
+  EXPECT_EQ(exec.args[0].source(), "$oid");
+  EXPECT_EQ(exec.args[1].source(), "extra_arg");
+
+  const auto& notify = std::get<ActionNotify>(rule.actions[3]);
+  EXPECT_FALSE(notify.message.IsPureLiteral());
+
+  const auto& post1 = std::get<ActionPost>(rule.actions[4]);
+  EXPECT_EQ(post1.event, "outofdate");
+  EXPECT_EQ(post1.direction, events::Direction::kDown);
+  EXPECT_TRUE(post1.to_view.empty());
+
+  const auto& post2 = std::get<ActionPost>(rule.actions[5]);
+  EXPECT_EQ(post2.to_view, "VerilogNetList");
+}
+
+TEST(Parser, PostWithArgument) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view schematic
+      when ckin do post lvs down "$lvs_res" done
+    endview
+    endblueprint)");
+  const auto& post =
+      std::get<ActionPost>(bp.FindView("schematic")->rules[0].actions[0]);
+  EXPECT_EQ(post.event, "lvs");
+  EXPECT_EQ(post.arg.source(), "$lvs_res");
+}
+
+TEST(Parser, TrailingSemicolonTolerated) {
+  EXPECT_NO_THROW(ParseBlueprint(R"(
+    blueprint t
+    view v
+      when ckin do uptodate = true; done
+    endview
+    endblueprint)"));
+}
+
+TEST(Parser, ImplicitEndviewBeforeNextView) {
+  // The paper's own sample omits endview for 'netlist'.
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view first
+      property a default x
+    view second
+      property b default y
+    endview
+    endblueprint)");
+  EXPECT_NE(bp.FindView("first"), nullptr);
+  EXPECT_NE(bp.FindView("second"), nullptr);
+  EXPECT_EQ(bp.FindView("first")->properties.size(), 1u);
+}
+
+TEST(Parser, ImplicitEndviewBeforeEndblueprint) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view only
+      property a default x
+    endblueprint)");
+  EXPECT_NE(bp.FindView("only"), nullptr);
+}
+
+TEST(Parser, DefaultViewIsRecognized) {
+  const Blueprint bp = ParseBlueprint(R"(
+    blueprint t
+    view default
+      property uptodate default true
+    endview
+    endblueprint)");
+  ASSERT_NE(bp.DefaultView(), nullptr);
+  EXPECT_EQ(bp.DefaultView()->properties[0].name, "uptodate");
+}
+
+TEST(Parser, DuplicateViewRejected) {
+  EXPECT_THROW(ParseBlueprint(R"(
+    blueprint t
+    view v
+    endview
+    view v
+    endview
+    endblueprint)"),
+               ParseError);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  try {
+    ParseBlueprint("blueprint t\nview v\n  property\nendview\nendblueprint");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 4);  // Error reported at the unexpected token.
+  }
+}
+
+TEST(Parser, TheFullEdtcBlueprintParses) {
+  const Blueprint bp = ParseBlueprint(workload::EdtcBlueprintText());
+  EXPECT_EQ(bp.name, "EDTC_example");
+  ASSERT_EQ(bp.views.size(), 6u);
+  EXPECT_NE(bp.DefaultView(), nullptr);
+  EXPECT_NE(bp.FindView("HDL_model"), nullptr);
+  EXPECT_NE(bp.FindView("synth_lib"), nullptr);
+  EXPECT_NE(bp.FindView("schematic"), nullptr);
+  EXPECT_NE(bp.FindView("netlist"), nullptr);
+  EXPECT_NE(bp.FindView("layout"), nullptr);
+
+  const ViewTemplate* schematic = bp.FindView("schematic");
+  EXPECT_EQ(schematic->properties.size(), 2u);
+  EXPECT_EQ(schematic->links.size(), 3u);
+  EXPECT_EQ(schematic->assignments.size(), 1u);
+  EXPECT_EQ(schematic->rules.size(), 3u);
+
+  // The synth_lib view is tracked but empty.
+  EXPECT_TRUE(bp.FindView("synth_lib")->properties.empty());
+}
+
+/// Malformed-input sweep: every fragment must raise ParseError.
+class ParserRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRejects, Throws) {
+  EXPECT_THROW(ParseBlueprint(GetParam()), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserRejects,
+    ::testing::Values(
+        "",                                        // No blueprint keyword.
+        "blueprint",                               // Missing name.
+        "blueprint t",                             // Missing endblueprint.
+        "blueprint t view v",                      // Unclosed view at EOF...
+        "blueprint t endblueprint trailing",       // Trailing junk.
+        "view v endview",                          // Missing header.
+        "blueprint t view v property default x endview endblueprint",
+        "blueprint t view v property p endview endblueprint",
+        "blueprint t view v link_from propagates e endview endblueprint",
+        "blueprint t view v use_link endview endblueprint",
+        "blueprint t view v let x ($a == b) endview endblueprint",
+        "blueprint t view v when do a = b done endview endblueprint",
+        "blueprint t view v when ckin a = b done endview endblueprint",
+        "blueprint t view v when ckin do a = b endview endblueprint",
+        "blueprint t view v when ckin do post x done endview endblueprint",
+        "blueprint t view v when ckin do post x sideways done endview "
+        "endblueprint",
+        "blueprint t view v let x = ($a == ) endview endblueprint",
+        "blueprint t view v let x = ($a == b endview endblueprint"));
+
+}  // namespace
+}  // namespace damocles::blueprint

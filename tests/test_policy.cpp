@@ -1,0 +1,237 @@
+#include "policy/policy_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::policy {
+namespace {
+
+using testutil::MakeEdtcServer;
+
+PolicyRequest Request(Operation operation, const std::string& user,
+                      const std::string& view = "",
+                      const std::string& block = "") {
+  PolicyRequest request;
+  request.operation = operation;
+  request.user = user;
+  request.view = view;
+  request.block = block;
+  return request;
+}
+
+TEST(PolicyEngine, DefaultIsAllow) {
+  PolicyEngine engine;
+  const auto decision =
+      engine.Evaluate(Request(Operation::kCheckIn, "anyone", "layout"));
+  EXPECT_TRUE(decision.allowed);
+  EXPECT_EQ(decision.matched_rule, -1);
+}
+
+TEST(PolicyEngine, FirstMatchWins) {
+  PolicyEngine engine;
+  engine.AddRule({Effect::kAllow, Operation::kCheckIn, "alice", "", "", "",
+                  ""});
+  engine.AddRule({Effect::kDeny, Operation::kCheckIn, "", "", "", "",
+                  "nobody else may check in"});
+  EXPECT_TRUE(
+      engine.Evaluate(Request(Operation::kCheckIn, "alice")).allowed);
+  const auto denied = engine.Evaluate(Request(Operation::kCheckIn, "bob"));
+  EXPECT_FALSE(denied.allowed);
+  EXPECT_EQ(denied.reason, "nobody else may check in");
+  EXPECT_EQ(denied.matched_rule, 1);
+}
+
+TEST(PolicyEngine, ScopesMatchIndividually) {
+  PolicyEngine engine;
+  engine.AddRule({Effect::kDeny, Operation::kCheckIn, "", "layout", "cpu",
+                  "", "cpu layout is frozen"});
+  EXPECT_FALSE(engine.Evaluate(Request(Operation::kCheckIn, "x", "layout",
+                                       "cpu"))
+                   .allowed);
+  EXPECT_TRUE(engine.Evaluate(Request(Operation::kCheckIn, "x", "layout",
+                                      "dsp"))
+                  .allowed);
+  EXPECT_TRUE(engine.Evaluate(Request(Operation::kCheckIn, "x", "netlist",
+                                      "cpu"))
+                  .allowed);
+  EXPECT_TRUE(engine.Evaluate(Request(Operation::kCheckOut, "x", "layout",
+                                      "cpu"))
+                  .allowed);
+}
+
+TEST(PolicyEngine, GroupsResolveMembership) {
+  PolicyEngine engine;
+  engine.AddGroup("cad_admins", {"dora", "emil"});
+  engine.AddRule({Effect::kAllow, Operation::kCheckIn, "@cad_admins",
+                  "synth_lib", "", "", ""});
+  engine.AddRule({Effect::kDeny, Operation::kCheckIn, "", "synth_lib", "",
+                  "", "only CAD admins install libraries"});
+
+  EXPECT_TRUE(engine.Evaluate(Request(Operation::kCheckIn, "dora",
+                                      "synth_lib"))
+                  .allowed);
+  EXPECT_FALSE(engine.Evaluate(Request(Operation::kCheckIn, "alice",
+                                       "synth_lib"))
+                   .allowed);
+  EXPECT_TRUE(engine.IsMember("cad_admins", "emil"));
+  EXPECT_FALSE(engine.IsMember("cad_admins", "alice"));
+  EXPECT_FALSE(engine.IsMember("ghosts", "emil"));
+}
+
+TEST(PolicyEngine, GroupExtension) {
+  PolicyEngine engine;
+  engine.AddGroup("team", {"a"});
+  engine.AddGroup("team", {"b"});
+  EXPECT_TRUE(engine.IsMember("team", "a"));
+  EXPECT_TRUE(engine.IsMember("team", "b"));
+}
+
+TEST(PolicyEngine, PhaseScopedRules) {
+  PolicyEngine engine;
+  engine.AddRule({Effect::kDeny, Operation::kCheckIn, "", "layout", "",
+                  "signoff", "layout frozen during signoff"});
+  // No phase set: the phase-scoped rule does not apply.
+  EXPECT_TRUE(
+      engine.Evaluate(Request(Operation::kCheckIn, "x", "layout")).allowed);
+  engine.SetPhase("signoff");
+  EXPECT_FALSE(
+      engine.Evaluate(Request(Operation::kCheckIn, "x", "layout")).allowed);
+  engine.SetPhase("bringup");
+  EXPECT_TRUE(
+      engine.Evaluate(Request(Operation::kCheckIn, "x", "layout")).allowed);
+}
+
+TEST(PolicyEngine, StatsCountEvaluationsAndDenials) {
+  PolicyEngine engine;
+  engine.AddRule({Effect::kDeny, Operation::kSnapshot, "", "", "", "", ""});
+  engine.Evaluate(Request(Operation::kSnapshot, "x"));
+  engine.Evaluate(Request(Operation::kCheckIn, "x"));
+  EXPECT_EQ(engine.evaluations(), 2u);
+  EXPECT_EQ(engine.denials(), 1u);
+}
+
+TEST(PolicyParser, ParsesGroupsAndRules) {
+  const PolicyEngine engine = ParsePolicyText(R"(
+      # project policy
+      group cad_admins dora emil
+      allow checkin user=@cad_admins view=synth_lib
+      deny checkin view=synth_lib reason="only CAD admins install libraries"
+      deny checkin view=layout phase=signoff reason="layout frozen"
+      deny post_event event=tapeout user=bob
+  )");
+  EXPECT_EQ(engine.RuleCount(), 4u);
+  EXPECT_TRUE(engine.IsMember("cad_admins", "dora"));
+  EXPECT_FALSE(engine.Evaluate(Request(Operation::kCheckIn, "zoe",
+                                       "synth_lib"))
+                   .allowed);
+  EXPECT_EQ(engine
+                .Evaluate(Request(Operation::kCheckIn, "zoe", "synth_lib"))
+                .reason,
+            "only CAD admins install libraries");
+  EXPECT_FALSE(engine.Evaluate(Request(Operation::kPostEvent, "bob",
+                                       "tapeout"))
+                   .allowed);
+}
+
+TEST(PolicyParser, RejectsMalformedInput) {
+  EXPECT_THROW(ParsePolicyText("grant checkin"), ParseError);
+  EXPECT_THROW(ParsePolicyText("allow fly"), ParseError);
+  EXPECT_THROW(ParsePolicyText("allow"), ParseError);
+  EXPECT_THROW(ParsePolicyText("allow checkin color=red"), ParseError);
+  EXPECT_THROW(ParsePolicyText("group admins"), ParseError);
+  EXPECT_THROW(ParsePolicyText("deny checkin reason=\"unterminated"),
+               ParseError);
+}
+
+TEST(PolicyParser, FormatRoundTrips) {
+  const char* source =
+      "group cad_admins dora emil\n"
+      "allow checkin user=@cad_admins view=synth_lib\n"
+      "deny checkin view=synth_lib reason=\"admins only\"\n";
+  const PolicyEngine engine = ParsePolicyText(source);
+  const std::string formatted = FormatPolicy(engine);
+  const PolicyEngine reparsed = ParsePolicyText(formatted);
+  EXPECT_EQ(FormatPolicy(reparsed), formatted);
+  EXPECT_EQ(reparsed.RuleCount(), engine.RuleCount());
+}
+
+// --- Server integration -----------------------------------------------------
+
+TEST(ServerPolicy, DeniedCheckinThrowsAndLeavesNoTrace) {
+  auto server = MakeEdtcServer();
+  PolicyEngine policy = ParsePolicyText(
+      "deny checkin view=synth_lib reason=\"admins only\"\n");
+  server->SetPolicy(&policy);
+
+  EXPECT_THROW(server->CheckIn("CPU", "synth_lib", "lib", "zoe"),
+               PermissionError);
+  EXPECT_FALSE(server->database().FindLatest("CPU", "synth_lib").has_value());
+  EXPECT_EQ(server->workspace().LatestVersion("CPU", "synth_lib"), 0);
+  // Other views unaffected.
+  EXPECT_NO_THROW(server->CheckIn("CPU", "HDL_model", "m", "zoe"));
+}
+
+TEST(ServerPolicy, PhasePropagatesToPolicy) {
+  auto server = MakeEdtcServer();
+  PolicyEngine policy = ParsePolicyText(
+      "deny checkin view=layout phase=signoff reason=\"layout frozen\"\n");
+  server->SetPolicy(&policy);
+
+  EXPECT_NO_THROW(server->CheckIn("CPU", "layout", "l", "carol"));
+  server->SetProjectPhase("signoff");
+  EXPECT_THROW(server->CheckIn("CPU", "layout", "l2", "carol"),
+               PermissionError);
+  server->SetProjectPhase("post_signoff");
+  EXPECT_NO_THROW(server->CheckIn("CPU", "layout", "l2", "carol"));
+}
+
+TEST(ServerPolicy, PostEventGated) {
+  auto server = MakeEdtcServer();
+  server->CheckIn("CPU", "HDL_model", "m", "alice");
+  PolicyEngine policy = ParsePolicyText(
+      "deny post_event event=hdl_sim user=bob reason=\"bob may not "
+      "bless sims\"\n");
+  server->SetPolicy(&policy);
+
+  EXPECT_THROW(
+      server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good",
+                             "bob"),
+      PermissionError);
+  EXPECT_NO_THROW(
+      server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good",
+                             "alice"));
+}
+
+TEST(ServerPolicy, InternalRuleEventsAreNotGated) {
+  // The default-view ckin rule posts outofdate internally; a policy
+  // denying post_event for outofdate must not break change propagation
+  // (policies gate designers, not the engine).
+  auto server = MakeEdtcServer();
+  const auto hdl = server->CheckIn("CPU", "HDL_model", "m", "alice");
+  const auto sch = server->CheckIn("CPU", "schematic", "s", "bob");
+  server->RegisterLink(metadb::LinkKind::kDerive, hdl, sch);
+
+  PolicyEngine policy =
+      ParsePolicyText("deny post_event event=outofdate\n");
+  server->SetPolicy(&policy);
+
+  EXPECT_NO_THROW(server->CheckIn("CPU", "HDL_model", "m2", "alice"));
+  EXPECT_EQ(testutil::LatestProp(*server, "CPU", "schematic", "uptodate"),
+            "false");
+}
+
+TEST(ServerPolicy, RemovingPolicyRestoresOpenAccess) {
+  auto server = MakeEdtcServer();
+  PolicyEngine policy = ParsePolicyText("deny checkin\n");
+  server->SetPolicy(&policy);
+  EXPECT_THROW(server->CheckIn("CPU", "HDL_model", "m", "alice"),
+               PermissionError);
+  server->SetPolicy(nullptr);
+  EXPECT_NO_THROW(server->CheckIn("CPU", "HDL_model", "m", "alice"));
+}
+
+}  // namespace
+}  // namespace damocles::policy

@@ -1,0 +1,99 @@
+#include "blueprint/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blueprint/parser.hpp"
+#include "workload/edtc.hpp"
+#include "workload/generators.hpp"
+
+namespace damocles::blueprint {
+namespace {
+
+TEST(Printer, FixedPointAfterOnePass) {
+  // print(parse(text)) normalizes; printing again must be identical.
+  const std::string normalized =
+      FormatBlueprint(ParseBlueprint(workload::EdtcBlueprintText()));
+  const std::string again = FormatBlueprint(ParseBlueprint(normalized));
+  EXPECT_EQ(normalized, again);
+}
+
+TEST(Printer, PreservesEveryConstruct) {
+  const char* source = R"(
+    blueprint roundtrip
+    view default
+      property uptodate default true
+      when ckin do uptodate = true; post outofdate down done
+    endview
+    view v
+      property p default "two words" copy
+      property q default bad move
+      link_from w move propagates a, b type depend_on
+      use_link propagates c
+      let state = ($p == good) and (not ($q != bad)) or ($uptodate == true)
+      when ev do
+        p = $arg;
+        exec tool.sh "$oid" literal;
+        notify "$owner: check $OID";
+        post ping up to w "$p";
+        post pong down
+      done
+    endview
+    endblueprint)";
+  const std::string printed = FormatBlueprint(ParseBlueprint(source));
+  const Blueprint reparsed = ParseBlueprint(printed);
+
+  const ViewTemplate* view = reparsed.FindView("v");
+  ASSERT_NE(view, nullptr);
+  ASSERT_EQ(view->properties.size(), 2u);
+  EXPECT_EQ(view->properties[0].default_value, "two words");
+  EXPECT_EQ(view->properties[0].carry, metadb::CarryPolicy::kCopy);
+  ASSERT_EQ(view->links.size(), 2u);
+  EXPECT_EQ(view->links[0].propagates.size(), 2u);
+  EXPECT_EQ(view->links[1].kind, metadb::LinkKind::kUse);
+  ASSERT_EQ(view->rules.size(), 1u);
+  ASSERT_EQ(view->rules[0].actions.size(), 5u);
+  const auto& post = std::get<ActionPost>(view->rules[0].actions[3]);
+  EXPECT_EQ(post.to_view, "w");
+  EXPECT_EQ(post.arg.source(), "$p");
+
+  // Second pass is stable.
+  EXPECT_EQ(printed, FormatBlueprint(reparsed));
+}
+
+TEST(Printer, FormatActionRendersEachKind) {
+  ActionAssign assign{"uptodate", StringTemplate::Literal("true")};
+  EXPECT_EQ(FormatAction(Action{std::move(assign)}), "uptodate = true");
+
+  ActionExec exec;
+  exec.script = StringTemplate::Literal("netlister");
+  exec.args.push_back(StringTemplate::Variable("oid"));
+  EXPECT_EQ(FormatAction(Action{std::move(exec)}), "exec netlister $oid");
+
+  ActionNotify notify;
+  notify.message = StringTemplate::Parse("watch $OID");
+  EXPECT_EQ(FormatAction(Action{std::move(notify)}),
+            "notify \"watch $OID\"");
+
+  ActionPost post;
+  post.event = "outofdate";
+  post.direction = events::Direction::kDown;
+  EXPECT_EQ(FormatAction(Action{std::move(post)}), "post outofdate down");
+}
+
+/// Round-trip sweep over generated flow blueprints of various shapes.
+class PrinterFlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrinterFlowSweep, GeneratedFlowsRoundTrip) {
+  workload::FlowSpec spec;
+  spec.n_views = GetParam();
+  spec.propagation_cutoff = GetParam() / 2;
+  const std::string source = workload::MakeFlowBlueprint(spec, "sweep");
+  const std::string printed = FormatBlueprint(ParseBlueprint(source));
+  EXPECT_EQ(printed, FormatBlueprint(ParseBlueprint(printed)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrinterFlowSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace damocles::blueprint

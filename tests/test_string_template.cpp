@@ -1,0 +1,86 @@
+#include "blueprint/string_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace damocles::blueprint {
+namespace {
+
+VariableResolver MapResolver(std::map<std::string, std::string> values) {
+  return [values = std::move(values)](std::string_view name) -> std::string {
+    const auto it = values.find(std::string(name));
+    return it == values.end() ? std::string() : it->second;
+  };
+}
+
+TEST(StringTemplate, PureLiteral) {
+  const StringTemplate tmpl = StringTemplate::Parse("no variables here");
+  EXPECT_TRUE(tmpl.IsPureLiteral());
+  EXPECT_EQ(tmpl.Expand(MapResolver({})), "no variables here");
+}
+
+TEST(StringTemplate, ThePaperNotifyExample) {
+  const StringTemplate tmpl =
+      StringTemplate::Parse("$owner: Your oid $OID has been modified");
+  const std::string result = tmpl.Expand(MapResolver(
+      {{"owner", "alice"}, {"OID", "<cpu.hdl.3>"}}));
+  EXPECT_EQ(result, "alice: Your oid <cpu.hdl.3> has been modified");
+}
+
+TEST(StringTemplate, UnknownVariablesExpandEmpty) {
+  const StringTemplate tmpl = StringTemplate::Parse("[$missing]");
+  EXPECT_EQ(tmpl.Expand(MapResolver({})), "[]");
+}
+
+TEST(StringTemplate, DollarDollarEscapesLiteralDollar) {
+  const StringTemplate tmpl = StringTemplate::Parse("cost $$5 and $x");
+  EXPECT_EQ(tmpl.Expand(MapResolver({{"x", "tax"}})), "cost $5 and tax");
+}
+
+TEST(StringTemplate, LoneDollarStaysLiteral) {
+  const StringTemplate tmpl = StringTemplate::Parse("100$ ");
+  EXPECT_EQ(tmpl.Expand(MapResolver({})), "100$ ");
+}
+
+TEST(StringTemplate, AdjacentVariables) {
+  const StringTemplate tmpl = StringTemplate::Parse("$a$b");
+  EXPECT_EQ(tmpl.Expand(MapResolver({{"a", "x"}, {"b", "y"}})), "xy");
+}
+
+TEST(StringTemplate, VariableNamesStopAtNonWordChars) {
+  const StringTemplate tmpl = StringTemplate::Parse("$oid.changed");
+  EXPECT_EQ(tmpl.Expand(MapResolver({{"oid", "cpu,hdl,1"}})),
+            "cpu,hdl,1.changed");
+}
+
+TEST(StringTemplate, VariableFactory) {
+  const StringTemplate tmpl = StringTemplate::Variable("arg");
+  EXPECT_FALSE(tmpl.IsPureLiteral());
+  EXPECT_EQ(tmpl.source(), "$arg");
+  EXPECT_EQ(tmpl.Expand(MapResolver({{"arg", "good"}})), "good");
+}
+
+TEST(StringTemplate, LiteralFactory) {
+  const StringTemplate tmpl = StringTemplate::Literal("plain $notavar");
+  EXPECT_TRUE(tmpl.IsPureLiteral());
+  EXPECT_EQ(tmpl.Expand(MapResolver({{"notavar", "x"}})), "plain $notavar");
+}
+
+TEST(StringTemplate, VariableNamesListsInOrder) {
+  const StringTemplate tmpl = StringTemplate::Parse("$b then $a then $b");
+  const auto names = tmpl.VariableNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+  EXPECT_EQ(names[2], "b");
+}
+
+TEST(StringTemplate, EmptyTemplate) {
+  const StringTemplate tmpl = StringTemplate::Parse("");
+  EXPECT_TRUE(tmpl.IsPureLiteral());
+  EXPECT_EQ(tmpl.Expand(MapResolver({})), "");
+}
+
+}  // namespace
+}  // namespace damocles::blueprint

@@ -1,0 +1,142 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace damocles {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   \t\n"), "");
+}
+
+TEST(Trim, PreservesInnerWhitespace) {
+  EXPECT_EQ(Trim("  a b  c "), "a b  c");
+}
+
+TEST(Split, BasicCommaSplit) {
+  const auto pieces = Split("a,b,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Split, PreservesEmptyPieces) {
+  const auto pieces = Split("a,,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(Split, TrimsEachPiece) {
+  const auto pieces = Split(" a , b ", ',');
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(Split, SinglePieceWithoutSeparator) {
+  const auto pieces = Split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitWhitespace, SkipsRuns) {
+  const auto pieces = SplitWhitespace("  a\t\tb \n c  ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Join, RoundTripsSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("postEvent ckin", "postEvent"));
+  EXPECT_FALSE(StartsWith("post", "postEvent"));
+  EXPECT_TRUE(EndsWith("netlister.sh", ".sh"));
+  EXPECT_FALSE(EndsWith("sh", "netlister.sh"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(ToLower("CkIn"), "ckin");
+  EXPECT_EQ(ToLower("abc123"), "abc123");
+}
+
+TEST(QuoteString, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(QuoteString("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteString("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(QuoteString("back\\slash"), "\"back\\\\slash\"");
+}
+
+TEST(UnquoteString, RoundTripsQuote) {
+  const std::string original = "a \"b\" \\ c";
+  const std::string quoted = QuoteString(original);
+  size_t pos = 0;
+  std::string out;
+  ASSERT_TRUE(UnquoteString(quoted, pos, out));
+  EXPECT_EQ(out, original);
+  EXPECT_EQ(pos, quoted.size());
+}
+
+TEST(UnquoteString, FailsOnUnterminated) {
+  size_t pos = 0;
+  std::string out;
+  EXPECT_FALSE(UnquoteString("\"never closed", pos, out));
+}
+
+TEST(UnquoteString, FailsWhenNotAtQuote) {
+  size_t pos = 0;
+  std::string out;
+  EXPECT_FALSE(UnquoteString("plain", pos, out));
+}
+
+TEST(IsIdentifier, AcceptsTypicalNames) {
+  EXPECT_TRUE(IsIdentifier("ckin"));
+  EXPECT_TRUE(IsIdentifier("HDL_model"));
+  EXPECT_TRUE(IsIdentifier("netlister.sh"));
+  EXPECT_TRUE(IsIdentifier("_hidden"));
+  EXPECT_TRUE(IsIdentifier("a-b"));
+}
+
+TEST(IsIdentifier, RejectsMalformed) {
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("4errors"));
+  EXPECT_FALSE(IsIdentifier("has space"));
+  EXPECT_FALSE(IsIdentifier(".dot"));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(ReplaceAll("a,b,a", "a", "x"), "x,b,x");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+/// Property sweep: Join(Split(s)) is identity for separator-free pieces.
+class SplitJoinRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SplitJoinRoundTrip, Identity) {
+  const std::string text = GetParam();
+  EXPECT_EQ(Join(Split(text, ','), ","), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SplitJoinRoundTrip,
+                         ::testing::Values("a,b,c", "one", "x,y", "a,b,c,d,e",
+                                           "alpha,beta,gamma"));
+
+}  // namespace
+}  // namespace damocles

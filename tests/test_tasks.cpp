@@ -1,0 +1,184 @@
+#include "tasks/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+#include "tools/scheduler.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::tasks {
+namespace {
+
+using metadb::Oid;
+using testutil::MakeEdtcServer;
+
+TaskDef SimpleTask(const std::string& name,
+                   std::vector<GoalCondition> goals,
+                   std::vector<std::string> deps = {}) {
+  TaskDef task;
+  task.name = name;
+  task.goals = std::move(goals);
+  task.depends_on = std::move(deps);
+  return task;
+}
+
+class TaskGraphTest : public ::testing::Test {
+ protected:
+  TaskGraphTest() : server_(MakeEdtcServer()) {
+    graph_.AddTask(SimpleTask(
+        "model_validated",
+        {{"CPU", "HDL_model", "sim_result", "good"}}));
+    graph_.AddTask(SimpleTask(
+        "schematic_current",
+        {{"", "schematic", "uptodate", "true"}}, {"model_validated"}));
+    graph_.AddTask(SimpleTask(
+        "netlist_simulated",
+        {{"CPU", "netlist", "sim_result", "good"}},
+        {"schematic_current"}));
+  }
+
+  std::unique_ptr<engine::ProjectServer> server_;
+  TaskGraph graph_;
+};
+
+TEST_F(TaskGraphTest, RejectsBadDefinitions) {
+  TaskGraph graph;
+  EXPECT_THROW(graph.AddTask(SimpleTask("", {{"b", "v", "p", "x"}})),
+               IntegrityError);
+  EXPECT_THROW(graph.AddTask(SimpleTask("no_goals", {})), IntegrityError);
+  graph.AddTask(SimpleTask("a", {{"b", "v", "p", "x"}}));
+  EXPECT_THROW(graph.AddTask(SimpleTask("a", {{"b", "v", "p", "x"}})),
+               IntegrityError);
+  EXPECT_THROW(
+      graph.AddTask(SimpleTask("b", {{"b", "v", "p", "x"}}, {"ghost"})),
+      IntegrityError);
+}
+
+TEST_F(TaskGraphTest, TopologicalOrderRespectsDependencies) {
+  const auto order = graph_.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "model_validated");
+  EXPECT_EQ(order[1], "schematic_current");
+  EXPECT_EQ(order[2], "netlist_simulated");
+}
+
+TEST_F(TaskGraphTest, MissingDataMeansGoalOpen) {
+  const auto evaluation =
+      graph_.Evaluate(server_->database(), "model_validated");
+  EXPECT_EQ(evaluation.status, TaskStatus::kReady);
+  ASSERT_EQ(evaluation.open_goals.size(), 1u);
+  EXPECT_EQ(evaluation.open_goals[0].actual_value, "<missing>");
+}
+
+TEST_F(TaskGraphTest, DependentsAreBlockedUntilPrerequisiteHolds) {
+  server_->CheckIn("CPU", "HDL_model", "m", "alice");
+  const auto evaluation =
+      graph_.Evaluate(server_->database(), "schematic_current");
+  EXPECT_EQ(evaluation.status, TaskStatus::kBlocked);
+  ASSERT_EQ(evaluation.open_dependencies.size(), 1u);
+  EXPECT_EQ(evaluation.open_dependencies[0], "model_validated");
+}
+
+TEST_F(TaskGraphTest, TasksSatisfyAsTheDataArrives) {
+  tools::ToolScheduler scheduler(*server_);
+  tools::Netlister netlister(*server_);
+  scheduler.InstallStandardScripts(netlister);
+  tools::HdlEditor editor(*server_);
+  tools::SynthesisTool synthesis(*server_);
+
+  EXPECT_EQ(graph_.Progress(server_->database()), 0.0);
+  EXPECT_EQ(graph_.NextTasks(server_->database()),
+            std::vector<std::string>{"model_validated"});
+
+  editor.Edit("CPU", "model", "alice");
+  server_->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good",
+                          "alice");
+  EXPECT_EQ(graph_.Evaluate(server_->database(), "model_validated").status,
+            TaskStatus::kSatisfied);
+
+  ASSERT_TRUE(synthesis.Synthesize("CPU", {"REG"}, "bob").has_value());
+  EXPECT_EQ(graph_.Evaluate(server_->database(), "schematic_current").status,
+            TaskStatus::kSatisfied);
+
+  // Netlists exist but have not passed simulation.
+  const auto netlist_eval =
+      graph_.Evaluate(server_->database(), "netlist_simulated");
+  EXPECT_EQ(netlist_eval.status, TaskStatus::kReady);
+
+  server_->SubmitWireLine("postEvent nl_sim up CPU,netlist,1 good", "bob");
+  EXPECT_EQ(graph_.Evaluate(server_->database(), "netlist_simulated").status,
+            TaskStatus::kSatisfied);
+  EXPECT_EQ(graph_.Progress(server_->database()), 1.0);
+  EXPECT_TRUE(graph_.NextTasks(server_->database()).empty());
+}
+
+TEST_F(TaskGraphTest, ChangePropagationReopensTasks) {
+  tools::ToolScheduler scheduler(*server_);
+  tools::Netlister netlister(*server_);
+  scheduler.InstallStandardScripts(netlister);
+  tools::HdlEditor editor(*server_);
+  tools::SynthesisTool synthesis(*server_);
+
+  editor.Edit("CPU", "model", "alice");
+  server_->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good",
+                          "alice");
+  synthesis.Synthesize("CPU", {"REG"}, "bob");
+  ASSERT_EQ(graph_.Evaluate(server_->database(), "schematic_current").status,
+            TaskStatus::kSatisfied);
+
+  // A new HDL version invalidates the schematics — the task reopens, and
+  // since the new model is unsimulated, it is blocked again.
+  editor.Edit("CPU", "model rev2", "alice");
+  const auto evaluation =
+      graph_.Evaluate(server_->database(), "schematic_current");
+  EXPECT_EQ(evaluation.status, TaskStatus::kBlocked);
+  EXPECT_FALSE(evaluation.open_goals.empty());
+}
+
+TEST_F(TaskGraphTest, WildcardBlockCoversEveryInstance) {
+  server_->CheckIn("CPU", "schematic", "s", "bob");
+  server_->CheckIn("REG", "schematic", "s", "bob");
+  TaskGraph graph;
+  graph.AddTask(SimpleTask("all_schematics",
+                           {{"", "schematic", "uptodate", "true"}}));
+  EXPECT_EQ(graph.Evaluate(server_->database(), "all_schematics").status,
+            TaskStatus::kSatisfied);
+
+  server_->Submit([] {
+    events::EventMessage event;
+    event.name = "outofdate";
+    event.direction = events::Direction::kDown;
+    event.target = Oid{"REG", "schematic", 1};
+    return event;
+  }());
+  const auto evaluation =
+      graph.Evaluate(server_->database(), "all_schematics");
+  EXPECT_EQ(evaluation.status, TaskStatus::kReady);
+  ASSERT_EQ(evaluation.open_goals.size(), 1u);
+  EXPECT_EQ(evaluation.open_goals[0].oid.block, "REG");
+}
+
+TEST_F(TaskGraphTest, EvaluateUnknownTaskThrows) {
+  EXPECT_THROW(graph_.Evaluate(server_->database(), "ghost"), NotFoundError);
+}
+
+TEST_F(TaskGraphTest, ReportFormatsAllStates) {
+  server_->CheckIn("CPU", "HDL_model", "m", "alice");
+  const std::string text =
+      FormatTaskReport(graph_.EvaluateAll(server_->database()));
+  EXPECT_NE(text.find("model_validated"), std::string::npos);
+  EXPECT_NE(text.find("ready"), std::string::npos);
+  EXPECT_NE(text.find("blocked"), std::string::npos);
+  EXPECT_NE(text.find("waiting on: model_validated"), std::string::npos);
+}
+
+TEST(TaskGraphEmpty, ProgressOfEmptyGraphIsComplete) {
+  TaskGraph graph;
+  metadb::MetaDatabase db;
+  EXPECT_EQ(graph.Progress(db), 1.0);
+  EXPECT_TRUE(graph.EvaluateAll(db).empty());
+}
+
+}  // namespace
+}  // namespace damocles::tasks

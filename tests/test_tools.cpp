@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+#include "tools/scheduler.hpp"
+#include "tools/script_registry.hpp"
+#include "tools/simulated_tools.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::tools {
+namespace {
+
+using metadb::Oid;
+using testutil::LatestProp;
+using testutil::MakeEdtcServer;
+
+engine::ExecRequest MakeRequest(const std::string& script) {
+  engine::ExecRequest request;
+  request.script = script;
+  request.target = Oid{"CPU", "schematic", 1};
+  request.event = "ckin";
+  request.user = "alice";
+  return request;
+}
+
+TEST(ScriptRegistry, ExecutesRegisteredScripts) {
+  ScriptRegistry registry;
+  int calls = 0;
+  registry.Register("tool.sh", [&](const engine::ExecRequest&) {
+    ++calls;
+    return 0;
+  });
+  EXPECT_TRUE(registry.Has("tool.sh"));
+  EXPECT_EQ(registry.Execute(MakeRequest("tool.sh")), 0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(registry.CallCount("tool.sh"), 1u);
+}
+
+TEST(ScriptRegistry, UnknownScriptReturns127OrThrows) {
+  ScriptRegistry lenient(/*strict=*/false);
+  EXPECT_EQ(lenient.Execute(MakeRequest("ghost")), 127);
+  EXPECT_EQ(lenient.History().size(), 1u);
+
+  ScriptRegistry strict(/*strict=*/true);
+  EXPECT_THROW(strict.Execute(MakeRequest("ghost")), NotFoundError);
+}
+
+TEST(ScriptRegistry, HistoryRecordsEverything) {
+  ScriptRegistry registry;
+  registry.Register("a", [](const engine::ExecRequest&) { return 0; });
+  registry.Execute(MakeRequest("a"));
+  registry.Execute(MakeRequest("missing"));
+  EXPECT_EQ(registry.History().size(), 2u);
+  registry.ClearHistory();
+  EXPECT_TRUE(registry.History().empty());
+}
+
+TEST(Permission, DeniedWhenNoVersionExists) {
+  auto server = MakeEdtcServer();
+  const PermissionDecision decision =
+      RequestPermission(*server, "CPU", "netlist", {{"uptodate", "true"}});
+  EXPECT_FALSE(decision.granted);
+  EXPECT_NE(decision.reason.find("no version"), std::string::npos);
+}
+
+TEST(Permission, ChecksLatestVersionProperties) {
+  auto server = MakeEdtcServer();
+  server->CheckIn("CPU", "netlist", "n1", "bob");
+  EXPECT_TRUE(RequestPermission(*server, "CPU", "netlist",
+                                {{"uptodate", "true"}})
+                  .granted);
+
+  // Invalidate: permission must now be denied, with the reason naming
+  // the property (paper §3.3's netlist-up-to-date gate).
+  server->Submit([] {
+    events::EventMessage event;
+    event.name = "outofdate";
+    event.direction = events::Direction::kDown;
+    event.target = Oid{"CPU", "netlist", 1};
+    return event;
+  }());
+  const PermissionDecision denied = RequestPermission(
+      *server, "CPU", "netlist", {{"uptodate", "true"}});
+  EXPECT_FALSE(denied.granted);
+  EXPECT_NE(denied.reason.find("uptodate"), std::string::npos);
+}
+
+TEST(VerdictModel, ExtremesAndDeterminism) {
+  const VerdictModel always_pass{0.0};
+  EXPECT_EQ(always_pass.Judge("anything", "fail"), "good");
+  const VerdictModel always_fail{1.0};
+  const std::string verdict = always_fail.Judge("anything", "fail");
+  EXPECT_NE(verdict.find("fail"), std::string::npos);
+  EXPECT_NE(verdict.find("errors"), std::string::npos);
+  // Same content, same verdict.
+  const VerdictModel mixed{0.5};
+  EXPECT_EQ(mixed.Judge("content-x", "f"), mixed.Judge("content-x", "f"));
+}
+
+TEST(SimulatedTools, HdlFlowEndToEnd) {
+  auto server = MakeEdtcServer();
+  HdlEditor editor(*server);
+  HdlSimulator simulator(*server, VerdictModel{0.0});
+
+  editor.Edit("CPU", "model", "alice");
+  const std::string verdict = simulator.Simulate("CPU", "alice");
+  EXPECT_EQ(verdict, "good");
+  EXPECT_EQ(LatestProp(*server, "CPU", "HDL_model", "sim_result"), "good");
+  EXPECT_EQ(simulator.runs(), 1u);
+}
+
+TEST(SimulatedTools, SimulatorDeniedWithoutModel) {
+  auto server = MakeEdtcServer();
+  HdlSimulator simulator(*server, VerdictModel{0.0});
+  EXPECT_EQ(simulator.Simulate("CPU", "alice"), "");
+  EXPECT_EQ(simulator.denials(), 1u);
+}
+
+TEST(SimulatedTools, SynthesisGateRequiresGoodSim) {
+  auto server = MakeEdtcServer();
+  HdlEditor editor(*server);
+  SynthesisTool synthesis(*server);
+
+  editor.Edit("CPU", "model", "alice");
+  // sim_result defaults to 'bad': synthesis must refuse (paper §3.3).
+  EXPECT_FALSE(synthesis.Synthesize("CPU", {"REG"}, "bob").has_value());
+  EXPECT_EQ(synthesis.denials(), 1u);
+
+  server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good", "alice");
+  const auto top = synthesis.Synthesize("CPU", {"REG"}, "bob");
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(*top, (Oid{"CPU", "schematic", 1}));
+  // Hierarchy + derivation links registered.
+  const auto& db = server->database();
+  const auto top_id = db.FindObject(*top);
+  EXPECT_EQ(db.OutLinks(*top_id).size(), 1u);  // use link to REG.
+  EXPECT_EQ(db.InLinks(*top_id).size(), 1u);   // derive from HDL model.
+}
+
+TEST(SimulatedTools, NetlistSimulatorRequiresFreshNetlist) {
+  auto server = MakeEdtcServer();
+  HdlEditor editor(*server);
+  SynthesisTool synthesis(*server);
+  Netlister netlister(*server);
+  NetlistSimulator nl_sim(*server, VerdictModel{0.0});
+
+  editor.Edit("CPU", "model", "alice");
+  server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good", "alice");
+  ASSERT_TRUE(synthesis.Synthesize("CPU", {}, "bob").has_value());
+  ASSERT_TRUE(netlister.Netlist("CPU", "bob").has_value());
+
+  EXPECT_EQ(nl_sim.Simulate("CPU", "bob"), "good");
+  EXPECT_EQ(LatestProp(*server, "CPU", "netlist", "sim_result"), "good");
+  // nl_sim propagated up the derive link to the schematic.
+  EXPECT_EQ(LatestProp(*server, "CPU", "schematic", "nl_sim_res"), "good");
+
+  // Invalidate the netlist via a new HDL version: gate closes.
+  editor.Edit("CPU", "model rev2", "alice");
+  EXPECT_EQ(nl_sim.Simulate("CPU", "bob"), "");
+  EXPECT_EQ(nl_sim.denials(), 1u);
+}
+
+TEST(SimulatedTools, LayoutDrcLvsFlow) {
+  auto server = MakeEdtcServer();
+  HdlEditor editor(*server);
+  SynthesisTool synthesis(*server);
+  LayoutEditor layout(*server);
+  DrcTool drc(*server, VerdictModel{0.0});
+  LvsTool lvs(*server, VerdictModel{0.0});
+
+  editor.Edit("CPU", "model", "alice");
+  server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good", "alice");
+  ASSERT_TRUE(synthesis.Synthesize("CPU", {}, "bob").has_value());
+  ASSERT_TRUE(layout.Draw("CPU", "carol").has_value());
+
+  EXPECT_EQ(drc.Check("CPU", "carol"), "good");
+  EXPECT_EQ(lvs.Check("CPU", "carol"), "is_equiv");
+  EXPECT_EQ(LatestProp(*server, "CPU", "layout", "drc_result"), "good");
+  EXPECT_EQ(LatestProp(*server, "CPU", "layout", "lvs_result"), "is_equiv");
+  // layout state = drc good and lvs equiv and uptodate.
+  EXPECT_EQ(LatestProp(*server, "CPU", "layout", "state"), "true");
+}
+
+TEST(Scheduler, ExecRuleDrivesAutomaticNetlisting) {
+  auto server = MakeEdtcServer();
+  ToolScheduler scheduler(*server);
+  Netlister netlister(*server);
+  scheduler.InstallStandardScripts(netlister);
+  HdlEditor editor(*server);
+  SynthesisTool synthesis(*server);
+
+  editor.Edit("CPU", "model", "alice");
+  server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model,1 good", "alice");
+  ASSERT_TRUE(synthesis.Synthesize("CPU", {}, "bob").has_value());
+
+  // The schematic check-in fired `exec netlister "$oid"`.
+  ASSERT_EQ(scheduler.automatic_runs(), 1u);
+  EXPECT_EQ(scheduler.ledger()[0].script, "netlister");
+  EXPECT_EQ(scheduler.ledger()[0].exit_status, 0);
+  EXPECT_TRUE(
+      server->database().FindObject(Oid{"CPU", "netlist", 1}).has_value());
+
+  // Another schematic check-in triggers another netlist version.
+  server->CheckIn("CPU", "schematic", "rev2", "bob");
+  EXPECT_EQ(scheduler.automatic_runs(), 2u);
+  EXPECT_TRUE(
+      server->database().FindObject(Oid{"CPU", "netlist", 2}).has_value());
+}
+
+TEST(Scheduler, CustomScriptLedger) {
+  auto server = MakeEdtcServer();
+  ToolScheduler scheduler(*server);
+  int calls = 0;
+  scheduler.Register("lint", [&](const engine::ExecRequest&) {
+    ++calls;
+    return 3;
+  });
+
+  server->InitializeBlueprint(R"(
+      blueprint lint_bp
+      view HDL_model
+        when ckin do exec lint "$oid" done
+      endview
+      endblueprint)");
+  server->CheckIn("CPU", "HDL_model", "m", "alice");
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(scheduler.ledger().size(), 1u);
+  EXPECT_EQ(scheduler.ledger()[0].exit_status, 3);
+}
+
+TEST(Wrapper, PostWireGoesThroughCodec) {
+  auto server = MakeEdtcServer();
+  server->CheckIn("CPU", "HDL_model", "m", "alice");
+
+  class Probe : public WrapperProgram {
+   public:
+    explicit Probe(engine::ProjectServer& server)
+        : WrapperProgram(server, "probe") {}
+    void Fire() {
+      PostWire("hdl_sim", events::Direction::kUp,
+               Oid{"CPU", "HDL_model", 1}, "good", "alice");
+    }
+  };
+  Probe probe(*server);
+  probe.Fire();
+  EXPECT_EQ(LatestProp(*server, "CPU", "HDL_model", "sim_result"), "good");
+}
+
+}  // namespace
+}  // namespace damocles::tools

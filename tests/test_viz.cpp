@@ -1,0 +1,100 @@
+#include "viz/flow_viz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blueprint/parser.hpp"
+#include "test_util.hpp"
+#include "tools/scheduler.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::viz {
+namespace {
+
+using testutil::MakeEdtcServer;
+
+TEST(FlowDiagram, ShowsViewsLinksAndRules) {
+  const auto bp = blueprint::ParseBlueprint(workload::EdtcBlueprintText());
+  const std::string text = RenderFlowDiagram(bp);
+  EXPECT_NE(text.find("[schematic]"), std::string::npos);
+  EXPECT_NE(text.find("<-- HDL_model (derived) propagates outofdate"),
+            std::string::npos);
+  EXPECT_NE(text.find("<hierarchy> use_link propagates outofdate"),
+            std::string::npos);
+  EXPECT_NE(text.find("on ckin:"), std::string::npos);
+  EXPECT_NE(text.find("[*] default view:"), std::string::npos);
+  // The default view is summarized, not listed as a flow node.
+  EXPECT_EQ(text.find("[default]"), std::string::npos);
+}
+
+TEST(BlockState, ShowsLatestVersionsAndIncomingLinks) {
+  auto server = MakeEdtcServer();
+  tools::ToolScheduler scheduler(*server);
+  tools::Netlister netlister(*server);
+  scheduler.InstallStandardScripts(netlister);
+  workload::RunEdtcScenario(*server, scheduler);
+
+  const std::string text = RenderBlockState(server->database(), "CPU");
+  EXPECT_NE(text.find("block 'CPU'"), std::string::npos);
+  EXPECT_NE(text.find("[HDL_model] v3"), std::string::npos);
+  EXPECT_NE(text.find("[schematic] v1  uptodate=false"), std::string::npos);
+  EXPECT_NE(text.find("<-- <CPU.HDL_model.3> (derived)"), std::string::npos);
+}
+
+TEST(BlockState, UnknownBlockSaysSo) {
+  auto server = MakeEdtcServer();
+  const std::string text = RenderBlockState(server->database(), "ghost");
+  EXPECT_NE(text.find("(no tracked data)"), std::string::npos);
+}
+
+TEST(Dot, ExportsValidDigraphWithStateColors) {
+  auto server = MakeEdtcServer();
+  tools::ToolScheduler scheduler(*server);
+  tools::Netlister netlister(*server);
+  scheduler.InstallStandardScripts(netlister);
+  workload::RunEdtcScenario(*server, scheduler);
+
+  const std::string dot = ExportDot(server->database());
+  EXPECT_EQ(dot.rfind("digraph damocles {", 0), 0u);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Latest HDL model is current (green); schematic is stale (red).
+  EXPECT_NE(dot.find("CPU__HDL_model__3"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightcoral"), std::string::npos);
+  // Hierarchy links are dashed; labels carry TYPE + PROPAGATE.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"derived\\noutofdate\""), std::string::npos);
+}
+
+TEST(Dot, LatestOnlyFiltersOldVersions) {
+  auto server = MakeEdtcServer();
+  server->CheckIn("CPU", "HDL_model", "v1", "alice");
+  server->CheckIn("CPU", "HDL_model", "v2", "alice");
+
+  DotOptions latest_only;
+  const std::string dot = ExportDot(server->database(), latest_only);
+  EXPECT_EQ(dot.find("CPU__HDL_model__1"), std::string::npos);
+  EXPECT_NE(dot.find("CPU__HDL_model__2"), std::string::npos);
+
+  DotOptions everything;
+  everything.latest_only = false;
+  const std::string full = ExportDot(server->database(), everything);
+  EXPECT_NE(full.find("CPU__HDL_model__1"), std::string::npos);
+}
+
+TEST(Dot, OptionsDisableColorAndLabels) {
+  auto server = MakeEdtcServer();
+  const auto a = server->CheckIn("x", "HDL_model", "m", "u");
+  const auto b = server->CheckIn("x", "schematic", "s", "u");
+  server->RegisterLink(metadb::LinkKind::kDerive, a, b);
+
+  DotOptions plain;
+  plain.color_by_state = false;
+  plain.label_links = false;
+  const std::string dot = ExportDot(server->database(), plain);
+  EXPECT_EQ(dot.find("palegreen"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"derived"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace damocles::viz

@@ -1,0 +1,132 @@
+#include "engine/wire_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::engine {
+namespace {
+
+using testutil::LatestProp;
+using testutil::MakeEdtcServer;
+
+class WireSessionTest : public ::testing::Test {
+ protected:
+  WireSessionTest() : server_(MakeEdtcServer()), session_(*server_, "alice") {}
+
+  std::unique_ptr<ProjectServer> server_;
+  WireSession session_;
+};
+
+TEST_F(WireSessionTest, HelpAndUnknownCommands) {
+  EXPECT_NE(session_.HandleLine("help").find("postEvent"),
+            std::string::npos);
+  EXPECT_NE(session_.HandleLine("frobnicate").find("unknown command"),
+            std::string::npos);
+  EXPECT_EQ(session_.commands_handled(), 2u);
+}
+
+TEST_F(WireSessionTest, CheckinCreatesTrackedData) {
+  const std::string response =
+      session_.HandleLine("checkin CPU HDL_model \"module cpu;\"");
+  EXPECT_EQ(response, "ok CPU,HDL_model,1\n");
+  EXPECT_EQ(LatestProp(*server_, "CPU", "HDL_model", "uptodate"), "true");
+  // The workspace attributes the data to the session user.
+  const auto id = server_->database().FindLatest("CPU", "HDL_model");
+  EXPECT_EQ(server_->database().GetObject(*id).created_by, "alice");
+}
+
+TEST_F(WireSessionTest, PostEventRoundTrip) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  EXPECT_EQ(
+      session_.HandleLine("postEvent hdl_sim up CPU,HDL_model,1 \"good\""),
+      "ok\n");
+  EXPECT_EQ(LatestProp(*server_, "CPU", "HDL_model", "sim_result"), "good");
+}
+
+TEST_F(WireSessionTest, LinkAndQueryOutOfDate) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  session_.HandleLine("checkin CPU schematic \"s\"");
+  EXPECT_EQ(session_.HandleLine(
+                "link derive CPU,HDL_model,1 CPU,schematic,1"),
+            "ok\n");
+
+  // A new model version invalidates the schematic.
+  session_.HandleLine("checkin CPU HDL_model \"m2\"");
+  const std::string response = session_.HandleLine("query outofdate");
+  EXPECT_NE(response.find("1 out of date"), std::string::npos);
+  EXPECT_NE(response.find("<CPU.schematic.1>"), std::string::npos);
+}
+
+TEST_F(WireSessionTest, QueryStateListsProperties) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  const std::string response =
+      session_.HandleLine("query state CPU,HDL_model,1");
+  EXPECT_NE(response.find("sim_result = 'bad'"), std::string::npos);
+  EXPECT_NE(response.find("uptodate = 'true'"), std::string::npos);
+}
+
+TEST_F(WireSessionTest, QueryBlock) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  session_.HandleLine("checkin CPU schematic \"s\"");
+  const std::string response = session_.HandleLine("query block CPU");
+  EXPECT_NE(response.find("2 object(s)"), std::string::npos);
+}
+
+TEST_F(WireSessionTest, BlockersCommand) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  const std::string response =
+      session_.HandleLine("blockers sim_result=good");
+  EXPECT_NE(response.find("sim_result = 'bad' (needs 'good')"),
+            std::string::npos);
+}
+
+TEST_F(WireSessionTest, ReportAndSnapshot) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  EXPECT_NE(session_.HandleLine("report").find("<CPU.HDL_model.1>"),
+            std::string::npos);
+  EXPECT_EQ(session_.HandleLine("snapshot milestone1"),
+            "ok snapshot 'milestone1' with 1 addresses\n");
+  EXPECT_TRUE(
+      server_->database().FindConfiguration("milestone1").has_value());
+}
+
+TEST_F(WireSessionTest, ValidateRunsTheLinter) {
+  const std::string response = session_.HandleLine("validate");
+  // The EDTC blueprint only carries the known unread-event warnings.
+  EXPECT_EQ(response.find("error"), std::string::npos);
+}
+
+TEST_F(WireSessionTest, AdvanceMovesTheClock) {
+  EXPECT_EQ(session_.HandleLine("advance 3600"), "ok day 0 01:00:00\n");
+  EXPECT_NE(session_.HandleLine("advance lots").find("error"),
+            std::string::npos);
+}
+
+TEST_F(WireSessionTest, ErrorsAreReportedInBand) {
+  // Checkout of unknown data, malformed postEvent, bad link kind: the
+  // session answers with "error:" lines instead of throwing.
+  EXPECT_NE(session_.HandleLine("checkout ghost hdl").find("error:"),
+            std::string::npos);
+  EXPECT_NE(session_.HandleLine("postEvent bad").find("error:"),
+            std::string::npos);
+  EXPECT_NE(
+      session_.HandleLine("link sideways a,b,1 c,d,1").find("error:"),
+      std::string::npos);
+  EXPECT_NE(session_.HandleLine("query state no,such,1").find("error:"),
+            std::string::npos);
+}
+
+TEST_F(WireSessionTest, CheckoutEnforcesExclusivity) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  EXPECT_EQ(session_.HandleLine("checkout CPU HDL_model"),
+            "ok CPU,HDL_model,1\n");
+
+  WireSession bob(*server_, "bob");
+  EXPECT_NE(bob.HandleLine("checkout CPU HDL_model").find("error:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace damocles::engine

@@ -1,0 +1,191 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "blueprint/parser.hpp"
+#include "query/query.hpp"
+#include "test_util.hpp"
+#include "workload/edtc.hpp"
+
+namespace damocles::workload {
+namespace {
+
+using metadb::Oid;
+
+std::unique_ptr<engine::ProjectServer> MakeFlowServer(const FlowSpec& spec) {
+  auto server = std::make_unique<engine::ProjectServer>("wl");
+  server->InitializeBlueprint(MakeFlowBlueprint(spec, "wl"));
+  return server;
+}
+
+TEST(HierarchyGen, BlockCountFormula) {
+  EXPECT_EQ(HierarchyBlockCount({0, 4, "v", "r"}), 1u);
+  EXPECT_EQ(HierarchyBlockCount({1, 4, "v", "r"}), 5u);
+  EXPECT_EQ(HierarchyBlockCount({2, 2, "v", "r"}), 7u);
+  EXPECT_EQ(HierarchyBlockCount({3, 1, "v", "r"}), 4u);
+}
+
+TEST(HierarchyGen, BuildsTreeWithUseLinks) {
+  FlowSpec flow;
+  flow.n_views = 1;
+  auto server = MakeFlowServer(flow);
+
+  HierarchySpec spec;
+  spec.depth = 2;
+  spec.fanout = 3;
+  spec.view = "view_0";
+  const GeneratedHierarchy hierarchy = BuildHierarchy(*server, spec);
+
+  EXPECT_EQ(hierarchy.blocks.size(), HierarchyBlockCount(spec));
+  EXPECT_EQ(hierarchy.use_links, hierarchy.blocks.size() - 1);
+  EXPECT_EQ(hierarchy.root, (Oid{"top", "view_0", 1}));
+
+  // The whole tree is reachable through use links.
+  query::ProjectQuery q(server->database());
+  const auto members = q.HierarchyMembers(hierarchy.root);
+  EXPECT_EQ(members.size(), hierarchy.blocks.size());
+}
+
+TEST(HierarchyGen, RejectsBadShape) {
+  FlowSpec flow;
+  flow.n_views = 1;
+  auto server = MakeFlowServer(flow);
+  HierarchySpec spec;
+  spec.depth = -1;
+  EXPECT_THROW(BuildHierarchy(*server, spec), Error);
+  spec.depth = 1;
+  spec.fanout = 0;
+  EXPECT_THROW(BuildHierarchy(*server, spec), Error);
+}
+
+TEST(FlowGen, BlueprintParsesAndTracksAllViews) {
+  FlowSpec spec;
+  spec.n_views = 6;
+  const auto bp = blueprint::ParseBlueprint(MakeFlowBlueprint(spec, "f"));
+  for (const std::string& view : FlowViewNames(spec)) {
+    EXPECT_TRUE(bp.Tracks(view)) << view;
+  }
+  EXPECT_NE(bp.DefaultView(), nullptr);
+}
+
+TEST(FlowGen, CutoffLoosensDownstreamLinks) {
+  FlowSpec strict;
+  strict.n_views = 4;
+  FlowSpec loose = strict;
+  loose.propagation_cutoff = 1;
+
+  auto strict_server = MakeFlowServer(strict);
+  auto loose_server = MakeFlowServer(loose);
+  InstantiateFlow(*strict_server, strict, "blk");
+  InstantiateFlow(*loose_server, loose, "blk");
+
+  // A golden-view edit invalidates everything downstream under the
+  // strict blueprint but stops at the cutoff under the loose one.
+  strict_server->CheckIn("blk", "view_0", "edit", "u");
+  loose_server->CheckIn("blk", "view_0", "edit", "u");
+
+  query::ProjectQuery qs(strict_server->database());
+  query::ProjectQuery ql(loose_server->database());
+  EXPECT_EQ(qs.OutOfDate().size(), 3u);  // view_1..view_3.
+  EXPECT_EQ(ql.OutOfDate().size(), 1u);  // view_1 only.
+}
+
+TEST(FlowGen, InstantiateCreatesChain) {
+  FlowSpec spec;
+  spec.n_views = 5;
+  auto server = MakeFlowServer(spec);
+  const Oid golden = InstantiateFlow(*server, spec, "blk");
+  EXPECT_EQ(golden, (Oid{"blk", "view_0", 1}));
+
+  const auto& db = server->database();
+  size_t derive_links = 0;
+  db.ForEachLink([&](metadb::LinkId, const metadb::Link& link) {
+    if (link.kind == metadb::LinkKind::kDerive) ++derive_links;
+  });
+  EXPECT_EQ(derive_links, 4u);
+}
+
+TEST(TraceGen, DeterministicForSameSeed) {
+  FlowSpec flow;
+  flow.n_views = 3;
+  TraceSpec trace;
+  trace.n_actions = 200;
+  trace.seed = 99;
+
+  auto run = [&]() {
+    auto server = MakeFlowServer(flow);
+    InstantiateFlow(*server, flow, "a");
+    InstantiateFlow(*server, flow, "b");
+    const TraceStats stats = RunDesignSession(*server, flow, {"a", "b"},
+                                              trace);
+    return std::make_pair(stats,
+                          server->engine().journal().Dump());
+  };
+  const auto [stats1, journal1] = run();
+  const auto [stats2, journal2] = run();
+  EXPECT_EQ(stats1.checkins, stats2.checkins);
+  EXPECT_EQ(stats1.result_events, stats2.result_events);
+  EXPECT_EQ(stats1.installs, stats2.installs);
+  EXPECT_EQ(journal1, journal2);
+}
+
+TEST(TraceGen, ActionMixRoughlyMatchesWeights) {
+  FlowSpec flow;
+  flow.n_views = 3;
+  auto server = MakeFlowServer(flow);
+  InstantiateFlow(*server, flow, "a");
+
+  TraceSpec trace;
+  trace.n_actions = 2000;
+  trace.seed = 7;
+  const TraceStats stats = RunDesignSession(*server, flow, {"a"}, trace);
+  EXPECT_EQ(stats.checkins + stats.result_events + stats.installs,
+            trace.n_actions);
+  EXPECT_NEAR(static_cast<double>(stats.checkins) / trace.n_actions, 0.55,
+              0.05);
+  EXPECT_NEAR(static_cast<double>(stats.result_events) / trace.n_actions,
+              0.35, 0.05);
+}
+
+TEST(TraceGen, RequiresBlocks) {
+  FlowSpec flow;
+  auto server = MakeFlowServer(flow);
+  EXPECT_THROW(RunDesignSession(*server, flow, {}, TraceSpec{}), Error);
+}
+
+TEST(Edtc, BlueprintTextsParse) {
+  EXPECT_NO_THROW(blueprint::ParseBlueprint(EdtcBlueprintText()));
+  EXPECT_NO_THROW(blueprint::ParseBlueprint(EdtcLoosenedBlueprintText()));
+}
+
+/// Scale sweep: hierarchy generation stays consistent across shapes.
+struct ShapeCase {
+  int depth;
+  int fanout;
+};
+
+class HierarchyShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(HierarchyShapeSweep, CountsMatchFormula) {
+  FlowSpec flow;
+  flow.n_views = 1;
+  auto server = MakeFlowServer(flow);
+  HierarchySpec spec;
+  spec.depth = GetParam().depth;
+  spec.fanout = GetParam().fanout;
+  spec.view = "view_0";
+  const GeneratedHierarchy hierarchy = BuildHierarchy(*server, spec);
+  EXPECT_EQ(hierarchy.blocks.size(), HierarchyBlockCount(spec));
+  EXPECT_EQ(server->database().Stats().live_objects,
+            hierarchy.blocks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HierarchyShapeSweep,
+                         ::testing::Values(ShapeCase{0, 1}, ShapeCase{1, 1},
+                                           ShapeCase{1, 8}, ShapeCase{2, 4},
+                                           ShapeCase{3, 3}, ShapeCase{5, 2}));
+
+}  // namespace
+}  // namespace damocles::workload
