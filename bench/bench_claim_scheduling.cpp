@@ -129,7 +129,6 @@ void PrintSeries() {
 
 int main(int argc, char** argv) {
   PrintSeries();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  damocles::benchutil::RunBenchmarks(argc, argv);
   return 0;
 }

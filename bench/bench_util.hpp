@@ -9,14 +9,45 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/project_server.hpp"
 #include "workload/edtc.hpp"
 #include "workload/generators.hpp"
 
 namespace damocles::benchutil {
+
+/// True when the DAMOCLES_BENCH_SMOKE environment variable is set (and
+/// not "0"). CI uses this to exercise every bench binary with tiny
+/// iteration counts so benchmarks cannot silently rot; PrintSeries
+/// functions shrink their sweeps accordingly.
+inline bool SmokeMode() {
+  const char* env = std::getenv("DAMOCLES_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// Smoke-aware series scaling: `full` normally, `smoke` under
+/// DAMOCLES_BENCH_SMOKE.
+inline int SeriesScale(int full, int smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// Shared bench main body: forwards argv to google-benchmark, injecting
+/// a minimal --benchmark_min_time in smoke mode (explicit flags win —
+/// the injected flag comes first, later flags override it).
+inline void RunBenchmarks(int argc, char** argv) {
+  static char min_time[] = "--benchmark_min_time=0.001";
+  std::vector<char*> args;
+  args.push_back(argc > 0 ? argv[0] : min_time);
+  if (SmokeMode()) args.push_back(min_time);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&count, args.data());
+  ::benchmark::RunSpecifiedBenchmarks();
+}
 
 /// A server with the EDTC blueprint loaded.
 inline std::unique_ptr<engine::ProjectServer> MakeEdtcServer() {

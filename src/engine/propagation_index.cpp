@@ -1,0 +1,285 @@
+#include "engine/propagation_index.hpp"
+
+#include <algorithm>
+
+#include "metadb/meta_database.hpp"
+
+namespace damocles::engine {
+
+using events::Direction;
+using metadb::Link;
+using metadb::LinkId;
+using metadb::MetaDatabase;
+using metadb::OidId;
+
+namespace {
+
+/// Calls `fn` once per distinct event name, in first-occurrence order.
+/// PROPAGATE lists are tiny (a handful of names), so the quadratic
+/// distinct scan beats building a set.
+template <typename Fn>
+void ForEachDistinct(const std::vector<std::string>& events, Fn&& fn) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (events[j] == events[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) fn(events[i]);
+  }
+}
+
+/// Occurrences of `event` in a PROPAGATE list (duplicates are legal and
+/// mirrored one-to-one into bucket entries).
+size_t CountOccurrences(const std::vector<std::string>& events,
+                        const std::string& event) {
+  return static_cast<size_t>(std::count(events.begin(), events.end(), event));
+}
+
+}  // namespace
+
+PropagationIndex::NodeIndex& PropagationIndex::Node(OidId source) {
+  if (source.value() >= nodes_.size()) {
+    nodes_.resize(source.value() + 1);
+  }
+  return nodes_[source.value()];
+}
+
+void PropagationIndex::Clear() {
+  nodes_.clear();
+  entries_ = 0;
+}
+
+void PropagationIndex::Rebuild(const MetaDatabase& db) {
+  Clear();
+  nodes_.resize(db.ObjectSlotCount());
+  // Walk adjacency lists (not link slots): endpoint moves re-append
+  // links, so adjacency order — the order a scan delivers in — can
+  // differ from slot order.
+  db.ForEachObject([&](OidId id, const metadb::MetaObject&) {
+    for (const LinkId link_id : db.OutLinks(id)) {
+      const Link& link = db.GetLink(link_id);
+      for (const std::string& event : link.propagates) {
+        MapFor(id, Direction::kDown)[event].push_back(Entry{link_id, link.to});
+        ++entries_;
+      }
+    }
+    for (const LinkId link_id : db.InLinks(id)) {
+      const Link& link = db.GetLink(link_id);
+      for (const std::string& event : link.propagates) {
+        MapFor(id, Direction::kUp)[event].push_back(Entry{link_id, link.from});
+        ++entries_;
+      }
+    }
+  });
+}
+
+const PropagationIndex::Bucket* PropagationIndex::Receivers(
+    OidId source, Direction direction, std::string_view event) const {
+  if (source.value() >= nodes_.size()) return nullptr;
+  const NodeIndex& node = nodes_[source.value()];
+  const EventMap& map = direction == Direction::kDown ? node.down : node.up;
+  const auto it = map.find(event);
+  if (it == map.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+void PropagationIndex::AddEntries(LinkId id,
+                                  const std::vector<std::string>& events,
+                                  OidId from, OidId to) {
+  for (const std::string& event : events) {
+    MapFor(from, Direction::kDown)[event].push_back(Entry{id, to});
+    MapFor(to, Direction::kUp)[event].push_back(Entry{id, from});
+    entries_ += 2;
+  }
+}
+
+void PropagationIndex::EraseLinkEntries(OidId source, Direction direction,
+                                        const std::string& event,
+                                        LinkId link) {
+  if (source.value() >= nodes_.size()) return;
+  NodeIndex& node = nodes_[source.value()];
+  EventMap& map = direction == Direction::kDown ? node.down : node.up;
+  const auto it = map.find(event);
+  if (it == map.end()) return;
+  Bucket& bucket = it->second;
+  // Ordered erase: surviving entries keep their adjacency-scan order.
+  const auto new_end =
+      std::remove_if(bucket.begin(), bucket.end(),
+                     [link](const Entry& entry) { return entry.link == link; });
+  entries_ -= static_cast<size_t>(bucket.end() - new_end);
+  bucket.erase(new_end, bucket.end());
+  if (bucket.empty()) map.erase(it);
+}
+
+void PropagationIndex::RemoveEntries(LinkId id,
+                                     const std::vector<std::string>& events,
+                                     OidId from, OidId to) {
+  ForEachDistinct(events, [&](const std::string& event) {
+    EraseLinkEntries(from, Direction::kDown, event, id);
+    EraseLinkEntries(to, Direction::kUp, event, id);
+  });
+}
+
+void PropagationIndex::AddLink(LinkId id, const Link& link) {
+  AddEntries(id, link.propagates, link.from, link.to);
+}
+
+void PropagationIndex::RemoveLink(LinkId id, const Link& link) {
+  RemoveEntries(id, link.propagates, link.from, link.to);
+}
+
+void PropagationIndex::MoveLinkEndpoint(LinkId id, bool endpoint_from,
+                                        OidId old_endpoint, const Link& link) {
+  // The moved side loses its buckets on the old endpoint and gains them
+  // on the new one (appended, mirroring the adjacency push_back). The
+  // unmoved side keeps its bucket positions; only the neighbour field
+  // changes.
+  const auto patch_neighbor = [this](OidId source, Direction direction,
+                                     const std::string& event, LinkId link_id,
+                                     OidId neighbor) {
+    if (source.value() >= nodes_.size()) return;
+    NodeIndex& node = nodes_[source.value()];
+    EventMap& map = direction == Direction::kDown ? node.down : node.up;
+    const auto it = map.find(event);
+    if (it == map.end()) return;
+    for (Entry& entry : it->second) {
+      if (entry.link == link_id) entry.neighbor = neighbor;
+    }
+  };
+
+  ForEachDistinct(link.propagates, [&](const std::string& event) {
+    const size_t multiplicity = CountOccurrences(link.propagates, event);
+    if (endpoint_from) {
+      EraseLinkEntries(old_endpoint, Direction::kDown, event, id);
+      Bucket& bucket = MapFor(link.from, Direction::kDown)[event];
+      for (size_t i = 0; i < multiplicity; ++i) {
+        bucket.push_back(Entry{id, link.to});
+        ++entries_;
+      }
+      patch_neighbor(link.to, Direction::kUp, event, id, link.from);
+    } else {
+      EraseLinkEntries(old_endpoint, Direction::kUp, event, id);
+      Bucket& bucket = MapFor(link.to, Direction::kUp)[event];
+      for (size_t i = 0; i < multiplicity; ++i) {
+        bucket.push_back(Entry{id, link.from});
+        ++entries_;
+      }
+      patch_neighbor(link.from, Direction::kDown, event, id, link.to);
+    }
+  });
+}
+
+void PropagationIndex::RebuildBucket(const MetaDatabase& db, OidId source,
+                                     Direction direction,
+                                     const std::string& event) {
+  EventMap& map = MapFor(source, direction);
+  const auto it = map.find(event);
+  if (it != map.end()) {
+    entries_ -= it->second.size();
+    map.erase(it);
+  }
+  Bucket bucket;
+  const std::vector<LinkId>& adjacency = direction == Direction::kDown
+                                             ? db.OutLinks(source)
+                                             : db.InLinks(source);
+  for (const LinkId link_id : adjacency) {
+    const Link& link = db.GetLink(link_id);
+    const OidId neighbor = direction == Direction::kDown ? link.to : link.from;
+    for (size_t i = 0; i < CountOccurrences(link.propagates, event); ++i) {
+      bucket.push_back(Entry{link_id, neighbor});
+    }
+  }
+  if (!bucket.empty()) {
+    entries_ += bucket.size();
+    map.emplace(event, std::move(bucket));
+  }
+}
+
+void PropagationIndex::SetLinkPropagates(
+    const MetaDatabase& db, LinkId /*id*/,
+    const std::vector<std::string>& old_propagates, const Link& link) {
+  // Rebuild every affected bucket from adjacency rather than
+  // remove-and-append: the rewritten link keeps its adjacency position,
+  // so its entries must keep their bucket position too.
+  ForEachDistinct(old_propagates, [&](const std::string& event) {
+    RebuildBucket(db, link.from, Direction::kDown, event);
+    RebuildBucket(db, link.to, Direction::kUp, event);
+  });
+  // Skip events already rebuilt through the old list.
+  ForEachDistinct(link.propagates, [&](const std::string& event) {
+    if (std::find(old_propagates.begin(), old_propagates.end(), event) !=
+        old_propagates.end()) {
+      return;
+    }
+    RebuildBucket(db, link.from, Direction::kDown, event);
+    RebuildBucket(db, link.to, Direction::kUp, event);
+  });
+}
+
+bool PropagationIndex::ConsistentWith(const MetaDatabase& db,
+                                      std::string* diff) const {
+  PropagationIndex fresh;
+  fresh.Rebuild(db);
+
+  const auto describe = [diff](const std::string& what) {
+    if (diff != nullptr) *diff = what;
+    return false;
+  };
+  if (entries_ != fresh.entries_) {
+    return describe("entry count: index has " + std::to_string(entries_) +
+                    ", rescan has " + std::to_string(fresh.entries_));
+  }
+
+  const size_t node_count = std::max(nodes_.size(), fresh.nodes_.size());
+  static const NodeIndex kEmptyNode;
+  const auto sorted = [](const EventMap& map, const std::string& event) {
+    Bucket bucket;
+    const auto it = map.find(event);
+    if (it != map.end()) bucket = it->second;
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.link.value() != b.link.value()
+                           ? a.link.value() < b.link.value()
+                           : a.neighbor.value() < b.neighbor.value();
+              });
+    return bucket;
+  };
+
+  for (size_t oid = 0; oid < node_count; ++oid) {
+    const NodeIndex& mine = oid < nodes_.size() ? nodes_[oid] : kEmptyNode;
+    const NodeIndex& theirs =
+        oid < fresh.nodes_.size() ? fresh.nodes_[oid] : kEmptyNode;
+    for (const bool down : {true, false}) {
+      const EventMap& my_map = down ? mine.down : mine.up;
+      const EventMap& their_map = down ? theirs.down : theirs.up;
+      // Union of keys; empty buckets count as absent.
+      std::vector<std::string> events;
+      for (const auto& [event, bucket] : my_map) {
+        if (!bucket.empty()) events.push_back(event);
+      }
+      for (const auto& [event, bucket] : their_map) {
+        if (!bucket.empty() && my_map.find(event) == my_map.end()) {
+          events.push_back(event);
+        }
+      }
+      for (const std::string& event : events) {
+        const Bucket mine_sorted = sorted(my_map, event);
+        const Bucket theirs_sorted = sorted(their_map, event);
+        if (mine_sorted != theirs_sorted) {
+          return describe("oid " + std::to_string(oid) + " " +
+                          (down ? "down" : "up") + " '" + event +
+                          "': index has " +
+                          std::to_string(mine_sorted.size()) +
+                          " entries, rescan has " +
+                          std::to_string(theirs_sorted.size()));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace damocles::engine

@@ -1,0 +1,140 @@
+// The propagation index: the run-time engine's fast path for wave
+// expansion.
+//
+// Phase 5 of event processing asks, for every OID a wave reaches, "which
+// neighbours receive this event?" — a question the naive implementation
+// answers by scanning the OID's full adjacency list and, per link,
+// scanning the PROPAGATE string list. On hub-heavy meta-data (a netlist
+// deriving dozens of views, few of which propagate any given event) that
+// is O(degree × |PROPAGATE|) string work per delivery.
+//
+// This index precomputes the answer per (source OID, direction, event
+// name): each bucket holds exactly the links that qualify, in the same
+// order an adjacency scan would visit them, so the indexed engine
+// delivers in the identical order as the scanning engine. It is built
+// in one pass at blueprint-install time and maintained incrementally
+// through MetaDatabase link-observer notifications (add / remove /
+// endpoint move / PROPAGATE change).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "events/event.hpp"
+#include "metadb/ids.hpp"
+#include "metadb/link.hpp"
+
+namespace damocles::metadb {
+class MetaDatabase;
+}  // namespace damocles::metadb
+
+namespace damocles::engine {
+
+/// Per-(source, direction, event) receiver index over the link graph.
+class PropagationIndex {
+ public:
+  /// One qualifying link, as seen from the indexed source OID.
+  struct Entry {
+    metadb::LinkId link;
+    metadb::OidId neighbor;
+
+    friend bool operator==(const Entry& a, const Entry& b) noexcept {
+      return a.link == b.link && a.neighbor == b.neighbor;
+    }
+  };
+  using Bucket = std::vector<Entry>;
+
+  /// Drops everything and re-indexes every live link of `db`, walking
+  /// each object's adjacency lists so bucket order matches scan order
+  /// even after endpoint moves reordered adjacency. O(links ×
+  /// |PROPAGATE|); called at blueprint install.
+  void Rebuild(const metadb::MetaDatabase& db);
+
+  void Clear();
+
+  /// The receivers of `event` leaving `source` in `direction`, or
+  /// nullptr when no link qualifies. The bucket order matches the order
+  /// a full adjacency scan would produce.
+  const Bucket* Receivers(metadb::OidId source, events::Direction direction,
+                          std::string_view event) const;
+
+  // --- Incremental maintenance (link-observer notifications) -----------
+
+  void AddLink(metadb::LinkId id, const metadb::Link& link);
+
+  /// `link` must still carry the endpoints/PROPAGATE list being removed.
+  void RemoveLink(metadb::LinkId id, const metadb::Link& link);
+
+  /// `link` is the post-move state; `old_endpoint` the prior value of
+  /// the endpoint selected by `endpoint_from`. Entries on the unmoved
+  /// side are patched in place (their adjacency position is unchanged);
+  /// entries on the moved side are re-appended, mirroring the
+  /// push_back the adjacency lists perform.
+  void MoveLinkEndpoint(metadb::LinkId id, bool endpoint_from,
+                        metadb::OidId old_endpoint, const metadb::Link& link);
+
+  /// `link` carries the new PROPAGATE list, `old_propagates` the prior.
+  /// The affected buckets are rebuilt from `db`'s adjacency lists so
+  /// their order keeps matching a scan (a remove-and-append would leave
+  /// the rewritten link out of adjacency position).
+  void SetLinkPropagates(const metadb::MetaDatabase& db, metadb::LinkId id,
+                         const std::vector<std::string>& old_propagates,
+                         const metadb::Link& link);
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Live (link, event, direction) entries currently indexed.
+  size_t entry_count() const noexcept { return entries_; }
+
+  /// Oracle check: compares against a freshly rebuilt index of `db`,
+  /// bucket contents compared as sets (incremental maintenance may
+  /// order a bucket differently from slot order after endpoint moves).
+  /// On mismatch returns false and, when `diff` is non-null, describes
+  /// the first divergence.
+  bool ConsistentWith(const metadb::MetaDatabase& db,
+                      std::string* diff = nullptr) const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view text) const noexcept {
+      return std::hash<std::string_view>{}(text);
+    }
+  };
+  using EventMap =
+      std::unordered_map<std::string, Bucket, StringHash, std::equal_to<>>;
+
+  /// Down-going and up-going buckets of one source OID.
+  struct NodeIndex {
+    EventMap down;  ///< source == link.from, neighbour == link.to
+    EventMap up;    ///< source == link.to,   neighbour == link.from
+  };
+
+  NodeIndex& Node(metadb::OidId source);
+  EventMap& MapFor(metadb::OidId source, events::Direction direction) {
+    NodeIndex& node = Node(source);
+    return direction == events::Direction::kDown ? node.down : node.up;
+  }
+
+  void AddEntries(metadb::LinkId id, const std::vector<std::string>& events,
+                  metadb::OidId from, metadb::OidId to);
+  void RemoveEntries(metadb::LinkId id, const std::vector<std::string>& events,
+                     metadb::OidId from, metadb::OidId to);
+
+  /// Ordered removal of every entry of `link` from one bucket; keeps
+  /// entry accounting and drops the bucket when it empties.
+  void EraseLinkEntries(metadb::OidId source, events::Direction direction,
+                        const std::string& event, metadb::LinkId link);
+
+  /// Recomputes one bucket from `source`'s adjacency list in `db`.
+  void RebuildBucket(const metadb::MetaDatabase& db, metadb::OidId source,
+                     events::Direction direction, const std::string& event);
+
+  std::vector<NodeIndex> nodes_;  ///< Indexed by OidId::value().
+  size_t entries_ = 0;
+};
+
+}  // namespace damocles::engine

@@ -22,10 +22,41 @@ using metadb::OidId;
 
 RunTimeEngine::RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
                              EngineOptions options)
-    : db_(db), clock_(clock), options_(options) {}
+    : db_(db), clock_(clock), options_(options) {
+  if (options_.use_propagation_index) {
+    db_.AddLinkObserver(this);
+    index_.Rebuild(db_);
+  }
+}
+
+RunTimeEngine::~RunTimeEngine() { db_.RemoveLinkObserver(this); }
 
 void RunTimeEngine::LoadBlueprint(Blueprint blueprint) {
   blueprint_ = std::make_unique<Blueprint>(std::move(blueprint));
+  // Blueprint install is the index build point (and heals any direct
+  // GetLinkMutable edits made outside the observer protocol).
+  if (options_.use_propagation_index) index_.Rebuild(db_);
+}
+
+// --- Propagation index maintenance ----------------------------------------
+
+void RunTimeEngine::OnLinkAdded(LinkId id, const Link& link) {
+  index_.AddLink(id, link);
+}
+
+void RunTimeEngine::OnLinkRemoved(LinkId id, const Link& link) {
+  index_.RemoveLink(id, link);
+}
+
+void RunTimeEngine::OnLinkEndpointMoved(LinkId id, bool endpoint_from,
+                                        OidId old_endpoint, const Link& link) {
+  index_.MoveLinkEndpoint(id, endpoint_from, old_endpoint, link);
+}
+
+void RunTimeEngine::OnLinkPropagatesChanged(
+    LinkId id, const std::vector<std::string>& old_propagates,
+    const Link& link) {
+  index_.SetLinkPropagates(db_, id, old_propagates, link);
 }
 
 const Blueprint& RunTimeEngine::Current() const {
@@ -169,7 +200,10 @@ size_t RunTimeEngine::RetemplateLinks() {
         link.carry == carry) {
       continue;
     }
-    link.propagates = std::move(propagates);
+    // PROPAGATE goes through the observer-notifying setter so
+    // propagation indexes stay consistent; TYPE and carry do not
+    // affect wave expansion and are written directly.
+    db_.SetLinkPropagates(id, std::move(propagates));
     link.type = std::move(type);
     link.carry = carry;
     std::string propagate_list;
@@ -273,101 +307,128 @@ void RunTimeEngine::ProcessWave(OidId start, EventMessage event) {
   ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, std::move(event));
 }
 
+void RunTimeEngine::CollectReceivers(OidId source, std::string_view event_name,
+                                     Direction direction,
+                                     std::unordered_set<uint32_t>& visited,
+                                     std::vector<OidId>& out) {
+  if (options_.use_propagation_index) {
+    ++stats_.index_lookups;
+    const PropagationIndex::Bucket* bucket =
+        index_.Receivers(source, direction, event_name);
+    if (bucket == nullptr) return;
+    for (const PropagationIndex::Entry& entry : *bucket) {
+      if (visited.insert(entry.neighbor.value()).second) {
+        out.push_back(entry.neighbor);
+      }
+    }
+    return;
+  }
+  // Pre-index path: scan the adjacency list, filtering each link's
+  // PROPAGATE list.
+  if (direction == Direction::kDown) {
+    for (const LinkId link_id : db_.OutLinks(source)) {
+      ++stats_.links_scanned;
+      const Link& link = db_.GetLink(link_id);
+      if (link.Propagates(event_name) &&
+          visited.insert(link.to.value()).second) {
+        out.push_back(link.to);
+      }
+    }
+  } else {
+    for (const LinkId link_id : db_.InLinks(source)) {
+      ++stats_.links_scanned;
+      const Link& link = db_.GetLink(link_id);
+      if (link.Propagates(event_name) &&
+          visited.insert(link.from.value()).second) {
+        out.push_back(link.from);
+      }
+    }
+  }
+}
+
 void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
                                       bool seeds_are_origin,
                                       EventMessage event) {
   ++stats_.waves_started;
   size_t extent = 0;
 
-  // Work item of the wave: deliver `event` at `target`. An OID
-  // processes a given wave at most once — the shared visited set makes
-  // cyclic link graphs (and parallel links) terminate.
-  struct Delivery {
-    OidId target;
-    bool is_origin;
-  };
-  std::deque<Delivery> frontier;
+  // The wave runs as batched BFS generations: every receiver of the
+  // current generation is collected (and de-duplicated against the
+  // shared visited set, which makes cyclic link graphs and parallel
+  // links terminate) before any receiver's rules run. An OID processes
+  // a given wave at most once; delivery order equals the order the
+  // naive per-delivery scan would produce.
   std::unordered_set<uint32_t> visited;
+  std::vector<OidId> batch;
+  batch.reserve(seeds.size());
   for (const OidId seed : seeds) {
-    if (visited.insert(seed.value()).second) {
-      frontier.push_back(Delivery{seed, seeds_are_origin});
-    }
+    if (visited.insert(seed.value()).second) batch.push_back(seed);
   }
 
-  while (!frontier.empty()) {
-    const Delivery delivery = frontier.front();
-    frontier.pop_front();
+  std::vector<OidId> next_batch;
+  bool is_origin_batch = seeds_are_origin;
+  bool truncated = false;
+  while (!batch.empty() && !truncated) {
+    ++stats_.wave_batches;
 
-    if (extent >= options_.max_wave_deliveries) {
-      ++stats_.waves_truncated;
-      Log::Warning("propagation wave truncated at " + std::to_string(extent) +
-                   " deliveries (event '" + event.name + "')");
-      break;
-    }
-    ++extent;
-
-    if (!delivery.is_origin) {
-      ++stats_.propagated_deliveries;
-      if (options_.journal_propagated) {
-        EventMessage record = event;
-        record.target = db_.GetObject(delivery.target).oid;
-        record.origin = events::EventOrigin::kPropagated;
-        journal_.Record(record);
+    // Rule phases 1-4 at every member of this generation, in order.
+    for (const OidId target : batch) {
+      if (extent >= options_.max_wave_deliveries) {
+        truncated = true;
+        ++stats_.waves_truncated;
+        Log::Warning("propagation wave truncated at " + std::to_string(extent) +
+                     " deliveries (event '" + event.name + "')");
+        break;
       }
-    }
+      ++extent;
+      ++stats_.wave_deliveries;
 
-    // Phases 1-4 at this OID. Direction-posted events (post without a
-    // 'to' clause) start their own sub-waves from this OID afterwards.
-    EventMessage local = event;
-    local.target = db_.GetObject(delivery.target).oid;
-    std::vector<EventMessage> direction_posts;
-    RunRulesAt(delivery.target, local, direction_posts);
-
-    // Phase 5: propagate the incoming event across qualifying links.
-    const auto try_deliver = [&](OidId next) {
-      if (visited.insert(next.value()).second) {
-        frontier.push_back(Delivery{next, /*is_origin=*/false});
-      }
-    };
-    if (event.direction == Direction::kDown) {
-      for (const LinkId link_id : db_.OutLinks(delivery.target)) {
-        const Link& link = db_.GetLink(link_id);
-        if (link.Propagates(event.name)) try_deliver(link.to);
-      }
-    } else {
-      for (const LinkId link_id : db_.InLinks(delivery.target)) {
-        const Link& link = db_.GetLink(link_id);
-        if (link.Propagates(event.name)) try_deliver(link.from);
-      }
-    }
-
-    // Direction-posted events are "directly propagated from the current
-    // OID" (paper §3.2, example 2): the posting OID's rules are *not*
-    // re-run; all qualifying neighbours seed ONE sub-wave so shared
-    // downstream objects are delivered to once, not once per link.
-    for (EventMessage& posted : direction_posts) {
-      std::vector<OidId> posted_seeds;
-      std::unordered_set<uint32_t> seen;
-      const auto collect = [&](OidId next) {
-        if (seen.insert(next.value()).second) posted_seeds.push_back(next);
-      };
-      if (posted.direction == Direction::kDown) {
-        for (const LinkId link_id : db_.OutLinks(delivery.target)) {
-          const Link& link = db_.GetLink(link_id);
-          if (link.Propagates(posted.name)) collect(link.to);
-        }
-      } else {
-        for (const LinkId link_id : db_.InLinks(delivery.target)) {
-          const Link& link = db_.GetLink(link_id);
-          if (link.Propagates(posted.name)) collect(link.from);
+      if (!is_origin_batch) {
+        ++stats_.propagated_deliveries;
+        if (options_.journal_propagated) {
+          EventMessage record = event;
+          record.target = db_.GetObject(target).oid;
+          record.origin = events::EventOrigin::kPropagated;
+          journal_.Record(record);
         }
       }
-      if (!posted_seeds.empty()) {
-        posted.origin = events::EventOrigin::kPropagated;
-        ProcessWaveSeeded(std::move(posted_seeds), /*seeds_are_origin=*/false,
-                          std::move(posted));
+
+      // Direction-posted events (post without a 'to' clause) start their
+      // own sub-waves from this OID immediately after its rules.
+      EventMessage local = event;
+      local.target = db_.GetObject(target).oid;
+      std::vector<EventMessage> direction_posts;
+      RunRulesAt(target, local, direction_posts);
+
+      // Direction-posted events are "directly propagated from the
+      // current OID" (paper §3.2, example 2): the posting OID's rules
+      // are *not* re-run; all qualifying neighbours seed ONE sub-wave so
+      // shared downstream objects are delivered to once, not once per
+      // link.
+      for (EventMessage& posted : direction_posts) {
+        std::vector<OidId> posted_seeds;
+        std::unordered_set<uint32_t> seen;
+        CollectReceivers(target, posted.name, posted.direction, seen,
+                         posted_seeds);
+        if (!posted_seeds.empty()) {
+          posted.origin = events::EventOrigin::kPropagated;
+          ProcessWaveSeeded(std::move(posted_seeds),
+                            /*seeds_are_origin=*/false, std::move(posted));
+        }
       }
     }
+
+    // Phase 5, batched: collect the whole next generation before any of
+    // its rules run.
+    next_batch.clear();
+    if (!truncated) {
+      for (const OidId target : batch) {
+        CollectReceivers(target, event.name, event.direction, visited,
+                         next_batch);
+      }
+    }
+    batch.swap(next_batch);
+    is_origin_batch = false;
   }
 
   if (extent > stats_.max_wave_extent) stats_.max_wave_extent = extent;

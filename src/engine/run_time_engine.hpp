@@ -14,6 +14,20 @@
 //  * propagation: an event crosses a link iff the link's PROPAGATE list
 //    names it and the link orientation matches the event direction; each
 //    receiving OID runs its own rules and propagates further.
+//
+// Propagation fast path: wave expansion is served by a per-OID
+// PropagationIndex keyed by (event name, direction). The index is built
+// in one pass when a blueprint is installed and maintained incrementally
+// through MetaDatabase link-observer notifications (link add / delete /
+// endpoint move / PROPAGATE change), so phase 5 asks one hash lookup per
+// OID instead of scanning its adjacency and every link's PROPAGATE list.
+// Waves are processed in batches (BFS generations): all receivers of a
+// generation are collected and de-duplicated before any of their rules
+// run, which keeps delivery order identical to the naive scan and lets
+// stats report deliveries and batches per wave. Set
+// EngineOptions::use_propagation_index = false to fall back to linear
+// scans (the pre-index engine, kept for benchmarks and differential
+// tests).
 #pragma once
 
 #include <functional>
@@ -21,10 +35,12 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "blueprint/ast.hpp"
 #include "common/clock.hpp"
+#include "engine/propagation_index.hpp"
 #include "engine/script_executor.hpp"
 #include "engine/stats.hpp"
 #include "events/event.hpp"
@@ -47,17 +63,27 @@ struct EngineOptions {
   /// Throw NotFoundError on events targeting unknown OIDs instead of
   /// counting them as dangling and moving on.
   bool strict_targets = false;
+
+  /// Serve wave expansion from the per-OID propagation index instead of
+  /// scanning adjacency lists. Off reproduces the pre-index engine
+  /// (benchmark baseline / differential testing); delivery order is
+  /// identical either way.
+  bool use_propagation_index = true;
 };
 
 /// The run-time engine. Owns the FIFO queue and the journal; operates on
 /// an externally owned meta-database (several engines can be pointed at
 /// snapshots of the same project in tests).
-class RunTimeEngine {
+class RunTimeEngine : private metadb::LinkObserver {
  public:
   using NotificationSink = std::function<void(const Notification&)>;
 
   RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
                 EngineOptions options = {});
+  ~RunTimeEngine() override;
+
+  RunTimeEngine(const RunTimeEngine&) = delete;
+  RunTimeEngine& operator=(const RunTimeEngine&) = delete;
 
   // --- BluePrint lifecycle -------------------------------------------
 
@@ -128,11 +154,26 @@ class RunTimeEngine {
   const events::EventJournal& journal() const noexcept { return journal_; }
   const EngineStats& stats() const noexcept { return stats_; }
   SimClock& clock() noexcept { return clock_; }
+  const PropagationIndex& propagation_index() const noexcept { return index_; }
 
   /// Zeroes the statistics (benchmark warm-up support).
   void ResetStats() noexcept { stats_ = EngineStats{}; }
 
+  /// Drops the audit journal (benchmark support: long measurement loops
+  /// would otherwise accumulate unbounded records).
+  void ClearJournal() { journal_.Clear(); }
+
  private:
+  // --- metadb::LinkObserver (propagation index maintenance) -------------
+  void OnLinkAdded(metadb::LinkId id, const metadb::Link& link) override;
+  void OnLinkRemoved(metadb::LinkId id, const metadb::Link& link) override;
+  void OnLinkEndpointMoved(metadb::LinkId id, bool endpoint_from,
+                           metadb::OidId old_endpoint,
+                           const metadb::Link& link) override;
+  void OnLinkPropagatesChanged(metadb::LinkId id,
+                               const std::vector<std::string>& old_propagates,
+                               const metadb::Link& link) override;
+
   /// Rule phases executed at one OID for one event.
   void RunRulesAt(metadb::OidId target, const events::EventMessage& event,
                   std::vector<events::EventMessage>& direction_posts);
@@ -153,8 +194,19 @@ class RunTimeEngine {
   /// Wave engine: delivers `event` to every seed (and onward through
   /// qualifying links) with one shared visited set. `seeds_are_origin`
   /// marks seeds as queue-event targets (not propagated deliveries).
+  /// Processing is batched: each BFS generation's receivers are fully
+  /// collected (and de-duplicated) before any of their rules run.
   void ProcessWaveSeeded(std::vector<metadb::OidId> seeds,
                          bool seeds_are_origin, events::EventMessage event);
+
+  /// Appends the receivers of (`event_name`, `direction`) leaving
+  /// `source` to `out`, skipping OIDs already in `visited` (which is
+  /// updated). Served by the propagation index when enabled, by an
+  /// adjacency scan otherwise; both produce the same order.
+  void CollectReceivers(metadb::OidId source, std::string_view event_name,
+                        events::Direction direction,
+                        std::unordered_set<uint32_t>& visited,
+                        std::vector<metadb::OidId>& out);
 
   /// Collects the matching rule actions for (view of target, event).
   /// Default-view rules come first, then the specific view's.
@@ -190,6 +242,11 @@ class RunTimeEngine {
   events::EventQueue queue_;
   events::EventJournal journal_;
   EngineStats stats_;
+
+  /// Per-OID receiver index for phase-5 wave expansion; maintained via
+  /// the LinkObserver callbacks above while options_.use_propagation_index
+  /// is set (and rebuilt wholesale on LoadBlueprint).
+  PropagationIndex index_;
 
   // Wrapper scripts are *launched* in rule phase 3 but their effects
   // arrive asynchronously (they are shell scripts talking back over the

@@ -37,6 +37,20 @@ struct EngineStats {
   size_t waves_truncated = 0;       ///< Hit the max-delivery safety cap.
   size_t max_wave_extent = 0;       ///< Largest single wave observed.
   size_t post_to_misses = 0;        ///< 'post ... to <View>' found no OID.
+
+  // Wave expansion fast path.
+  size_t wave_deliveries = 0;       ///< All deliveries (origin + propagated).
+  size_t wave_batches = 0;          ///< BFS generations processed.
+  size_t index_lookups = 0;         ///< Receiver sets served by the index.
+  size_t links_scanned = 0;         ///< Links examined by fallback scans.
+
+  /// Mean OIDs delivered to per propagation wave.
+  double DeliveriesPerWave() const {
+    return waves_started == 0
+               ? 0.0
+               : static_cast<double>(wave_deliveries) /
+                     static_cast<double>(waves_started);
+  }
 };
 
 }  // namespace damocles::engine

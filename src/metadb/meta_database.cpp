@@ -187,6 +187,9 @@ LinkId MetaDatabase::CreateLink(LinkKind kind, OidId from, OidId to,
 
   out_links_[from.value()].push_back(id);
   in_links_[to.value()].push_back(id);
+  for (LinkObserver* observer : link_observers_) {
+    observer->OnLinkAdded(id, links_[id.value()]);
+  }
   return id;
 }
 
@@ -194,6 +197,9 @@ void MetaDatabase::DeleteLink(LinkId id) {
   CheckLinkHandle(id);
   Link& link = links_[id.value()];
   if (!link.alive) return;
+  for (LinkObserver* observer : link_observers_) {
+    observer->OnLinkRemoved(id, link);
+  }
   DetachLinkFromAdjacency(id);
   link.alive = false;
 }
@@ -236,10 +242,43 @@ void MetaDatabase::MoveLinkEndpoint(LinkId id, bool endpoint_from,
       endpoint_from ? out_links_[endpoint.value()] : in_links_[endpoint.value()];
   old_list.erase(std::remove(old_list.begin(), old_list.end(), id),
                  old_list.end());
+  const OidId old_endpoint = endpoint;
   endpoint = new_endpoint;
   auto& new_list = endpoint_from ? out_links_[new_endpoint.value()]
                                  : in_links_[new_endpoint.value()];
   new_list.push_back(id);
+  for (LinkObserver* observer : link_observers_) {
+    observer->OnLinkEndpointMoved(id, endpoint_from, old_endpoint, link);
+  }
+}
+
+void MetaDatabase::SetLinkPropagates(LinkId id,
+                                     std::vector<std::string> propagates) {
+  CheckLinkHandle(id);
+  Link& link = links_[id.value()];
+  if (!link.alive) {
+    throw IntegrityError("SetLinkPropagates: link is deleted");
+  }
+  if (link.propagates == propagates) return;
+  std::vector<std::string> old_propagates = std::move(link.propagates);
+  link.propagates = std::move(propagates);
+  for (LinkObserver* observer : link_observers_) {
+    observer->OnLinkPropagatesChanged(id, old_propagates, link);
+  }
+}
+
+void MetaDatabase::AddLinkObserver(LinkObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(link_observers_.begin(), link_observers_.end(), observer) ==
+      link_observers_.end()) {
+    link_observers_.push_back(observer);
+  }
+}
+
+void MetaDatabase::RemoveLinkObserver(LinkObserver* observer) {
+  link_observers_.erase(
+      std::remove(link_observers_.begin(), link_observers_.end(), observer),
+      link_observers_.end());
 }
 
 const std::vector<LinkId>& MetaDatabase::OutLinks(OidId id) const {
@@ -357,13 +396,19 @@ OidId MetaDatabase::RestoreObjectSlot(MetaObject object) {
 
 LinkId MetaDatabase::RestoreLinkSlot(Link link) {
   const LinkId id(static_cast<uint32_t>(links_.size()));
-  if (link.alive) {
+  const bool alive = link.alive;
+  if (alive) {
     CheckObjectHandle(link.from);
     CheckObjectHandle(link.to);
     out_links_[link.from.value()].push_back(id);
     in_links_[link.to.value()].push_back(id);
   }
   links_.push_back(std::move(link));
+  if (alive) {
+    for (LinkObserver* observer : link_observers_) {
+      observer->OnLinkAdded(id, links_[id.value()]);
+    }
+  }
   return id;
 }
 

@@ -37,6 +37,32 @@ struct DatabaseStats {
   size_t property_values = 0;
 };
 
+/// Receives link-mutation notifications. The run-time engine registers
+/// one of these to keep its propagation index consistent with the link
+/// graph without rescanning adjacency on every wave.
+///
+/// Callback contract:
+///  * OnLinkAdded fires after the link is wired into adjacency;
+///  * OnLinkRemoved fires before the link is detached, with its
+///    endpoints and PROPAGATE list still intact;
+///  * OnLinkEndpointMoved fires after the move, passing the previous
+///    value of the endpoint that changed;
+///  * OnLinkPropagatesChanged fires after the change, passing the
+///    previous PROPAGATE list.
+/// Mutating the PROPAGATE list through GetLinkMutable() bypasses these
+/// notifications — use SetLinkPropagates() instead.
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  virtual void OnLinkAdded(LinkId id, const Link& link) = 0;
+  virtual void OnLinkRemoved(LinkId id, const Link& link) = 0;
+  virtual void OnLinkEndpointMoved(LinkId id, bool endpoint_from,
+                                   OidId old_endpoint, const Link& link) = 0;
+  virtual void OnLinkPropagatesChanged(
+      LinkId id, const std::vector<std::string>& old_propagates,
+      const Link& link) = 0;
+};
+
 /// The meta-database. Not thread-safe; the run-time engine serializes
 /// all access through its FIFO event queue, matching the paper's
 /// "events are processed sequentially, first-in first-out".
@@ -116,6 +142,18 @@ class MetaDatabase {
   /// Fig. 3). `endpoint_from == true` moves the source, else the target.
   void MoveLinkEndpoint(LinkId id, bool endpoint_from, OidId new_endpoint);
 
+  /// Replaces a live link's PROPAGATE list, notifying observers. The
+  /// engine's RetemplateLinks goes through here so propagation indexes
+  /// track blueprint changes.
+  void SetLinkPropagates(LinkId id, std::vector<std::string> propagates);
+
+  // --- Link observers ------------------------------------------------------
+  // Observers are not owned; register/unregister is the caller's job
+  // (the run-time engine does both in its constructor/destructor).
+
+  void AddLinkObserver(LinkObserver* observer);
+  void RemoveLinkObserver(LinkObserver* observer);
+
   /// Live links whose source / target is `id`.
   const std::vector<LinkId>& OutLinks(OidId id) const;
   const std::vector<LinkId>& InLinks(OidId id) const;
@@ -175,6 +213,7 @@ class MetaDatabase {
   std::vector<MetaObject> objects_;
   std::vector<Link> links_;
   std::vector<Configuration> configurations_;
+  std::vector<LinkObserver*> link_observers_;
 
   std::unordered_map<Oid, OidId, OidHash> by_oid_;
   // (block + '\0' + view) -> version chain, oldest first.
