@@ -164,6 +164,16 @@ void PrintSeries() {
       "\nExpected shape (paper): the observer tracks without pre-approving "
       "or blocking any\naction; the activity-driven manager obstructs and "
       "the polling tracker detects late.\n\n");
+
+  // Machine-readable trajectory: ns per design action and actions/sec
+  // per tracking regime (deliveries == designer actions tracked here).
+  const auto add = [&](const char* name, double seconds) {
+    benchutil::AddBenchJson(name, seconds * 1e9 / kActions,
+                            seconds > 0.0 ? kActions / seconds : 0.0);
+  };
+  add("overhead_observer", observer_seconds);
+  add("overhead_activity_driven", activity_seconds);
+  add("overhead_polling", polling_seconds);
 }
 
 }  // namespace
@@ -171,5 +181,6 @@ void PrintSeries() {
 int main(int argc, char** argv) {
   PrintSeries();
   damocles::benchutil::RunBenchmarks(argc, argv);
+  damocles::benchutil::WriteBenchJson();
   return 0;
 }

@@ -7,10 +7,16 @@
 // change event, selective engine vs full-recompute baseline, sweeping
 // the design size — the gap should widen linearly with design size
 // (full recompute is O(V+E) per event, selective is O(affected)).
-// The second half benchmarks the engine's wave-expansion fast path: the
-// per-OID propagation index versus the pre-index linear link scan
-// (EngineOptions::use_propagation_index = false), on a hub-heavy design
-// where most links do not propagate the event being delivered.
+// The second half benchmarks the engine's wave-expansion fast paths on
+// a hub-heavy design where most links do not propagate the event being
+// delivered, across the engine's three generations:
+//   scan     — pre-index engine: linear link scans per delivery;
+//   indexed  — PR-1 engine: per-OID index, string-keyed lookups,
+//              per-delivery payload copies (use_propagation_index only);
+//   interned — symbol-interned hot path: packed integer keys, compiled
+//              rule tables, copy-free wave delivery (the default).
+// Series are also registered with the DAMOCLES_BENCH_JSON emitter so
+// the perf trajectory is machine-readable (see bench_util.hpp).
 #include "bench_util.hpp"
 
 #include <chrono>
@@ -56,7 +62,27 @@ void BM_FullRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRecompute)->Arg(4)->Arg(16)->Arg(64);
 
-// --- Wave-expansion fast path: propagation index vs linear link scan ------
+// --- Wave-expansion fast path: scan vs indexed vs interned ----------------
+
+/// The engine generations the hub benchmark compares.
+enum class EngineMode { kScan, kIndexed, kInterned };
+
+const char* ModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kScan: return "scan";
+    case EngineMode::kIndexed: return "indexed";
+    case EngineMode::kInterned: return "interned";
+  }
+  return "?";
+}
+
+engine::EngineOptions ModeOptions(EngineMode mode) {
+  engine::EngineOptions options;
+  options.use_propagation_index = mode != EngineMode::kScan;
+  options.interned_fast_path = mode == EngineMode::kInterned;
+  options.journal_propagated = false;
+  return options;
+}
 
 /// A hub with `degree` outgoing derive links. Only every 16th link
 /// propagates "edit"; the rest carry a realistic mix of other event
@@ -68,13 +94,10 @@ struct HubDesign {
   metadb::Oid hub;
 };
 
-std::unique_ptr<HubDesign> MakeHubDesign(int degree, bool use_index) {
+std::unique_ptr<HubDesign> MakeHubDesign(int degree, EngineMode mode) {
   auto design = std::make_unique<HubDesign>();
-  engine::EngineOptions options;
-  options.use_propagation_index = use_index;
-  options.journal_propagated = false;
   design->engine = std::make_unique<engine::RunTimeEngine>(
-      design->db, design->clock, options);
+      design->db, design->clock, ModeOptions(mode));
 
   const metadb::OidId hub =
       design->db.CreateNextVersion("hub", "netlist", "bench", 0);
@@ -103,8 +126,8 @@ void DeliverWave(HubDesign& design) {
   design.engine->ClearJournal();
 }
 
-void BM_WaveExpansion(benchmark::State& state, bool use_index) {
-  auto design = MakeHubDesign(static_cast<int>(state.range(0)), use_index);
+void BM_WaveExpansion(benchmark::State& state, EngineMode mode) {
+  auto design = MakeHubDesign(static_cast<int>(state.range(0)), mode);
   for (auto _ : state) {
     DeliverWave(*design);
   }
@@ -117,9 +140,11 @@ void BM_WaveExpansion(benchmark::State& state, bool use_index) {
   state.counters["index_lookups"] = benchmark::Counter(
       static_cast<double>(stats.index_lookups), benchmark::Counter::kAvgIterations);
 }
-BENCHMARK_CAPTURE(BM_WaveExpansion, indexed, true)
+BENCHMARK_CAPTURE(BM_WaveExpansion, linear_scan, EngineMode::kScan)
     ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
-BENCHMARK_CAPTURE(BM_WaveExpansion, linear_scan, false)
+BENCHMARK_CAPTURE(BM_WaveExpansion, indexed, EngineMode::kIndexed)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_WaveExpansion, interned, EngineMode::kInterned)
     ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void PrintSeries() {
@@ -160,41 +185,52 @@ void PrintSeries() {
 
 void PrintFastPathSeries() {
   benchutil::PrintHeader(
-      "Wave-expansion fast path: propagation index vs linear link scan",
+      "Wave-expansion fast path: scan vs indexed vs interned engine",
       "run-time engine phase 5",
       "One 'edit' wave leaves a hub whose degree grows; only 1 in 16 links "
-      "propagates the\nevent. The pre-index engine scans every link's "
-      "PROPAGATE list per wave; the indexed\nengine asks one hash lookup "
-      "per OID.");
+      "propagates the\nevent. scan wades through every PROPAGATE list; "
+      "indexed (PR-1) hashes event-name\nstrings and copies the payload per "
+      "delivery; interned does one integer probe per\nOID on a shared "
+      "payload.");
 
   const int waves = benchutil::SeriesScale(2000, 20);
   const int warmup = benchutil::SeriesScale(100, 2);
   const int max_degree = benchutil::SeriesScale(4096, 256);
-  std::printf("%-10s %-18s %-18s %-18s %-10s\n", "degree", "deliveries/wave",
-              "scan (us/wave)", "indexed (us/wave)", "speedup");
+  constexpr EngineMode kModes[] = {EngineMode::kScan, EngineMode::kIndexed,
+                                   EngineMode::kInterned};
+  std::printf("%-10s %-18s %-14s %-14s %-14s %-12s %-12s\n", "degree",
+              "deliveries/wave", "scan (us)", "indexed (us)", "interned (us)",
+              "idx/scan", "int/idx");
   for (const int degree : {256, 1024, 4096}) {
     if (degree > max_degree) break;
-    double micros[2] = {0.0, 0.0};
+    double micros[3] = {0.0, 0.0, 0.0};
     double deliveries_per_wave = 0.0;
-    for (const bool use_index : {false, true}) {
-      auto design = MakeHubDesign(degree, use_index);
+    for (const EngineMode mode : kModes) {
+      auto design = MakeHubDesign(degree, mode);
       for (int i = 0; i < warmup; ++i) DeliverWave(*design);
       design->engine->ResetStats();
       const auto start = std::chrono::steady_clock::now();
       for (int i = 0; i < waves; ++i) DeliverWave(*design);
       const auto elapsed = std::chrono::steady_clock::now() - start;
-      micros[use_index ? 1 : 0] =
+      const double us_per_wave =
           std::chrono::duration<double, std::micro>(elapsed).count() / waves;
+      micros[static_cast<int>(mode)] = us_per_wave;
       deliveries_per_wave = design->engine->stats().DeliveriesPerWave();
+      benchutil::AddBenchJson(
+          std::string("wave_") + ModeName(mode) + "_d" +
+              std::to_string(degree),
+          us_per_wave * 1e3,
+          us_per_wave > 0.0 ? deliveries_per_wave * 1e6 / us_per_wave : 0.0);
     }
-    std::printf("%-10d %-18.1f %-18.2f %-18.2f %-10.2f\n", degree,
-                deliveries_per_wave, micros[0], micros[1],
-                micros[0] / micros[1]);
+    std::printf("%-10d %-18.1f %-14.2f %-14.2f %-14.2f %-12.2f %-12.2f\n",
+                degree, deliveries_per_wave, micros[0], micros[1], micros[2],
+                micros[0] / micros[1], micros[1] / micros[2]);
   }
   std::printf(
-      "\nExpected shape: scan cost grows with hub degree while indexed cost "
-      "follows the\nreceiver count only, so the speedup widens with "
-      "connectivity.\n\n");
+      "\nExpected shape: scan cost grows with hub degree while the indexed "
+      "engines follow\nthe receiver count only; the interned engine drops "
+      "the per-delivery string and\ncopy work on top, so int/idx holds "
+      "above 1.5x from degree 1024 up.\n\n");
 }
 
 }  // namespace
@@ -203,5 +239,6 @@ int main(int argc, char** argv) {
   PrintSeries();
   PrintFastPathSeries();
   damocles::benchutil::RunBenchmarks(argc, argv);
+  damocles::benchutil::WriteBenchJson();
   return 0;
 }

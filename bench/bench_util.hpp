@@ -35,6 +35,58 @@ inline int SeriesScale(int full, int smoke) {
   return SmokeMode() ? smoke : full;
 }
 
+// --- Machine-readable results (DAMOCLES_BENCH_JSON) -----------------------
+//
+// Benches that track a perf trajectory register their series here and
+// call WriteBenchJson() at the end of main. When the DAMOCLES_BENCH_JSON
+// environment variable names a path, the collected series are written
+// there as JSON: {"series": [{"name": ..., "ns_per_op": ...,
+// "deliveries_per_sec": ...}, ...]}. CI uploads the files as artifacts
+// so the speedups are comparable across commits.
+
+struct BenchJsonSeries {
+  std::string name;
+  double ns_per_op = 0.0;
+  double deliveries_per_sec = 0.0;
+};
+
+inline std::vector<BenchJsonSeries>& BenchJsonData() {
+  static std::vector<BenchJsonSeries> data;
+  return data;
+}
+
+/// Registers one series result (no-op cost when the emitter is unused).
+inline void AddBenchJson(std::string name, double ns_per_op,
+                         double deliveries_per_sec) {
+  BenchJsonData().push_back(
+      BenchJsonSeries{std::move(name), ns_per_op, deliveries_per_sec});
+}
+
+/// Writes the registered series to $DAMOCLES_BENCH_JSON; no-op when the
+/// variable is unset or empty. Call once, at the end of the bench main.
+inline void WriteBenchJson() {
+  const char* path = std::getenv("DAMOCLES_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write DAMOCLES_BENCH_JSON=%s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"series\": [\n");
+  const std::vector<BenchJsonSeries>& data = BenchJsonData();
+  for (size_t i = 0; i < data.size(); ++i) {
+    // Series names are internal identifiers (no quotes/backslashes to
+    // escape).
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"deliveries_per_sec\": %.1f}%s\n",
+                 data[i].name.c_str(), data[i].ns_per_op,
+                 data[i].deliveries_per_sec, i + 1 < data.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
 /// Shared bench main body: forwards argv to google-benchmark, injecting
 /// a minimal --benchmark_min_time in smoke mode (explicit flags win —
 /// the injected flag comes first, later flags override it).

@@ -5,21 +5,23 @@
 namespace damocles {
 
 SymbolTable::SymbolTable() {
-  texts_.emplace_back();
-  ids_.emplace("", 0);
+  const auto [it, inserted] = ids_.emplace(std::string(), SymbolId{0});
+  (void)inserted;
+  texts_.push_back(&it->first);
 }
 
 SymbolId SymbolTable::Intern(std::string_view text) {
-  const auto it = ids_.find(std::string(text));
+  const auto it = ids_.find(text);
   if (it != ids_.end()) return it->second;
   const SymbolId id = static_cast<SymbolId>(texts_.size());
-  texts_.emplace_back(text);
-  ids_.emplace(texts_.back(), id);
+  const auto [inserted, ok] = ids_.emplace(std::string(text), id);
+  (void)ok;
+  texts_.push_back(&inserted->first);
   return id;
 }
 
 SymbolId SymbolTable::Find(std::string_view text) const {
-  const auto it = ids_.find(std::string(text));
+  const auto it = ids_.find(text);
   return it == ids_.end() ? kNoSymbol : it->second;
 }
 
@@ -28,7 +30,7 @@ const std::string& SymbolTable::Text(SymbolId id) const {
     throw NotFoundError("SymbolTable::Text: unknown symbol id " +
                         std::to_string(id));
   }
-  return texts_[id];
+  return *texts_[id];
 }
 
 }  // namespace damocles

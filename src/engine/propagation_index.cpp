@@ -38,23 +38,35 @@ size_t CountOccurrences(const std::vector<std::string>& events,
   return static_cast<size_t>(std::count(events.begin(), events.end(), event));
 }
 
-}  // namespace
-
-PropagationIndex::NodeIndex& PropagationIndex::Node(OidId source) {
-  if (source.value() >= nodes_.size()) {
-    nodes_.resize(source.value() + 1);
-  }
-  return nodes_[source.value()];
+OidId UnpackSource(uint64_t key) noexcept {
+  return OidId(static_cast<uint32_t>(key >> 33));
 }
 
+Direction UnpackDirection(uint64_t key) noexcept {
+  return ((key >> 32) & 1u) != 0 ? Direction::kDown : Direction::kUp;
+}
+
+SymbolId UnpackEvent(uint64_t key) noexcept {
+  return static_cast<SymbolId>(key & 0xffffffffu);
+}
+
+}  // namespace
+
+PropagationIndex::PropagationIndex()
+    : symbols_(nullptr), owned_(std::make_unique<SymbolTable>()) {
+  symbols_ = owned_.get();
+}
+
+PropagationIndex::PropagationIndex(SymbolTable& symbols)
+    : symbols_(&symbols) {}
+
 void PropagationIndex::Clear() {
-  nodes_.clear();
+  buckets_.clear();
   entries_ = 0;
 }
 
 void PropagationIndex::Rebuild(const MetaDatabase& db) {
   Clear();
-  nodes_.resize(db.ObjectSlotCount());
   // Walk adjacency lists (not link slots): endpoint moves re-append
   // links, so adjacency order — the order a scan delivers in — can
   // differ from slot order.
@@ -62,14 +74,16 @@ void PropagationIndex::Rebuild(const MetaDatabase& db) {
     for (const LinkId link_id : db.OutLinks(id)) {
       const Link& link = db.GetLink(link_id);
       for (const std::string& event : link.propagates) {
-        MapFor(id, Direction::kDown)[event].push_back(Entry{link_id, link.to});
+        buckets_[PackKey(id, Direction::kDown, symbols_->Intern(event))]
+            .push_back(Entry{link_id, link.to});
         ++entries_;
       }
     }
     for (const LinkId link_id : db.InLinks(id)) {
       const Link& link = db.GetLink(link_id);
       for (const std::string& event : link.propagates) {
-        MapFor(id, Direction::kUp)[event].push_back(Entry{link_id, link.from});
+        buckets_[PackKey(id, Direction::kUp, symbols_->Intern(event))]
+            .push_back(Entry{link_id, link.from});
         ++entries_;
       }
     }
@@ -77,33 +91,34 @@ void PropagationIndex::Rebuild(const MetaDatabase& db) {
 }
 
 const PropagationIndex::Bucket* PropagationIndex::Receivers(
-    OidId source, Direction direction, std::string_view event) const {
-  if (source.value() >= nodes_.size()) return nullptr;
-  const NodeIndex& node = nodes_[source.value()];
-  const EventMap& map = direction == Direction::kDown ? node.down : node.up;
-  const auto it = map.find(event);
-  if (it == map.end() || it->second.empty()) return nullptr;
+    OidId source, Direction direction, SymbolId event) const {
+  const auto it = buckets_.find(PackKey(source, direction, event));
+  if (it == buckets_.end() || it->second.empty()) return nullptr;
   return &it->second;
+}
+
+const PropagationIndex::Bucket* PropagationIndex::Receivers(
+    OidId source, Direction direction, std::string_view event) const {
+  const SymbolId id = symbols_->Find(event);
+  if (id == SymbolTable::kNoSymbol) return nullptr;
+  return Receivers(source, direction, id);
 }
 
 void PropagationIndex::AddEntries(LinkId id,
                                   const std::vector<std::string>& events,
                                   OidId from, OidId to) {
   for (const std::string& event : events) {
-    MapFor(from, Direction::kDown)[event].push_back(Entry{id, to});
-    MapFor(to, Direction::kUp)[event].push_back(Entry{id, from});
+    const SymbolId sym = symbols_->Intern(event);
+    buckets_[PackKey(from, Direction::kDown, sym)].push_back(Entry{id, to});
+    buckets_[PackKey(to, Direction::kUp, sym)].push_back(Entry{id, from});
     entries_ += 2;
   }
 }
 
 void PropagationIndex::EraseLinkEntries(OidId source, Direction direction,
-                                        const std::string& event,
-                                        LinkId link) {
-  if (source.value() >= nodes_.size()) return;
-  NodeIndex& node = nodes_[source.value()];
-  EventMap& map = direction == Direction::kDown ? node.down : node.up;
-  const auto it = map.find(event);
-  if (it == map.end()) return;
+                                        SymbolId event, LinkId link) {
+  const auto it = buckets_.find(PackKey(source, direction, event));
+  if (it == buckets_.end()) return;
   Bucket& bucket = it->second;
   // Ordered erase: surviving entries keep their adjacency-scan order.
   const auto new_end =
@@ -111,15 +126,18 @@ void PropagationIndex::EraseLinkEntries(OidId source, Direction direction,
                      [link](const Entry& entry) { return entry.link == link; });
   entries_ -= static_cast<size_t>(bucket.end() - new_end);
   bucket.erase(new_end, bucket.end());
-  if (bucket.empty()) map.erase(it);
+  if (bucket.empty()) buckets_.erase(it);
 }
 
 void PropagationIndex::RemoveEntries(LinkId id,
                                      const std::vector<std::string>& events,
                                      OidId from, OidId to) {
   ForEachDistinct(events, [&](const std::string& event) {
-    EraseLinkEntries(from, Direction::kDown, event, id);
-    EraseLinkEntries(to, Direction::kUp, event, id);
+    // A removed event name was necessarily interned when it was added.
+    const SymbolId sym = symbols_->Find(event);
+    if (sym == SymbolTable::kNoSymbol) return;
+    EraseLinkEntries(from, Direction::kDown, sym, id);
+    EraseLinkEntries(to, Direction::kUp, sym, id);
   });
 }
 
@@ -138,36 +156,34 @@ void PropagationIndex::MoveLinkEndpoint(LinkId id, bool endpoint_from,
   // unmoved side keeps its bucket positions; only the neighbour field
   // changes.
   const auto patch_neighbor = [this](OidId source, Direction direction,
-                                     const std::string& event, LinkId link_id,
+                                     SymbolId event, LinkId link_id,
                                      OidId neighbor) {
-    if (source.value() >= nodes_.size()) return;
-    NodeIndex& node = nodes_[source.value()];
-    EventMap& map = direction == Direction::kDown ? node.down : node.up;
-    const auto it = map.find(event);
-    if (it == map.end()) return;
+    const auto it = buckets_.find(PackKey(source, direction, event));
+    if (it == buckets_.end()) return;
     for (Entry& entry : it->second) {
       if (entry.link == link_id) entry.neighbor = neighbor;
     }
   };
 
   ForEachDistinct(link.propagates, [&](const std::string& event) {
+    const SymbolId sym = symbols_->Intern(event);
     const size_t multiplicity = CountOccurrences(link.propagates, event);
     if (endpoint_from) {
-      EraseLinkEntries(old_endpoint, Direction::kDown, event, id);
-      Bucket& bucket = MapFor(link.from, Direction::kDown)[event];
+      EraseLinkEntries(old_endpoint, Direction::kDown, sym, id);
+      Bucket& bucket = buckets_[PackKey(link.from, Direction::kDown, sym)];
       for (size_t i = 0; i < multiplicity; ++i) {
         bucket.push_back(Entry{id, link.to});
         ++entries_;
       }
-      patch_neighbor(link.to, Direction::kUp, event, id, link.from);
+      patch_neighbor(link.to, Direction::kUp, sym, id, link.from);
     } else {
-      EraseLinkEntries(old_endpoint, Direction::kUp, event, id);
-      Bucket& bucket = MapFor(link.to, Direction::kUp)[event];
+      EraseLinkEntries(old_endpoint, Direction::kUp, sym, id);
+      Bucket& bucket = buckets_[PackKey(link.to, Direction::kUp, sym)];
       for (size_t i = 0; i < multiplicity; ++i) {
         bucket.push_back(Entry{id, link.from});
         ++entries_;
       }
-      patch_neighbor(link.from, Direction::kDown, event, id, link.to);
+      patch_neighbor(link.from, Direction::kDown, sym, id, link.to);
     }
   });
 }
@@ -175,11 +191,12 @@ void PropagationIndex::MoveLinkEndpoint(LinkId id, bool endpoint_from,
 void PropagationIndex::RebuildBucket(const MetaDatabase& db, OidId source,
                                      Direction direction,
                                      const std::string& event) {
-  EventMap& map = MapFor(source, direction);
-  const auto it = map.find(event);
-  if (it != map.end()) {
+  const SymbolId sym = symbols_->Intern(event);
+  const uint64_t key = PackKey(source, direction, sym);
+  const auto it = buckets_.find(key);
+  if (it != buckets_.end()) {
     entries_ -= it->second.size();
-    map.erase(it);
+    buckets_.erase(it);
   }
   Bucket bucket;
   const std::vector<LinkId>& adjacency = direction == Direction::kDown
@@ -194,7 +211,7 @@ void PropagationIndex::RebuildBucket(const MetaDatabase& db, OidId source,
   }
   if (!bucket.empty()) {
     entries_ += bucket.size();
-    map.emplace(event, std::move(bucket));
+    buckets_.emplace(key, std::move(bucket));
   }
 }
 
@@ -221,7 +238,7 @@ void PropagationIndex::SetLinkPropagates(
 
 bool PropagationIndex::ConsistentWith(const MetaDatabase& db,
                                       std::string* diff) const {
-  PropagationIndex fresh;
+  PropagationIndex fresh;  // Private symbol table; compared by text.
   fresh.Rebuild(db);
 
   const auto describe = [diff](const std::string& what) {
@@ -233,12 +250,7 @@ bool PropagationIndex::ConsistentWith(const MetaDatabase& db,
                     ", rescan has " + std::to_string(fresh.entries_));
   }
 
-  const size_t node_count = std::max(nodes_.size(), fresh.nodes_.size());
-  static const NodeIndex kEmptyNode;
-  const auto sorted = [](const EventMap& map, const std::string& event) {
-    Bucket bucket;
-    const auto it = map.find(event);
-    if (it != map.end()) bucket = it->second;
+  const auto sorted = [](Bucket bucket) {
     std::sort(bucket.begin(), bucket.end(),
               [](const Entry& a, const Entry& b) {
                 return a.link.value() != b.link.value()
@@ -247,36 +259,35 @@ bool PropagationIndex::ConsistentWith(const MetaDatabase& db,
               });
     return bucket;
   };
+  const auto mismatch = [&](uint64_t key, const std::string& event,
+                            size_t mine, size_t theirs) {
+    const OidId source = UnpackSource(key);
+    const bool down = UnpackDirection(key) == Direction::kDown;
+    return describe("oid " + std::to_string(source.value()) + " " +
+                    (down ? "down" : "up") + " '" + event + "': index has " +
+                    std::to_string(mine) + " entries, rescan has " +
+                    std::to_string(theirs));
+  };
 
-  for (size_t oid = 0; oid < node_count; ++oid) {
-    const NodeIndex& mine = oid < nodes_.size() ? nodes_[oid] : kEmptyNode;
-    const NodeIndex& theirs =
-        oid < fresh.nodes_.size() ? fresh.nodes_[oid] : kEmptyNode;
-    for (const bool down : {true, false}) {
-      const EventMap& my_map = down ? mine.down : mine.up;
-      const EventMap& their_map = down ? theirs.down : theirs.up;
-      // Union of keys; empty buckets count as absent.
-      std::vector<std::string> events;
-      for (const auto& [event, bucket] : my_map) {
-        if (!bucket.empty()) events.push_back(event);
-      }
-      for (const auto& [event, bucket] : their_map) {
-        if (!bucket.empty() && my_map.find(event) == my_map.end()) {
-          events.push_back(event);
-        }
-      }
-      for (const std::string& event : events) {
-        const Bucket mine_sorted = sorted(my_map, event);
-        const Bucket theirs_sorted = sorted(their_map, event);
-        if (mine_sorted != theirs_sorted) {
-          return describe("oid " + std::to_string(oid) + " " +
-                          (down ? "down" : "up") + " '" + event +
-                          "': index has " +
-                          std::to_string(mine_sorted.size()) +
-                          " entries, rescan has " +
-                          std::to_string(theirs_sorted.size()));
-        }
-      }
+  // Every bucket of mine must match the rescan's bucket for the same
+  // (source, direction, event text); empty buckets count as absent.
+  for (const auto& [key, bucket] : buckets_) {
+    if (bucket.empty()) continue;
+    const std::string& event = symbols_->Text(UnpackEvent(key));
+    const Bucket* theirs = fresh.Receivers(UnpackSource(key),
+                                           UnpackDirection(key), event);
+    if (theirs == nullptr) return mismatch(key, event, bucket.size(), 0);
+    if (sorted(bucket) != sorted(*theirs)) {
+      return mismatch(key, event, bucket.size(), theirs->size());
+    }
+  }
+  // And the rescan must hold nothing this index lacks.
+  for (const auto& [key, bucket] : fresh.buckets_) {
+    if (bucket.empty()) continue;
+    const std::string& event = fresh.symbols_->Text(UnpackEvent(key));
+    if (Receivers(UnpackSource(key), UnpackDirection(key),
+                  std::string_view(event)) == nullptr) {
+      return mismatch(key, event, 0, bucket.size());
     }
   }
   return true;

@@ -8,21 +8,33 @@
 // deriving dozens of views, few of which propagate any given event) that
 // is O(degree × |PROPAGATE|) string work per delivery.
 //
-// This index precomputes the answer per (source OID, direction, event
-// name): each bucket holds exactly the links that qualify, in the same
-// order an adjacency scan would visit them, so the indexed engine
-// delivers in the identical order as the scanning engine. It is built
-// in one pass at blueprint-install time and maintained incrementally
-// through MetaDatabase link-observer notifications (add / remove /
-// endpoint move / PROPAGATE change).
+// This index precomputes the answer per (source OID, direction, event):
+// each bucket holds exactly the links that qualify, in the same order an
+// adjacency scan would visit them, so the indexed engine delivers in the
+// identical order as the scanning engine. It is built in one pass at
+// blueprint-install time and maintained incrementally through
+// MetaDatabase link-observer notifications (add / remove / endpoint move
+// / PROPAGATE change).
+//
+// Buckets are keyed by one packed 64-bit integer combining the source
+// OID, the direction and the event's interned SymbolId, so a receiver
+// lookup on the hot path is a single integer-hash probe with zero
+// string hashing. Event names are interned through a SymbolTable —
+// normally the engine's (shared so rule tables and the index agree on
+// ids), or a private one when the index is used standalone. A
+// string_view Receivers overload remains as a thin shim for tests and
+// tools; it pays one string hash to resolve the SymbolId.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/symbol.hpp"
 #include "events/event.hpp"
 #include "metadb/ids.hpp"
 #include "metadb/link.hpp"
@@ -36,6 +48,14 @@ namespace damocles::engine {
 /// Per-(source, direction, event) receiver index over the link graph.
 class PropagationIndex {
  public:
+  /// Standalone index with a private symbol table.
+  PropagationIndex();
+
+  /// Index sharing the caller's symbol table (the engine passes its
+  /// own, so SymbolIds agree across the index and the rule tables).
+  /// `symbols` must outlive the index.
+  explicit PropagationIndex(SymbolTable& symbols);
+
   /// One qualifying link, as seen from the indexed source OID.
   struct Entry {
     metadb::LinkId link;
@@ -47,19 +67,30 @@ class PropagationIndex {
   };
   using Bucket = std::vector<Entry>;
 
-  /// Drops everything and re-indexes every live link of `db`, walking
-  /// each object's adjacency lists so bucket order matches scan order
-  /// even after endpoint moves reordered adjacency. O(links ×
-  /// |PROPAGATE|); called at blueprint install.
+  /// Drops every bucket (interned symbols are kept — SymbolIds stay
+  /// stable for the life of the table) and re-indexes every live link
+  /// of `db`, walking each object's adjacency lists so bucket order
+  /// matches scan order even after endpoint moves reordered adjacency.
+  /// O(links × |PROPAGATE|); called at blueprint install.
   void Rebuild(const metadb::MetaDatabase& db);
 
   void Clear();
 
-  /// The receivers of `event` leaving `source` in `direction`, or
-  /// nullptr when no link qualifies. The bucket order matches the order
-  /// a full adjacency scan would produce.
+  /// The receivers of the event interned as `event` leaving `source` in
+  /// `direction`, or nullptr when no link qualifies: one integer-hash
+  /// lookup. The bucket order matches the order a full adjacency scan
+  /// would produce.
+  const Bucket* Receivers(metadb::OidId source, events::Direction direction,
+                          SymbolId event) const;
+
+  /// String shim over the SymbolId lookup (tests / tools / the
+  /// non-interned engine path): resolves the id first, paying one
+  /// string hash.
   const Bucket* Receivers(metadb::OidId source, events::Direction direction,
                           std::string_view event) const;
+
+  /// The table this index interns event names through.
+  const SymbolTable& symbols() const noexcept { return *symbols_; }
 
   // --- Incremental maintenance (link-observer notifications) -----------
 
@@ -92,32 +123,38 @@ class PropagationIndex {
   /// Oracle check: compares against a freshly rebuilt index of `db`,
   /// bucket contents compared as sets (incremental maintenance may
   /// order a bucket differently from slot order after endpoint moves).
-  /// On mismatch returns false and, when `diff` is non-null, describes
-  /// the first divergence.
+  /// Comparison is by event *text*, so it holds across indexes with
+  /// different symbol tables. On mismatch returns false and, when
+  /// `diff` is non-null, describes the first divergence.
   bool ConsistentWith(const metadb::MetaDatabase& db,
                       std::string* diff = nullptr) const;
 
  private:
-  struct StringHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view text) const noexcept {
-      return std::hash<std::string_view>{}(text);
+  /// One packed key: event SymbolId in bits 0..31, direction in bit 32,
+  /// source OID in bits 33..63. Object slots are dense indices that stay
+  /// far below 2^31, so the OID always fits.
+  static constexpr uint64_t PackKey(metadb::OidId source,
+                                    events::Direction direction,
+                                    SymbolId event) noexcept {
+    return (static_cast<uint64_t>(source.value()) << 33) |
+           (static_cast<uint64_t>(direction == events::Direction::kDown)
+            << 32) |
+           static_cast<uint64_t>(event);
+  }
+
+  /// splitmix64 finalizer: packed keys are dense structured integers,
+  /// and libstdc++'s std::hash<uint64_t> is the identity — mix so
+  /// nearby (oid, event) pairs spread across buckets.
+  struct KeyHash {
+    size_t operator()(uint64_t key) const noexcept {
+      key += 0x9e3779b97f4a7c15ull;
+      key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+      key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<size_t>(key ^ (key >> 31));
     }
   };
-  using EventMap =
-      std::unordered_map<std::string, Bucket, StringHash, std::equal_to<>>;
 
-  /// Down-going and up-going buckets of one source OID.
-  struct NodeIndex {
-    EventMap down;  ///< source == link.from, neighbour == link.to
-    EventMap up;    ///< source == link.to,   neighbour == link.from
-  };
-
-  NodeIndex& Node(metadb::OidId source);
-  EventMap& MapFor(metadb::OidId source, events::Direction direction) {
-    NodeIndex& node = Node(source);
-    return direction == events::Direction::kDown ? node.down : node.up;
-  }
+  using BucketMap = std::unordered_map<uint64_t, Bucket, KeyHash>;
 
   void AddEntries(metadb::LinkId id, const std::vector<std::string>& events,
                   metadb::OidId from, metadb::OidId to);
@@ -127,13 +164,15 @@ class PropagationIndex {
   /// Ordered removal of every entry of `link` from one bucket; keeps
   /// entry accounting and drops the bucket when it empties.
   void EraseLinkEntries(metadb::OidId source, events::Direction direction,
-                        const std::string& event, metadb::LinkId link);
+                        SymbolId event, metadb::LinkId link);
 
   /// Recomputes one bucket from `source`'s adjacency list in `db`.
   void RebuildBucket(const metadb::MetaDatabase& db, metadb::OidId source,
                      events::Direction direction, const std::string& event);
 
-  std::vector<NodeIndex> nodes_;  ///< Indexed by OidId::value().
+  SymbolTable* symbols_;                   ///< Shared or owned_ below.
+  std::unique_ptr<SymbolTable> owned_;     ///< Set for standalone indexes.
+  BucketMap buckets_;
   size_t entries_ = 0;
 };
 

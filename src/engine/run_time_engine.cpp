@@ -1,7 +1,6 @@
 #include "engine/run_time_engine.hpp"
 
 #include <deque>
-#include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -9,6 +8,7 @@
 namespace damocles::engine {
 
 using blueprint::Blueprint;
+using blueprint::CompiledRules;
 using blueprint::ViewTemplate;
 using events::Direction;
 using events::EventMessage;
@@ -22,7 +22,7 @@ using metadb::OidId;
 
 RunTimeEngine::RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
                              EngineOptions options)
-    : db_(db), clock_(clock), options_(options) {
+    : db_(db), clock_(clock), options_(options), index_(symbols_) {
   if (options_.use_propagation_index) {
     db_.AddLinkObserver(this);
     index_.Rebuild(db_);
@@ -33,9 +33,16 @@ RunTimeEngine::~RunTimeEngine() { db_.RemoveLinkObserver(this); }
 
 void RunTimeEngine::LoadBlueprint(Blueprint blueprint) {
   blueprint_ = std::make_unique<Blueprint>(std::move(blueprint));
+  if (options_.interned_fast_path) {
+    // Rule-table compile point. Cached OidBindings re-resolve lazily
+    // against the bumped generation; SymbolIds themselves stay valid
+    // (the interner only grows).
+    compiled_.Compile(*blueprint_, symbols_);
+  }
   // Blueprint install is the index build point (and heals any direct
   // GetLinkMutable edits made outside the observer protocol).
   if (options_.use_propagation_index) index_.Rebuild(db_);
+  stats_.interner_symbols = symbols_.size();
 }
 
 // --- Propagation index maintenance ----------------------------------------
@@ -64,6 +71,35 @@ const Blueprint& RunTimeEngine::Current() const {
   return *blueprint_;
 }
 
+// --- Interned hot path ----------------------------------------------------
+
+RunTimeEngine::WaveVisited& RunTimeEngine::AcquireVisited() {
+  if (visited_depth_ == visited_pool_.size()) {
+    visited_pool_.push_back(std::make_unique<WaveVisited>());
+  }
+  WaveVisited& set = *visited_pool_[visited_depth_++];
+  set.Begin(db_.ObjectSlotCount());
+  return set;
+}
+
+const RunTimeEngine::OidBinding& RunTimeEngine::BindingOf(OidId id) {
+  const size_t slot = id.value();
+  if (slot >= bindings_.size()) {
+    bindings_.resize(std::max(db_.ObjectSlotCount(), slot + 1));
+  }
+  OidBinding& binding = bindings_[slot];
+  if (binding.view_sym == SymbolTable::kNoSymbol) {
+    // Slots are never reused for a different object, so the view symbol
+    // is interned exactly once per OID.
+    binding.view_sym = symbols_.Intern(db_.GetObject(id).oid.view);
+  }
+  if (binding.generation != compiled_.generation()) {
+    binding.rules = compiled_.Resolve(binding.view_sym);
+    binding.generation = compiled_.generation();
+  }
+  return binding;
+}
+
 // --- Creation notifications ---------------------------------------------------
 
 OidId RunTimeEngine::OnCreateObject(std::string_view block,
@@ -72,6 +108,9 @@ OidId RunTimeEngine::OnCreateObject(std::string_view block,
   const OidId id =
       db_.CreateNextVersion(block, view, user, clock_.NowSeconds());
   const std::optional<OidId> previous = db_.PreviousVersion(id);
+  if (options_.interned_fast_path) {
+    BindingOf(id);  // Intern the view and bind rule tables up front.
+  }
 
   if (blueprint_) {
     ++stats_.objects_templated;
@@ -245,6 +284,9 @@ const blueprint::LinkTemplate* RunTimeEngine::FindLinkTemplate(
 
 void RunTimeEngine::PostEvent(EventMessage event) {
   if (event.timestamp == 0) event.timestamp = clock_.NowSeconds();
+  // Intern at intake so the wave's symbol lookup is a guaranteed hit.
+  symbols_.Intern(event.name);
+  stats_.interner_symbols = symbols_.size();
   queue_.Push(std::move(event));
 }
 
@@ -271,9 +313,15 @@ bool RunTimeEngine::ProcessOne() {
     return true;
   }
 
+  // One string hash per queue event; everything past this point works
+  // on the SymbolId. (Events can reach the queue without PostEvent —
+  // replayed traces, direct queue pushes — so Intern, not Find.)
+  const SymbolId event_sym = symbols_.Intern(event->name);
+  stats_.interner_symbols = symbols_.size();
+
   {
     processing_ = true;
-    ProcessWave(*target, std::move(*event));
+    ProcessWave(*target, *event, event_sym);
     processing_ = false;
   }
 
@@ -303,21 +351,26 @@ size_t RunTimeEngine::ProcessAll() {
 
 // --- Wave processing -----------------------------------------------------------
 
-void RunTimeEngine::ProcessWave(OidId start, EventMessage event) {
-  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, std::move(event));
+void RunTimeEngine::ProcessWave(OidId start, const EventMessage& event,
+                                SymbolId event_sym) {
+  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, event, event_sym);
 }
 
-void RunTimeEngine::CollectReceivers(OidId source, std::string_view event_name,
-                                     Direction direction,
-                                     std::unordered_set<uint32_t>& visited,
+void RunTimeEngine::CollectReceivers(OidId source, const EventMessage& event,
+                                     SymbolId event_sym, WaveVisited& visited,
                                      std::vector<OidId>& out) {
   if (options_.use_propagation_index) {
     ++stats_.index_lookups;
+    // Interned path: one integer-hash probe. String shim otherwise —
+    // the PR-1 cost model kept for differential benchmarks.
     const PropagationIndex::Bucket* bucket =
-        index_.Receivers(source, direction, event_name);
+        options_.interned_fast_path
+            ? index_.Receivers(source, event.direction, event_sym)
+            : index_.Receivers(source, event.direction,
+                               std::string_view(event.name));
     if (bucket == nullptr) return;
     for (const PropagationIndex::Entry& entry : *bucket) {
-      if (visited.insert(entry.neighbor.value()).second) {
+      if (visited.Insert(entry.neighbor.value())) {
         out.push_back(entry.neighbor);
       }
     }
@@ -325,12 +378,11 @@ void RunTimeEngine::CollectReceivers(OidId source, std::string_view event_name,
   }
   // Pre-index path: scan the adjacency list, filtering each link's
   // PROPAGATE list.
-  if (direction == Direction::kDown) {
+  if (event.direction == Direction::kDown) {
     for (const LinkId link_id : db_.OutLinks(source)) {
       ++stats_.links_scanned;
       const Link& link = db_.GetLink(link_id);
-      if (link.Propagates(event_name) &&
-          visited.insert(link.to.value()).second) {
+      if (link.Propagates(event.name) && visited.Insert(link.to.value())) {
         out.push_back(link.to);
       }
     }
@@ -338,8 +390,7 @@ void RunTimeEngine::CollectReceivers(OidId source, std::string_view event_name,
     for (const LinkId link_id : db_.InLinks(source)) {
       ++stats_.links_scanned;
       const Link& link = db_.GetLink(link_id);
-      if (link.Propagates(event_name) &&
-          visited.insert(link.from.value()).second) {
+      if (link.Propagates(event.name) && visited.Insert(link.from.value())) {
         out.push_back(link.from);
       }
     }
@@ -348,7 +399,8 @@ void RunTimeEngine::CollectReceivers(OidId source, std::string_view event_name,
 
 void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
                                       bool seeds_are_origin,
-                                      EventMessage event) {
+                                      const EventMessage& event,
+                                      SymbolId event_sym) {
   ++stats_.waves_started;
   size_t extent = 0;
 
@@ -358,14 +410,15 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
   // links terminate) before any receiver's rules run. An OID processes
   // a given wave at most once; delivery order equals the order the
   // naive per-delivery scan would produce.
-  std::unordered_set<uint32_t> visited;
+  VisitedLease visited(*this);
   std::vector<OidId> batch;
   batch.reserve(seeds.size());
   for (const OidId seed : seeds) {
-    if (visited.insert(seed.value()).second) batch.push_back(seed);
+    if (visited.set.Insert(seed.value())) batch.push_back(seed);
   }
 
   std::vector<OidId> next_batch;
+  std::vector<DirectionPost> direction_posts;
   bool is_origin_batch = seeds_are_origin;
   bool truncated = false;
   while (!batch.empty() && !truncated) {
@@ -389,31 +442,42 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
           EventMessage record = event;
           record.target = db_.GetObject(target).oid;
           record.origin = events::EventOrigin::kPropagated;
-          journal_.Record(record);
+          journal_.Record(std::move(record));
         }
       }
 
       // Direction-posted events (post without a 'to' clause) start their
       // own sub-waves from this OID immediately after its rules.
-      EventMessage local = event;
-      local.target = db_.GetObject(target).oid;
-      std::vector<EventMessage> direction_posts;
-      RunRulesAt(target, local, direction_posts);
+      direction_posts.clear();
+      if (options_.interned_fast_path) {
+        // The payload is shared across the whole wave; RunRulesAt
+        // resolves per-delivery fields from `target`.
+        RunRulesAt(target, event, event_sym, direction_posts);
+      } else {
+        // PR-1 delivery: one payload copy per OID reached. Kept as the
+        // baseline the interned path is benchmarked against.
+        EventMessage local = event;
+        local.target = db_.GetObject(target).oid;
+        RunRulesAt(target, local, event_sym, direction_posts);
+      }
 
       // Direction-posted events are "directly propagated from the
       // current OID" (paper §3.2, example 2): the posting OID's rules
       // are *not* re-run; all qualifying neighbours seed ONE sub-wave so
       // shared downstream objects are delivered to once, not once per
       // link.
-      for (EventMessage& posted : direction_posts) {
+      for (DirectionPost& posted : direction_posts) {
         std::vector<OidId> posted_seeds;
-        std::unordered_set<uint32_t> seen;
-        CollectReceivers(target, posted.name, posted.direction, seen,
-                         posted_seeds);
+        {
+          VisitedLease seen(*this);
+          CollectReceivers(target, posted.event, posted.name_sym, seen.set,
+                           posted_seeds);
+        }
         if (!posted_seeds.empty()) {
-          posted.origin = events::EventOrigin::kPropagated;
+          posted.event.origin = events::EventOrigin::kPropagated;
           ProcessWaveSeeded(std::move(posted_seeds),
-                            /*seeds_are_origin=*/false, std::move(posted));
+                            /*seeds_are_origin=*/false, posted.event,
+                            posted.name_sym);
         }
       }
     }
@@ -423,8 +487,7 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
     next_batch.clear();
     if (!truncated) {
       for (const OidId target : batch) {
-        CollectReceivers(target, event.name, event.direction, visited,
-                         next_batch);
+        CollectReceivers(target, event, event_sym, visited.set, next_batch);
       }
     }
     batch.swap(next_batch);
@@ -451,8 +514,51 @@ void RunTimeEngine::ForEachMatchingRule(
 }
 
 void RunTimeEngine::RunRulesAt(OidId target, const EventMessage& event,
-                               std::vector<EventMessage>& direction_posts) {
-  const std::string view = db_.GetObject(target).oid.view;
+                               SymbolId event_sym,
+                               std::vector<DirectionPost>& direction_posts) {
+  if (options_.interned_fast_path && blueprint_ != nullptr) {
+    // Compiled path: one cached binding + one integer-keyed lookup
+    // yields the phase-partitioned actions; no string touches a name.
+    const CompiledRules::RuleSet* rules =
+        compiled_.Find(BindingOf(target).rules, event_sym);
+    if (rules != nullptr) {
+      ++stats_.rule_table_hits;
+    } else {
+      ++stats_.rule_table_misses;
+    }
+
+    // Phase 1: assignments.
+    if (rules != nullptr) {
+      for (const blueprint::ActionAssign* assign : rules->assigns) {
+        ExecuteAssign(target, *assign, event);
+      }
+    }
+
+    // Phase 2: continuous assignments are re-evaluated.
+    RefreshComputedProperties(target);
+
+    if (rules == nullptr) return;
+    // Phase 3: exec and notify, in declaration order.
+    for (const blueprint::Action* action : rules->execs_and_notifies) {
+      if (const auto* exec = std::get_if<blueprint::ActionExec>(action)) {
+        ExecuteExec(target, *exec, event);
+      } else if (const auto* notify =
+                     std::get_if<blueprint::ActionNotify>(action)) {
+        ExecuteNotify(target, *notify, event);
+      }
+    }
+    // Phase 4: posts (posted-event names pre-interned at compile).
+    for (const CompiledRules::CompiledPost& post : rules->posts) {
+      ExecutePost(target, *post.action, post.event_sym, event,
+                  direction_posts);
+    }
+    return;
+  }
+
+  // Interpreted path (PR-1 baseline): three rule-list scans with string
+  // comparisons per delivery. Borrowing the view avoids the historical
+  // per-delivery copy; meta-objects are stable while rules run.
+  const std::string_view view = db_.GetObject(target).oid.view;
 
   // Phase 1: assignments.
   ForEachMatchingRule(view, event.name, [&](const blueprint::RuntimeRule& rule) {
@@ -483,7 +589,8 @@ void RunTimeEngine::RunRulesAt(OidId target, const EventMessage& event,
   ForEachMatchingRule(view, event.name, [&](const blueprint::RuntimeRule& rule) {
     for (const blueprint::Action& action : rule.actions) {
       if (const auto* post = std::get_if<blueprint::ActionPost>(&action)) {
-        ExecutePost(target, *post, event, direction_posts);
+        ExecutePost(target, *post, symbols_.Intern(post->event), event,
+                    direction_posts);
       }
     }
   });
@@ -532,8 +639,8 @@ void RunTimeEngine::ExecuteNotify(OidId target,
 }
 
 void RunTimeEngine::ExecutePost(OidId target, const blueprint::ActionPost& act,
-                                const EventMessage& event,
-                                std::vector<EventMessage>& direction_posts) {
+                                SymbolId posted_sym, const EventMessage& event,
+                                std::vector<DirectionPost>& direction_posts) {
   ++stats_.post_actions;
   EventMessage posted;
   posted.name = act.event;
@@ -546,13 +653,13 @@ void RunTimeEngine::ExecutePost(OidId target, const blueprint::ActionPost& act,
   if (act.to_view.empty()) {
     // Example 2 form: "post outofdate up" — directly propagated from the
     // current OID within this wave.
-    direction_posts.push_back(std::move(posted));
+    direction_posts.push_back(DirectionPost{std::move(posted), posted_sym});
     return;
   }
 
   // Example 1 form: "post behavioral_sim_ok down to VerilogNetList" —
   // posted to the nearest OIDs of the named view; they go through the
-  // FIFO queue like any other event.
+  // FIFO queue like any other event (and are re-interned at intake).
   const std::vector<OidId> targets =
       FindNearestOfView(target, act.direction, act.to_view);
   if (targets.empty()) {
@@ -571,21 +678,35 @@ void RunTimeEngine::ExecutePost(OidId target, const blueprint::ActionPost& act,
 
 void RunTimeEngine::RefreshComputedProperties(OidId id) {
   if (!blueprint_) return;
-  const std::string view = db_.GetObject(id).oid.view;
-  const ViewTemplate* sources[2] = {blueprint_->DefaultView(),
-                                    blueprint_->FindView(view)};
   // Continuous assignments may read each other; two passes let simple
   // one-level chains settle deterministically (document: deeper chains
   // settle on subsequent events, matching an implementation that
   // re-evaluates on every meta-data change).
+  EventMessage no_event;  // Continuous assignments see no $arg.
+  if (options_.interned_fast_path) {
+    const std::vector<const blueprint::ContinuousAssignment*>& assignments =
+        *BindingOf(id).rules.assignments;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const blueprint::ContinuousAssignment* assignment : assignments) {
+        ++stats_.reevaluations;
+        const std::string value =
+            assignment->expr.EvaluateBool(MakeResolver(id, no_event))
+                ? "true"
+                : "false";
+        SetPropertyCounted(id, assignment->property, value);
+      }
+    }
+    return;
+  }
+  const std::string_view view = db_.GetObject(id).oid.view;
+  const ViewTemplate* sources[2] = {blueprint_->DefaultView(),
+                                    blueprint_->FindView(view)};
   for (int pass = 0; pass < 2; ++pass) {
     for (const ViewTemplate* source : sources) {
       if (source == nullptr) continue;
       for (const blueprint::ContinuousAssignment& assignment :
            source->assignments) {
         ++stats_.reevaluations;
-        EventMessage no_event;  // Continuous assignments see no $arg.
-        no_event.target = db_.GetObject(id).oid;
         const std::string value =
             assignment.expr.EvaluateBool(MakeResolver(id, no_event))
                 ? "true"
@@ -598,23 +719,25 @@ void RunTimeEngine::RefreshComputedProperties(OidId id) {
 
 blueprint::VariableResolver RunTimeEngine::MakeResolver(
     OidId target, const EventMessage& event) const {
-  // The resolver snapshots the event by value (cheap strings) but reads
-  // properties live from the database so assignment chains observe
-  // earlier writes.
-  const EventMessage snapshot = event;
-  return [this, target, snapshot](std::string_view name) -> std::string {
-    if (name == "arg") return snapshot.arg;
-    if (name == "oid") return metadb::FormatOidWire(snapshot.target);
-    if (name == "OID") return metadb::FormatOid(snapshot.target);
-    if (name == "user") return snapshot.user;
-    if (name == "event") return snapshot.name;
-    if (name == "dir") return events::DirectionName(snapshot.direction);
+  // The resolver borrows the event (all callers expand synchronously)
+  // and reads properties live from the database so assignment chains
+  // observe earlier writes. Per-delivery fields ($oid, $block, $view,
+  // $version) come from the delivery target's meta-object — the shared
+  // wave payload's own target is the wave origin, not this delivery.
+  const EventMessage* message = &event;
+  return [this, target, message](std::string_view name) -> std::string {
+    if (name == "arg") return message->arg;
+    if (name == "user") return message->user;
+    if (name == "event") return message->name;
+    if (name == "dir") return events::DirectionName(message->direction);
     if (name == "date") return SimClock::FormatDate(clock_.NowSeconds());
-    if (name == "block") return snapshot.target.block;
-    if (name == "view") return snapshot.target.view;
-    if (name == "version") return std::to_string(snapshot.target.version);
+    const MetaObject& object = db_.GetObject(target);
+    if (name == "oid") return metadb::FormatOidWire(object.oid);
+    if (name == "OID") return metadb::FormatOid(object.oid);
+    if (name == "block") return object.oid.block;
+    if (name == "view") return object.oid.view;
+    if (name == "version") return std::to_string(object.oid.version);
     if (name == "owner") {
-      const MetaObject& object = db_.GetObject(target);
       const auto it = object.properties.find("owner");
       return it != object.properties.end() ? it->second : object.created_by;
     }
@@ -626,19 +749,20 @@ blueprint::VariableResolver RunTimeEngine::MakeResolver(
   };
 }
 
-std::vector<OidId> RunTimeEngine::FindNearestOfView(
-    OidId start, Direction direction, std::string_view view) const {
+std::vector<OidId> RunTimeEngine::FindNearestOfView(OidId start,
+                                                    Direction direction,
+                                                    std::string_view view) {
   // Breadth-first search in the event direction, not gated by PROPAGATE:
   // 'post ... to <View>' names its target explicitly, it does not ask
   // permission of the links in between. The nearest frontier containing
   // OIDs of the requested view wins.
   std::deque<std::pair<OidId, size_t>> frontier;
-  std::unordered_set<uint32_t> visited;
+  VisitedLease visited(*this);
   std::vector<OidId> found;
   size_t found_depth = 0;
 
   frontier.emplace_back(start, 0);
-  visited.insert(start.value());
+  visited.set.Insert(start.value());
 
   while (!frontier.empty()) {
     const auto [current, depth] = frontier.front();
@@ -652,7 +776,7 @@ std::vector<OidId> RunTimeEngine::FindNearestOfView(
     }
 
     const auto expand = [&](OidId next) {
-      if (visited.insert(next.value()).second) {
+      if (visited.set.Insert(next.value())) {
         frontier.emplace_back(next, depth + 1);
       }
     };

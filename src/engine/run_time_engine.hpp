@@ -16,30 +16,45 @@
 //    receiving OID runs its own rules and propagates further.
 //
 // Propagation fast path: wave expansion is served by a per-OID
-// PropagationIndex keyed by (event name, direction). The index is built
-// in one pass when a blueprint is installed and maintained incrementally
+// PropagationIndex keyed by (event, direction). The index is built in
+// one pass when a blueprint is installed and maintained incrementally
 // through MetaDatabase link-observer notifications (link add / delete /
 // endpoint move / PROPAGATE change), so phase 5 asks one hash lookup per
 // OID instead of scanning its adjacency and every link's PROPAGATE list.
 // Waves are processed in batches (BFS generations): all receivers of a
 // generation are collected and de-duplicated before any of their rules
 // run, which keeps delivery order identical to the naive scan and lets
-// stats report deliveries and batches per wave. Set
-// EngineOptions::use_propagation_index = false to fall back to linear
-// scans (the pre-index engine, kept for benchmarks and differential
-// tests).
+// stats report deliveries and batches per wave.
+//
+// Interned hot path: after intake the engine never hashes or compares a
+// string. Event and view names are interned through an engine-owned
+// SymbolTable (at PostEvent / ProcessOne / object creation / blueprint
+// install); the propagation index is keyed by packed
+// (OID, direction, SymbolId) integers; rule matching is served by
+// per-(view, event) tables compiled at LoadBlueprint
+// (blueprint/compiled_rules.hpp); the wave's visited set is an
+// epoch-stamped vector pooled across waves; and one immutable event
+// payload is shared across every delivery of a wave instead of being
+// copied per OID. Two options gate the fast paths for differential
+// testing and benchmarking: use_propagation_index = false reproduces
+// the pre-index engine (adjacency scans), interned_fast_path = false
+// reproduces the string-keyed indexed engine (interpreted rule
+// matching, per-delivery payload copies). Delivery order — and thus the
+// journal — is byte-identical across all three engines.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
 #include "blueprint/ast.hpp"
+#include "blueprint/compiled_rules.hpp"
 #include "common/clock.hpp"
+#include "common/symbol.hpp"
 #include "engine/propagation_index.hpp"
 #include "engine/script_executor.hpp"
 #include "engine/stats.hpp"
@@ -69,6 +84,13 @@ struct EngineOptions {
   /// (benchmark baseline / differential testing); delivery order is
   /// identical either way.
   bool use_propagation_index = true;
+
+  /// Run the symbol-interned hot path: SymbolId-keyed receiver lookups,
+  /// compiled per-(view, event) rule tables and copy-free wave delivery.
+  /// Off reproduces the string-keyed indexed engine (interpreted rule
+  /// scans, one payload copy per delivery) for differential tests and
+  /// as the benchmark baseline; delivery order is identical either way.
+  bool interned_fast_path = true;
 };
 
 /// The run-time engine. Owns the FIFO queue and the journal; operates on
@@ -91,6 +113,7 @@ class RunTimeEngine : private metadb::LinkObserver {
   /// is how the paper "loosens" tracking between phases; meta-data is
   /// untouched, only future events see the new rules. Call
   /// RetemplateLinks() afterwards to also refresh link annotations.
+  /// Rule tables are recompiled and the propagation index rebuilt here.
   void LoadBlueprint(blueprint::Blueprint blueprint);
 
   /// Re-applies the current blueprint's link templates to every live
@@ -132,7 +155,8 @@ class RunTimeEngine : private metadb::LinkObserver {
 
   // --- Event intake -----------------------------------------------------
 
-  /// Queues an event (FIFO).
+  /// Queues an event (FIFO). The event name is interned here, so by the
+  /// time the wave runs its symbol is a table hit.
   void PostEvent(events::EventMessage event);
 
   /// Processes the head event; returns false when the queue is empty.
@@ -156,14 +180,83 @@ class RunTimeEngine : private metadb::LinkObserver {
   SimClock& clock() noexcept { return clock_; }
   const PropagationIndex& propagation_index() const noexcept { return index_; }
 
-  /// Zeroes the statistics (benchmark warm-up support).
-  void ResetStats() noexcept { stats_ = EngineStats{}; }
+  /// The engine's interner. Symbol ids are stable for the engine's
+  /// lifetime (the table only grows, even across blueprint reloads).
+  const SymbolTable& symbols() const noexcept { return symbols_; }
+
+  /// The rule tables compiled from the current blueprint.
+  const blueprint::CompiledRules& compiled_rules() const noexcept {
+    return compiled_;
+  }
+
+  /// Zeroes the statistics (benchmark warm-up support). Gauges
+  /// (interner size) are re-seeded from live state.
+  void ResetStats() noexcept {
+    stats_ = EngineStats{};
+    stats_.interner_symbols = symbols_.size();
+  }
 
   /// Drops the audit journal (benchmark support: long measurement loops
   /// would otherwise accumulate unbounded records).
   void ClearJournal() { journal_.Clear(); }
 
  private:
+  /// Epoch-stamped visited set: clearing between waves is one counter
+  /// bump, not a hash-set teardown, and membership is one array probe.
+  class WaveVisited {
+   public:
+    /// Starts a fresh wave over `slots` object slots.
+    void Begin(size_t slots) {
+      if (stamps_.size() < slots) stamps_.resize(slots, 0);
+      if (++epoch_ == 0) {  // Epoch wrapped: stale stamps must die.
+        std::fill(stamps_.begin(), stamps_.end(), 0u);
+        epoch_ = 1;
+      }
+    }
+
+    /// True when `slot` was not yet visited this wave (and marks it).
+    bool Insert(uint32_t slot) {
+      if (slot >= stamps_.size()) stamps_.resize(slot + 1, 0);
+      if (stamps_[slot] == epoch_) return false;
+      stamps_[slot] = epoch_;
+      return true;
+    }
+
+   private:
+    std::vector<uint32_t> stamps_;  ///< Epoch of last visit, by OID slot.
+    uint32_t epoch_ = 0;
+  };
+
+  /// Direction-posted sub-waves nest (a post rule fires mid-wave), so
+  /// visited sets are pooled by nesting depth; a lease hands out the
+  /// set for the current depth and returns it on scope exit.
+  struct VisitedLease {
+    explicit VisitedLease(RunTimeEngine& owner)
+        : engine(owner), set(owner.AcquireVisited()) {}
+    ~VisitedLease() { --engine.visited_depth_; }
+    VisitedLease(const VisitedLease&) = delete;
+    VisitedLease& operator=(const VisitedLease&) = delete;
+
+    RunTimeEngine& engine;
+    WaveVisited& set;
+  };
+
+  /// A direction-posted event plus its pre-interned name, ready to seed
+  /// a sub-wave without further string work.
+  struct DirectionPost {
+    events::EventMessage event;
+    SymbolId name_sym = SymbolTable::kNoSymbol;
+  };
+
+  /// Per-OID resolution of the interned hot path: the OID's view symbol
+  /// (immutable — slots are never reused) and its rule-table binding
+  /// for the current compiled generation.
+  struct OidBinding {
+    uint32_t generation = 0;  ///< compiled_.generation() when resolved.
+    SymbolId view_sym = SymbolTable::kNoSymbol;
+    blueprint::CompiledRules::Binding rules;
+  };
+
   // --- metadb::LinkObserver (propagation index maintenance) -------------
   void OnLinkAdded(metadb::LinkId id, const metadb::Link& link) override;
   void OnLinkRemoved(metadb::LinkId id, const metadb::Link& link) override;
@@ -174,9 +267,18 @@ class RunTimeEngine : private metadb::LinkObserver {
                                const std::vector<std::string>& old_propagates,
                                const metadb::Link& link) override;
 
-  /// Rule phases executed at one OID for one event.
+  WaveVisited& AcquireVisited();
+
+  /// The interned-view/rule-table binding of one OID, resolved lazily
+  /// and cached by slot (re-resolved after blueprint reloads).
+  const OidBinding& BindingOf(metadb::OidId id);
+
+  /// Rule phases executed at one OID for one event. `event_sym` is the
+  /// interned event name. The event payload is shared — per-delivery
+  /// fields ($oid, $block, ...) resolve from `target`, not the message.
   void RunRulesAt(metadb::OidId target, const events::EventMessage& event,
-                  std::vector<events::EventMessage>& direction_posts);
+                  SymbolId event_sym,
+                  std::vector<DirectionPost>& direction_posts);
 
   void ExecuteAssign(metadb::OidId target, const blueprint::ActionAssign& act,
                      const events::EventMessage& event);
@@ -185,44 +287,51 @@ class RunTimeEngine : private metadb::LinkObserver {
   void ExecuteNotify(metadb::OidId target, const blueprint::ActionNotify& act,
                      const events::EventMessage& event);
   void ExecutePost(metadb::OidId target, const blueprint::ActionPost& act,
-                   const events::EventMessage& event,
-                   std::vector<events::EventMessage>& direction_posts);
+                   SymbolId posted_sym, const events::EventMessage& event,
+                   std::vector<DirectionPost>& direction_posts);
 
   /// Runs one full wave: rules at the target, then link-filtered BFS.
-  void ProcessWave(metadb::OidId start, events::EventMessage event);
+  void ProcessWave(metadb::OidId start, const events::EventMessage& event,
+                   SymbolId event_sym);
 
   /// Wave engine: delivers `event` to every seed (and onward through
   /// qualifying links) with one shared visited set. `seeds_are_origin`
   /// marks seeds as queue-event targets (not propagated deliveries).
   /// Processing is batched: each BFS generation's receivers are fully
-  /// collected (and de-duplicated) before any of their rules run.
+  /// collected (and de-duplicated) before any of their rules run. The
+  /// payload is borrowed for the whole wave, never copied per delivery.
   void ProcessWaveSeeded(std::vector<metadb::OidId> seeds,
-                         bool seeds_are_origin, events::EventMessage event);
+                         bool seeds_are_origin,
+                         const events::EventMessage& event,
+                         SymbolId event_sym);
 
-  /// Appends the receivers of (`event_name`, `direction`) leaving
-  /// `source` to `out`, skipping OIDs already in `visited` (which is
-  /// updated). Served by the propagation index when enabled, by an
-  /// adjacency scan otherwise; both produce the same order.
-  void CollectReceivers(metadb::OidId source, std::string_view event_name,
-                        events::Direction direction,
-                        std::unordered_set<uint32_t>& visited,
-                        std::vector<metadb::OidId>& out);
+  /// Appends the receivers of `event` leaving `source` to `out`,
+  /// skipping OIDs already in `visited` (which is updated). Served by
+  /// the propagation index when enabled (keyed by `event_sym` on the
+  /// interned path), by an adjacency scan otherwise; all paths produce
+  /// the same order.
+  void CollectReceivers(metadb::OidId source,
+                        const events::EventMessage& event, SymbolId event_sym,
+                        WaveVisited& visited, std::vector<metadb::OidId>& out);
 
-  /// Collects the matching rule actions for (view of target, event).
-  /// Default-view rules come first, then the specific view's.
+  /// Collects the matching rule actions for (view of target, event) —
+  /// the interpreted matcher, kept as the interned_fast_path = false
+  /// baseline. Default-view rules come first, then the specific view's.
   void ForEachMatchingRule(
       std::string_view view, std::string_view event_name,
       const std::function<void(const blueprint::RuntimeRule&)>& fn) const;
 
-  /// Variable resolver bound to one OID + one event.
+  /// Variable resolver bound to one OID + one event. Borrows `event`
+  /// (callers use the resolver synchronously); per-delivery fields
+  /// resolve from `target`'s meta-object.
   blueprint::VariableResolver MakeResolver(
       metadb::OidId target, const events::EventMessage& event) const;
 
   /// Finds the nearest OIDs of `view` reachable from `start` in
   /// `direction` (BFS over links regardless of PROPAGATE).
-  std::vector<metadb::OidId> FindNearestOfView(
-      metadb::OidId start, events::Direction direction,
-      std::string_view view) const;
+  std::vector<metadb::OidId> FindNearestOfView(metadb::OidId start,
+                                               events::Direction direction,
+                                               std::string_view view);
 
   /// Link-template lookup for OnCreateLink.
   const blueprint::LinkTemplate* FindLinkTemplate(
@@ -243,9 +352,24 @@ class RunTimeEngine : private metadb::LinkObserver {
   events::EventJournal journal_;
   EngineStats stats_;
 
+  /// The engine's interner: every event and view name crossing the
+  /// intake boundary becomes a SymbolId here. Declared before the
+  /// members that key off it.
+  SymbolTable symbols_;
+
+  /// Rule tables compiled from blueprint_ (interned fast path).
+  blueprint::CompiledRules compiled_;
+
+  /// Per-OID-slot binding cache for the interned fast path.
+  std::vector<OidBinding> bindings_;
+
+  /// Visited-set pool, indexed by sub-wave nesting depth.
+  std::vector<std::unique_ptr<WaveVisited>> visited_pool_;
+  size_t visited_depth_ = 0;
+
   /// Per-OID receiver index for phase-5 wave expansion; maintained via
   /// the LinkObserver callbacks above while options_.use_propagation_index
-  /// is set (and rebuilt wholesale on LoadBlueprint).
+  /// is set (and rebuilt wholesale on LoadBlueprint). Shares symbols_.
   PropagationIndex index_;
 
   // Wrapper scripts are *launched* in rule phase 3 but their effects

@@ -44,6 +44,11 @@ struct EngineStats {
   size_t index_lookups = 0;         ///< Receiver sets served by the index.
   size_t links_scanned = 0;         ///< Links examined by fallback scans.
 
+  // Interned hot path (symbol-keyed rule tables; see compiled_rules.hpp).
+  size_t rule_table_hits = 0;       ///< Deliveries served a compiled rule set.
+  size_t rule_table_misses = 0;     ///< Deliveries with no rules for the event.
+  size_t interner_symbols = 0;      ///< Symbols in the engine's table (gauge).
+
   /// Mean OIDs delivered to per propagation wave.
   double DeliveriesPerWave() const {
     return waves_started == 0

@@ -9,6 +9,13 @@ void EventJournal::Record(const EventMessage& event) {
   records_.push_back(std::move(record));
 }
 
+void EventJournal::Record(EventMessage&& event) {
+  JournalRecord record;
+  record.sequence = records_.size();
+  record.event = std::move(event);
+  records_.push_back(std::move(record));
+}
+
 void EventJournal::Clear() { records_.clear(); }
 
 std::vector<EventMessage> EventJournal::ExternalTrace() const {

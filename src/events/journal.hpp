@@ -26,6 +26,10 @@ class EventJournal {
   /// Appends a record; sequence numbers are assigned densely from 0.
   void Record(const EventMessage& event);
 
+  /// Move overload: the propagation hot path journals one synthesized
+  /// record per delivery and must not pay a second copy for it.
+  void Record(EventMessage&& event);
+
   const std::vector<JournalRecord>& Records() const noexcept {
     return records_;
   }

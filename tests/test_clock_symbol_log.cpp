@@ -71,6 +71,35 @@ TEST(SymbolTable, TextThrowsOnUnknownId) {
   EXPECT_THROW(table.Text(999), NotFoundError);
 }
 
+TEST(SymbolTable, HeterogeneousLookupHandlesSubviews) {
+  // The engine interns string_views sliced out of larger buffers (event
+  // names mid-line); lookups must key on exactly the viewed bytes.
+  SymbolTable table;
+  const std::string line = "ckin ckinext";
+  const SymbolId a = table.Intern(std::string_view(line).substr(0, 4));
+  EXPECT_EQ(table.Text(a), "ckin");
+  EXPECT_EQ(table.Find("ckin"), a);
+  const std::string_view suffix = std::string_view(line).substr(5);
+  EXPECT_EQ(table.Find(suffix), SymbolTable::kNoSymbol);
+  const SymbolId b = table.Intern("ckinext");
+  EXPECT_EQ(table.Find(suffix), b);
+}
+
+TEST(SymbolTable, IdsAreDenseAndStable) {
+  SymbolTable table;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(table.Intern("sym" + std::to_string(i)));
+    EXPECT_EQ(ids.back(), static_cast<SymbolId>(i + 1));  // 0 is "".
+  }
+  for (int i = 0; i < 100; ++i) {  // Re-interning moves nothing.
+    const SymbolId id = ids[static_cast<size_t>(i)];
+    EXPECT_EQ(table.Intern("sym" + std::to_string(i)), id);
+    EXPECT_EQ(table.Text(id), "sym" + std::to_string(i));
+  }
+  EXPECT_EQ(table.size(), 101u);
+}
+
 TEST(Log, SilentByDefaultAndCapturable) {
   std::vector<std::string> captured;
   Log::SetSink([&](LogLevel, const std::string& message) {

@@ -1,0 +1,315 @@
+// Tests for the symbol-interned hot path: compiled per-(view, event)
+// rule tables, SymbolId-keyed receiver lookups and copy-free wave
+// delivery must behave identically to the interpreted string-comparing
+// engine — pinned by differential journals across all three engine
+// generations (scan / indexed / interned) — and the interner-backed
+// index must rekey correctly through retemplating, endpoint moves and
+// blueprint reloads (SymbolIds never go stale: the table only grows).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/symbol.hpp"
+#include "engine/propagation_index.hpp"
+#include "engine/project_server.hpp"
+#include "engine/run_time_engine.hpp"
+#include "metadb/meta_database.hpp"
+#include "test_util.hpp"
+#include "workload/edtc.hpp"
+#include "workload/generators.hpp"
+
+namespace damocles {
+namespace {
+
+using engine::EngineStats;
+using engine::ProjectServer;
+using engine::PropagationIndex;
+using engine::RunTimeEngine;
+using events::Direction;
+using metadb::CarryPolicy;
+using metadb::LinkKind;
+using metadb::MetaDatabase;
+using metadb::OidId;
+
+/// The three engine generations under differential test.
+enum class Mode { kScan, kIndexed, kInterned };
+
+engine::ServerOptions ModeOptions(Mode mode) {
+  engine::ServerOptions options;
+  options.engine.use_propagation_index = mode != Mode::kScan;
+  options.engine.interned_fast_path = mode == Mode::kInterned;
+  return options;
+}
+
+void ExpectSameBehaviour(const ProjectServer& a, const ProjectServer& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.engine().journal().Dump(), b.engine().journal().Dump()) << label;
+  const EngineStats& sa = a.engine().stats();
+  const EngineStats& sb = b.engine().stats();
+  EXPECT_EQ(sa.events_processed, sb.events_processed) << label;
+  EXPECT_EQ(sa.propagated_deliveries, sb.propagated_deliveries) << label;
+  EXPECT_EQ(sa.wave_deliveries, sb.wave_deliveries) << label;
+  EXPECT_EQ(sa.waves_started, sb.waves_started) << label;
+  EXPECT_EQ(sa.wave_batches, sb.wave_batches) << label;
+  EXPECT_EQ(sa.assign_actions, sb.assign_actions) << label;
+  EXPECT_EQ(sa.exec_actions, sb.exec_actions) << label;
+  EXPECT_EQ(sa.notify_actions, sb.notify_actions) << label;
+  EXPECT_EQ(sa.post_actions, sb.post_actions) << label;
+  EXPECT_EQ(sa.reevaluations, sb.reevaluations) << label;
+  EXPECT_EQ(sa.property_writes, sb.property_writes) << label;
+  EXPECT_EQ(sa.max_wave_extent, sb.max_wave_extent) << label;
+}
+
+/// Randomized blueprint + event-trace differential: the same stochastic
+/// design session must journal identically whether rules are matched by
+/// the compiled tables or the interpreted scans, and whether waves
+/// expand through the interned index, the string-keyed shim or raw
+/// adjacency scans.
+TEST(InternedHotPath, RandomizedSessionsMatchAcrossAllThreeEngines) {
+  for (const uint64_t seed : {7u, 21u, 1234u}) {
+    workload::FlowSpec flow;
+    flow.n_views = 3 + static_cast<int>(seed % 3);
+    flow.propagation_cutoff = (seed % 2) == 0 ? -1 : 1;
+    flow.post_outofdate_on_ckin = true;
+
+    const auto run = [&](Mode mode) {
+      auto server =
+          std::make_unique<ProjectServer>("diff", ModeOptions(mode));
+      server->InitializeBlueprint(workload::MakeFlowBlueprint(flow, "diff"));
+      std::vector<std::string> blocks;
+      for (int i = 0; i < 3; ++i) {
+        blocks.push_back("blk" + std::to_string(i));
+        workload::InstantiateFlow(*server, flow, blocks.back());
+      }
+      workload::TraceSpec trace;
+      trace.n_actions = 120;
+      trace.seed = seed;
+      workload::RunDesignSession(*server, flow, blocks, trace);
+      return server;
+    };
+
+    const auto scan = run(Mode::kScan);
+    const auto indexed = run(Mode::kIndexed);
+    const auto interned = run(Mode::kInterned);
+    const std::string label = "seed " + std::to_string(seed);
+    ExpectSameBehaviour(*interned, *indexed, label + " interned vs indexed");
+    ExpectSameBehaviour(*interned, *scan, label + " interned vs scan");
+
+    // Each engine took its declared path.
+    EXPECT_GT(interned->engine().stats().rule_table_hits, 0u) << label;
+    EXPECT_EQ(indexed->engine().stats().rule_table_hits, 0u) << label;
+    EXPECT_GT(indexed->engine().stats().index_lookups, 0u) << label;
+    EXPECT_GT(scan->engine().stats().links_scanned, 0u) << label;
+    EXPECT_EQ(scan->engine().stats().index_lookups, 0u) << label;
+  }
+}
+
+/// The EDTC workload (exec/notify/post rules, phase switches, carry
+/// moves) through all three engines, including blueprint loosening and
+/// re-tightening mid-run.
+TEST(InternedHotPath, EdtcPhaseSwitchMatchesAcrossAllThreeEngines) {
+  const auto run = [](Mode mode) {
+    auto server = std::make_unique<ProjectServer>("edtc", ModeOptions(mode));
+    server->InitializeBlueprint(workload::EdtcBlueprintText());
+    workload::HierarchySpec spec;
+    spec.depth = 3;
+    spec.fanout = 2;
+    spec.view = "HDL_model";
+    spec.root_block = "CPU";
+    workload::BuildHierarchy(*server, spec);
+    for (int round = 0; round < 3; ++round) {
+      server->CheckIn("CPU", "HDL_model", "rev", "alice");
+      server->CheckIn("CPU", "schematic", "rev", "bob");
+      server->SubmitWireLine("postEvent hdl_sim up CPU,HDL_model," +
+                                 std::to_string(round + 2) + " good",
+                             "alice");
+    }
+    server->InitializeBlueprint(R"(blueprint loosened
+                                   view default
+                                   endview
+                                   endblueprint)");
+    server->CheckIn("CPU", "HDL_model", "loose rev", "alice");
+    server->InitializeBlueprint(workload::EdtcBlueprintText());
+    server->CheckIn("CPU", "HDL_model", "strict rev", "alice");
+    return server;
+  };
+
+  const auto scan = run(Mode::kScan);
+  const auto indexed = run(Mode::kIndexed);
+  const auto interned = run(Mode::kInterned);
+  ExpectSameBehaviour(*interned, *indexed, "interned vs indexed");
+  ExpectSameBehaviour(*interned, *scan, "interned vs scan");
+}
+
+// --- Compiled rule tables --------------------------------------------------
+
+constexpr const char* kOrderBlueprint = R"(blueprint order
+view default
+  when mark do tag = base done
+endview
+view sch
+  when mark do tag = override done
+endview
+endblueprint)";
+
+/// Default-view rules run before the specific view's, so the specific
+/// assign must win — on both matchers.
+TEST(InternedHotPath, CompiledTablesKeepDefaultBeforeSpecificOrder) {
+  for (const Mode mode : {Mode::kInterned, Mode::kIndexed}) {
+    ProjectServer server("order", ModeOptions(mode));
+    server.InitializeBlueprint(kOrderBlueprint);
+    server.CheckIn("blk", "sch", "new", "t");
+    server.SubmitWireLine("postEvent mark down blk,sch,1", "t");
+    EXPECT_EQ(testutil::LatestProp(server, "blk", "sch", "tag"), "override");
+  }
+}
+
+/// Views the blueprint does not track still run default-view rules
+/// through the default-only compiled table.
+TEST(InternedHotPath, UntrackedViewResolvesToDefaultRules) {
+  ProjectServer server("untracked", ModeOptions(Mode::kInterned));
+  server.InitializeBlueprint(kOrderBlueprint);
+  server.CheckIn("blk", "layout", "new", "t");  // 'layout' is untracked.
+  server.SubmitWireLine("postEvent mark down blk,layout,1", "t");
+  EXPECT_EQ(testutil::LatestProp(server, "blk", "layout", "tag"), "base");
+  EXPECT_GT(server.engine().stats().rule_table_hits, 0u);
+}
+
+/// Deliveries for events no rule reacts to are counted as table misses,
+/// and the interner-size gauge tracks the symbol table.
+TEST(InternedHotPath, StatsCountTableHitsMissesAndInternerSize) {
+  ProjectServer server("stats", ModeOptions(Mode::kInterned));
+  server.InitializeBlueprint(kOrderBlueprint);
+  server.CheckIn("blk", "sch", "new", "t");
+  server.SubmitWireLine("postEvent nobodycares down blk,sch,1", "t");
+  const EngineStats& stats = server.engine().stats();
+  EXPECT_GT(stats.rule_table_misses, 0u);
+  EXPECT_EQ(stats.interner_symbols, server.engine().symbols().size());
+  EXPECT_NE(server.engine().symbols().Find("nobodycares"),
+            SymbolTable::kNoSymbol);
+}
+
+/// Reloading a blueprint mid-project rebinds every cached rule table;
+/// the stale-binding regression this pins: an OID that already resolved
+/// its (view, event) tables against blueprint A must re-resolve against
+/// blueprint B, while its SymbolIds stay valid.
+TEST(InternedHotPath, BlueprintReloadRebindsRuleTables) {
+  ProjectServer server("reload", ModeOptions(Mode::kInterned));
+  server.InitializeBlueprint(kOrderBlueprint);
+  server.CheckIn("blk", "sch", "new", "t");
+  server.SubmitWireLine("postEvent mark down blk,sch,1", "t");
+  ASSERT_EQ(testutil::LatestProp(server, "blk", "sch", "tag"), "override");
+
+  const SymbolId mark_before = server.engine().symbols().Find("mark");
+  ASSERT_NE(mark_before, SymbolTable::kNoSymbol);
+
+  server.InitializeBlueprint(R"(blueprint order2
+view sch
+  when mark do tag = reloaded done
+endview
+endblueprint)");
+  server.SubmitWireLine("postEvent mark down blk,sch,1", "t");
+  EXPECT_EQ(testutil::LatestProp(server, "blk", "sch", "tag"), "reloaded");
+  // Symbols are stable across reloads (the interner only grows).
+  EXPECT_EQ(server.engine().symbols().Find("mark"), mark_before);
+}
+
+// --- Interner-backed propagation index rekeying ----------------------------
+
+/// A database + engine pair on the interned fast path.
+struct Fixture {
+  MetaDatabase db;
+  SimClock clock;
+  RunTimeEngine engine{db, clock};
+};
+
+std::string MustBeConsistent(const RunTimeEngine& engine,
+                             const MetaDatabase& db) {
+  std::string diff;
+  return engine.propagation_index().ConsistentWith(db, &diff) ? std::string()
+                                                              : diff;
+}
+
+/// The SymbolId overload is the hot path; it must agree with the
+/// string shim bucket for bucket.
+TEST(InternedHotPath, SymbolKeyedReceiversMatchStringShim) {
+  Fixture f;
+  const OidId a = f.db.CreateNextVersion("a", "sch", "t", 0);
+  const OidId b = f.db.CreateNextVersion("b", "net", "t", 0);
+  f.db.CreateLink(LinkKind::kDerive, a, b, {"edit", "ok"}, "",
+                  CarryPolicy::kNone);
+
+  const PropagationIndex& index = f.engine.propagation_index();
+  const SymbolId edit = index.symbols().Find("edit");
+  ASSERT_NE(edit, SymbolTable::kNoSymbol);
+  ASSERT_NE(index.Receivers(a, Direction::kDown, edit), nullptr);
+  EXPECT_EQ(index.Receivers(a, Direction::kDown, edit),
+            index.Receivers(a, Direction::kDown, "edit"));
+  // Unknown symbol / unknown string: both overloads say "no receivers".
+  EXPECT_EQ(index.Receivers(a, Direction::kDown, SymbolId{0xdeadu}), nullptr);
+  EXPECT_EQ(index.Receivers(a, Direction::kDown, "nosuch"), nullptr);
+}
+
+/// Endpoint moves rekey the packed (OID, direction, SymbolId) buckets:
+/// the old source loses them, the new source serves them under the SAME
+/// SymbolId.
+TEST(InternedHotPath, EndpointMoveRekeysSymbolBuckets) {
+  Fixture f;
+  const OidId a1 = f.db.CreateNextVersion("a", "sch", "t", 0);
+  const OidId b = f.db.CreateNextVersion("b", "net", "t", 0);
+  const metadb::LinkId link = f.db.CreateLink(LinkKind::kDerive, a1, b,
+                                              {"edit"}, "", CarryPolicy::kMove);
+  const OidId a2 = f.db.CreateNextVersion("a", "sch", "t", 1);
+  const SymbolId edit = f.engine.propagation_index().symbols().Find("edit");
+  ASSERT_NE(edit, SymbolTable::kNoSymbol);
+
+  f.db.MoveLinkEndpoint(link, /*endpoint_from=*/true, a2);
+  const PropagationIndex& index = f.engine.propagation_index();
+  EXPECT_EQ(index.Receivers(a1, Direction::kDown, edit), nullptr);
+  ASSERT_NE(index.Receivers(a2, Direction::kDown, edit), nullptr);
+  EXPECT_EQ(index.Receivers(a2, Direction::kDown, edit)->front().neighbor, b);
+  ASSERT_NE(index.Receivers(b, Direction::kUp, edit), nullptr);
+  EXPECT_EQ(index.Receivers(b, Direction::kUp, edit)->front().neighbor, a2);
+  EXPECT_EQ(MustBeConsistent(f.engine, f.db), "");
+}
+
+/// RetemplateLinks rewrites PROPAGATE lists wholesale (the paper's
+/// loosen/tighten phase switch); symbol-keyed buckets must follow, and
+/// SymbolIds interned under the strict blueprint must still resolve the
+/// re-tightened index (stale-SymbolId regression).
+TEST(InternedHotPath, RetemplateAndReloadRekeySymbolBuckets) {
+  workload::FlowSpec flow;
+  flow.n_views = 3;
+  const std::string strict = workload::MakeFlowBlueprint(flow, "strict");
+  ProjectServer server("rekey", ModeOptions(Mode::kInterned));
+  server.InitializeBlueprint(strict);
+  const metadb::Oid golden = workload::InstantiateFlow(server, flow, "blk");
+  const OidId golden_id = *server.database().FindObject(golden);
+
+  const PropagationIndex& index = server.engine().propagation_index();
+  const SymbolId outofdate = index.symbols().Find("outofdate");
+  ASSERT_NE(outofdate, SymbolTable::kNoSymbol);
+  ASSERT_NE(index.Receivers(golden_id, Direction::kDown, outofdate), nullptr);
+  ASSERT_EQ(MustBeConsistent(server.engine(), server.database()), "");
+
+  // Loosen: the empty blueprint's retemplating clears every PROPAGATE
+  // list, so the symbol-keyed bucket must vanish.
+  server.InitializeBlueprint(R"(blueprint loose
+                                view default
+                                endview
+                                endblueprint)");
+  EXPECT_EQ(index.Receivers(golden_id, Direction::kDown, outofdate), nullptr);
+  EXPECT_EQ(MustBeConsistent(server.engine(), server.database()), "");
+
+  // Tighten again: the pre-loosening SymbolId serves the rebuilt index.
+  server.InitializeBlueprint(strict);
+  ASSERT_NE(index.Receivers(golden_id, Direction::kDown, outofdate), nullptr);
+  EXPECT_EQ(index.symbols().Find("outofdate"), outofdate);
+  EXPECT_EQ(MustBeConsistent(server.engine(), server.database()), "");
+}
+
+}  // namespace
+}  // namespace damocles
