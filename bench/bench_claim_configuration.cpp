@@ -4,6 +4,8 @@
 // of the data. We compare snapshotting a project as a configuration vs
 // deep-copying the referenced meta-data (what a tracking system without
 // address-based configurations would store), in both time and bytes.
+// Snapshot latency at 64 blocks feeds the DAMOCLES_BENCH_JSON
+// trajectory (config_snapshot_b64 / config_deepcopy_b64).
 #include "bench_util.hpp"
 
 #include "metadb/config_builder.hpp"
@@ -96,6 +98,17 @@ void PrintSeries() {
       "\nExpected shape (paper): configurations stay a constant factor of "
       "8-16 bytes per address;\nthe deep copy scales with property payload "
       "and is an order of magnitude heavier.\n\n");
+
+  // Trajectory series: snapshot latency on the largest printed project.
+  const int blocks = benchutil::SeriesScale(64, 4);
+  const int reps = benchutil::SeriesScale(20, 2);
+  auto project = benchutil::MakeFlowProject(5, blocks, 2, 3);
+  const auto& db = project.server->database();
+  benchutil::TimedSeries("config_snapshot_b64", reps, [&] {
+    return metadb::BuildFullSnapshot(db, "snap", 0);
+  });
+  benchutil::TimedSeries("config_deepcopy_b64", reps,
+                         [&] { return DeepCopy(db); });
 }
 
 }  // namespace
@@ -103,5 +116,6 @@ void PrintSeries() {
 int main(int argc, char** argv) {
   PrintSeries();
   damocles::benchutil::RunBenchmarks(argc, argv);
+  damocles::benchutil::WriteBenchJson();
   return 0;
 }

@@ -4,7 +4,9 @@
 //
 // Measures the designer-facing query latencies (out-of-date scan,
 // distance-to-planned-state, hierarchy membership, full report) as the
-// meta-database grows.
+// meta-database grows. The three core queries also feed the
+// DAMOCLES_BENCH_JSON trajectory (query_outofdate / query_planned /
+// query_report at 16 blocks).
 #include "bench_util.hpp"
 
 #include "query/query.hpp"
@@ -93,6 +95,19 @@ void PrintSeries() {
                 blockers[i].required_value.c_str());
   }
   std::printf("\n");
+
+  // Trajectory series: latency of each core query on the aged project.
+  const int reps = benchutil::SeriesScale(50, 3);
+  benchutil::TimedSeries("query_outofdate", reps,
+                         [&] { return q.OutOfDate(); });
+  benchutil::TimedSeries("query_planned", reps, [&] {
+    return q.DistanceToPlannedState(
+        {{"uptodate", "true"}, {"result_0", "good"}, {"result_1", "good"}},
+        {});
+  });
+  benchutil::TimedSeries("query_report", reps, [&] {
+    return query::BuildProjectReport(project.server->database());
+  });
 }
 
 }  // namespace
@@ -100,5 +115,6 @@ void PrintSeries() {
 int main(int argc, char** argv) {
   PrintSeries();
   damocles::benchutil::RunBenchmarks(argc, argv);
+  damocles::benchutil::WriteBenchJson();
   return 0;
 }

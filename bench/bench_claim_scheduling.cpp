@@ -10,8 +10,12 @@
 //               the stale netlist at simulation time, costing a late
 //               context switch (and, without gates, it would have been
 //               a silent error).
-// Series: simulated design-cycle time and stale-data incidents.
+// Series: simulated design-cycle time and stale-data incidents; the
+// wall-clock cost per tracked front-end iteration feeds the
+// DAMOCLES_BENCH_JSON trajectory (scheduling_automated / _manual_p25).
 #include "bench_util.hpp"
+
+#include <chrono>
 
 #include "tools/scheduler.hpp"
 
@@ -104,15 +108,34 @@ void PrintSeries() {
       "probability p.\nThe wrapper's data-state gate turns every forgotten "
       "run into late rework instead of\na silent stale-data error.");
 
-  constexpr int kIterations = 64;
+  const int kIterations = benchutil::SeriesScale(64, 8);
   std::printf("%-26s %-18s %-18s %-16s\n", "regime", "cycle time (h)",
               "stale incidents", "netlister runs");
-  const Outcome automated = RunRegime(true, 0.0, kIterations, 7);
+
+  // Wall-clock per tracked iteration is the trajectory series: the
+  // paper's "non-obstructive" claim says automation must stay cheap.
+  const auto timed_regime = [&](const char* series, bool automated,
+                                double p_forget) {
+    const auto start = std::chrono::steady_clock::now();
+    const Outcome outcome = RunRegime(automated, p_forget, kIterations, 7);
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kIterations;
+    benchutil::AddBenchJson(series, ns, ns > 0.0 ? 1e9 / ns : 0.0);
+    return outcome;
+  };
+
+  const Outcome automated =
+      timed_regime("scheduling_automated", true, 0.0);
   std::printf("%-26s %-18.1f %-18zu %-16zu\n", "automated (exec rule)",
               automated.cycle_seconds / 3600.0, automated.stale_incidents,
               automated.netlister_runs);
   for (const double p : {0.1, 0.25, 0.5}) {
-    const Outcome manual = RunRegime(false, p, kIterations, 7);
+    const Outcome manual =
+        p == 0.25 ? timed_regime("scheduling_manual_p25", false, p)
+                  : RunRegime(false, p, kIterations, 7);
     char label[48];
     std::snprintf(label, sizeof(label), "manual (p_forget=%.2f)", p);
     std::printf("%-26s %-18.1f %-18zu %-16zu\n", label,
@@ -130,5 +153,6 @@ void PrintSeries() {
 int main(int argc, char** argv) {
   PrintSeries();
   damocles::benchutil::RunBenchmarks(argc, argv);
+  damocles::benchutil::WriteBenchJson();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -60,6 +61,20 @@ inline void AddBenchJson(std::string name, double ns_per_op,
                          double deliveries_per_sec) {
   BenchJsonData().push_back(
       BenchJsonSeries{std::move(name), ns_per_op, deliveries_per_sec});
+}
+
+/// Times `reps` calls of `fn` and registers the mean as a JSON series
+/// (ns/op plus the ops/sec view). The shared helper keeps every bench's
+/// trajectory methodology identical.
+template <typename Fn>
+inline void TimedSeries(const char* series, int reps, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(fn());
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    (reps > 0 ? reps : 1);
+  AddBenchJson(series, ns, ns > 0.0 ? 1e9 / ns : 0.0);
 }
 
 /// Writes the registered series to $DAMOCLES_BENCH_JSON; no-op when the

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare DAMOCLES bench JSON against a baseline from a previous commit.
+
+Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+
+Both directories hold BENCH_*.json files written by the bench binaries'
+DAMOCLES_BENCH_JSON emitter ({"series": [{"name", "ns_per_op",
+"deliveries_per_sec"}, ...]}). Series are matched by (file, name); a
+series whose ns_per_op grew by more than the threshold (default 20%) is
+flagged as a regression.
+
+Exit code is always 0 — regressions warn, they do not fail the build —
+so a missing or partial baseline (first run on a branch, renamed bench)
+degrades quietly. CI gates on *series presence* separately; this script
+is only the trajectory diff.
+
+Output is plain text plus GitHub ::warning:: annotations so regressions
+surface on the workflow summary.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_series(directory: pathlib.Path) -> dict:
+    """(file stem, series name) -> series dict, for every readable file."""
+    series = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_diff: skipping unreadable {path.name}: {error}")
+            continue
+        for entry in data.get("series", []):
+            name = entry.get("name")
+            if name:
+                series[(path.stem, name)] = entry
+    return series
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    args = parser.parse_args()
+
+    if not args.baseline.is_dir():
+        print(f"bench_diff: no baseline at {args.baseline} "
+              "(first run on this branch?) — nothing to compare")
+        return 0
+
+    baseline = load_series(args.baseline)
+    current = load_series(args.current)
+    if not baseline:
+        print("bench_diff: baseline holds no series — nothing to compare")
+        return 0
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for key, entry in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            continue
+        old_ns = base.get("ns_per_op") or 0.0
+        new_ns = entry.get("ns_per_op") or 0.0
+        if old_ns <= 0.0 or new_ns <= 0.0:
+            continue
+        compared += 1
+        delta_pct = (new_ns - old_ns) / old_ns * 100.0
+        line = (f"{key[0]}:{key[1]}: {old_ns:.1f} -> {new_ns:.1f} ns/op "
+                f"({delta_pct:+.1f}%)")
+        if delta_pct > args.threshold:
+            regressions.append(line)
+        elif delta_pct < -args.threshold:
+            improvements.append(line)
+
+    print(f"bench_diff: compared {compared} series "
+          f"(threshold {args.threshold:.0f}%)")
+    for line in improvements:
+        print(f"  improved: {line}")
+    for line in regressions:
+        print(f"  REGRESSED: {line}")
+        # Annotate on the workflow run; smoke-mode numbers are noisy, so
+        # this warns rather than fails until a trend is established.
+        print(f"::warning title=bench regression::{line}")
+    if not regressions:
+        print("bench_diff: no regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,27 @@
 
 namespace damocles::blueprint {
 
+ViewTemplate ViewTemplate::Clone() const {
+  ViewTemplate copy;
+  copy.name = name;
+  copy.properties = properties;
+  copy.links = links;
+  copy.assignments.reserve(assignments.size());
+  for (const ContinuousAssignment& assignment : assignments) {
+    copy.assignments.push_back(assignment.Clone());
+  }
+  copy.rules = rules;
+  return copy;
+}
+
+Blueprint Blueprint::Clone() const {
+  Blueprint copy;
+  copy.name = name;
+  copy.views.reserve(views.size());
+  for (const ViewTemplate& view : views) copy.views.push_back(view.Clone());
+  return copy;
+}
+
 const PropertyTemplate* ViewTemplate::FindProperty(
     std::string_view property_name) const {
   for (const PropertyTemplate& property : properties) {

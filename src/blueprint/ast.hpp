@@ -100,6 +100,10 @@ struct ViewTemplate {
   ViewTemplate(const ViewTemplate&) = delete;
   ViewTemplate& operator=(const ViewTemplate&) = delete;
 
+  /// Deep copy (assignments hold move-only expression trees, so copying
+  /// is explicit; the sharded engine clones one blueprint per shard).
+  ViewTemplate Clone() const;
+
   const PropertyTemplate* FindProperty(std::string_view property_name) const;
 };
 
@@ -115,6 +119,9 @@ struct Blueprint {
   Blueprint& operator=(Blueprint&&) noexcept = default;
   Blueprint(const Blueprint&) = delete;
   Blueprint& operator=(const Blueprint&) = delete;
+
+  /// Deep copy; see ViewTemplate::Clone.
+  Blueprint Clone() const;
 
   static constexpr const char* kDefaultViewName = "default";
 

@@ -325,6 +325,11 @@ bool RunTimeEngine::ProcessOne() {
     processing_ = false;
   }
 
+  DispatchPendingExecs();
+  return true;
+}
+
+void RunTimeEngine::DispatchPendingExecs() {
   // The wave is complete: dispatch the wrapper scripts it launched.
   // Scripts run outside the processing window so they can create
   // objects, register links and check data in; the events they cause
@@ -339,7 +344,23 @@ bool RunTimeEngine::ProcessOne() {
                    std::to_string(status));
     }
   }
-  return true;
+}
+
+void RunTimeEngine::DeliverSeededWave(std::vector<OidId> seeds,
+                                      EventMessage event) {
+  if (processing_ || seeds.empty()) return;
+  if (event.timestamp == 0) event.timestamp = clock_.NowSeconds();
+  const SymbolId event_sym = symbols_.Intern(event.name);
+  stats_.interner_symbols = symbols_.size();
+  ++stats_.seeded_handoff_waves;
+  event.origin = events::EventOrigin::kPropagated;
+  {
+    processing_ = true;
+    ProcessWaveSeeded(std::move(seeds), /*seeds_are_origin=*/false, event,
+                      event_sym);
+    processing_ = false;
+  }
+  DispatchPendingExecs();
 }
 
 size_t RunTimeEngine::ProcessAll() {
@@ -356,6 +377,20 @@ void RunTimeEngine::ProcessWave(OidId start, const EventMessage& event,
   ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, event, event_sym);
 }
 
+void RunTimeEngine::AdmitReceiver(OidId receiver, const EventMessage& event,
+                                  WaveVisited& visited,
+                                  std::vector<OidId>& out) {
+  if (!visited.Insert(receiver.value())) return;
+  if (router_ == nullptr || router_->Owns(receiver)) {
+    out.push_back(receiver);
+    return;
+  }
+  // Foreign shard: the receiver is marked visited here (so this wave
+  // hands it off at most once) but delivered remotely.
+  ++stats_.handoff_receivers;
+  router_->Handoff(receiver, event);
+}
+
 void RunTimeEngine::CollectReceivers(OidId source, const EventMessage& event,
                                      SymbolId event_sym, WaveVisited& visited,
                                      std::vector<OidId>& out) {
@@ -370,9 +405,7 @@ void RunTimeEngine::CollectReceivers(OidId source, const EventMessage& event,
                                std::string_view(event.name));
     if (bucket == nullptr) return;
     for (const PropagationIndex::Entry& entry : *bucket) {
-      if (visited.Insert(entry.neighbor.value())) {
-        out.push_back(entry.neighbor);
-      }
+      AdmitReceiver(entry.neighbor, event, visited, out);
     }
     return;
   }
@@ -382,16 +415,16 @@ void RunTimeEngine::CollectReceivers(OidId source, const EventMessage& event,
     for (const LinkId link_id : db_.OutLinks(source)) {
       ++stats_.links_scanned;
       const Link& link = db_.GetLink(link_id);
-      if (link.Propagates(event.name) && visited.Insert(link.to.value())) {
-        out.push_back(link.to);
+      if (link.Propagates(event.name)) {
+        AdmitReceiver(link.to, event, visited, out);
       }
     }
   } else {
     for (const LinkId link_id : db_.InLinks(source)) {
       ++stats_.links_scanned;
       const Link& link = db_.GetLink(link_id);
-      if (link.Propagates(event.name) && visited.Insert(link.from.value())) {
-        out.push_back(link.from);
+      if (link.Propagates(event.name)) {
+        AdmitReceiver(link.from, event, visited, out);
       }
     }
   }
@@ -439,10 +472,8 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
       if (!is_origin_batch) {
         ++stats_.propagated_deliveries;
         if (options_.journal_propagated) {
-          EventMessage record = event;
-          record.target = db_.GetObject(target).oid;
-          record.origin = events::EventOrigin::kPropagated;
-          journal_.Record(std::move(record));
+          // Interned journal row: no EventMessage is copied per delivery.
+          journal_.RecordPropagated(event, db_.GetObject(target).oid);
         }
       }
 

@@ -93,6 +93,23 @@ struct EngineOptions {
   bool interned_fast_path = true;
 };
 
+/// Routes propagation receivers that live outside this engine's shard.
+/// The sharded engine installs one per shard engine; unsharded engines
+/// run without (every receiver is owned). See sharded_engine.hpp.
+class WaveRouter {
+ public:
+  virtual ~WaveRouter() = default;
+
+  /// True when `receiver` is delivered by this engine.
+  virtual bool Owns(metadb::OidId receiver) = 0;
+
+  /// Takes over delivery of `event` to the foreign `receiver`. Called at
+  /// most once per (wave, receiver): the wave's visited set already
+  /// marked it. `event` is only borrowed for the duration of the call.
+  virtual void Handoff(metadb::OidId receiver,
+                       const events::EventMessage& event) = 0;
+};
+
 /// The run-time engine. Owns the FIFO queue and the journal; operates on
 /// an externally owned meta-database (several engines can be pointed at
 /// snapshots of the same project in tests).
@@ -164,6 +181,19 @@ class RunTimeEngine : private metadb::LinkObserver {
 
   /// Drains the queue; returns the number of queue events processed.
   size_t ProcessAll();
+
+  /// Delivers `event` to `seeds` as a propagated sub-wave (the
+  /// cross-shard handoff entry point): the seeds' rules run and the
+  /// wave expands onward, but no queue record is written — each
+  /// delivery journals as a propagated record, exactly as it would have
+  /// inside the originating wave. No-op on empty seeds.
+  void DeliverSeededWave(std::vector<metadb::OidId> seeds,
+                         events::EventMessage event);
+
+  /// Installs (or clears, with nullptr) the shard router consulted for
+  /// every propagation receiver. The router must outlive the engine or
+  /// be cleared before destruction.
+  void SetWaveRouter(WaveRouter* router) noexcept { router_ = router; }
 
   // --- State access ------------------------------------------------------
 
@@ -269,6 +299,16 @@ class RunTimeEngine : private metadb::LinkObserver {
 
   WaveVisited& AcquireVisited();
 
+  /// Launches the wrapper scripts collected during the wave that just
+  /// completed (ProcessOne / DeliverSeededWave tails).
+  void DispatchPendingExecs();
+
+  /// Admits one propagation receiver: deduplicates against `visited`,
+  /// then either appends it to `out` or hands it to the shard router
+  /// when a router is installed and disowns it.
+  void AdmitReceiver(metadb::OidId receiver, const events::EventMessage& event,
+                     WaveVisited& visited, std::vector<metadb::OidId>& out);
+
   /// The interned-view/rule-table binding of one OID, resolved lazily
   /// and cached by slot (re-resolved after blueprint reloads).
   const OidBinding& BindingOf(metadb::OidId id);
@@ -346,6 +386,7 @@ class RunTimeEngine : private metadb::LinkObserver {
   EngineOptions options_;
   std::unique_ptr<blueprint::Blueprint> blueprint_;
   ScriptExecutor* executor_ = nullptr;
+  WaveRouter* router_ = nullptr;
   NotificationSink notification_sink_;
 
   events::EventQueue queue_;

@@ -1,0 +1,604 @@
+#include "engine/sharded_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "blueprint/parser.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace damocles::engine {
+
+using events::EventMessage;
+using metadb::Oid;
+using metadb::OidId;
+
+namespace {
+
+/// Smallest power of two >= n (and >= 4).
+size_t RingCapacity(size_t n) {
+  size_t capacity = 4;
+  while (capacity < n) capacity <<= 1;
+  return capacity;
+}
+
+}  // namespace
+
+// --- Task & ring ------------------------------------------------------------
+
+/// One unit of shard work: a routed queue event, or a cross-shard
+/// sub-wave (seeds + shared payload).
+struct ShardedEngine::Task {
+  enum class Kind : uint8_t { kEvent, kSeededWave };
+
+  Kind kind = Kind::kEvent;
+  uint32_t hops = 0;  ///< Cross-shard handoffs behind this task.
+  uint64_t ticket = 0;  ///< Global intake order (deterministic mode).
+  EventMessage event;
+  std::vector<OidId> seeds;  ///< kSeededWave only.
+};
+
+/// Bounded multi-producer single-consumer ring (Vyukov's bounded MPMC
+/// restricted to one consumer). Producers never lock; a full ring is
+/// reported to the caller, which falls back to the lane's overflow
+/// deque so intake can never deadlock on a saturated shard.
+class ShardedEngine::TaskRing {
+ public:
+  explicit TaskRing(size_t capacity)
+      : cells_(new Cell[capacity]), mask_(capacity - 1) {
+    for (size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool TryPush(Task&& task) {
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.task = std::move(task);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // Full.
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single consumer at a time (the lane's busy flag serializes
+  /// claimants and publishes dequeue_pos_ between them).
+  bool TryPop(Task& out) {
+    const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;  // Empty.
+    }
+    out = std::move(cell.task);
+    cell.task = Task{};  // Release payloads eagerly.
+    cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Approximate (racy reads are fine: idle wakeup predicate only).
+  bool Empty() const {
+    const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    const Cell& cell = cells_[pos & mask_];
+    return static_cast<intptr_t>(
+               cell.sequence.load(std::memory_order_acquire)) -
+               static_cast<intptr_t>(pos + 1) < 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence;
+    Task task;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_;
+  std::atomic<size_t> enqueue_pos_{0};
+  std::atomic<size_t> dequeue_pos_{0};
+};
+
+// --- Shared counters --------------------------------------------------------
+
+struct ShardedEngine::Counters {
+  std::atomic<uint64_t> next_ticket{0};
+  std::atomic<size_t> pending{0};  ///< Enqueued but not yet finished tasks.
+  std::atomic<bool> stop{false};
+
+  std::atomic<size_t> events_posted{0};
+  std::atomic<size_t> tasks_processed{0};
+  std::atomic<size_t> handoff_waves{0};
+  std::atomic<size_t> handoff_waves_truncated{0};
+  std::atomic<size_t> reposted_events{0};
+  std::atomic<size_t> ring_overflows{0};
+
+  std::mutex drain_mutex;
+  std::condition_variable drain_cv;
+
+  /// Shared worker parking lot (workers service any lane, so there is
+  /// no per-lane consumer to target a wakeup at).
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+};
+
+// --- Cross-shard router ------------------------------------------------------
+
+/// Per-lane WaveRouter: answers ownership from the shard map and
+/// accumulates foreign receivers, grouped per (source event, target
+/// shard) in first-encounter order, until the lane flushes them as
+/// seeded sub-wave tasks after the current task completes.
+class ShardedEngine::LaneRouter final : public WaveRouter {
+ public:
+  LaneRouter(ShardedEngine& owner, uint32_t shard)
+      : owner_(owner), shard_(shard) {}
+
+  bool Owns(OidId receiver) override {
+    // Cache the lookup: Handoff(receiver) follows immediately when this
+    // returns false (AdmitReceiver), so the foreign path walks the
+    // shard map once, not twice.
+    last_receiver_ = receiver;
+    last_shard_ = owner_.shard_map_.ShardOf(receiver);
+    return last_shard_ == shard_;
+  }
+
+  void Handoff(OidId receiver, const EventMessage& event) override {
+    const uint32_t target = receiver == last_receiver_
+                                ? last_shard_
+                                : owner_.shard_map_.ShardOf(receiver);
+    // Group consecutive receivers of the same wave payload headed for
+    // the same shard into one seeded sub-wave, so the target delivers
+    // them in one batch exactly like the origin shard would have. The
+    // source pointer is only an identity hint (direction posts reuse
+    // storage), so the payload fields are compared too.
+    if (pending_.empty() || pending_.back().target_shard != target ||
+        pending_.back().source != &event ||
+        !SamePayload(pending_.back().event, event)) {
+      pending_.push_back(PendingWave{target, &event, event, {}});
+    }
+    pending_.back().seeds.push_back(receiver);
+  }
+
+  /// Enqueues every accumulated sub-wave on its target shard. Called
+  /// by the owning lane between tasks (never mid-wave). `hops` is the
+  /// handoff depth of the task that produced these waves; a chain past
+  /// the configured cap is dropped — each handoff restarts with a
+  /// fresh visited set, so a propagation cycle crossing shards would
+  /// otherwise ping-pong forever.
+  void Flush(uint32_t hops) {
+    const bool truncate = hops >= owner_.options_.max_handoff_hops;
+    for (PendingWave& wave : pending_) {
+      if (truncate) {
+        owner_.counters_->handoff_waves_truncated.fetch_add(
+            1, std::memory_order_relaxed);
+        Log::Warning("cross-shard wave truncated after " +
+                     std::to_string(hops) + " handoffs (event '" +
+                     wave.event.name + "')");
+        continue;
+      }
+      Task task;
+      task.kind = Task::Kind::kSeededWave;
+      task.hops = hops + 1;
+      task.ticket =
+          owner_.counters_->next_ticket.fetch_add(1, std::memory_order_relaxed);
+      task.event = std::move(wave.event);
+      task.seeds = std::move(wave.seeds);
+      owner_.counters_->handoff_waves.fetch_add(1, std::memory_order_relaxed);
+      owner_.Enqueue(wave.target_shard, std::move(task));
+    }
+    pending_.clear();
+  }
+
+ private:
+  struct PendingWave {
+    uint32_t target_shard = 0;
+    const EventMessage* source = nullptr;  ///< Identity hint, never read.
+    EventMessage event;                    ///< Snapshot of the payload.
+    std::vector<OidId> seeds;
+  };
+
+  static bool SamePayload(const EventMessage& a, const EventMessage& b) {
+    return a.name == b.name && a.direction == b.direction && a.arg == b.arg &&
+           a.user == b.user && a.timestamp == b.timestamp;
+  }
+
+  ShardedEngine& owner_;
+  uint32_t shard_;
+  OidId last_receiver_;  ///< Owns() memo consumed by Handoff().
+  uint32_t last_shard_ = 0;
+  std::vector<PendingWave> pending_;
+};
+
+// --- Lane -------------------------------------------------------------------
+
+struct ShardedEngine::Lane {
+  uint32_t shard = 0;
+  std::unique_ptr<RunTimeEngine> engine;
+  std::unique_ptr<LaneRouter> router;
+
+  /// Lock-free intake (threaded mode); null in deterministic mode.
+  std::unique_ptr<TaskRing> ring;
+
+  /// Claim flag: at most one worker occupies a lane at a time, which
+  /// keeps the ring single-consumer and the shard's delivery order
+  /// FIFO with any worker count.
+  std::atomic<bool> busy{false};
+
+  /// Overflow fallback (threaded) / primary storage (deterministic).
+  /// Once a push overflows, later pushes follow until the consumer
+  /// drains the deque, so FIFO order holds across the spill.
+  std::mutex overflow_mutex;
+  std::deque<Task> overflow;
+  std::atomic<bool> overflowed{false};
+
+  bool HasWork() {
+    if (ring != nullptr && !ring->Empty()) return true;
+    if (!overflowed.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(overflow_mutex);
+    return !overflow.empty();
+  }
+
+  void Push(Task&& task, std::atomic<size_t>& overflow_counter) {
+    if (ring != nullptr && !overflowed.load(std::memory_order_acquire) &&
+        ring->TryPush(std::move(task))) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(overflow_mutex);
+      overflowed.store(true, std::memory_order_release);
+      overflow.push_back(std::move(task));
+    }
+    if (ring != nullptr) {
+      overflow_counter.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Single consumer: ring first (older tasks), then the spill.
+  bool Pop(Task& out) {
+    if (ring != nullptr && ring->TryPop(out)) return true;
+    if (!overflowed.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(overflow_mutex);
+    if (overflow.empty()) {
+      overflowed.store(false, std::memory_order_release);
+      return false;
+    }
+    out = std::move(overflow.front());
+    overflow.pop_front();
+    if (overflow.empty()) overflowed.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// Deterministic mode: ticket of the head task, if any.
+  bool PeekTicket(uint64_t& ticket) {
+    std::lock_guard<std::mutex> lock(overflow_mutex);
+    if (overflow.empty()) return false;
+    ticket = overflow.front().ticket;
+    return true;
+  }
+};
+
+// --- Construction -----------------------------------------------------------
+
+ShardedEngine::ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
+                             ShardedEngineOptions options)
+    : db_(db),
+      clock_(clock),
+      options_(options),
+      num_shards_(options.num_shards == 0 ? 1 : options.num_shards),
+      shard_map_(db, num_shards_),
+      counters_(std::make_unique<Counters>()) {
+  lanes_.reserve(num_shards_);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    auto lane = std::make_unique<Lane>();
+    lane->shard = shard;
+    lane->engine =
+        std::make_unique<RunTimeEngine>(db_, clock_, options_.engine);
+    lane->router = std::make_unique<LaneRouter>(*this, shard);
+    // With one shard no receiver can be foreign: skip the router so the
+    // engine does not even pay the Owns() probe — num_shards = 1 is the
+    // PR-2 engine, byte for byte.
+    if (num_shards_ > 1) lane->engine->SetWaveRouter(lane->router.get());
+    if (!options_.deterministic) {
+      lane->ring = std::make_unique<TaskRing>(
+          RingCapacity(options_.queue_capacity));
+    }
+    lanes_.push_back(std::move(lane));
+  }
+  if (!options_.deterministic) {
+    size_t worker_count = options_.worker_threads;
+    if (worker_count == 0) {
+      const size_t cores = std::max(1u, std::thread::hardware_concurrency());
+      worker_count = std::min<size_t>(num_shards_, cores);
+    }
+    worker_count = std::min<size_t>(worker_count, num_shards_);
+    workers_.reserve(worker_count);
+    for (size_t i = 0; i < worker_count; ++i) {
+      workers_.emplace_back(&ShardedEngine::WorkerLoop, this, i);
+    }
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  counters_->stop.store(true, std::memory_order_release);
+  counters_->wake_cv.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+// --- Structural operations ---------------------------------------------------
+
+void ShardedEngine::LoadBlueprint(const blueprint::Blueprint& blueprint) {
+  for (auto& lane : lanes_) {
+    lane->engine->LoadBlueprint(blueprint.Clone());
+  }
+}
+
+void ShardedEngine::LoadBlueprintText(std::string_view text) {
+  LoadBlueprint(blueprint::ParseBlueprint(text));
+}
+
+OidId ShardedEngine::OnCreateObject(std::string_view block,
+                                    std::string_view view,
+                                    std::string_view user) {
+  return lanes_.front()->engine->OnCreateObject(block, view, user);
+}
+
+metadb::LinkId ShardedEngine::OnCreateLink(metadb::LinkKind kind, OidId from,
+                                           OidId to) {
+  return lanes_.front()->engine->OnCreateLink(kind, from, to);
+}
+
+// --- Intake -----------------------------------------------------------------
+
+uint32_t ShardedEngine::ShardOfTarget(const Oid& target) const {
+  if (const std::optional<OidId> id = db_.FindObject(target)) {
+    return shard_map_.ShardOf(*id);
+  }
+  // Dangling target: hash the block name so the journal warning lands
+  // on a stable shard regardless of sharding degree.
+  return static_cast<uint32_t>(std::hash<std::string>{}(target.block) %
+                               num_shards_);
+}
+
+void ShardedEngine::Route(EventMessage event) {
+  if (event.timestamp == 0) event.timestamp = clock_.NowSeconds();
+  const uint32_t shard = ShardOfTarget(event.target);
+  Task task;
+  task.kind = Task::Kind::kEvent;
+  task.ticket = counters_->next_ticket.fetch_add(1, std::memory_order_relaxed);
+  task.event = std::move(event);
+  Enqueue(shard, std::move(task));
+}
+
+void ShardedEngine::PostEvent(EventMessage event) {
+  counters_->events_posted.fetch_add(1, std::memory_order_relaxed);
+  Route(std::move(event));
+}
+
+void ShardedEngine::Enqueue(uint32_t shard, Task&& task) {
+  counters_->pending.fetch_add(1, std::memory_order_acq_rel);
+  lanes_[shard]->Push(std::move(task), counters_->ring_overflows);
+  if (!options_.deterministic) counters_->wake_cv.notify_one();
+}
+
+// --- Execution ---------------------------------------------------------------
+
+void ShardedEngine::ExecuteTask(Lane& lane, Task&& task) {
+  const uint32_t hops = task.hops;
+  if (task.kind == Task::Kind::kEvent) {
+    lane.engine->queue().Push(std::move(task.event));
+    lane.engine->ProcessOne();
+  } else {
+    lane.engine->DeliverSeededWave(std::move(task.seeds),
+                                   std::move(task.event));
+  }
+  // Cross-shard sub-waves accumulated during the task go out first (in
+  // the single-queue engine those deliveries happened inside the wave,
+  // before anything the wave posted), then the events the wave posted
+  // to the shard engine's local queue re-enter sharded intake.
+  lane.router->Flush(hops);
+  while (std::optional<EventMessage> posted = lane.engine->queue().Pop()) {
+    counters_->reposted_events.fetch_add(1, std::memory_order_relaxed);
+    Route(std::move(*posted));
+  }
+  counters_->tasks_processed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedEngine::FinishTask() {
+  if (counters_->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(counters_->drain_mutex);
+    counters_->drain_cv.notify_all();
+  }
+}
+
+void ShardedEngine::WorkerLoop(size_t worker_index) {
+  Task task;
+  int idle_spins = 0;
+  for (;;) {
+    // Sweep the lanes, starting at this worker's home lane so workers
+    // spread out. A claimed lane is skipped — its occupant drains it —
+    // which keeps every ring single-consumer.
+    bool did_work = false;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      Lane& lane = *lanes_[(worker_index + i) % lanes_.size()];
+      if (lane.busy.exchange(true, std::memory_order_acquire)) continue;
+      // Bounded burst per claim so one hot lane cannot starve the rest
+      // of this worker's sweep.
+      for (int burst = 0; burst < 64 && lane.Pop(task); ++burst) {
+        ExecuteTask(lane, std::move(task));
+        FinishTask();
+        did_work = true;
+      }
+      lane.busy.store(false, std::memory_order_release);
+    }
+    if (did_work) {
+      idle_spins = 0;
+      continue;
+    }
+    if (counters_->stop.load(std::memory_order_acquire)) return;
+    // Briefly yield before parking: intake usually refills within a
+    // scheduling quantum, and a yield is far cheaper than the
+    // sleep/notify round trip (on a loaded host it also lets the
+    // producer run).
+    if (++idle_spins < 16) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(counters_->wake_mutex);
+    // Timed wait: the producer's notify races the predicate check, and
+    // the short timeout makes a lost wakeup cost a millisecond, not a
+    // hang.
+    counters_->wake_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      if (counters_->stop.load(std::memory_order_acquire)) return true;
+      for (const auto& lane : lanes_) {
+        if (lane->HasWork()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void ShardedEngine::DrainDeterministic() {
+  for (;;) {
+    Lane* next = nullptr;
+    uint64_t best_ticket = 0;
+    for (auto& lane : lanes_) {
+      uint64_t ticket = 0;
+      if (lane->PeekTicket(ticket) &&
+          (next == nullptr || ticket < best_ticket)) {
+        next = lane.get();
+        best_ticket = ticket;
+      }
+    }
+    if (next == nullptr) return;
+    Task task;
+    next->Pop(task);
+    ExecuteTask(*next, std::move(task));
+    counters_->pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+size_t ShardedEngine::Drain() {
+  if (options_.deterministic) {
+    DrainDeterministic();
+  } else {
+    std::unique_lock<std::mutex> lock(counters_->drain_mutex);
+    counters_->drain_cv.wait(lock, [&] {
+      return counters_->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  const size_t total =
+      counters_->tasks_processed.load(std::memory_order_acquire);
+  const size_t delta = total - last_drain_processed_;
+  last_drain_processed_ = total;
+  return delta;
+}
+
+void ShardedEngine::RebalanceShards() {
+  if (!shard_map_.dirty()) return;
+  shard_map_.Rebalance();
+}
+
+// --- Introspection -----------------------------------------------------------
+
+RunTimeEngine& ShardedEngine::shard(uint32_t index) {
+  if (index >= lanes_.size()) {
+    throw Error("ShardedEngine::shard: index out of range");
+  }
+  return *lanes_[index]->engine;
+}
+
+const RunTimeEngine& ShardedEngine::shard(uint32_t index) const {
+  if (index >= lanes_.size()) {
+    throw Error("ShardedEngine::shard: index out of range");
+  }
+  return *lanes_[index]->engine;
+}
+
+ShardedStats ShardedEngine::stats() const {
+  ShardedStats stats;
+  stats.events_posted =
+      counters_->events_posted.load(std::memory_order_relaxed);
+  stats.tasks_processed =
+      counters_->tasks_processed.load(std::memory_order_relaxed);
+  stats.handoff_waves =
+      counters_->handoff_waves.load(std::memory_order_relaxed);
+  stats.handoff_waves_truncated =
+      counters_->handoff_waves_truncated.load(std::memory_order_relaxed);
+  stats.reposted_events =
+      counters_->reposted_events.load(std::memory_order_relaxed);
+  stats.ring_overflows =
+      counters_->ring_overflows.load(std::memory_order_relaxed);
+  // Sourced from the map so direct shard_map().Rebalance() calls count.
+  stats.rebalances = shard_map_.stats().rebalances;
+  return stats;
+}
+
+EngineStats ShardedEngine::AggregateEngineStats() const {
+  EngineStats total;
+  for (const auto& lane : lanes_) {
+    total.Accumulate(lane->engine->stats());
+  }
+  return total;
+}
+
+std::string ShardedEngine::MergedJournalDump() const {
+  std::string text;
+  for (const auto& lane : lanes_) {
+    text += "shard " + std::to_string(lane->shard) + ":\n";
+    text += lane->engine->journal().Dump();
+  }
+  return text;
+}
+
+std::vector<std::string> ShardedEngine::JournalLines() const {
+  std::vector<std::string> lines;
+  for (const auto& lane : lanes_) {
+    const events::EventJournal& journal = lane->engine->journal();
+    for (size_t i = 0; i < journal.Size(); ++i) {
+      const events::JournalRecord record = journal.At(i);
+      std::string line = "[";
+      line += events::EventOriginName(record.event.origin);
+      line += "] ";
+      line += events::FormatEvent(record.event);
+      lines.push_back(std::move(line));
+    }
+  }
+  return lines;
+}
+
+void ShardedEngine::ClearJournals() {
+  for (auto& lane : lanes_) lane->engine->ClearJournal();
+}
+
+void ShardedEngine::ResetStats() {
+  for (auto& lane : lanes_) lane->engine->ResetStats();
+  counters_->events_posted.store(0, std::memory_order_relaxed);
+  counters_->tasks_processed.store(0, std::memory_order_relaxed);
+  counters_->handoff_waves.store(0, std::memory_order_relaxed);
+  counters_->handoff_waves_truncated.store(0, std::memory_order_relaxed);
+  counters_->reposted_events.store(0, std::memory_order_relaxed);
+  counters_->ring_overflows.store(0, std::memory_order_relaxed);
+  last_drain_processed_ = 0;
+}
+
+}  // namespace damocles::engine

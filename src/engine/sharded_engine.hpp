@@ -1,0 +1,214 @@
+// The sharded wave engine: parallel change propagation over
+// block-subtree shards.
+//
+// PR 2 made per-delivery cost flat (integer-keyed receiver lookups,
+// compiled rule tables, copy-free payloads); the remaining ceiling is
+// single-threaded wave throughput. The paper's propagation model is
+// naturally partitionable: a wave confined to one block subtree never
+// touches another, so independent subtrees can process waves
+// concurrently. This layer owns N per-shard RunTimeEngines over ONE
+// shared meta-database and
+//  * routes intake: PostEvent resolves the target's shard through the
+//    metadb::ShardMap (use-link subtree roots, dealt round-robin) and
+//    enqueues the event on that shard's bounded lock-free MPSC ring —
+//    intake never blocks on wave execution;
+//  * runs one worker thread per shard, each draining its ring in FIFO
+//    order through its shard engine, so delivery order *within a
+//    shard* is byte-identical to the unsharded PR-2 engine;
+//  * hands cross-shard waves off: when a delivery's receiver set spans
+//    shards (a derive link between blocks of different subtrees — the
+//    PropagationIndex surfaces the receiver, the WaveRouter detects
+//    the foreign shard), the foreign receivers are grouped per target
+//    shard and re-enter that shard's queue as a seeded sub-wave
+//    (RunTimeEngine::DeliverSeededWave), behind whatever that shard
+//    already has queued;
+//  * re-routes rule-posted events ('post ... to <View>') from each
+//    shard engine's local queue back through sharded intake after every
+//    task, preserving the relative order a single queue would produce.
+//
+// The journal is the synchronization point: each shard engine journals
+// its own deliveries under dense per-shard sequence numbers, and the
+// merged views below stitch them together. Differential guarantees:
+//  * num_shards = 1 is journal-byte-identical to the plain PR-2 engine
+//    (no router is installed, so not even the Owns() probe is paid);
+//  * for N > 1 the multiset of journal records is identical to the
+//    1-shard run whenever cross-shard links do not reconverge (an OID
+//    reachable from one wave through two different shards may be
+//    delivered once per entering sub-wave — the documented deviation);
+//    only the interleaving *across* shards differs.
+// ShardedEngineOptions::deterministic = true disables the worker pool:
+// tasks execute on the calling thread in global intake-ticket order, so
+// differential tests get a reproducible schedule.
+//
+// Threading contract: PostEvent / Drain may be called from any thread
+// (intake is lock-free until a ring overflows to its fallback deque).
+// Everything structural — LoadBlueprint, OnCreateObject / OnCreateLink,
+// direct MetaDatabase mutations, Rebalance, journal/stat accessors —
+// must happen while the engine is quiescent (after Drain returns and
+// before new events are posted). Workers only write disjoint state:
+// per-shard engine internals and the properties of OIDs inside their
+// own shard's waves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "engine/run_time_engine.hpp"
+#include "metadb/shard_map.hpp"
+
+namespace damocles::engine {
+
+/// Tuning knobs for the sharded engine.
+struct ShardedEngineOptions {
+  /// Number of shards (and worker threads). 1 reproduces the plain
+  /// engine exactly.
+  uint32_t num_shards = 1;
+
+  /// Execute tasks on the calling thread in global intake-ticket order
+  /// instead of on the worker pool (differential testing; fully
+  /// reproducible schedules).
+  bool deterministic = false;
+
+  /// Per-shard ring capacity (rounded up to a power of two). Overflow
+  /// falls back to a locked deque so producers never deadlock.
+  size_t queue_capacity = 1024;
+
+  /// Worker threads servicing the shard lanes. 0 = auto:
+  /// min(num_shards, hardware cores). A worker claims one lane at a
+  /// time (per-shard FIFO is preserved with any worker count), so
+  /// fewer workers than shards degrades gracefully instead of
+  /// oversubscribing the host.
+  size_t worker_threads = 0;
+
+  /// Safety cap on cross-shard handoff chains. Each handoff sub-wave
+  /// starts with a fresh visited set, so a propagation cycle whose
+  /// links cross shards (A -> B -> A through mutually propagating
+  /// derive links) would ping-pong forever where the single visited
+  /// set of an unsharded wave terminates; a wave that exceeds this
+  /// many hops is dropped and counted (stats().handoff_waves_truncated
+  /// — the sharded analogue of max_wave_deliveries). Legitimate chains
+  /// are bounded by the number of subtree crossings, far below this.
+  uint32_t max_handoff_hops = 64;
+
+  /// Options forwarded to every per-shard engine.
+  EngineOptions engine;
+};
+
+/// Counters the sharded layer maintains (per-shard engine counters live
+/// in each shard's EngineStats; AggregateEngineStats sums them).
+struct ShardedStats {
+  size_t events_posted = 0;    ///< External events routed through intake.
+  size_t tasks_processed = 0;  ///< Queue events + handoff waves executed.
+  size_t handoff_waves = 0;    ///< Cross-shard sub-wave tasks enqueued.
+  size_t handoff_waves_truncated = 0;  ///< Dropped at max_handoff_hops.
+  size_t reposted_events = 0;  ///< Rule-posted events re-routed at intake.
+  size_t ring_overflows = 0;   ///< Pushes that took the fallback deque.
+  size_t rebalances = 0;       ///< Shard-map rebalance passes (from the
+                               ///< map's own stats; survives ResetStats).
+};
+
+/// N per-shard engines + shard map + intake queues + worker pool.
+class ShardedEngine {
+ public:
+  ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
+                ShardedEngineOptions options = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // --- Structural operations (quiescent engine only) --------------------
+
+  /// Installs the blueprint on every shard engine (deep copies; each
+  /// engine compiles its own rule tables against its own interner).
+  void LoadBlueprint(const blueprint::Blueprint& blueprint);
+
+  /// Parses rule-file text and installs it. Throws ParseError.
+  void LoadBlueprintText(std::string_view text);
+
+  /// Creation notifications, template application included. Delegated
+  /// to shard 0's engine: template application only mutates the shared
+  /// meta-database, so any engine produces identical meta-data.
+  metadb::OidId OnCreateObject(std::string_view block, std::string_view view,
+                               std::string_view user);
+  metadb::LinkId OnCreateLink(metadb::LinkKind kind, metadb::OidId from,
+                              metadb::OidId to);
+
+  // --- Intake and execution ---------------------------------------------
+
+  /// Routes an event to its target's shard and enqueues it. Lock-free
+  /// until the ring overflows. Safe from multiple threads.
+  void PostEvent(events::EventMessage event);
+
+  /// Blocks until every queued event (and every task it spawned) has
+  /// been processed. Returns the number of tasks processed by this
+  /// drain. One drainer at a time (the coordinating thread); PostEvent
+  /// from other threads stays safe while a drain waits.
+  size_t Drain();
+
+  /// Rebalances the shard map if a use-link removal/move dirtied it
+  /// (subtree re-parenting). Structural: call only while quiescent. A
+  /// stale map never loses events — waves crossing a stale boundary
+  /// ride the handoff path — it only costs locality until rebalanced.
+  void RebalanceShards();
+
+  // --- Introspection -----------------------------------------------------
+
+  uint32_t num_shards() const noexcept { return num_shards_; }
+  RunTimeEngine& shard(uint32_t index);
+  const RunTimeEngine& shard(uint32_t index) const;
+  metadb::ShardMap& shard_map() noexcept { return shard_map_; }
+  const metadb::ShardMap& shard_map() const noexcept { return shard_map_; }
+
+  ShardedStats stats() const;
+
+  /// Sums every shard engine's counters (max_wave_extent is the max).
+  EngineStats AggregateEngineStats() const;
+
+  /// All shards' journals, one "shard N:" section per shard, each in
+  /// its own per-shard sequence order.
+  std::string MergedJournalDump() const;
+
+  /// Every journal record across all shards as "[origin] <event>"
+  /// lines (no sequence numbers), shard by shard. Sorting the result
+  /// gives the multiset differential tests compare.
+  std::vector<std::string> JournalLines() const;
+
+  void ClearJournals();
+  void ResetStats();
+
+ private:
+  struct Task;
+  class TaskRing;
+  struct Lane;
+  class LaneRouter;
+
+  uint32_t ShardOfTarget(const metadb::Oid& target) const;
+  void Route(events::EventMessage event);
+  void Enqueue(uint32_t shard, Task&& task);
+  void ExecuteTask(Lane& lane, Task&& task);
+  void FinishTask();
+  void WorkerLoop(size_t worker_index);
+  void DrainDeterministic();
+
+  metadb::MetaDatabase& db_;
+  SimClock& clock_;
+  ShardedEngineOptions options_;
+  uint32_t num_shards_;
+  metadb::ShardMap shard_map_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+
+  // Threading state lives behind the Lane pimpl plus these counters;
+  // see sharded_engine.cpp.
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+  size_t last_drain_processed_ = 0;
+};
+
+}  // namespace damocles::engine

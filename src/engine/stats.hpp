@@ -49,12 +49,58 @@ struct EngineStats {
   size_t rule_table_misses = 0;     ///< Deliveries with no rules for the event.
   size_t interner_symbols = 0;      ///< Symbols in the engine's table (gauge).
 
+  // Sharded execution (see sharded_engine.hpp; zero on unsharded engines).
+  size_t handoff_receivers = 0;     ///< Receivers routed to another shard.
+  size_t seeded_handoff_waves = 0;  ///< Cross-shard sub-waves delivered here.
+
   /// Mean OIDs delivered to per propagation wave.
   double DeliveriesPerWave() const {
     return waves_started == 0
                ? 0.0
                : static_cast<double>(wave_deliveries) /
                      static_cast<double>(waves_started);
+  }
+
+  /// Folds another engine's counters into this one (the sharded engine
+  /// aggregates its per-shard engines this way). Kept beside the field
+  /// list so new counters get added here in the same edit; all counters
+  /// sum except max_wave_extent, which takes the max.
+  void Accumulate(const EngineStats& other) {
+    events_processed += other.events_processed;
+    external_events += other.external_events;
+    rule_posted_events += other.rule_posted_events;
+    propagated_deliveries += other.propagated_deliveries;
+    dangling_events += other.dangling_events;
+    assign_actions += other.assign_actions;
+    exec_actions += other.exec_actions;
+    notify_actions += other.notify_actions;
+    post_actions += other.post_actions;
+    reevaluations += other.reevaluations;
+    property_writes += other.property_writes;
+    objects_templated += other.objects_templated;
+    links_templated += other.links_templated;
+    links_untemplated += other.links_untemplated;
+    links_carried += other.links_carried;
+    properties_carried += other.properties_carried;
+    waves_started += other.waves_started;
+    waves_truncated += other.waves_truncated;
+    if (other.max_wave_extent > max_wave_extent) {
+      max_wave_extent = other.max_wave_extent;
+    }
+    post_to_misses += other.post_to_misses;
+    wave_deliveries += other.wave_deliveries;
+    wave_batches += other.wave_batches;
+    index_lookups += other.index_lookups;
+    links_scanned += other.links_scanned;
+    rule_table_hits += other.rule_table_hits;
+    rule_table_misses += other.rule_table_misses;
+    // Gauge, not a counter: per-shard interners hold largely the same
+    // strings, so summing would overstate by ~num_shards.
+    if (other.interner_symbols > interner_symbols) {
+      interner_symbols = other.interner_symbols;
+    }
+    handoff_receivers += other.handoff_receivers;
+    seeded_handoff_waves += other.seeded_handoff_waves;
   }
 };
 

@@ -4,24 +4,45 @@
 
 namespace damocles::events {
 
+void EventQueue::Grow() {
+  // Unroll the circular order into a fresh, larger ring.
+  const size_t capacity = ring_.empty() ? 16 : ring_.size() * 2;
+  std::vector<EventMessage> next(capacity);
+  for (size_t i = 0; i < count_; ++i) {
+    next[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+  }
+  ring_.swap(next);
+  head_ = 0;
+}
+
 void EventQueue::Push(EventMessage event) {
-  queue_.push_back(std::move(event));
+  if (count_ == ring_.size()) Grow();
+  ring_[(head_ + count_) % ring_.size()] = std::move(event);
+  ++count_;
   ++stats_.enqueued;
-  stats_.high_water_mark = std::max(stats_.high_water_mark, queue_.size());
+  stats_.high_water_mark = std::max(stats_.high_water_mark, count_);
 }
 
 std::optional<EventMessage> EventQueue::Pop() {
-  if (queue_.empty()) return std::nullopt;
-  EventMessage event = std::move(queue_.front());
-  queue_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  EventMessage event = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
   ++stats_.dequeued;
   return event;
 }
 
 const EventMessage* EventQueue::Peek() const {
-  return queue_.empty() ? nullptr : &queue_.front();
+  return count_ == 0 ? nullptr : &ring_[head_];
 }
 
-void EventQueue::Clear() { queue_.clear(); }
+void EventQueue::Clear() {
+  // Release payloads but keep the slots.
+  for (size_t i = 0; i < count_; ++i) {
+    ring_[(head_ + i) % ring_.size()] = EventMessage{};
+  }
+  head_ = 0;
+  count_ = 0;
+}
 
 }  // namespace damocles::events

@@ -3,11 +3,16 @@
 // Paper §3.1: "the design activities are converted to events and sent to
 // the project BluePrint, where they are queued. ... Events are processed
 // sequentially, first-in first-out."
+//
+// Storage is a growable circular buffer: slots are reused, so in steady
+// state Push/Pop move an EventMessage in and out without touching the
+// allocator (the historical std::deque paid block allocations as the
+// queue breathed). Capacity only grows, doubling on overflow.
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "events/event.hpp"
 
@@ -32,16 +37,20 @@ class EventQueue {
   /// Head event without removing it, or nullptr when empty.
   const EventMessage* Peek() const;
 
-  bool Empty() const noexcept { return queue_.empty(); }
-  size_t Depth() const noexcept { return queue_.size(); }
+  bool Empty() const noexcept { return count_ == 0; }
+  size_t Depth() const noexcept { return count_; }
   const QueueStats& Stats() const noexcept { return stats_; }
 
   /// Drops all queued events (used when re-initializing a blueprint
-  /// between project phases).
+  /// between project phases). Slot capacity is retained.
   void Clear();
 
  private:
-  std::deque<EventMessage> queue_;
+  void Grow();
+
+  std::vector<EventMessage> ring_;  ///< Circular slot storage.
+  size_t head_ = 0;                 ///< Index of the head event.
+  size_t count_ = 0;                ///< Live events in the ring.
   QueueStats stats_;
 };
 

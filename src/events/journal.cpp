@@ -1,29 +1,89 @@
 #include "events/journal.hpp"
 
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "metadb/oid.hpp"
+
 namespace damocles::events {
 
+EventJournal::Row EventJournal::MakeRow(const EventMessage& event,
+                                        const metadb::Oid& target) {
+  Row row;
+  row.name = strings_.Intern(event.name);
+  row.block = strings_.Intern(target.block);
+  row.view = strings_.Intern(target.view);
+  row.arg = strings_.Intern(event.arg);
+  row.user = strings_.Intern(event.user);
+  row.version = target.version;
+  row.timestamp = event.timestamp;
+  row.direction = static_cast<uint8_t>(event.direction);
+  row.origin = static_cast<uint8_t>(event.origin);
+  if (!event.extra_args.empty()) {
+    if (event.extra_args.size() > 0xFFFF) {
+      throw Error("EventJournal: more than 65535 extra args on event '" +
+                  event.name + "'");
+    }
+    row.extra_begin = static_cast<uint32_t>(extra_pool_.size());
+    row.extra_count = static_cast<uint16_t>(event.extra_args.size());
+    for (const std::string& extra : event.extra_args) {
+      extra_pool_.push_back(strings_.Intern(extra));
+    }
+  }
+  return row;
+}
+
 void EventJournal::Record(const EventMessage& event) {
-  JournalRecord record;
-  record.sequence = records_.size();
-  record.event = event;
-  records_.push_back(std::move(record));
+  rows_.push_back(MakeRow(event, event.target));
 }
 
-void EventJournal::Record(EventMessage&& event) {
-  JournalRecord record;
-  record.sequence = records_.size();
-  record.event = std::move(event);
-  records_.push_back(std::move(record));
+void EventJournal::RecordPropagated(const EventMessage& event,
+                                    const metadb::Oid& target) {
+  // The substitute target is interned directly — the shared payload's
+  // own target (the wave origin) never touches the side table here.
+  Row row = MakeRow(event, target);
+  row.origin = static_cast<uint8_t>(EventOrigin::kPropagated);
+  rows_.push_back(row);
 }
 
-void EventJournal::Clear() { records_.clear(); }
+EventMessage EventJournal::Materialize(const Row& row) const {
+  EventMessage event;
+  event.name = strings_.Text(row.name);
+  event.direction = static_cast<Direction>(row.direction);
+  event.target.block = strings_.Text(row.block);
+  event.target.view = strings_.Text(row.view);
+  event.target.version = row.version;
+  event.arg = strings_.Text(row.arg);
+  event.user = strings_.Text(row.user);
+  event.timestamp = row.timestamp;
+  event.origin = static_cast<EventOrigin>(row.origin);
+  event.extra_args.reserve(row.extra_count);
+  for (uint16_t i = 0; i < row.extra_count; ++i) {
+    event.extra_args.push_back(strings_.Text(extra_pool_[row.extra_begin + i]));
+  }
+  return event;
+}
+
+JournalRecord EventJournal::At(size_t index) const {
+  if (index >= rows_.size()) {
+    throw NotFoundError("EventJournal::At: index " + std::to_string(index) +
+                        " out of range (size " + std::to_string(rows_.size()) +
+                        ")");
+  }
+  return JournalRecord{index, Materialize(rows_[index])};
+}
+
+void EventJournal::Clear() {
+  rows_.clear();
+  extra_pool_.clear();
+  strings_ = SymbolTable();
+}
 
 std::vector<EventMessage> EventJournal::ExternalTrace() const {
   std::vector<EventMessage> trace;
-  for (const JournalRecord& record : records_) {
-    if (record.event.origin == EventOrigin::kExternal ||
-        record.event.origin == EventOrigin::kSystem) {
-      trace.push_back(record.event);
+  for (const Row& row : rows_) {
+    const auto origin = static_cast<EventOrigin>(row.origin);
+    if (origin == EventOrigin::kExternal || origin == EventOrigin::kSystem) {
+      trace.push_back(Materialize(row));
     }
   }
   return trace;
@@ -31,12 +91,12 @@ std::vector<EventMessage> EventJournal::ExternalTrace() const {
 
 std::string EventJournal::Dump() const {
   std::string text;
-  for (const JournalRecord& record : records_) {
-    text += std::to_string(record.sequence);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    text += std::to_string(i);
     text += ": [";
-    text += EventOriginName(record.event.origin);
+    text += EventOriginName(static_cast<EventOrigin>(rows_[i].origin));
     text += "] ";
-    text += FormatEvent(record.event);
+    text += FormatEvent(Materialize(rows_[i]));
     text += "\n";
   }
   return text;

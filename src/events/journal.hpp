@@ -4,38 +4,59 @@
 // engine processed, in order, with its origin. Supports replay — feeding
 // a recorded trace back through a fresh engine must reproduce identical
 // meta-data, which the determinism tests rely on.
+//
+// Storage is allocation-free on the hot path: records are packed
+// integer rows whose string fields (event name, target block/view, arg,
+// user, extra args) are interned through a journal-owned side table, so
+// recording a delivery costs a few transparent string_view hash probes
+// and one vector push — no string copies. Propagated deliveries use
+// RecordPropagated, which journals the shared wave payload with a
+// per-delivery target without ever materializing an EventMessage.
+// Accessors (At / ExternalTrace / Dump) rebuild full messages from the
+// side table on demand; their output is byte-identical to the
+// historical string-storing journal.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/symbol.hpp"
 #include "events/event.hpp"
 
 namespace damocles::events {
 
-/// One journal record: an event plus its position in processing order.
+/// One materialized journal record: an event plus its position in
+/// processing order.
 struct JournalRecord {
   size_t sequence = 0;
   EventMessage event;
 };
 
-/// In-memory audit journal.
+/// In-memory audit journal over interned compact rows.
 class EventJournal {
  public:
   /// Appends a record; sequence numbers are assigned densely from 0.
   void Record(const EventMessage& event);
 
-  /// Move overload: the propagation hot path journals one synthesized
-  /// record per delivery and must not pay a second copy for it.
-  void Record(EventMessage&& event);
+  /// Move overload kept for API continuity; interning never steals the
+  /// strings, so it simply forwards to the const-ref form.
+  void Record(EventMessage&& event) { Record(event); }
 
-  const std::vector<JournalRecord>& Records() const noexcept {
-    return records_;
-  }
+  /// Journals one propagated delivery of a shared wave payload:
+  /// `event`'s fields with `target` substituted and the origin forced
+  /// to kPropagated. The wave hot path calls this once per delivery;
+  /// no EventMessage is constructed.
+  void RecordPropagated(const EventMessage& event, const metadb::Oid& target);
 
-  size_t Size() const noexcept { return records_.size(); }
-  bool Empty() const noexcept { return records_.empty(); }
+  /// Materializes record `index` (bounds-checked; throws NotFoundError).
+  JournalRecord At(size_t index) const;
+
+  size_t Size() const noexcept { return rows_.size(); }
+  bool Empty() const noexcept { return rows_.empty(); }
+
+  /// Drops all records and the side string table.
   void Clear();
 
   /// Returns only the externally originated events — the trace to feed a
@@ -45,8 +66,36 @@ class EventJournal {
   /// Multi-line dump for diagnostics, one record per line.
   std::string Dump() const;
 
+  /// The side string table (gauge: distinct strings across all records).
+  const SymbolTable& strings() const noexcept { return strings_; }
+
  private:
-  std::vector<JournalRecord> records_;
+  /// One packed record row. 40 bytes vs. the 4 strings + vector an
+  /// EventMessage carries; extra args overflow into a shared pool.
+  struct Row {
+    SymbolId name = 0;
+    SymbolId block = 0;
+    SymbolId view = 0;
+    SymbolId arg = 0;
+    SymbolId user = 0;
+    int32_t version = 0;
+    int64_t timestamp = 0;
+    uint32_t extra_begin = 0;
+    uint16_t extra_count = 0;
+    uint8_t direction = 0;
+    uint8_t origin = 0;
+  };
+
+  /// Builds a row for `event` delivered at `target` (the caller picks
+  /// the payload's own target or a per-delivery substitute, so no field
+  /// is interned twice). Throws Error past 65535 extra args — the row's
+  /// count field is 16-bit and truncating an audit record is worse.
+  Row MakeRow(const EventMessage& event, const metadb::Oid& target);
+  EventMessage Materialize(const Row& row) const;
+
+  SymbolTable strings_;
+  std::vector<Row> rows_;
+  std::vector<SymbolId> extra_pool_;
 };
 
 }  // namespace damocles::events

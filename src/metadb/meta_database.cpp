@@ -50,6 +50,9 @@ OidId MetaDatabase::CreateObject(const Oid& oid, std::string_view user,
 
   by_oid_.emplace(oid, id);
   chain.push_back(id);
+  for (LinkObserver* observer : link_observers_) {
+    observer->OnObjectCreated(id, objects_[id.value()]);
+  }
   return id;
 }
 
@@ -391,6 +394,9 @@ OidId MetaDatabase::RestoreObjectSlot(MetaObject object) {
   objects_.push_back(std::move(object));
   out_links_.emplace_back();
   in_links_.emplace_back();
+  for (LinkObserver* observer : link_observers_) {
+    observer->OnObjectCreated(id, objects_[id.value()]);
+  }
   return id;
 }
 

@@ -37,11 +37,14 @@ struct DatabaseStats {
   size_t property_values = 0;
 };
 
-/// Receives link-mutation notifications. The run-time engine registers
+/// Receives structural notifications. The run-time engine registers
 /// one of these to keep its propagation index consistent with the link
-/// graph without rescanning adjacency on every wave.
+/// graph without rescanning adjacency on every wave; the shard map uses
+/// the same protocol to track block-subtree membership.
 ///
 /// Callback contract:
+///  * OnObjectCreated fires after the object is indexed (default no-op
+///    so link-only observers need not care);
 ///  * OnLinkAdded fires after the link is wired into adjacency;
 ///  * OnLinkRemoved fires before the link is detached, with its
 ///    endpoints and PROPAGATE list still intact;
@@ -54,6 +57,10 @@ struct DatabaseStats {
 class LinkObserver {
  public:
   virtual ~LinkObserver() = default;
+  virtual void OnObjectCreated(OidId id, const MetaObject& object) {
+    (void)id;
+    (void)object;
+  }
   virtual void OnLinkAdded(LinkId id, const Link& link) = 0;
   virtual void OnLinkRemoved(LinkId id, const Link& link) = 0;
   virtual void OnLinkEndpointMoved(LinkId id, bool endpoint_from,

@@ -568,7 +568,7 @@ TEST_F(EngineEventTest, JournalRecordsWholeWave) {
   engine_.ProcessAll();
   // One queue record + one propagated-delivery record.
   EXPECT_EQ(engine_.journal().Size(), 2u);
-  EXPECT_EQ(engine_.journal().Records()[1].event.origin,
+  EXPECT_EQ(engine_.journal().At(1).event.origin,
             events::EventOrigin::kPropagated);
 }
 

@@ -157,9 +157,9 @@ TEST(EventJournal, RecordsInOrderWithSequence) {
   journal.Record(MakeEvent("a"));
   journal.Record(MakeEvent("b"));
   ASSERT_EQ(journal.Size(), 2u);
-  EXPECT_EQ(journal.Records()[0].sequence, 0u);
-  EXPECT_EQ(journal.Records()[1].sequence, 1u);
-  EXPECT_EQ(journal.Records()[1].event.name, "b");
+  EXPECT_EQ(journal.At(0).sequence, 0u);
+  EXPECT_EQ(journal.At(1).sequence, 1u);
+  EXPECT_EQ(journal.At(1).event.name, "b");
 }
 
 TEST(EventJournal, ExternalTraceFiltersDerivedEvents) {
@@ -194,6 +194,40 @@ TEST(EventJournal, ClearEmpties) {
   journal.Record(MakeEvent("a"));
   journal.Clear();
   EXPECT_TRUE(journal.Empty());
+}
+
+/// Recording the same names again must not grow the side string table:
+/// the hot path is interned, not copied.
+TEST(EventJournal, RepeatedRecordsShareSideTableStrings) {
+  EventJournal journal;
+  EventMessage event = MakeEvent("ckin");
+  event.extra_args = {"warn", "fatal"};
+  journal.Record(event);
+  const size_t strings_after_first = journal.strings().size();
+  for (int i = 0; i < 100; ++i) journal.Record(event);
+  EXPECT_EQ(journal.strings().size(), strings_after_first);
+  EXPECT_EQ(journal.At(100).event.extra_args, event.extra_args);
+  EXPECT_EQ(journal.At(100).event.name, "ckin");
+}
+
+/// RecordPropagated journals the shared wave payload with a
+/// per-delivery target, forcing the propagated origin.
+TEST(EventJournal, RecordPropagatedRewritesTargetAndOrigin) {
+  EventJournal journal;
+  EventMessage event = MakeEvent("edit");
+  event.origin = EventOrigin::kExternal;
+  const Oid target{"spoke", "derived", 3};
+  journal.RecordPropagated(event, target);
+  const JournalRecord record = journal.At(0);
+  EXPECT_EQ(record.event.origin, EventOrigin::kPropagated);
+  EXPECT_EQ(record.event.target, target);
+  EXPECT_EQ(record.event.name, "edit");
+  EXPECT_EQ(record.event.arg, event.arg);
+}
+
+TEST(EventJournal, AtThrowsOutOfRange) {
+  EventJournal journal;
+  EXPECT_THROW(journal.At(0), NotFoundError);
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ TEST(ProjectServer, CheckInRegistersMetaDataAndPostsCkin) {
 
   // The ckin event went through the engine.
   EXPECT_EQ(server->engine().stats().external_events, 1u);
-  EXPECT_EQ(server->engine().journal().Records()[0].event.name, "ckin");
+  EXPECT_EQ(server->engine().journal().At(0).event.name, "ckin");
 }
 
 TEST(ProjectServer, WireLineIntake) {
@@ -77,7 +77,7 @@ TEST(ProjectServer, CheckinDirectionIsConfigurable) {
   auto server = std::make_unique<ProjectServer>("dir", options);
   server->InitializeBlueprint(workload::EdtcBlueprintText());
   server->CheckIn("CPU", "HDL_model", "m", "alice");
-  EXPECT_EQ(server->engine().journal().Records()[0].event.direction,
+  EXPECT_EQ(server->engine().journal().At(0).event.direction,
             events::Direction::kDown);
 }
 

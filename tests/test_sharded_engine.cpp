@@ -1,0 +1,581 @@
+// Tests for the sharded wave engine and the block-subtree shard map.
+//
+// The load-bearing guarantees, pinned differentially:
+//  * num_shards = 1 is journal-byte-identical to the plain PR-2 engine;
+//  * for N shards on a partitioned workload (no cross-subtree links)
+//    the multiset of journal records matches the 1-shard run exactly —
+//    only the interleaving across shards differs;
+//  * threaded and deterministic execution produce the same multiset;
+//  * cross-shard waves (a derive link between blocks of different
+//    subtrees) are handed off and delivered on the foreign shard;
+//  * the ShardMap tracks subtree roots incrementally through link adds
+//    and, after random endpoint moves / deletions plus a rebalance,
+//    agrees with an oracle that recomputes the components from scratch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blueprint/parser.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "engine/run_time_engine.hpp"
+#include "engine/sharded_engine.hpp"
+#include "metadb/meta_database.hpp"
+#include "metadb/shard_map.hpp"
+#include "workload/generators.hpp"
+
+namespace damocles {
+namespace {
+
+using engine::EngineStats;
+using engine::RunTimeEngine;
+using engine::ShardedEngine;
+using engine::ShardedEngineOptions;
+using events::Direction;
+using events::EventMessage;
+using metadb::CarryPolicy;
+using metadb::LinkKind;
+using metadb::MetaDatabase;
+using metadb::Oid;
+using metadb::OidId;
+using metadb::ShardMap;
+
+EventMessage Event(std::string name, const Oid& target, Direction direction,
+                   std::string arg = "") {
+  EventMessage event;
+  event.name = std::move(name);
+  event.direction = direction;
+  event.target = target;
+  event.arg = std::move(arg);
+  event.user = "test";
+  event.timestamp = 1;  // Fixed stamp: runs compare byte-for-byte.
+  return event;
+}
+
+// --- A workload both engine flavours can replay identically ----------------
+//
+// `blocks` independent flow instances (view_0 -> ... -> view_{n-1}
+// derive chains, per workload::MakeFlowBlueprint) plus a small use-link
+// hierarchy under each block, then a seeded random event trace with
+// periodic drains. The adapter hides plain-vs-sharded.
+
+struct PlainAdapter {
+  RunTimeEngine& engine;
+  void LoadBlueprintText(const std::string& text) {
+    engine.LoadBlueprint(blueprint::ParseBlueprint(text));
+  }
+  OidId CreateObject(const std::string& block, const std::string& view) {
+    return engine.OnCreateObject(block, view, "test");
+  }
+  void CreateLink(LinkKind kind, OidId from, OidId to) {
+    engine.OnCreateLink(kind, from, to);
+  }
+  void Post(EventMessage event) { engine.PostEvent(std::move(event)); }
+  void Drain() { engine.ProcessAll(); }
+  void Settle() {}
+};
+
+struct ShardedAdapter {
+  ShardedEngine& engine;
+  void LoadBlueprintText(const std::string& text) {
+    engine.LoadBlueprintText(text);
+  }
+  OidId CreateObject(const std::string& block, const std::string& view) {
+    return engine.OnCreateObject(block, view, "test");
+  }
+  void CreateLink(LinkKind kind, OidId from, OidId to) {
+    engine.OnCreateLink(kind, from, to);
+  }
+  void Post(EventMessage event) { engine.PostEvent(std::move(event)); }
+  void Drain() { engine.Drain(); }
+  /// Bulk construction done: deal subtree roots round-robin.
+  void Settle() { engine.shard_map().Rebalance(); }
+};
+
+struct WorkloadSpec {
+  int blocks = 6;
+  int views = 3;
+  int hierarchy_children = 2;  ///< Use-linked sub-blocks per flow block.
+  int events = 80;
+  uint64_t seed = 42;
+};
+
+template <typename Adapter>
+void RunWorkload(Adapter api, MetaDatabase& db, const WorkloadSpec& spec) {
+  workload::FlowSpec flow;
+  flow.n_views = spec.views;
+  api.LoadBlueprintText(workload::MakeFlowBlueprint(flow, "sharded"));
+
+  const std::vector<std::string> views = workload::FlowViewNames(flow);
+  std::vector<std::string> blocks;
+  for (int b = 0; b < spec.blocks; ++b) {
+    const std::string block = "blk" + std::to_string(b);
+    blocks.push_back(block);
+    OidId previous;
+    for (int v = 0; v < spec.views; ++v) {
+      const OidId id = api.CreateObject(block, views[static_cast<size_t>(v)]);
+      if (v > 0) api.CreateLink(LinkKind::kDerive, previous, id);
+      previous = id;
+    }
+    // A small use-link hierarchy under view_0 keeps the subtree grouping
+    // honest (children are distinct blocks merged by use links).
+    const OidId root = *db.FindObject(Oid{block, views[0], 1});
+    for (int c = 0; c < spec.hierarchy_children; ++c) {
+      const OidId child =
+          api.CreateObject(block + "_sub" + std::to_string(c), views[0]);
+      api.CreateLink(LinkKind::kUse, root, child);
+    }
+  }
+
+  api.Settle();
+
+  Rng rng(spec.seed);
+  for (int i = 0; i < spec.events; ++i) {
+    const std::string& block =
+        blocks[static_cast<size_t>(rng.UniformInt(0, spec.blocks - 1))];
+    const int view = static_cast<int>(rng.UniformInt(0, spec.views - 1));
+    const Oid target{block, views[static_cast<size_t>(view)], 1};
+    const double draw = rng.UniformDouble();
+    if (draw < 0.5) {
+      api.Post(Event("ckin", target, Direction::kUp, "rev"));
+    } else if (draw < 0.8) {
+      api.Post(Event("outofdate", target, Direction::kDown));
+    } else {
+      api.Post(Event("res0", target, Direction::kDown,
+                     rng.Chance(0.5) ? "good" : "bad"));
+    }
+    if (rng.Chance(0.2)) api.Drain();
+  }
+  api.Drain();
+}
+
+std::vector<std::string> SortedLines(std::vector<std::string> lines) {
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::map<std::string, std::string> PropertySnapshot(const MetaDatabase& db) {
+  std::map<std::string, std::string> snapshot;
+  db.ForEachObject([&](OidId, const metadb::MetaObject& object) {
+    for (const auto& [name, value] : object.properties) {
+      snapshot[metadb::FormatOid(object.oid) + "/" + name] = value;
+    }
+  });
+  return snapshot;
+}
+
+// --- Differential: 1 shard == plain engine, byte for byte -------------------
+
+TEST(ShardedEngine, OneShardIsByteIdenticalToPlainEngine) {
+  for (const uint64_t seed : {7u, 99u}) {
+    WorkloadSpec spec;
+    spec.seed = seed;
+
+    MetaDatabase plain_db;
+    SimClock plain_clock;
+    RunTimeEngine plain(plain_db, plain_clock);
+    RunWorkload(PlainAdapter{plain}, plain_db, spec);
+
+    MetaDatabase sharded_db;
+    SimClock sharded_clock;
+    ShardedEngineOptions options;
+    options.num_shards = 1;
+    options.deterministic = true;
+    ShardedEngine sharded(sharded_db, sharded_clock, options);
+    RunWorkload(ShardedAdapter{sharded}, sharded_db, spec);
+
+    EXPECT_EQ(plain.journal().Dump(), sharded.shard(0).journal().Dump())
+        << "seed " << seed;
+    EXPECT_EQ(PropertySnapshot(plain_db), PropertySnapshot(sharded_db))
+        << "seed " << seed;
+
+    const EngineStats& a = plain.stats();
+    const EngineStats b = sharded.AggregateEngineStats();
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.wave_deliveries, b.wave_deliveries);
+    EXPECT_EQ(a.propagated_deliveries, b.propagated_deliveries);
+    EXPECT_EQ(a.assign_actions, b.assign_actions);
+    EXPECT_EQ(a.property_writes, b.property_writes);
+    EXPECT_EQ(b.handoff_receivers, 0u);
+    EXPECT_EQ(b.seeded_handoff_waves, 0u);
+  }
+}
+
+// A threaded single worker must match too (same lane FIFO, real thread).
+TEST(ShardedEngine, OneShardThreadedMatchesPlainEngine) {
+  WorkloadSpec spec;
+  spec.events = 40;
+
+  MetaDatabase plain_db;
+  SimClock plain_clock;
+  RunTimeEngine plain(plain_db, plain_clock);
+  RunWorkload(PlainAdapter{plain}, plain_db, spec);
+
+  MetaDatabase sharded_db;
+  SimClock sharded_clock;
+  ShardedEngineOptions options;
+  options.num_shards = 1;
+  ShardedEngine sharded(sharded_db, sharded_clock, options);
+  RunWorkload(ShardedAdapter{sharded}, sharded_db, spec);
+
+  EXPECT_EQ(plain.journal().Dump(), sharded.shard(0).journal().Dump());
+  EXPECT_EQ(PropertySnapshot(plain_db), PropertySnapshot(sharded_db));
+}
+
+// --- Differential: N shards == 1 shard, as a record multiset ---------------
+
+TEST(ShardedEngine, MultiShardJournalMatchesOneShardAsMultiset) {
+  for (const uint32_t shards : {2u, 4u}) {
+    WorkloadSpec spec;
+    spec.blocks = 8;
+    spec.events = 120;
+
+    MetaDatabase one_db;
+    SimClock one_clock;
+    ShardedEngineOptions one_options;
+    one_options.num_shards = 1;
+    one_options.deterministic = true;
+    ShardedEngine one(one_db, one_clock, one_options);
+    RunWorkload(ShardedAdapter{one}, one_db, spec);
+
+    MetaDatabase many_db;
+    SimClock many_clock;
+    ShardedEngineOptions many_options;
+    many_options.num_shards = shards;
+    many_options.deterministic = true;
+    ShardedEngine many(many_db, many_clock, many_options);
+    RunWorkload(ShardedAdapter{many}, many_db, spec);
+
+    EXPECT_EQ(SortedLines(one.JournalLines()),
+              SortedLines(many.JournalLines()))
+        << shards << " shards";
+    EXPECT_EQ(PropertySnapshot(one_db), PropertySnapshot(many_db))
+        << shards << " shards";
+
+    const EngineStats a = one.AggregateEngineStats();
+    const EngineStats b = many.AggregateEngineStats();
+    EXPECT_EQ(a.wave_deliveries, b.wave_deliveries) << shards << " shards";
+    EXPECT_EQ(a.propagated_deliveries, b.propagated_deliveries);
+    EXPECT_EQ(a.assign_actions, b.assign_actions);
+    EXPECT_EQ(a.property_writes, b.property_writes);
+
+    // The partitioned workload never crosses subtrees, so every event
+    // stayed on its own shard.
+    EXPECT_EQ(b.handoff_receivers, 0u) << shards << " shards";
+
+    // Work actually spread: with 8 independent subtrees and round-robin
+    // root assignment every shard processed something.
+    size_t active_shards = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      if (many.shard(s).stats().events_processed > 0) ++active_shards;
+    }
+    EXPECT_EQ(active_shards, shards);
+  }
+}
+
+TEST(ShardedEngine, ThreadedExecutionMatchesDeterministicMultiset) {
+  WorkloadSpec spec;
+  spec.blocks = 8;
+  spec.events = 120;
+
+  MetaDatabase det_db;
+  SimClock det_clock;
+  ShardedEngineOptions det_options;
+  det_options.num_shards = 4;
+  det_options.deterministic = true;
+  ShardedEngine det(det_db, det_clock, det_options);
+  RunWorkload(ShardedAdapter{det}, det_db, spec);
+
+  MetaDatabase thr_db;
+  SimClock thr_clock;
+  ShardedEngineOptions thr_options;
+  thr_options.num_shards = 4;
+  thr_options.queue_capacity = 8;  // Tiny ring: exercise the spill path.
+  ShardedEngine thr(thr_db, thr_clock, thr_options);
+  RunWorkload(ShardedAdapter{thr}, thr_db, spec);
+
+  EXPECT_EQ(SortedLines(det.JournalLines()), SortedLines(thr.JournalLines()));
+  EXPECT_EQ(PropertySnapshot(det_db), PropertySnapshot(thr_db));
+  EXPECT_EQ(det.AggregateEngineStats().wave_deliveries,
+            thr.AggregateEngineStats().wave_deliveries);
+}
+
+// --- Cross-shard handoff -----------------------------------------------------
+
+/// Two flow subtrees in different shards, bridged by one derive link
+/// whose PROPAGATE carries the event: the wave must cross the shard
+/// boundary as a seeded sub-wave and keep expanding on the far side.
+TEST(ShardedEngine, CrossShardWaveIsHandedOffAndKeepsExpanding) {
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.deterministic = true;
+  ShardedEngine sharded(db, clock, options);
+
+  const OidId a0 = sharded.OnCreateObject("blk_a", "sch", "test");
+  const OidId b0 = sharded.OnCreateObject("blk_b", "sch", "test");
+  const OidId b1 = sharded.OnCreateObject("blk_b", "net", "test");
+  // Deal roots round-robin: blk_a -> shard 0, blk_b -> shard 1.
+  sharded.shard_map().Rebalance();
+  ASSERT_NE(sharded.shard_map().ShardOf(a0), sharded.shard_map().ShardOf(b0));
+
+  // Bridge and continuation, both propagating "edit".
+  db.CreateLink(LinkKind::kDerive, a0, b0, {"edit"}, "depend_on",
+                CarryPolicy::kNone);
+  db.CreateLink(LinkKind::kDerive, b0, b1, {"edit"}, "derive_from",
+                CarryPolicy::kNone);
+
+  sharded.PostEvent(Event("edit", Oid{"blk_a", "sch", 1}, Direction::kDown));
+  sharded.Drain();
+
+  // Shard 0 processed the queue event and handed one receiver off.
+  EXPECT_EQ(sharded.shard(0).stats().events_processed, 1u);
+  EXPECT_EQ(sharded.shard(0).stats().handoff_receivers, 1u);
+  // Shard 1 delivered the seeded sub-wave to b0, then expanded to b1.
+  EXPECT_EQ(sharded.shard(1).stats().seeded_handoff_waves, 1u);
+  EXPECT_EQ(sharded.shard(1).stats().propagated_deliveries, 2u);
+  EXPECT_EQ(sharded.stats().handoff_waves, 1u);
+
+  // Same wave through one shard: the record multiset must match.
+  MetaDatabase one_db;
+  SimClock one_clock;
+  ShardedEngineOptions one_options;
+  one_options.num_shards = 1;
+  one_options.deterministic = true;
+  ShardedEngine one(one_db, one_clock, one_options);
+  const OidId one_a0 = one.OnCreateObject("blk_a", "sch", "test");
+  const OidId one_b0 = one.OnCreateObject("blk_b", "sch", "test");
+  const OidId one_b1 = one.OnCreateObject("blk_b", "net", "test");
+  one_db.CreateLink(LinkKind::kDerive, one_a0, one_b0, {"edit"}, "depend_on",
+                    CarryPolicy::kNone);
+  one_db.CreateLink(LinkKind::kDerive, one_b0, one_b1, {"edit"},
+                    "derive_from", CarryPolicy::kNone);
+  one.PostEvent(Event("edit", Oid{"blk_a", "sch", 1}, Direction::kDown));
+  one.Drain();
+
+  EXPECT_EQ(SortedLines(one.JournalLines()),
+            SortedLines(sharded.JournalLines()));
+}
+
+/// A propagation cycle whose links cross shards (A -> B and B -> A
+/// both propagate the event) must terminate: each handoff restarts
+/// with a fresh visited set, so without the hop cap the wave would
+/// ping-pong between the shards forever and Drain() would hang.
+TEST(ShardedEngine, CrossShardPropagationCycleTerminates) {
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.deterministic = true;
+  options.max_handoff_hops = 8;
+  ShardedEngine sharded(db, clock, options);
+
+  const OidId a = sharded.OnCreateObject("blk_a", "sch", "test");
+  const OidId b = sharded.OnCreateObject("blk_b", "sch", "test");
+  sharded.shard_map().Rebalance();
+  ASSERT_NE(sharded.shard_map().ShardOf(a), sharded.shard_map().ShardOf(b));
+  db.CreateLink(LinkKind::kDerive, a, b, {"edit"}, "", CarryPolicy::kNone);
+  db.CreateLink(LinkKind::kDerive, b, a, {"edit"}, "", CarryPolicy::kNone);
+
+  sharded.PostEvent(Event("edit", Oid{"blk_a", "sch", 1}, Direction::kDown));
+  sharded.Drain();  // Must return.
+
+  EXPECT_GT(sharded.stats().handoff_waves_truncated, 0u);
+  // The chain ran to the cap: one handoff per hop.
+  EXPECT_EQ(sharded.stats().handoff_waves, 8u);
+}
+
+/// 'post <event> down to <view>' across a shard boundary: the posted
+/// event re-enters sharded intake and is processed on the target's
+/// shard, exactly like an external event.
+TEST(ShardedEngine, RulePostedEventsRerouteToTargetShard) {
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.deterministic = true;
+  ShardedEngine sharded(db, clock, options);
+
+  sharded.LoadBlueprintText(R"(blueprint relay
+view default
+endview
+view src
+  when ping do post pong down to sink done
+endview
+view sink
+  when pong do hit = yes done
+endview
+endblueprint)");
+
+  const OidId src = sharded.OnCreateObject("blk_a", "src", "test");
+  const OidId sink = sharded.OnCreateObject("blk_b", "sink", "test");
+  sharded.shard_map().Rebalance();
+  ASSERT_NE(sharded.shard_map().ShardOf(src),
+            sharded.shard_map().ShardOf(sink));
+  // The BFS behind 'post ... to' walks links regardless of PROPAGATE.
+  db.CreateLink(LinkKind::kDerive, src, sink, {}, "depend_on",
+                CarryPolicy::kNone);
+
+  sharded.PostEvent(Event("ping", Oid{"blk_a", "src", 1}, Direction::kDown));
+  sharded.Drain();
+
+  EXPECT_EQ(*db.GetProperty(sink, "hit"), "yes");
+  EXPECT_EQ(sharded.stats().reposted_events, 1u);
+  const uint32_t sink_shard = sharded.shard_map().ShardOf(sink);
+  EXPECT_EQ(sharded.shard(sink_shard).stats().events_processed, 1u);
+}
+
+// --- ShardMap ----------------------------------------------------------------
+
+TEST(ShardMap, GroupsBlocksBySubtreeAndIgnoresDeriveLinks) {
+  MetaDatabase db;
+  ShardMap map(db, 4);
+
+  const OidId top = db.CreateNextVersion("top", "sch", "t", 0);
+  const OidId child = db.CreateNextVersion("top_a", "sch", "t", 0);
+  const OidId other = db.CreateNextVersion("lib", "sch", "t", 0);
+
+  db.CreateLink(LinkKind::kUse, top, child, {"edit"}, "", CarryPolicy::kNone);
+  EXPECT_EQ(map.RootBlockOf(child), "top");
+  EXPECT_EQ(map.ShardOf(child), map.ShardOf(top));
+
+  // Derive links do not merge subtrees.
+  db.CreateLink(LinkKind::kDerive, other, child, {"edit"}, "",
+                CarryPolicy::kNone);
+  EXPECT_EQ(map.RootBlockOf(other), "lib");
+  EXPECT_FALSE(map.dirty());
+
+  // All versions and views of a block share its group.
+  const OidId top_v2 = db.CreateNextVersion("top", "sch", "t", 0);
+  const OidId top_net = db.CreateNextVersion("top", "net", "t", 0);
+  EXPECT_EQ(map.ShardOf(top_v2), map.ShardOf(top));
+  EXPECT_EQ(map.ShardOf(top_net), map.ShardOf(top));
+}
+
+TEST(ShardMap, UseLinkRemovalDirtiesAndRebalanceSplits) {
+  MetaDatabase db;
+  ShardMap map(db, 4);
+
+  const OidId top = db.CreateNextVersion("top", "sch", "t", 0);
+  const OidId child = db.CreateNextVersion("sub", "sch", "t", 0);
+  const metadb::LinkId link =
+      db.CreateLink(LinkKind::kUse, top, child, {}, "", CarryPolicy::kNone);
+  ASSERT_EQ(map.RootBlockOf(child), "top");
+
+  db.DeleteLink(link);
+  EXPECT_TRUE(map.dirty());
+  map.Rebalance();
+  EXPECT_FALSE(map.dirty());
+  EXPECT_EQ(map.RootBlockOf(child), "sub");
+  EXPECT_EQ(map.RootBlockOf(top), "top");
+}
+
+/// Oracle: after a random sequence of use-link adds, endpoint moves and
+/// deletions plus a rebalance, every OID's root block must match a
+/// from-scratch recomputation, and every block of a component must sit
+/// on the same (valid) shard.
+TEST(ShardMap, OracleAfterRandomLinkMoves) {
+  for (const uint64_t seed : {3u, 17u, 2026u}) {
+    MetaDatabase db;
+    constexpr uint32_t kShards = 4;
+    ShardMap map(db, kShards);
+    Rng rng(seed);
+
+    // A pool of single-view blocks (use links need one view type).
+    std::vector<OidId> oids;
+    for (int i = 0; i < 24; ++i) {
+      oids.push_back(
+          db.CreateNextVersion("b" + std::to_string(i), "sch", "t", 0));
+    }
+    std::vector<metadb::LinkId> links;
+    const auto random_oid = [&] {
+      return oids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+    };
+    for (int step = 0; step < 120; ++step) {
+      const double draw = rng.UniformDouble();
+      if (draw < 0.55 || links.empty()) {
+        const OidId from = random_oid();
+        const OidId to = random_oid();
+        if (from == to) continue;
+        links.push_back(db.CreateLink(LinkKind::kUse, from, to, {}, "",
+                                      CarryPolicy::kNone));
+      } else if (draw < 0.8) {
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(links.size()) - 1));
+        const metadb::LinkId link = links[pick];
+        if (!db.GetLink(link).alive) continue;
+        const bool endpoint_from = rng.Chance(0.5);
+        const OidId target = random_oid();
+        const metadb::Link& current = db.GetLink(link);
+        const OidId other = endpoint_from ? current.to : current.from;
+        if (target == other) continue;
+        db.MoveLinkEndpoint(link, endpoint_from, target);
+      } else {
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(links.size()) - 1));
+        if (db.GetLink(links[pick]).alive) db.DeleteLink(links[pick]);
+      }
+    }
+
+    map.Rebalance();
+
+    // Oracle: recompute components over live use links; the root is the
+    // earliest-created block of the component.
+    std::map<std::string, std::set<std::string>> adjacency;
+    db.ForEachLink([&](metadb::LinkId, const metadb::Link& link) {
+      if (link.kind != LinkKind::kUse) return;
+      const std::string& from = db.GetObject(link.from).oid.block;
+      const std::string& to = db.GetObject(link.to).oid.block;
+      adjacency[from].insert(to);
+      adjacency[to].insert(from);
+    });
+    const auto oracle_root = [&](const std::string& block) {
+      std::set<std::string> component{block};
+      std::vector<std::string> frontier{block};
+      while (!frontier.empty()) {
+        const std::string current = frontier.back();
+        frontier.pop_back();
+        for (const std::string& next : adjacency[current]) {
+          if (component.insert(next).second) frontier.push_back(next);
+        }
+      }
+      // Creation order is b0, b1, ...: the numerically smallest index
+      // was created (and interned) first.
+      std::string best = block;
+      int best_index = std::stoi(block.substr(1));
+      for (const std::string& member : component) {
+        const int index = std::stoi(member.substr(1));
+        if (index < best_index) {
+          best_index = index;
+          best = member;
+        }
+      }
+      return best;
+    };
+
+    for (const OidId id : oids) {
+      const std::string& block = db.GetObject(id).oid.block;
+      EXPECT_EQ(map.RootBlockOf(id), oracle_root(block))
+          << "seed " << seed << " block " << block;
+      EXPECT_LT(map.ShardOf(id), kShards);
+    }
+    // Same component => same shard.
+    for (const OidId a : oids) {
+      for (const OidId b : oids) {
+        if (map.RootBlockOf(a) == map.RootBlockOf(b)) {
+          EXPECT_EQ(map.ShardOf(a), map.ShardOf(b));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace damocles
