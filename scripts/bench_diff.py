@@ -33,11 +33,28 @@ def load_series(directory: pathlib.Path) -> dict:
         except (OSError, json.JSONDecodeError) as error:
             print(f"bench_diff: skipping unreadable {path.name}: {error}")
             continue
-        for entry in data.get("series", []):
+        entries = data.get("series") if isinstance(data, dict) else None
+        if not isinstance(entries, list):
+            print(f"bench_diff: {path.name} has no series list — skipping")
+            continue
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
             name = entry.get("name")
             if name:
                 series[(path.stem, name)] = entry
     return series
+
+
+def ns_per_op(entry: dict) -> float:
+    """The entry's ns_per_op as a positive float, or 0.0 when missing,
+    non-numeric, zero or negative (all of which mean "cannot diff")."""
+    value = entry.get("ns_per_op")
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return 0.0
+    return value if value > 0.0 else 0.0
 
 
 def main() -> int:
@@ -61,14 +78,20 @@ def main() -> int:
 
     regressions = []
     improvements = []
+    fresh = []
     compared = 0
     for key, entry in sorted(current.items()):
         base = baseline.get(key)
         if base is None:
+            # A series with no baseline (new bench, renamed series) is
+            # expected on its first run: note it, never divide by it.
+            fresh.append(f"{key[0]}:{key[1]}")
             continue
-        old_ns = base.get("ns_per_op") or 0.0
-        new_ns = entry.get("ns_per_op") or 0.0
-        if old_ns <= 0.0 or new_ns <= 0.0:
+        old_ns = ns_per_op(base)
+        new_ns = ns_per_op(entry)
+        if old_ns == 0.0 or new_ns == 0.0:
+            print(f"bench_diff: {key[0]}:{key[1]} has no usable ns_per_op "
+                  "on one side — skipping")
             continue
         compared += 1
         delta_pct = (new_ns - old_ns) / old_ns * 100.0
@@ -81,6 +104,9 @@ def main() -> int:
 
     print(f"bench_diff: compared {compared} series "
           f"(threshold {args.threshold:.0f}%)")
+    if fresh:
+        print(f"bench_diff: {len(fresh)} series without baseline "
+              f"(diffed from the next run): {', '.join(fresh)}")
     for line in improvements:
         print(f"  improved: {line}")
     for line in regressions:

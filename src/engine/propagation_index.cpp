@@ -69,8 +69,10 @@ void PropagationIndex::Rebuild(const MetaDatabase& db) {
   Clear();
   // Walk adjacency lists (not link slots): endpoint moves re-append
   // links, so adjacency order — the order a scan delivers in — can
-  // differ from slot order.
+  // differ from slot order. A source filter scopes the walk to this
+  // index's own sources (one filter probe per object, not per link).
   db.ForEachObject([&](OidId id, const metadb::MetaObject&) {
+    if (!OwnsSource(id)) return;
     for (const LinkId link_id : db.OutLinks(id)) {
       const Link& link = db.GetLink(link_id);
       for (const std::string& event : link.propagates) {
@@ -107,11 +109,19 @@ const PropagationIndex::Bucket* PropagationIndex::Receivers(
 void PropagationIndex::AddEntries(LinkId id,
                                   const std::vector<std::string>& events,
                                   OidId from, OidId to) {
+  const bool down = OwnsSource(from);
+  const bool up = OwnsSource(to);
+  if (!down && !up) return;
   for (const std::string& event : events) {
     const SymbolId sym = symbols_->Intern(event);
-    buckets_[PackKey(from, Direction::kDown, sym)].push_back(Entry{id, to});
-    buckets_[PackKey(to, Direction::kUp, sym)].push_back(Entry{id, from});
-    entries_ += 2;
+    if (down) {
+      buckets_[PackKey(from, Direction::kDown, sym)].push_back(Entry{id, to});
+      ++entries_;
+    }
+    if (up) {
+      buckets_[PackKey(to, Direction::kUp, sym)].push_back(Entry{id, from});
+      ++entries_;
+    }
   }
 }
 
@@ -139,6 +149,132 @@ void PropagationIndex::RemoveEntries(LinkId id,
     EraseLinkEntries(from, Direction::kDown, sym, id);
     EraseLinkEntries(to, Direction::kUp, sym, id);
   });
+}
+
+// --- Single-side maintenance -------------------------------------------------
+
+void PropagationIndex::AddLinkSide(LinkId id, const Link& link,
+                                   bool down_side) {
+  const OidId source = down_side ? link.from : link.to;
+  const OidId neighbor = down_side ? link.to : link.from;
+  if (!OwnsSource(source)) return;
+  const Direction direction = down_side ? Direction::kDown : Direction::kUp;
+  for (const std::string& event : link.propagates) {
+    buckets_[PackKey(source, direction, symbols_->Intern(event))].push_back(
+        Entry{id, neighbor});
+    ++entries_;
+  }
+}
+
+void PropagationIndex::RemoveLinkSide(LinkId id, const Link& link,
+                                      bool down_side) {
+  const OidId source = down_side ? link.from : link.to;
+  const Direction direction = down_side ? Direction::kDown : Direction::kUp;
+  ForEachDistinct(link.propagates, [&](const std::string& event) {
+    const SymbolId sym = symbols_->Find(event);
+    if (sym == SymbolTable::kNoSymbol) return;
+    EraseLinkEntries(source, direction, sym, id);
+  });
+}
+
+void PropagationIndex::EraseEntriesAt(OidId source, Direction direction,
+                                      const std::vector<std::string>& events,
+                                      LinkId link) {
+  ForEachDistinct(events, [&](const std::string& event) {
+    const SymbolId sym = symbols_->Find(event);
+    if (sym == SymbolTable::kNoSymbol) return;
+    EraseLinkEntries(source, direction, sym, link);
+  });
+}
+
+void PropagationIndex::AppendEntriesAt(OidId source, Direction direction,
+                                       const std::vector<std::string>& events,
+                                       LinkId link, OidId neighbor) {
+  if (!OwnsSource(source)) return;
+  for (const std::string& event : events) {
+    buckets_[PackKey(source, direction, symbols_->Intern(event))].push_back(
+        Entry{link, neighbor});
+    ++entries_;
+  }
+}
+
+void PropagationIndex::PatchNeighborAt(OidId source, Direction direction,
+                                       const std::vector<std::string>& events,
+                                       LinkId link, OidId neighbor) {
+  ForEachDistinct(events, [&](const std::string& event) {
+    const SymbolId sym = symbols_->Find(event);
+    if (sym == SymbolTable::kNoSymbol) return;
+    const auto it = buckets_.find(PackKey(source, direction, sym));
+    if (it == buckets_.end()) return;
+    for (Entry& entry : it->second) {
+      if (entry.link == link) entry.neighbor = neighbor;
+    }
+  });
+}
+
+void PropagationIndex::RebuildBucketsAt(
+    const MetaDatabase& db, OidId source, Direction direction,
+    const std::vector<std::string>& old_events,
+    const std::vector<std::string>& new_events) {
+  if (!OwnsSource(source)) return;
+  ForEachDistinct(old_events, [&](const std::string& event) {
+    RebuildBucket(db, source, direction, event);
+  });
+  ForEachDistinct(new_events, [&](const std::string& event) {
+    if (std::find(old_events.begin(), old_events.end(), event) !=
+        old_events.end()) {
+      return;  // Already rebuilt through the old list.
+    }
+    RebuildBucket(db, source, direction, event);
+  });
+}
+
+// --- Bucket migration --------------------------------------------------------
+
+void PropagationIndex::RemoveSourceBuckets(const MetaDatabase& db,
+                                           OidId source) {
+  // The affected (direction, event) keys are derived from the current
+  // adjacency: a bucket under `source` holds only entries of `source`'s
+  // own links, so dropping whole buckets is exact.
+  const auto drop = [&](Direction direction, const std::string& event) {
+    const SymbolId sym = symbols_->Find(event);
+    if (sym == SymbolTable::kNoSymbol) return;
+    const auto it = buckets_.find(PackKey(source, direction, sym));
+    if (it == buckets_.end()) return;
+    entries_ -= it->second.size();
+    buckets_.erase(it);
+  };
+  for (const LinkId link_id : db.OutLinks(source)) {
+    for (const std::string& event : db.GetLink(link_id).propagates) {
+      drop(Direction::kDown, event);
+    }
+  }
+  for (const LinkId link_id : db.InLinks(source)) {
+    for (const std::string& event : db.GetLink(link_id).propagates) {
+      drop(Direction::kUp, event);
+    }
+  }
+}
+
+void PropagationIndex::AddSourceBuckets(const MetaDatabase& db, OidId source) {
+  // No filter probe: the caller routed the source here deliberately
+  // (assignment changes land before the migration notification fires).
+  for (const LinkId link_id : db.OutLinks(source)) {
+    const Link& link = db.GetLink(link_id);
+    for (const std::string& event : link.propagates) {
+      buckets_[PackKey(source, Direction::kDown, symbols_->Intern(event))]
+          .push_back(Entry{link_id, link.to});
+      ++entries_;
+    }
+  }
+  for (const LinkId link_id : db.InLinks(source)) {
+    const Link& link = db.GetLink(link_id);
+    for (const std::string& event : link.propagates) {
+      buckets_[PackKey(source, Direction::kUp, symbols_->Intern(event))]
+          .push_back(Entry{link_id, link.from});
+      ++entries_;
+    }
+  }
 }
 
 void PropagationIndex::AddLink(LinkId id, const Link& link) {
@@ -170,18 +306,22 @@ void PropagationIndex::MoveLinkEndpoint(LinkId id, bool endpoint_from,
     const size_t multiplicity = CountOccurrences(link.propagates, event);
     if (endpoint_from) {
       EraseLinkEntries(old_endpoint, Direction::kDown, sym, id);
-      Bucket& bucket = buckets_[PackKey(link.from, Direction::kDown, sym)];
-      for (size_t i = 0; i < multiplicity; ++i) {
-        bucket.push_back(Entry{id, link.to});
-        ++entries_;
+      if (OwnsSource(link.from)) {
+        Bucket& bucket = buckets_[PackKey(link.from, Direction::kDown, sym)];
+        for (size_t i = 0; i < multiplicity; ++i) {
+          bucket.push_back(Entry{id, link.to});
+          ++entries_;
+        }
       }
       patch_neighbor(link.to, Direction::kUp, sym, id, link.from);
     } else {
       EraseLinkEntries(old_endpoint, Direction::kUp, sym, id);
-      Bucket& bucket = buckets_[PackKey(link.to, Direction::kUp, sym)];
-      for (size_t i = 0; i < multiplicity; ++i) {
-        bucket.push_back(Entry{id, link.from});
-        ++entries_;
+      if (OwnsSource(link.to)) {
+        Bucket& bucket = buckets_[PackKey(link.to, Direction::kUp, sym)];
+        for (size_t i = 0; i < multiplicity; ++i) {
+          bucket.push_back(Entry{id, link.from});
+          ++entries_;
+        }
       }
       patch_neighbor(link.from, Direction::kDown, sym, id, link.to);
     }
@@ -191,6 +331,7 @@ void PropagationIndex::MoveLinkEndpoint(LinkId id, bool endpoint_from,
 void PropagationIndex::RebuildBucket(const MetaDatabase& db, OidId source,
                                      Direction direction,
                                      const std::string& event) {
+  if (!OwnsSource(source)) return;  // Foreign sources hold no buckets.
   const SymbolId sym = symbols_->Intern(event);
   const uint64_t key = PackKey(source, direction, sym);
   const auto it = buckets_.find(key);
@@ -239,6 +380,8 @@ void PropagationIndex::SetLinkPropagates(
 bool PropagationIndex::ConsistentWith(const MetaDatabase& db,
                                       std::string* diff) const {
   PropagationIndex fresh;  // Private symbol table; compared by text.
+  fresh.filter_ = filter_;  // Same scope: shard-local indexes compare
+                            // against a rescan of their own subtree.
   fresh.Rebuild(db);
 
   const auto describe = [diff](const std::string& what) {

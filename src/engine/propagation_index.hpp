@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -92,6 +93,18 @@ class PropagationIndex {
   /// The table this index interns event names through.
   const SymbolTable& symbols() const noexcept { return *symbols_; }
 
+  // --- Scope (shard-local indexes) --------------------------------------
+
+  /// Restricts the index to sources for which `owns` returns true: a
+  /// sharded engine gives each shard's index the shard's own subtree,
+  /// so N shards together hold ~1× the link graph instead of N×.
+  /// Entries for foreign sources are skipped on every maintenance path;
+  /// Rebuild and ConsistentWith apply the filter too. nullptr (the
+  /// default) indexes everything.
+  void SetSourceFilter(std::function<bool(metadb::OidId)> owns) {
+    filter_ = std::move(owns);
+  }
+
   // --- Incremental maintenance (link-observer notifications) -----------
 
   void AddLink(metadb::LinkId id, const metadb::Link& link);
@@ -115,17 +128,80 @@ class PropagationIndex {
                          const std::vector<std::string>& old_propagates,
                          const metadb::Link& link);
 
+  // --- Single-side maintenance (sharded index router) --------------------
+  // A link's two bucket sides can live in different shard indexes: the
+  // (from, down) side on the source's shard, the (to, up) side on the
+  // target's. The sharded engine's index router applies each side to
+  // the owning index through these; self-maintained indexes keep using
+  // the two-sided observer entry points above.
+
+  /// Adds one side of `link`'s entries: the (from, kDown) buckets when
+  /// `down_side`, the (to, kUp) buckets otherwise.
+  void AddLinkSide(metadb::LinkId id, const metadb::Link& link,
+                   bool down_side);
+
+  /// Removes one side of `link`'s entries (`link` still carries the
+  /// endpoints/PROPAGATE list being removed).
+  void RemoveLinkSide(metadb::LinkId id, const metadb::Link& link,
+                      bool down_side);
+
+  /// Drops entries of `link` keyed under `source` in `direction` for
+  /// every event of `events` (the old endpoint's side of a move).
+  void EraseEntriesAt(metadb::OidId source, events::Direction direction,
+                      const std::vector<std::string>& events,
+                      metadb::LinkId link);
+
+  /// Appends entries for `link` keyed under `source` in `direction`
+  /// (the new endpoint's side of a move; mirrors the adjacency
+  /// push_back, one entry per PROPAGATE occurrence).
+  void AppendEntriesAt(metadb::OidId source, events::Direction direction,
+                       const std::vector<std::string>& events,
+                       metadb::LinkId link, metadb::OidId neighbor);
+
+  /// Rewrites the neighbour field of `link`'s entries under `source` in
+  /// `direction` (the unmoved side of a move keeps bucket positions).
+  void PatchNeighborAt(metadb::OidId source, events::Direction direction,
+                       const std::vector<std::string>& events,
+                       metadb::LinkId link, metadb::OidId neighbor);
+
+  /// Rebuilds the (source, direction) buckets named by the union of the
+  /// two PROPAGATE lists from `db`'s adjacency (one side of a PROPAGATE
+  /// rewrite).
+  void RebuildBucketsAt(const metadb::MetaDatabase& db, metadb::OidId source,
+                        events::Direction direction,
+                        const std::vector<std::string>& old_events,
+                        const std::vector<std::string>& new_events);
+
+  // --- Bucket migration (shard rebalance) --------------------------------
+  // When an OID's shard assignment changes, its buckets move between
+  // shard indexes instead of either index rebuilding: the old index
+  // drops the OID's buckets, the new index re-derives them from the
+  // adjacency lists (which also re-interns event names — SymbolIds are
+  // per-index and never cross an index boundary).
+
+  /// Drops every bucket keyed under `source`, deriving the affected
+  /// (direction, event) keys from `source`'s adjacency in `db`.
+  void RemoveSourceBuckets(const metadb::MetaDatabase& db,
+                           metadb::OidId source);
+
+  /// Indexes every qualifying link of `source` from `db`'s adjacency
+  /// (both directions, scan order). The source must not already have
+  /// buckets here. Ignores the source filter — the caller (the index
+  /// router) has already decided this index owns the source.
+  void AddSourceBuckets(const metadb::MetaDatabase& db, metadb::OidId source);
+
   // --- Introspection ----------------------------------------------------
 
   /// Live (link, event, direction) entries currently indexed.
   size_t entry_count() const noexcept { return entries_; }
 
-  /// Oracle check: compares against a freshly rebuilt index of `db`,
-  /// bucket contents compared as sets (incremental maintenance may
-  /// order a bucket differently from slot order after endpoint moves).
-  /// Comparison is by event *text*, so it holds across indexes with
-  /// different symbol tables. On mismatch returns false and, when
-  /// `diff` is non-null, describes the first divergence.
+  /// Oracle check: compares against a freshly rebuilt index of `db`
+  /// (under the same source filter, if any), bucket contents compared
+  /// as sets (incremental maintenance may order a bucket differently
+  /// from slot order after endpoint moves). Comparison is by event
+  /// *text*, so it holds across indexes with different symbol tables.
+  /// On mismatch returns false and, when `diff` is non-null, describes
+  /// the first divergence.
   bool ConsistentWith(const metadb::MetaDatabase& db,
                       std::string* diff = nullptr) const;
 
@@ -156,6 +232,11 @@ class PropagationIndex {
 
   using BucketMap = std::unordered_map<uint64_t, Bucket, KeyHash>;
 
+  /// True when this index stores buckets for `source`.
+  bool OwnsSource(metadb::OidId source) const {
+    return filter_ == nullptr || filter_(source);
+  }
+
   void AddEntries(metadb::LinkId id, const std::vector<std::string>& events,
                   metadb::OidId from, metadb::OidId to);
   void RemoveEntries(metadb::LinkId id, const std::vector<std::string>& events,
@@ -174,6 +255,7 @@ class PropagationIndex {
   std::unique_ptr<SymbolTable> owned_;     ///< Set for standalone indexes.
   BucketMap buckets_;
   size_t entries_ = 0;
+  std::function<bool(metadb::OidId)> filter_;  ///< Source scope; see above.
 };
 
 }  // namespace damocles::engine

@@ -23,7 +23,7 @@ using metadb::OidId;
 RunTimeEngine::RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
                              EngineOptions options)
     : db_(db), clock_(clock), options_(options), index_(symbols_) {
-  if (options_.use_propagation_index) {
+  if (options_.use_propagation_index && !options_.external_index_maintenance) {
     db_.AddLinkObserver(this);
     index_.Rebuild(db_);
   }
@@ -64,6 +64,24 @@ void RunTimeEngine::OnLinkPropagatesChanged(
     LinkId id, const std::vector<std::string>& old_propagates,
     const Link& link) {
   index_.SetLinkPropagates(db_, id, old_propagates, link);
+}
+
+void RunTimeEngine::SetIndexScope(std::function<bool(metadb::OidId)> owns,
+                                  bool rebuild) {
+  if (!options_.use_propagation_index) return;
+  if (owns != nullptr) {
+    // External maintenance: the sharded index router applies link ops
+    // to the owning shard's index, so this engine stops observing.
+    db_.RemoveLinkObserver(this);
+  } else {
+    db_.AddLinkObserver(this);  // Registration is idempotent.
+  }
+  index_.SetSourceFilter(std::move(owns));
+  if (rebuild) {
+    index_.Rebuild(db_);
+  } else {
+    index_.Clear();  // The caller fills the index (bulk routed pass).
+  }
 }
 
 const Blueprint& RunTimeEngine::Current() const {
@@ -356,8 +374,8 @@ void RunTimeEngine::DeliverSeededWave(std::vector<OidId> seeds,
   event.origin = events::EventOrigin::kPropagated;
   {
     processing_ = true;
-    ProcessWaveSeeded(std::move(seeds), /*seeds_are_origin=*/false, event,
-                      event_sym);
+    ProcessWaveSeeded(std::move(seeds), /*seeds_are_origin=*/false,
+                      /*claim_seeds=*/true, event, event_sym);
     processing_ = false;
   }
   DispatchPendingExecs();
@@ -374,7 +392,8 @@ size_t RunTimeEngine::ProcessAll() {
 
 void RunTimeEngine::ProcessWave(OidId start, const EventMessage& event,
                                 SymbolId event_sym) {
-  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, event, event_sym);
+  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, /*claim_seeds=*/true,
+                    event, event_sym);
 }
 
 void RunTimeEngine::AdmitReceiver(OidId receiver, const EventMessage& event,
@@ -382,11 +401,21 @@ void RunTimeEngine::AdmitReceiver(OidId receiver, const EventMessage& event,
                                   std::vector<OidId>& out) {
   if (!visited.Insert(receiver.value())) return;
   if (router_ == nullptr || router_->Owns(receiver)) {
+    // Owned receiver: the claim makes delivery exactly-once across the
+    // whole wave — another sub-wave of the same epoch (re-entering this
+    // shard through a different boundary link) may have delivered it
+    // already. Claims are arbitrated by the receiver's owning shard, so
+    // the local visited probe above is just a cheap pre-filter.
+    if (router_ != nullptr && event.wave_epoch != 0 &&
+        !router_->ClaimDelivery(event.wave_epoch, receiver)) {
+      ++stats_.dedup_suppressed;
+      return;
+    }
     out.push_back(receiver);
     return;
   }
-  // Foreign shard: the receiver is marked visited here (so this wave
-  // hands it off at most once) but delivered remotely.
+  // Foreign shard: marked in the local visited set (so this sub-wave
+  // hands it off at most once) but delivered — and claimed — remotely.
   ++stats_.handoff_receivers;
   router_->Handoff(receiver, event);
 }
@@ -431,7 +460,7 @@ void RunTimeEngine::CollectReceivers(OidId source, const EventMessage& event,
 }
 
 void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
-                                      bool seeds_are_origin,
+                                      bool seeds_are_origin, bool claim_seeds,
                                       const EventMessage& event,
                                       SymbolId event_sym) {
   ++stats_.waves_started;
@@ -447,7 +476,18 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
   std::vector<OidId> batch;
   batch.reserve(seeds.size());
   for (const OidId seed : seeds) {
-    if (visited.set.Insert(seed.value())) batch.push_back(seed);
+    if (!visited.set.Insert(seed.value())) continue;
+    // Wave entry points claim their seeds: two shards may hand the same
+    // receiver off for one wave, and a cross-shard cycle leads a wave
+    // back to OIDs it already delivered to — the (epoch, OID) claim
+    // collapses both to a single delivery, exactly like the single
+    // visited set of an unsharded wave.
+    if (claim_seeds && router_ != nullptr && event.wave_epoch != 0 &&
+        !router_->ClaimDelivery(event.wave_epoch, seed)) {
+      ++stats_.dedup_suppressed;
+      continue;
+    }
+    batch.push_back(seed);
   }
 
   std::vector<OidId> next_batch;
@@ -498,6 +538,11 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
       // shared downstream objects are delivered to once, not once per
       // link.
       for (DirectionPost& posted : direction_posts) {
+        // A direction post opens its own wave scope (the unsharded
+        // engine gives it a fresh visited set); under a router it gets
+        // its own epoch so its deliveries dedup independently of the
+        // enclosing wave's.
+        if (router_ != nullptr) posted.event.wave_epoch = router_->MintEpoch();
         std::vector<OidId> posted_seeds;
         {
           VisitedLease seen(*this);
@@ -506,9 +551,11 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
         }
         if (!posted_seeds.empty()) {
           posted.event.origin = events::EventOrigin::kPropagated;
+          // Seeds were claimed by CollectReceivers above under the new
+          // epoch; claiming again would drop every one of them.
           ProcessWaveSeeded(std::move(posted_seeds),
-                            /*seeds_are_origin=*/false, posted.event,
-                            posted.name_sym);
+                            /*seeds_are_origin=*/false, /*claim_seeds=*/false,
+                            posted.event, posted.name_sym);
         }
       }
     }

@@ -91,11 +91,20 @@ struct EngineOptions {
   /// scans, one payload copy per delivery) for differential tests and
   /// as the benchmark baseline; delivery order is identical either way.
   bool interned_fast_path = true;
+
+  /// Skip the constructor's observer registration and initial full
+  /// index build: the owner installs a scoped index via SetIndexScope
+  /// right after construction (the sharded engine does this for every
+  /// shard engine), so building — and briefly holding — a full-graph
+  /// index first would be pure waste on a pre-populated database.
+  bool external_index_maintenance = false;
 };
 
-/// Routes propagation receivers that live outside this engine's shard.
-/// The sharded engine installs one per shard engine; unsharded engines
-/// run without (every receiver is owned). See sharded_engine.hpp.
+/// Routes propagation receivers that live outside this engine's shard
+/// and arbitrates exactly-once delivery across shards. The sharded
+/// engine installs one per shard engine; unsharded engines run without
+/// (every receiver is owned, the wave's own visited set suffices). See
+/// sharded_engine.hpp.
 class WaveRouter {
  public:
   virtual ~WaveRouter() = default;
@@ -104,10 +113,24 @@ class WaveRouter {
   virtual bool Owns(metadb::OidId receiver) = 0;
 
   /// Takes over delivery of `event` to the foreign `receiver`. Called at
-  /// most once per (wave, receiver): the wave's visited set already
-  /// marked it. `event` is only borrowed for the duration of the call.
+  /// most once per (sub-wave, receiver) — the sub-wave's local visited
+  /// set already marked it — but sub-waves of one wave running on
+  /// different shards may each hand the same receiver off; the target
+  /// shard's (epoch, OID) claim collapses those to one delivery.
+  /// `event` is only borrowed for the duration of the call.
   virtual void Handoff(metadb::OidId receiver,
                        const events::EventMessage& event) = 0;
+
+  /// Mints a fresh wave-scope epoch. The engine opens a new scope for
+  /// every direction-posted sub-wave (its own visited universe, exactly
+  /// like the fresh visited set of the unsharded engine).
+  virtual uint64_t MintEpoch() = 0;
+
+  /// Claims (epoch, receiver) for exactly-once delivery. Called only
+  /// for receivers this engine owns, from the worker occupying the
+  /// shard. False means another sub-wave of the same wave already
+  /// delivered (or is delivering) the receiver — skip it.
+  virtual bool ClaimDelivery(uint64_t epoch, metadb::OidId receiver) = 0;
 };
 
 /// The run-time engine. Owns the FIFO queue and the journal; operates on
@@ -195,6 +218,20 @@ class RunTimeEngine : private metadb::LinkObserver {
   /// be cleared before destruction.
   void SetWaveRouter(WaveRouter* router) noexcept { router_ = router; }
 
+  /// Restricts the propagation index to sources for which `owns`
+  /// returns true and detaches this engine from MetaDatabase link
+  /// notifications — an external maintainer (the sharded engine's index
+  /// router) applies each link op to the owning shard's index instead,
+  /// so a link op costs O(1) index updates, not one per shard. The
+  /// index is rebuilt under the new scope (and again on every
+  /// LoadBlueprint) unless `rebuild` is false — the sharded engine
+  /// passes false and bulk-fills all shard indexes in one routed pass
+  /// instead of N filtered walks. Pass nullptr to restore
+  /// self-maintenance over the full link graph. Structural: call only
+  /// while quiescent.
+  void SetIndexScope(std::function<bool(metadb::OidId)> owns,
+                     bool rebuild = true);
+
   // --- State access ------------------------------------------------------
 
   /// Re-evaluates all continuous assignments of one OID (exposed for
@@ -209,6 +246,10 @@ class RunTimeEngine : private metadb::LinkObserver {
   const EngineStats& stats() const noexcept { return stats_; }
   SimClock& clock() noexcept { return clock_; }
   const PropagationIndex& propagation_index() const noexcept { return index_; }
+
+  /// Mutable index access for the external maintainer installed with
+  /// SetIndexScope (the sharded engine's index router).
+  PropagationIndex& mutable_propagation_index() noexcept { return index_; }
 
   /// The engine's interner. Symbol ids are stable for the engine's
   /// lifetime (the table only grows, even across blueprint reloads).
@@ -337,11 +378,15 @@ class RunTimeEngine : private metadb::LinkObserver {
   /// Wave engine: delivers `event` to every seed (and onward through
   /// qualifying links) with one shared visited set. `seeds_are_origin`
   /// marks seeds as queue-event targets (not propagated deliveries).
-  /// Processing is batched: each BFS generation's receivers are fully
-  /// collected (and de-duplicated) before any of their rules run. The
-  /// payload is borrowed for the whole wave, never copied per delivery.
+  /// `claim_seeds` runs each seed through the router's (epoch, OID)
+  /// claim — on for wave entry points (queue events, cross-shard
+  /// handoffs), off for direction-posted sub-waves whose seeds were
+  /// already claimed during collection. Processing is batched: each BFS
+  /// generation's receivers are fully collected (and de-duplicated)
+  /// before any of their rules run. The payload is borrowed for the
+  /// whole wave, never copied per delivery.
   void ProcessWaveSeeded(std::vector<metadb::OidId> seeds,
-                         bool seeds_are_origin,
+                         bool seeds_are_origin, bool claim_seeds,
                          const events::EventMessage& event,
                          SymbolId event_sym);
 

@@ -6,8 +6,11 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "blueprint/parser.hpp"
@@ -41,6 +44,13 @@ struct ShardedEngine::Task {
   Kind kind = Kind::kEvent;
   uint32_t hops = 0;  ///< Cross-shard handoffs behind this task.
   uint64_t ticket = 0;  ///< Global intake order (deterministic mode).
+  /// The top-level wave this task transitively descends from — the
+  /// deterministic scheduling key. Differs from event.wave_epoch for
+  /// direction-posted sub-waves: they claim under their own epoch (a
+  /// fresh visited universe) but schedule under their spawning wave, so
+  /// a wave's reachable work — direction posts included — completes
+  /// before the next wave starts, like the single FIFO queue.
+  uint64_t order_epoch = 0;
   EventMessage event;
   std::vector<OidId> seeds;  ///< kSeededWave only.
 };
@@ -131,6 +141,17 @@ struct ShardedEngine::Counters {
   std::atomic<size_t> reposted_events{0};
   std::atomic<size_t> ring_overflows{0};
 
+  // --- Wave epochs (exactly-once dedup) ---------------------------------
+  std::atomic<uint64_t> next_epoch{0};   ///< Last minted epoch (0 = none).
+  std::atomic<size_t> wave_epochs{0};    ///< Minted, for stats.
+  /// In-flight refcounts per epoch; the ordered map keeps the purge
+  /// horizon (the lowest live epoch) one begin() away. Guarded by
+  /// epoch_mutex — this is per-task bookkeeping, far off the per-OID
+  /// claim path, which stays lock-free inside the owning lane.
+  std::mutex epoch_mutex;
+  std::map<uint64_t, size_t> live_epochs;
+  std::atomic<uint64_t> min_live_epoch{~uint64_t{0}};
+
   std::mutex drain_mutex;
   std::condition_variable drain_cv;
 
@@ -142,10 +163,14 @@ struct ShardedEngine::Counters {
 
 // --- Cross-shard router ------------------------------------------------------
 
-/// Per-lane WaveRouter: answers ownership from the shard map and
-/// accumulates foreign receivers, grouped per (source event, target
-/// shard) in first-encounter order, until the lane flushes them as
-/// seeded sub-wave tasks after the current task completes.
+/// Per-lane WaveRouter: answers ownership from the shard map,
+/// arbitrates the per-wave (epoch, OID) exactly-once claims for the
+/// OIDs this shard owns, and accumulates foreign receivers, grouped per
+/// (source event, target shard) in first-encounter order, until the
+/// lane flushes them as seeded sub-wave tasks after the current task
+/// completes. All state is touched only by the worker occupying the
+/// lane (the busy flag's acquire/release publishes it between workers),
+/// so the claim path needs no locks and no atomics.
 class ShardedEngine::LaneRouter final : public WaveRouter {
  public:
   LaneRouter(ShardedEngine& owner, uint32_t shard)
@@ -158,6 +183,42 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
     last_receiver_ = receiver;
     last_shard_ = owner_.shard_map_.ShardOf(receiver);
     return last_shard_ == shard_;
+  }
+
+  uint64_t MintEpoch() override {
+    const uint64_t epoch = owner_.MintEpoch();
+    // Hold a ref for the rest of the current task: claims under this
+    // epoch begin immediately (direction-post collection), before any
+    // handoff task of the epoch is enqueued. Released by the lane after
+    // Flush().
+    owner_.AcquireEpochRef(epoch);
+    minted_.push_back(epoch);
+    return epoch;
+  }
+
+  bool ClaimDelivery(uint64_t epoch, OidId receiver) override {
+    // Lazy merge-out: every so often drop the claim sets of completed
+    // waves (everything below the lowest in-flight epoch). The size
+    // trigger is rate-limited too: when many epochs are pinned live (a
+    // deep cross-shard backlog), an eager scan would free nothing and
+    // turn every claim into an O(live-epochs) traversal.
+    ++claims_since_purge_;
+    if (claims_since_purge_ >= kPurgeInterval ||
+        (claims_.size() > kPurgeEpochThreshold &&
+         claims_since_purge_ >= kPurgeSizeBackoff)) {
+      claims_since_purge_ = 0;
+      const uint64_t horizon = owner_.MinLiveEpoch();
+      for (auto it = claims_.begin(); it != claims_.end();) {
+        it = it->first < horizon ? claims_.erase(it) : std::next(it);
+      }
+    }
+    return claims_[epoch].insert(receiver.value()).second;
+  }
+
+  /// Epoch refs minted during the current task; the lane releases them
+  /// once the task's handoffs are enqueued.
+  std::vector<uint64_t> TakeMintedEpochs() {
+    return std::exchange(minted_, {});
   }
 
   void Handoff(OidId receiver, const EventMessage& event) override {
@@ -179,11 +240,12 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
 
   /// Enqueues every accumulated sub-wave on its target shard. Called
   /// by the owning lane between tasks (never mid-wave). `hops` is the
-  /// handoff depth of the task that produced these waves; a chain past
-  /// the configured cap is dropped — each handoff restarts with a
-  /// fresh visited set, so a propagation cycle crossing shards would
-  /// otherwise ping-pong forever.
-  void Flush(uint32_t hops) {
+  /// handoff depth of the task that produced these waves, `order_epoch`
+  /// its scheduling root (inherited so direction-post handoffs stay
+  /// inside their spawning wave's deterministic slot). A chain past the
+  /// configured hop cap is dropped — the backstop behind the
+  /// (epoch, OID) claims.
+  void Flush(uint32_t hops, uint64_t order_epoch) {
     const bool truncate = hops >= owner_.options_.max_handoff_hops;
     for (PendingWave& wave : pending_) {
       if (truncate) {
@@ -199,6 +261,7 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
       task.hops = hops + 1;
       task.ticket =
           owner_.counters_->next_ticket.fetch_add(1, std::memory_order_relaxed);
+      task.order_epoch = order_epoch;
       task.event = std::move(wave.event);
       task.seeds = std::move(wave.seeds);
       owner_.counters_->handoff_waves.fetch_add(1, std::memory_order_relaxed);
@@ -216,15 +279,165 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
   };
 
   static bool SamePayload(const EventMessage& a, const EventMessage& b) {
-    return a.name == b.name && a.direction == b.direction && a.arg == b.arg &&
-           a.user == b.user && a.timestamp == b.timestamp;
+    // The epoch participates: a direction post can carry the same name,
+    // direction and argument as its enclosing wave, but it is its own
+    // wave scope and must not merge into the parent's sub-wave.
+    return a.wave_epoch == b.wave_epoch && a.name == b.name &&
+           a.direction == b.direction && a.arg == b.arg && a.user == b.user &&
+           a.timestamp == b.timestamp;
   }
+
+  /// Claim purge cadence: often enough that completed waves cannot pile
+  /// up, rare enough to stay invisible next to rule execution. The size
+  /// trigger fires at most once per kPurgeSizeBackoff claims.
+  static constexpr size_t kPurgeInterval = 512;
+  static constexpr size_t kPurgeEpochThreshold = 64;
+  static constexpr size_t kPurgeSizeBackoff = 64;
 
   ShardedEngine& owner_;
   uint32_t shard_;
   OidId last_receiver_;  ///< Owns() memo consumed by Handoff().
   uint32_t last_shard_ = 0;
   std::vector<PendingWave> pending_;
+  /// (epoch -> delivered OID slots) claim shards; see ClaimDelivery.
+  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> claims_;
+  size_t claims_since_purge_ = 0;
+  std::vector<uint64_t> minted_;  ///< Epoch refs held for this task.
+};
+
+// --- Index router ------------------------------------------------------------
+
+/// Routes meta-database link notifications to the owning shard's
+/// propagation index (the shard engines themselves stop observing), so
+/// a link op costs O(1) index updates instead of one per shard, and the
+/// N shard indexes together hold ~1× the link graph. Also owns the
+/// boundary set — the links whose endpoints currently sit on different
+/// shards, i.e. exactly the links that can carry a wave across a
+/// handoff — and, as the ShardMap's listener, migrates an OID's buckets
+/// between shard indexes when its assignment changes (incremental union
+/// pulls and Rebalance re-deals; no index is ever rebuilt for either).
+///
+/// Registration order matters twice: the router registers with the
+/// database *before* the ShardMap, so a link op is indexed under the
+/// pre-union assignment and the union's migration then moves complete
+/// buckets; and it registers as the map's listener so re-assignments
+/// arrive after the map has switched, when ShardOf() already answers
+/// the new shard.
+class ShardedEngine::IndexRouter final : public metadb::LinkObserver,
+                                         public metadb::ShardMapListener {
+ public:
+  explicit IndexRouter(ShardedEngine& owner) : owner_(owner) {
+    // Scan-mode engines (use_propagation_index = false) query no index;
+    // maintaining one per shard would be pure overhead.
+    if (owner_.num_shards_ > 1 && owner_.options_.engine.use_propagation_index) {
+      owner_.db_.AddLinkObserver(this);
+    }
+  }
+
+  ~IndexRouter() override { owner_.db_.RemoveLinkObserver(this); }
+
+  /// Armed at the end of the sharded engine's constructor, once the
+  /// shard engines exist to route to.
+  void Activate() noexcept { active_ = true; }
+
+  size_t boundary_link_count() const noexcept { return boundary_.size(); }
+  size_t observer_updates() const noexcept { return observer_updates_; }
+  size_t migrated_sources() const noexcept { return migrated_sources_; }
+
+  // --- metadb::LinkObserver ---------------------------------------------
+
+  void OnLinkAdded(metadb::LinkId id, const metadb::Link& link) override {
+    if (!active_) return;
+    ++observer_updates_;
+    IndexOf(link.from).AddLinkSide(id, link, /*down_side=*/true);
+    IndexOf(link.to).AddLinkSide(id, link, /*down_side=*/false);
+    UpdateBoundary(id, link);
+  }
+
+  void OnLinkRemoved(metadb::LinkId id, const metadb::Link& link) override {
+    if (!active_) return;
+    ++observer_updates_;
+    IndexOf(link.from).RemoveLinkSide(id, link, /*down_side=*/true);
+    IndexOf(link.to).RemoveLinkSide(id, link, /*down_side=*/false);
+    boundary_.erase(id.value());
+  }
+
+  void OnLinkEndpointMoved(metadb::LinkId id, bool endpoint_from,
+                           OidId old_endpoint,
+                           const metadb::Link& link) override {
+    if (!active_) return;
+    ++observer_updates_;
+    const auto& events = link.propagates;
+    using events::Direction;
+    if (endpoint_from) {
+      IndexOf(old_endpoint)
+          .EraseEntriesAt(old_endpoint, Direction::kDown, events, id);
+      IndexOf(link.from).AppendEntriesAt(link.from, Direction::kDown, events,
+                                         id, link.to);
+      IndexOf(link.to).PatchNeighborAt(link.to, Direction::kUp, events, id,
+                                       link.from);
+    } else {
+      IndexOf(old_endpoint)
+          .EraseEntriesAt(old_endpoint, Direction::kUp, events, id);
+      IndexOf(link.to).AppendEntriesAt(link.to, Direction::kUp, events, id,
+                                       link.from);
+      IndexOf(link.from).PatchNeighborAt(link.from, Direction::kDown, events,
+                                         id, link.to);
+    }
+    UpdateBoundary(id, link);
+  }
+
+  void OnLinkPropagatesChanged(metadb::LinkId /*id*/,
+                               const std::vector<std::string>& old_propagates,
+                               const metadb::Link& link) override {
+    if (!active_) return;
+    ++observer_updates_;
+    using events::Direction;
+    IndexOf(link.from).RebuildBucketsAt(owner_.db_, link.from,
+                                        Direction::kDown, old_propagates,
+                                        link.propagates);
+    IndexOf(link.to).RebuildBucketsAt(owner_.db_, link.to, Direction::kUp,
+                                      old_propagates, link.propagates);
+    // Connectivity (and thus the boundary set) is unchanged.
+  }
+
+  // --- metadb::ShardMapListener -----------------------------------------
+
+  void OnShardChanged(OidId id, uint32_t old_shard,
+                      uint32_t new_shard) override {
+    if (!active_) return;
+    ++migrated_sources_;
+    owner_.ShardIndex(old_shard).RemoveSourceBuckets(owner_.db_, id);
+    owner_.ShardIndex(new_shard).AddSourceBuckets(owner_.db_, id);
+    // The move can flip the crossing status of every adjacent link.
+    for (const metadb::LinkId link_id : owner_.db_.OutLinks(id)) {
+      UpdateBoundary(link_id, owner_.db_.GetLink(link_id));
+    }
+    for (const metadb::LinkId link_id : owner_.db_.InLinks(id)) {
+      UpdateBoundary(link_id, owner_.db_.GetLink(link_id));
+    }
+  }
+
+ private:
+  PropagationIndex& IndexOf(OidId source) {
+    return owner_.ShardIndex(owner_.shard_map_.ShardOf(source));
+  }
+
+  void UpdateBoundary(metadb::LinkId id, const metadb::Link& link) {
+    const bool crossing = owner_.shard_map_.ShardOf(link.from) !=
+                          owner_.shard_map_.ShardOf(link.to);
+    if (crossing) {
+      boundary_.insert(id.value());
+    } else {
+      boundary_.erase(id.value());
+    }
+  }
+
+  ShardedEngine& owner_;
+  bool active_ = false;
+  std::unordered_set<uint32_t> boundary_;  ///< Cross-shard link slots.
+  size_t observer_updates_ = 0;
+  size_t migrated_sources_ = 0;
 };
 
 // --- Lane -------------------------------------------------------------------
@@ -242,12 +455,18 @@ struct ShardedEngine::Lane {
   /// FIFO with any worker count.
   std::atomic<bool> busy{false};
 
-  /// Overflow fallback (threaded) / primary storage (deterministic).
-  /// Once a push overflows, later pushes follow until the consumer
-  /// drains the deque, so FIFO order holds across the spill.
+  /// Overflow fallback (threaded only). Once a push overflows, later
+  /// pushes follow until the consumer drains the deque, so FIFO order
+  /// holds across the spill.
   std::mutex overflow_mutex;
   std::deque<Task> overflow;
   std::atomic<bool> overflowed{false};
+
+  /// Deterministic-mode storage: tasks keyed by (order epoch, ticket),
+  /// so the scheduler's pick is one begin() away — O(log n) per push
+  /// and pop instead of a deque scan. Tickets are globally unique, so
+  /// keys never collide.
+  std::map<std::pair<uint64_t, uint64_t>, Task> ordered;
 
   bool HasWork() {
     if (ring != nullptr && !ring->Empty()) return true;
@@ -257,7 +476,13 @@ struct ShardedEngine::Lane {
   }
 
   void Push(Task&& task, std::atomic<size_t>& overflow_counter) {
-    if (ring != nullptr && !overflowed.load(std::memory_order_acquire) &&
+    if (ring == nullptr) {  // Deterministic mode.
+      std::lock_guard<std::mutex> lock(overflow_mutex);
+      const auto key = std::make_pair(task.order_epoch, task.ticket);
+      ordered.emplace(key, std::move(task));
+      return;
+    }
+    if (!overflowed.load(std::memory_order_acquire) &&
         ring->TryPush(std::move(task))) {
       return;
     }
@@ -266,9 +491,7 @@ struct ShardedEngine::Lane {
       overflowed.store(true, std::memory_order_release);
       overflow.push_back(std::move(task));
     }
-    if (ring != nullptr) {
-      overflow_counter.fetch_add(1, std::memory_order_relaxed);
-    }
+    overflow_counter.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Single consumer: ring first (older tasks), then the spill.
@@ -286,12 +509,24 @@ struct ShardedEngine::Lane {
     return true;
   }
 
-  /// Deterministic mode: ticket of the head task, if any.
-  bool PeekTicket(uint64_t& ticket) {
+  /// Deterministic mode: the lane's best (order epoch, ticket) key —
+  /// root wave first, intake ticket within it — so the global scheduler
+  /// finishes each wave's reachable work before the next wave starts,
+  /// like the single FIFO queue would.
+  bool PeekBest(std::pair<uint64_t, uint64_t>& key) {
     std::lock_guard<std::mutex> lock(overflow_mutex);
-    if (overflow.empty()) return false;
-    ticket = overflow.front().ticket;
+    if (ordered.empty()) return false;
+    key = ordered.begin()->first;
     return true;
+  }
+
+  /// Deterministic mode: removes the head task (the one PeekBest saw).
+  /// Same-wave tasks keep their enqueue (ticket) order; only cross-wave
+  /// tasks jump the line, which a single-threaded drain may freely do.
+  void PopBest(Task& out) {
+    std::lock_guard<std::mutex> lock(overflow_mutex);
+    out = std::move(ordered.begin()->second);
+    ordered.erase(ordered.begin());
   }
 };
 
@@ -303,24 +538,49 @@ ShardedEngine::ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
       clock_(clock),
       options_(options),
       num_shards_(options.num_shards == 0 ? 1 : options.num_shards),
+      // Registers as a link observer (N > 1) ahead of shard_map_: link
+      // ops must reach the indexes under pre-union assignments.
+      index_router_(std::make_unique<IndexRouter>(*this)),
       shard_map_(db, num_shards_),
       counters_(std::make_unique<Counters>()) {
   lanes_.reserve(num_shards_);
+  // Shard engines never self-maintain their index: SetIndexScope below
+  // installs the scoped build, so the constructor's full-graph build
+  // would be N wasted passes over a pre-populated database.
+  EngineOptions engine_options = options_.engine;
+  if (num_shards_ > 1) engine_options.external_index_maintenance = true;
   for (uint32_t shard = 0; shard < num_shards_; ++shard) {
     auto lane = std::make_unique<Lane>();
     lane->shard = shard;
     lane->engine =
-        std::make_unique<RunTimeEngine>(db_, clock_, options_.engine);
+        std::make_unique<RunTimeEngine>(db_, clock_, engine_options);
     lane->router = std::make_unique<LaneRouter>(*this, shard);
     // With one shard no receiver can be foreign: skip the router so the
     // engine does not even pay the Owns() probe — num_shards = 1 is the
-    // PR-2 engine, byte for byte.
+    // PR-2 engine, byte for byte (it also keeps its self-maintained
+    // full index; scoping only pays off with actual shards).
     if (num_shards_ > 1) lane->engine->SetWaveRouter(lane->router.get());
     if (!options_.deterministic) {
       lane->ring = std::make_unique<TaskRing>(
           RingCapacity(options_.queue_capacity));
     }
     lanes_.push_back(std::move(lane));
+  }
+  if (num_shards_ > 1 && options_.engine.use_propagation_index) {
+    // Scope every shard engine's index to its own subtree (the engine
+    // never self-registered — external_index_maintenance above), then
+    // fill all N indexes in ONE routed pass over the database instead
+    // of N filtered walks, and arm the router + migration listener.
+    for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+      lanes_[shard]->engine->SetIndexScope(
+          [this, shard](OidId id) { return shard_map_.ShardOf(id) == shard; },
+          /*rebuild=*/false);
+    }
+    db_.ForEachObject([this](OidId id, const metadb::MetaObject&) {
+      ShardIndex(shard_map_.ShardOf(id)).AddSourceBuckets(db_, id);
+    });
+    index_router_->Activate();
+    shard_map_.SetListener(index_router_.get());
   }
   if (!options_.deterministic) {
     size_t worker_count = options_.worker_threads;
@@ -342,6 +602,41 @@ ShardedEngine::~ShardedEngine() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  shard_map_.SetListener(nullptr);
+}
+
+PropagationIndex& ShardedEngine::ShardIndex(uint32_t shard) {
+  return lanes_[shard]->engine->mutable_propagation_index();
+}
+
+// --- Wave epochs -------------------------------------------------------------
+
+uint64_t ShardedEngine::MintEpoch() {
+  counters_->wave_epochs.fetch_add(1, std::memory_order_relaxed);
+  return counters_->next_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void ShardedEngine::AcquireEpochRef(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(counters_->epoch_mutex);
+  ++counters_->live_epochs[epoch];
+  counters_->min_live_epoch.store(counters_->live_epochs.begin()->first,
+                                  std::memory_order_release);
+}
+
+void ShardedEngine::ReleaseEpochRef(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(counters_->epoch_mutex);
+  const auto it = counters_->live_epochs.find(epoch);
+  if (it != counters_->live_epochs.end() && --it->second == 0) {
+    counters_->live_epochs.erase(it);
+  }
+  counters_->min_live_epoch.store(counters_->live_epochs.empty()
+                                      ? ~uint64_t{0}
+                                      : counters_->live_epochs.begin()->first,
+                                  std::memory_order_release);
+}
+
+uint64_t ShardedEngine::MinLiveEpoch() const noexcept {
+  return counters_->min_live_epoch.load(std::memory_order_acquire);
 }
 
 // --- Structural operations ---------------------------------------------------
@@ -381,10 +676,18 @@ uint32_t ShardedEngine::ShardOfTarget(const Oid& target) const {
 
 void ShardedEngine::Route(EventMessage event) {
   if (event.timestamp == 0) event.timestamp = clock_.NowSeconds();
+  // Every top-level event opens a fresh wave scope — rule-posted events
+  // re-enter here and scope like the queue boundary of the unsharded
+  // engine. Overwrites whatever epoch a reposted event inherited from
+  // the wave that posted it.
+  event.wave_epoch = num_shards_ > 1 ? MintEpoch() : 0;
   const uint32_t shard = ShardOfTarget(event.target);
   Task task;
   task.kind = Task::Kind::kEvent;
   task.ticket = counters_->next_ticket.fetch_add(1, std::memory_order_relaxed);
+  // A top-level wave schedules under itself (reposted events included:
+  // the single FIFO queue runs them after everything already queued).
+  task.order_epoch = event.wave_epoch;
   task.event = std::move(event);
   Enqueue(shard, std::move(task));
 }
@@ -396,6 +699,10 @@ void ShardedEngine::PostEvent(EventMessage event) {
 
 void ShardedEngine::Enqueue(uint32_t shard, Task&& task) {
   counters_->pending.fetch_add(1, std::memory_order_acq_rel);
+  // The task pins its wave's epoch while queued/executing, so no lane
+  // purges the wave's claim sets mid-flight. Acquired before the task
+  // becomes visible to workers; released in FinishTask.
+  if (task.event.wave_epoch != 0) AcquireEpochRef(task.event.wave_epoch);
   lanes_[shard]->Push(std::move(task), counters_->ring_overflows);
   if (!options_.deterministic) counters_->wake_cv.notify_one();
 }
@@ -404,6 +711,7 @@ void ShardedEngine::Enqueue(uint32_t shard, Task&& task) {
 
 void ShardedEngine::ExecuteTask(Lane& lane, Task&& task) {
   const uint32_t hops = task.hops;
+  const uint64_t order_epoch = task.order_epoch;
   if (task.kind == Task::Kind::kEvent) {
     lane.engine->queue().Push(std::move(task.event));
     lane.engine->ProcessOne();
@@ -414,16 +722,22 @@ void ShardedEngine::ExecuteTask(Lane& lane, Task&& task) {
   // Cross-shard sub-waves accumulated during the task go out first (in
   // the single-queue engine those deliveries happened inside the wave,
   // before anything the wave posted), then the events the wave posted
-  // to the shard engine's local queue re-enter sharded intake.
-  lane.router->Flush(hops);
+  // to the shard engine's local queue re-enter sharded intake. Epoch
+  // refs minted mid-task (direction-post scopes) are dropped last, so
+  // their handoff tasks are pinned before the mint ref lapses.
+  lane.router->Flush(hops, order_epoch);
   while (std::optional<EventMessage> posted = lane.engine->queue().Pop()) {
     counters_->reposted_events.fetch_add(1, std::memory_order_relaxed);
     Route(std::move(*posted));
   }
+  for (const uint64_t epoch : lane.router->TakeMintedEpochs()) {
+    ReleaseEpochRef(epoch);
+  }
   counters_->tasks_processed.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ShardedEngine::FinishTask() {
+void ShardedEngine::FinishTask(uint64_t epoch) {
+  if (epoch != 0) ReleaseEpochRef(epoch);
   if (counters_->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(counters_->drain_mutex);
     counters_->drain_cv.notify_all();
@@ -444,8 +758,9 @@ void ShardedEngine::WorkerLoop(size_t worker_index) {
       // Bounded burst per claim so one hot lane cannot starve the rest
       // of this worker's sweep.
       for (int burst = 0; burst < 64 && lane.Pop(task); ++burst) {
+        const uint64_t epoch = task.event.wave_epoch;
         ExecuteTask(lane, std::move(task));
-        FinishTask();
+        FinishTask(epoch);
         did_work = true;
       }
       lane.busy.store(false, std::memory_order_release);
@@ -478,21 +793,28 @@ void ShardedEngine::WorkerLoop(size_t worker_index) {
 }
 
 void ShardedEngine::DrainDeterministic() {
+  // Global (order epoch, ticket) order across every queued task — not
+  // arrival order: a wave's cross-shard sub-waves (direction posts
+  // included, which schedule under their spawning wave) run before any
+  // later wave's work, reproducing the wave atomicity of the single
+  // FIFO queue under the dedup path. Within a wave, tickets rise along
+  // the handoff chain, so causal order holds.
   for (;;) {
     Lane* next = nullptr;
-    uint64_t best_ticket = 0;
+    std::pair<uint64_t, uint64_t> best{};
     for (auto& lane : lanes_) {
-      uint64_t ticket = 0;
-      if (lane->PeekTicket(ticket) &&
-          (next == nullptr || ticket < best_ticket)) {
+      std::pair<uint64_t, uint64_t> key{};
+      if (lane->PeekBest(key) && (next == nullptr || key < best)) {
         next = lane.get();
-        best_ticket = ticket;
+        best = key;
       }
     }
     if (next == nullptr) return;
     Task task;
-    next->Pop(task);
+    next->PopBest(task);
+    const uint64_t epoch = task.event.wave_epoch;
     ExecuteTask(*next, std::move(task));
+    if (epoch != 0) ReleaseEpochRef(epoch);
     counters_->pending.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
@@ -550,6 +872,13 @@ ShardedStats ShardedEngine::stats() const {
       counters_->ring_overflows.load(std::memory_order_relaxed);
   // Sourced from the map so direct shard_map().Rebalance() calls count.
   stats.rebalances = shard_map_.stats().rebalances;
+  stats.wave_epochs = counters_->wave_epochs.load(std::memory_order_relaxed);
+  for (const auto& lane : lanes_) {
+    stats.index_entries += lane->engine->propagation_index().entry_count();
+  }
+  stats.boundary_links = index_router_->boundary_link_count();
+  stats.index_observer_updates = index_router_->observer_updates();
+  stats.index_migrated_sources = index_router_->migrated_sources();
   return stats;
 }
 
@@ -598,6 +927,7 @@ void ShardedEngine::ResetStats() {
   counters_->handoff_waves_truncated.store(0, std::memory_order_relaxed);
   counters_->reposted_events.store(0, std::memory_order_relaxed);
   counters_->ring_overflows.store(0, std::memory_order_relaxed);
+  counters_->wave_epochs.store(0, std::memory_order_relaxed);
   last_drain_processed_ = 0;
 }
 

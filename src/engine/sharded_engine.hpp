@@ -26,18 +26,46 @@
 //    shard engine's local queue back through sharded intake after every
 //    task, preserving the relative order a single queue would produce.
 //
+// Exactly-once waves. Every top-level wave gets a global WaveEpoch
+// ticket minted at intake (and every direction-posted sub-wave its own
+// — it opens a fresh visited universe in the unsharded engine too); all
+// cross-shard sub-waves of a wave carry the epoch in their payload.
+// Delivery is arbitrated per (epoch, OID) by the receiver's OWNING
+// shard: each lane keeps its own claim shard (a per-epoch visited set
+// touched only by the worker occupying the lane — no locks, no atomics
+// on the claim path), foreign receivers are handed off unclaimed, and
+// the claim at the target collapses however many sub-waves reach an OID
+// into one delivery. Retired epochs are merged out lazily: a lane
+// purges claim sets below the globally lowest in-flight epoch
+// (refcounted per task) the next time it claims. The hop cap is thereby
+// a backstop against runaway chains of *distinct* OIDs, not a
+// termination patch — cross-shard cycles terminate through the claims
+// exactly like the single visited set of an unsharded wave.
+//
+// Per-shard propagation indexes. Each shard engine's PropagationIndex
+// is scoped to the sources its shard owns (SetIndexScope), so N shards
+// together hold ~1× the link graph instead of N×. The shard engines do
+// not observe the meta-database; one IndexRouter (registered before the
+// ShardMap so it sees pre-union assignments) applies each link op to
+// the owning shard's index — O(1) observer updates per op, not O(N) —
+// tracks the boundary set (links whose endpoints sit on different
+// shards), and, when the ShardMap reassigns an OID (incremental union
+// or Rebalance re-deal), migrates that OID's buckets between shard
+// indexes instead of rebuilding either one.
+//
 // The journal is the synchronization point: each shard engine journals
 // its own deliveries under dense per-shard sequence numbers, and the
 // merged views below stitch them together. Differential guarantees:
 //  * num_shards = 1 is journal-byte-identical to the plain PR-2 engine
 //    (no router is installed, so not even the Owns() probe is paid);
-//  * for N > 1 the multiset of journal records is identical to the
-//    1-shard run whenever cross-shard links do not reconverge (an OID
-//    reachable from one wave through two different shards may be
-//    delivered once per entering sub-wave — the documented deviation);
-//    only the interleaving *across* shards differs.
+//  * for N > 1 the multiset of journal records equals the 1-shard run
+//    — including reconvergent topologies where one wave reaches an OID
+//    through two shards (the epoch claim delivers it once); only the
+//    interleaving *across* shards differs.
 // ShardedEngineOptions::deterministic = true disables the worker pool:
-// tasks execute on the calling thread in global intake-ticket order, so
+// tasks execute on the calling thread ordered by (wave epoch, intake
+// ticket) — all of a wave's reachable work completes before the next
+// wave's, mirroring the wave atomicity of the single FIFO queue — so
 // differential tests get a reproducible schedule.
 //
 // Threading contract: PostEvent / Drain may be called from any thread
@@ -85,14 +113,14 @@ struct ShardedEngineOptions {
   /// oversubscribing the host.
   size_t worker_threads = 0;
 
-  /// Safety cap on cross-shard handoff chains. Each handoff sub-wave
-  /// starts with a fresh visited set, so a propagation cycle whose
-  /// links cross shards (A -> B -> A through mutually propagating
-  /// derive links) would ping-pong forever where the single visited
-  /// set of an unsharded wave terminates; a wave that exceeds this
-  /// many hops is dropped and counted (stats().handoff_waves_truncated
-  /// — the sharded analogue of max_wave_deliveries). Legitimate chains
-  /// are bounded by the number of subtree crossings, far below this.
+  /// Backstop cap on cross-shard handoff chains. Cycles terminate
+  /// through the per-wave (epoch, OID) claims — an OID is delivered
+  /// once per wave no matter how often the wave re-enters its shard —
+  /// so this only stops pathological chains of *distinct* OIDs
+  /// snaking across shards; a wave that exceeds this many hops is
+  /// dropped and counted (stats().handoff_waves_truncated — the
+  /// sharded analogue of max_wave_deliveries). Legitimate chains are
+  /// bounded by the number of subtree crossings, far below this.
   uint32_t max_handoff_hops = 64;
 
   /// Options forwarded to every per-shard engine.
@@ -110,6 +138,23 @@ struct ShardedStats {
   size_t ring_overflows = 0;   ///< Pushes that took the fallback deque.
   size_t rebalances = 0;       ///< Shard-map rebalance passes (from the
                                ///< map's own stats; survives ResetStats).
+  size_t wave_epochs = 0;      ///< Wave scopes minted (top-level waves +
+                               ///< direction-posted sub-waves).
+  size_t index_entries = 0;    ///< Gauge: live propagation-index entries
+                               ///< summed across shard indexes (~1× the
+                               ///< link graph; the pre-split engine held
+                               ///< num_shards ×).
+  size_t boundary_links = 0;   ///< Gauge: live links whose endpoints sit
+                               ///< on different shards (router-owned
+                               ///< boundary set).
+  size_t index_observer_updates = 0;  ///< Link ops applied to shard
+                                      ///< indexes (O(1) per op; the
+                                      ///< pre-split engine paid one per
+                                      ///< shard). Survives ResetStats.
+  size_t index_migrated_sources = 0;  ///< OIDs whose index buckets moved
+                                      ///< between shards (union pulls +
+                                      ///< rebalance re-deals). Survives
+                                      ///< ResetStats.
 };
 
 /// N per-shard engines + shard map + intake queues + worker pool.
@@ -155,6 +200,9 @@ class ShardedEngine {
   /// (subtree re-parenting). Structural: call only while quiescent. A
   /// stale map never loses events — waves crossing a stale boundary
   /// ride the handoff path — it only costs locality until rebalanced.
+  /// Re-assigned OIDs have their propagation-index buckets migrated to
+  /// the new shard's index (stats().index_migrated_sources); neither
+  /// index is rebuilt.
   void RebalanceShards();
 
   // --- Introspection -----------------------------------------------------
@@ -187,19 +235,40 @@ class ShardedEngine {
   class TaskRing;
   struct Lane;
   class LaneRouter;
+  class IndexRouter;
 
   uint32_t ShardOfTarget(const metadb::Oid& target) const;
+  PropagationIndex& ShardIndex(uint32_t shard);
   void Route(events::EventMessage event);
   void Enqueue(uint32_t shard, Task&& task);
   void ExecuteTask(Lane& lane, Task&& task);
-  void FinishTask();
+  void FinishTask(uint64_t epoch);
   void WorkerLoop(size_t worker_index);
   void DrainDeterministic();
+
+  /// Mints the next wave-scope epoch (monotone from 1; 0 is reserved
+  /// for "no scope").
+  uint64_t MintEpoch();
+
+  /// Per-epoch in-flight refcounts: one ref per queued/executing task
+  /// of the epoch plus one per mid-task mint. When an epoch's count
+  /// drops to zero its wave is complete and every lane may purge its
+  /// claim set ("merged lazily").
+  void AcquireEpochRef(uint64_t epoch);
+  void ReleaseEpochRef(uint64_t epoch);
+
+  /// Lowest epoch still in flight (UINT64_MAX when none): the lanes'
+  /// lock-free purge horizon.
+  uint64_t MinLiveEpoch() const noexcept;
 
   metadb::MetaDatabase& db_;
   SimClock& clock_;
   ShardedEngineOptions options_;
   uint32_t num_shards_;
+  /// Declared (and so registered as a link observer) before shard_map_:
+  /// the router must see link ops before the map re-groups, so entries
+  /// land under the assignment they were placed with.
+  std::unique_ptr<IndexRouter> index_router_;
   metadb::ShardMap shard_map_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::thread> workers_;

@@ -52,6 +52,10 @@ struct EngineStats {
   // Sharded execution (see sharded_engine.hpp; zero on unsharded engines).
   size_t handoff_receivers = 0;     ///< Receivers routed to another shard.
   size_t seeded_handoff_waves = 0;  ///< Cross-shard sub-waves delivered here.
+  size_t dedup_suppressed = 0;      ///< Deliveries dropped by the per-wave
+                                    ///< (epoch, OID) exactly-once claim: the
+                                    ///< OID was already delivered to by
+                                    ///< another sub-wave of the same wave.
 
   /// Mean OIDs delivered to per propagation wave.
   double DeliveriesPerWave() const {
@@ -101,6 +105,7 @@ struct EngineStats {
     }
     handoff_receivers += other.handoff_receivers;
     seeded_handoff_waves += other.seeded_handoff_waves;
+    dedup_suppressed += other.dedup_suppressed;
   }
 };
 

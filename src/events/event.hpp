@@ -45,6 +45,16 @@ struct EventMessage {
   int64_t timestamp = 0;             ///< SimClock seconds at posting.
   EventOrigin origin = EventOrigin::kExternal;
 
+  /// Wave-scope ticket. The sharded engine mints one per top-level wave
+  /// at intake (and per direction-posted sub-wave mid-wave); every
+  /// cross-shard sub-wave of the wave carries the same epoch, and the
+  /// per-(epoch, OID) dedup handshake delivers each OID exactly once per
+  /// wave no matter how many shards the wave re-enters through. 0 means
+  /// "no wave scope" (unsharded engines; 1-shard sharded runs). Internal
+  /// to the engine: not part of the wire protocol and never printed by
+  /// FormatEvent.
+  uint64_t wave_epoch = 0;
+
   /// Events the tracking system itself synthesises.
   static constexpr const char* kCreate = "create";    ///< New OID version.
   static constexpr const char* kNewLink = "newlink";  ///< New link instance.

@@ -16,6 +16,7 @@ EventJournal::Row EventJournal::MakeRow(const EventMessage& event,
   row.user = strings_.Intern(event.user);
   row.version = target.version;
   row.timestamp = event.timestamp;
+  row.epoch = event.wave_epoch;
   row.direction = static_cast<uint8_t>(event.direction);
   row.origin = static_cast<uint8_t>(event.origin);
   if (!event.extra_args.empty()) {
@@ -55,6 +56,7 @@ EventMessage EventJournal::Materialize(const Row& row) const {
   event.arg = strings_.Text(row.arg);
   event.user = strings_.Text(row.user);
   event.timestamp = row.timestamp;
+  event.wave_epoch = row.epoch;
   event.origin = static_cast<EventOrigin>(row.origin);
   event.extra_args.reserve(row.extra_count);
   for (uint16_t i = 0; i < row.extra_count; ++i) {

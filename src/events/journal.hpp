@@ -70,7 +70,7 @@ class EventJournal {
   const SymbolTable& strings() const noexcept { return strings_; }
 
  private:
-  /// One packed record row. 40 bytes vs. the 4 strings + vector an
+  /// One packed record row. 48 bytes vs. the 4 strings + vector an
   /// EventMessage carries; extra args overflow into a shared pool.
   struct Row {
     SymbolId name = 0;
@@ -80,6 +80,7 @@ class EventJournal {
     SymbolId user = 0;
     int32_t version = 0;
     int64_t timestamp = 0;
+    uint64_t epoch = 0;  ///< Wave scope (EventMessage::wave_epoch).
     uint32_t extra_begin = 0;
     uint16_t extra_count = 0;
     uint8_t direction = 0;

@@ -122,6 +122,12 @@ class MetaDatabase {
   const MetaObject& GetObject(OidId id) const;
   MetaObject& GetObjectMutable(OidId id);
 
+  /// True when `id` names a live (not deleted, in-range) object. Cheap
+  /// probe for slot-walking callers (the shard map skips dead slots).
+  bool IsLiveObject(OidId id) const noexcept {
+    return id.value() < objects_.size() && objects_[id.value()].alive;
+  }
+
   // --- Properties ---------------------------------------------------------
 
   void SetProperty(OidId id, const std::string& name,

@@ -14,7 +14,7 @@ std::string EdtcBlueprintText() {
   // these links are automatically shifted from the old version to the
   // new version") and Fig. 3 make clear they carry across versions —
   // without `move`, checking in <CPU.HDL_model.3> could never invalidate
-  // the schematic. DESIGN.md §5 records this deviation.
+  // the schematic. README "Paper deviations" records this deviation.
   return R"(# EDTC_example — the complete BluePrint of paper section 3.4
 blueprint EDTC_example
 

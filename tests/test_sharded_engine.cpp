@@ -2,12 +2,18 @@
 //
 // The load-bearing guarantees, pinned differentially:
 //  * num_shards = 1 is journal-byte-identical to the plain PR-2 engine;
-//  * for N shards on a partitioned workload (no cross-subtree links)
-//    the multiset of journal records matches the 1-shard run exactly —
-//    only the interleaving across shards differs;
+//  * for N shards the multiset of journal records matches the 1-shard
+//    run exactly — including reconvergent topologies (one wave reaching
+//    an OID through two shards) where the per-wave (epoch, OID) claims
+//    deliver exactly once; only the interleaving across shards differs;
 //  * threaded and deterministic execution produce the same multiset;
 //  * cross-shard waves (a derive link between blocks of different
 //    subtrees) are handed off and delivered on the foreign shard;
+//    cross-shard cycles terminate through the claims, the hop cap only
+//    backstops chains of distinct OIDs;
+//  * N shard indexes together hold ~1× the link graph (per-shard scoped
+//    PropagationIndex), each consistent with a scoped rescan, and
+//    Rebalance migrates buckets between indexes instead of rebuilding;
 //  * the ShardMap tracks subtree roots incrementally through link adds
 //    and, after random endpoint moves / deletions plus a rebalance,
 //    agrees with an oracle that recomputes the components from scratch.
@@ -364,10 +370,11 @@ TEST(ShardedEngine, CrossShardWaveIsHandedOffAndKeepsExpanding) {
 }
 
 /// A propagation cycle whose links cross shards (A -> B and B -> A
-/// both propagate the event) must terminate: each handoff restarts
-/// with a fresh visited set, so without the hop cap the wave would
-/// ping-pong between the shards forever and Drain() would hang.
-TEST(ShardedEngine, CrossShardPropagationCycleTerminates) {
+/// both propagate the event) terminates through the per-wave
+/// (epoch, OID) claims — the returning sub-wave's seed was already
+/// delivered, so it dies without the hop cap ever firing — and the
+/// record multiset equals the single visited set of a 1-shard wave.
+TEST(ShardedEngine, CrossShardPropagationCycleTerminatesExactlyOnce) {
   MetaDatabase db;
   SimClock clock;
   ShardedEngineOptions options;
@@ -386,9 +393,31 @@ TEST(ShardedEngine, CrossShardPropagationCycleTerminates) {
   sharded.PostEvent(Event("edit", Oid{"blk_a", "sch", 1}, Direction::kDown));
   sharded.Drain();  // Must return.
 
-  EXPECT_GT(sharded.stats().handoff_waves_truncated, 0u);
-  // The chain ran to the cap: one handoff per hop.
-  EXPECT_EQ(sharded.stats().handoff_waves, 8u);
+  // A -> B crossed, B -> A crossed back and was suppressed at the seed.
+  EXPECT_EQ(sharded.stats().handoff_waves_truncated, 0u);
+  EXPECT_EQ(sharded.stats().handoff_waves, 2u);
+  const EngineStats total = sharded.AggregateEngineStats();
+  EXPECT_EQ(total.propagated_deliveries, 1u);  // B, exactly once.
+  EXPECT_EQ(total.dedup_suppressed, 1u);       // The returning A seed.
+
+  // The 1-shard engine's single visited set is the reference.
+  MetaDatabase one_db;
+  SimClock one_clock;
+  ShardedEngineOptions one_options;
+  one_options.num_shards = 1;
+  one_options.deterministic = true;
+  ShardedEngine one(one_db, one_clock, one_options);
+  const OidId one_a = one.OnCreateObject("blk_a", "sch", "test");
+  const OidId one_b = one.OnCreateObject("blk_b", "sch", "test");
+  one_db.CreateLink(LinkKind::kDerive, one_a, one_b, {"edit"}, "",
+                    CarryPolicy::kNone);
+  one_db.CreateLink(LinkKind::kDerive, one_b, one_a, {"edit"}, "",
+                    CarryPolicy::kNone);
+  one.PostEvent(Event("edit", Oid{"blk_a", "sch", 1}, Direction::kDown));
+  one.Drain();
+
+  EXPECT_EQ(SortedLines(one.JournalLines()),
+            SortedLines(sharded.JournalLines()));
 }
 
 /// 'post <event> down to <view>' across a shard boundary: the posted
@@ -429,6 +458,315 @@ endblueprint)");
   EXPECT_EQ(sharded.stats().reposted_events, 1u);
   const uint32_t sink_shard = sharded.shard_map().ShardOf(sink);
   EXPECT_EQ(sharded.shard(sink_shard).stats().events_processed, 1u);
+}
+
+// --- Cross-shard reconvergence: exactly-once waves ---------------------------
+
+/// Builds the diamond A -> {B, C} -> D over four single-view blocks
+/// (each its own subtree, so 3+ shards split it), every link
+/// propagating "edit". Returns the created OIDs in {a, b, c, d} order.
+std::vector<OidId> BuildDiamond(ShardedEngine& engine,
+                                MetaDatabase& db) {
+  std::vector<OidId> oids;
+  for (const char* block : {"dia_a", "dia_b", "dia_c", "dia_d"}) {
+    oids.push_back(engine.OnCreateObject(block, "sch", "test"));
+  }
+  engine.shard_map().Rebalance();
+  db.CreateLink(LinkKind::kDerive, oids[0], oids[1], {"edit"}, "",
+                CarryPolicy::kNone);
+  db.CreateLink(LinkKind::kDerive, oids[0], oids[2], {"edit"}, "",
+                CarryPolicy::kNone);
+  db.CreateLink(LinkKind::kDerive, oids[1], oids[3], {"edit"}, "",
+                CarryPolicy::kNone);
+  db.CreateLink(LinkKind::kDerive, oids[2], oids[3], {"edit"}, "",
+                CarryPolicy::kNone);
+  return oids;
+}
+
+/// One wave reaching D through two shards (via B and via C) must
+/// deliver D once — record-multiset-equal to the 1-shard run, not
+/// "equal modulo duplicates".
+TEST(ShardedReconvergence, DiamondAcrossThreeShardsDeliversOnce) {
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.deterministic = true;
+  ShardedEngine sharded(db, clock, options);
+  const std::vector<OidId> oids = BuildDiamond(sharded, db);
+
+  // The diamond spans three shards (round-robin deal: D shares A's).
+  const ShardMap& map = sharded.shard_map();
+  ASSERT_NE(map.ShardOf(oids[0]), map.ShardOf(oids[1]));
+  ASSERT_NE(map.ShardOf(oids[0]), map.ShardOf(oids[2]));
+  ASSERT_NE(map.ShardOf(oids[1]), map.ShardOf(oids[2]));
+
+  sharded.PostEvent(Event("edit", Oid{"dia_a", "sch", 1}, Direction::kDown));
+  sharded.Drain();
+
+  const EngineStats total = sharded.AggregateEngineStats();
+  EXPECT_EQ(total.propagated_deliveries, 3u);  // B, C, D — D once.
+  EXPECT_EQ(total.dedup_suppressed, 1u);       // The second D sub-wave.
+  EXPECT_EQ(sharded.stats().handoff_waves, 4u);
+  EXPECT_EQ(sharded.stats().handoff_waves_truncated, 0u);
+  // Every diamond link crosses a shard boundary here.
+  EXPECT_EQ(sharded.stats().boundary_links, 4u);
+
+  MetaDatabase one_db;
+  SimClock one_clock;
+  ShardedEngineOptions one_options;
+  one_options.num_shards = 1;
+  one_options.deterministic = true;
+  ShardedEngine one(one_db, one_clock, one_options);
+  BuildDiamond(one, one_db);
+  one.PostEvent(Event("edit", Oid{"dia_a", "sch", 1}, Direction::kDown));
+  one.Drain();
+
+  EXPECT_EQ(SortedLines(one.JournalLines()),
+            SortedLines(sharded.JournalLines()));
+  EXPECT_EQ(one.AggregateEngineStats().propagated_deliveries,
+            total.propagated_deliveries);
+}
+
+/// The same diamond under the worker pool: claims are arbitrated by
+/// whichever sub-wave reaches D's lane first, but the delivered
+/// multiset is schedule-invariant (also the TSan target for the claim
+/// handshake).
+TEST(ShardedReconvergence, ThreadedDiamondMatchesDeterministic) {
+  constexpr int kWaves = 32;
+
+  const auto run = [](bool deterministic) {
+    MetaDatabase db;
+    SimClock clock;
+    ShardedEngineOptions options;
+    options.num_shards = 3;
+    options.deterministic = deterministic;
+    options.queue_capacity = 8;  // Tiny ring: exercise the spill path.
+    ShardedEngine engine(db, clock, options);
+    BuildDiamond(engine, db);
+    for (int i = 0; i < kWaves; ++i) {
+      engine.PostEvent(
+          Event("edit", Oid{"dia_a", "sch", 1}, Direction::kDown,
+                "wave" + std::to_string(i)));
+    }
+    engine.Drain();
+    EXPECT_EQ(engine.AggregateEngineStats().propagated_deliveries,
+              static_cast<size_t>(3 * kWaves));
+    return SortedLines(engine.JournalLines());
+  };
+
+  EXPECT_EQ(run(/*deterministic=*/true), run(/*deterministic=*/false));
+}
+
+/// A direction post ('post note down', no 'to' clause) opens its own
+/// wave scope — its own epoch for claims, visible in the journal rows —
+/// but schedules inside the wave that spawned it: in deterministic mode
+/// its cross-shard deliveries land before any later wave's work, like
+/// the inline sub-wave of the single FIFO queue.
+TEST(ShardedReconvergence, DirectionPostSchedulesInsideItsSpawningWave) {
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.deterministic = true;
+  ShardedEngine sharded(db, clock, options);
+
+  sharded.LoadBlueprintText(R"(blueprint dp
+view default
+endview
+view src
+  when ping do post note down done
+endview
+view sink
+  when note do noted = yes done
+  when touch do touched = yes done
+endview
+endblueprint)");
+
+  const OidId src = sharded.OnCreateObject("blk_a", "src", "test");
+  const OidId sink = sharded.OnCreateObject("blk_b", "sink", "test");
+  sharded.shard_map().Rebalance();
+  ASSERT_NE(sharded.shard_map().ShardOf(src),
+            sharded.shard_map().ShardOf(sink));
+  db.CreateLink(LinkKind::kDerive, src, sink, {"note"}, "",
+                CarryPolicy::kNone);
+
+  sharded.PostEvent(Event("ping", Oid{"blk_a", "src", 1}, Direction::kDown));
+  sharded.PostEvent(Event("touch", Oid{"blk_b", "sink", 1}, Direction::kDown));
+  sharded.Drain();
+
+  EXPECT_EQ(*db.GetProperty(sink, "noted"), "yes");
+  EXPECT_EQ(*db.GetProperty(sink, "touched"), "yes");
+
+  // The sink shard processed the direction-posted note (spawned by the
+  // first wave) before the second wave's touch, and the journal rows
+  // carry the epochs: ping = 1, touch = 2, note minted third mid-wave.
+  const events::EventJournal& journal =
+      sharded.shard(sharded.shard_map().ShardOf(sink)).journal();
+  ASSERT_EQ(journal.Size(), 2u);
+  EXPECT_EQ(journal.At(0).event.name, "note");
+  EXPECT_EQ(journal.At(0).event.wave_epoch, 3u);
+  EXPECT_EQ(journal.At(1).event.name, "touch");
+  EXPECT_EQ(journal.At(1).event.wave_epoch, 2u);
+  EXPECT_EQ(sharded.stats().wave_epochs, 3u);
+}
+
+/// The hop cap is a backstop, not the termination mechanism: a chain of
+/// *distinct* OIDs snaking across shards longer than the cap is still
+/// truncated (and counted), while everything below the cap delivers.
+TEST(ShardedReconvergence, HopCapBackstopStillGuardsDistinctChains) {
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.deterministic = true;
+  options.max_handoff_hops = 4;
+  ShardedEngine sharded(db, clock, options);
+
+  constexpr int kChain = 10;
+  std::vector<OidId> oids;
+  for (int i = 0; i < kChain; ++i) {
+    oids.push_back(
+        sharded.OnCreateObject("chain" + std::to_string(i), "sch", "test"));
+  }
+  sharded.shard_map().Rebalance();  // Round-robin: neighbours alternate.
+  for (int i = 0; i + 1 < kChain; ++i) {
+    ASSERT_NE(sharded.shard_map().ShardOf(oids[static_cast<size_t>(i)]),
+              sharded.shard_map().ShardOf(oids[static_cast<size_t>(i + 1)]));
+    db.CreateLink(LinkKind::kDerive, oids[static_cast<size_t>(i)],
+                  oids[static_cast<size_t>(i + 1)], {"edit"}, "",
+                  CarryPolicy::kNone);
+  }
+
+  sharded.PostEvent(Event("edit", Oid{"chain0", "sch", 1}, Direction::kDown));
+  sharded.Drain();
+
+  EXPECT_EQ(sharded.stats().handoff_waves_truncated, 1u);
+  EXPECT_EQ(sharded.stats().handoff_waves, 4u);
+  // chain1..chain4 delivered before the cap; nothing was duplicated.
+  const EngineStats total = sharded.AggregateEngineStats();
+  EXPECT_EQ(total.propagated_deliveries, 4u);
+  EXPECT_EQ(total.dedup_suppressed, 0u);
+}
+
+// --- Per-shard propagation indexes -------------------------------------------
+
+/// N shard indexes together hold ~1× the link graph (the pre-split
+/// engine held N×), each shard answers only its own subtree, and a link
+/// op costs O(1) index observer updates.
+TEST(ShardedIndex, ShardIndexesHoldOneCopyOfLinkGraph) {
+  WorkloadSpec spec;
+  spec.blocks = 8;
+  spec.events = 60;
+
+  MetaDatabase plain_db;
+  SimClock plain_clock;
+  RunTimeEngine plain(plain_db, plain_clock);
+  RunWorkload(PlainAdapter{plain}, plain_db, spec);
+
+  MetaDatabase many_db;
+  SimClock many_clock;
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.deterministic = true;
+  ShardedEngine many(many_db, many_clock, options);
+  RunWorkload(ShardedAdapter{many}, many_db, spec);
+
+  // Total entries across shard indexes == the unsharded index, not 4x.
+  EXPECT_EQ(many.stats().index_entries,
+            plain.propagation_index().entry_count());
+
+  // Each shard holds a proper, consistent slice and actually served
+  // lookups from it.
+  size_t shards_with_entries = 0;
+  for (uint32_t s = 0; s < many.num_shards(); ++s) {
+    const engine::PropagationIndex& index = many.shard(s).propagation_index();
+    std::string diff;
+    EXPECT_TRUE(index.ConsistentWith(many_db, &diff)) << "shard " << s << ": "
+                                                      << diff;
+    EXPECT_LT(index.entry_count(), many.stats().index_entries);
+    if (index.entry_count() > 0) ++shards_with_entries;
+    EXPECT_GT(many.shard(s).stats().index_lookups, 0u) << "shard " << s;
+  }
+  EXPECT_GT(shards_with_entries, 1u);
+
+  // One observer update per link op, not one per shard: the router
+  // applied exactly as many updates as there are live links.
+  size_t live_links = 0;
+  many_db.ForEachLink([&](metadb::LinkId, const metadb::Link&) {
+    ++live_links;
+  });
+  EXPECT_EQ(many.stats().index_observer_updates, live_links);
+}
+
+/// Rebalance after a subtree split migrates buckets between shard
+/// indexes (no rebuild), keeps every shard consistent with a scoped
+/// rescan, and waves crossing the new boundary still deliver.
+TEST(ShardedIndex, RebalanceMigratesBucketsAndWavesStillDeliver) {
+  const auto build = [](ShardedEngine& engine, MetaDatabase& db,
+                        std::vector<OidId>& oids,
+                        metadb::LinkId& splitting_link) {
+    // Two use-link subtrees {A, B, C} and {D, E, F} with edit-derive
+    // chains inside and one bridge B -> E.
+    for (const char* block : {"ra", "rb", "rc", "rd", "re", "rf"}) {
+      oids.push_back(engine.OnCreateObject(block, "sch", "test"));
+    }
+    splitting_link = db.CreateLink(LinkKind::kUse, oids[0], oids[1], {"edit"},
+                                   "", CarryPolicy::kNone);
+    db.CreateLink(LinkKind::kUse, oids[1], oids[2], {"edit"}, "",
+                  CarryPolicy::kNone);
+    db.CreateLink(LinkKind::kUse, oids[3], oids[4], {"edit"}, "",
+                  CarryPolicy::kNone);
+    db.CreateLink(LinkKind::kUse, oids[4], oids[5], {"edit"}, "",
+                  CarryPolicy::kNone);
+    db.CreateLink(LinkKind::kDerive, oids[1], oids[4], {"edit"}, "",
+                  CarryPolicy::kNone);
+    engine.shard_map().Rebalance();
+    // Split {A} off {B, C}: dirties the map until RebalanceShards.
+    db.DeleteLink(splitting_link);
+  };
+
+  const auto drive = [](ShardedEngine& engine) {
+    engine.RebalanceShards();
+    engine.PostEvent(Event("edit", Oid{"rb", "sch", 1}, Direction::kDown));
+    engine.Drain();
+    return SortedLines(engine.JournalLines());
+  };
+
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.deterministic = true;
+  ShardedEngine many(db, clock, options);
+  std::vector<OidId> oids;
+  metadb::LinkId splitting_link;
+  build(many, db, oids, splitting_link);
+
+  const size_t entries_before = many.stats().index_entries;
+  const std::vector<std::string> many_lines = drive(many);
+
+  // The re-deal moved subtrees (and with them, index buckets) without
+  // changing the total entry count — migration, not rebuild.
+  EXPECT_GT(many.stats().index_migrated_sources, 0u);
+  EXPECT_EQ(many.stats().index_entries, entries_before);
+  for (uint32_t s = 0; s < many.num_shards(); ++s) {
+    std::string diff;
+    EXPECT_TRUE(many.shard(s).propagation_index().ConsistentWith(db, &diff))
+        << "shard " << s << ": " << diff;
+  }
+
+  MetaDatabase one_db;
+  SimClock one_clock;
+  ShardedEngineOptions one_options;
+  one_options.num_shards = 1;
+  one_options.deterministic = true;
+  ShardedEngine one(one_db, one_clock, one_options);
+  std::vector<OidId> one_oids;
+  metadb::LinkId one_split;
+  build(one, one_db, one_oids, one_split);
+
+  EXPECT_EQ(drive(one), many_lines);
 }
 
 // --- ShardMap ----------------------------------------------------------------
@@ -565,6 +903,15 @@ TEST(ShardMap, OracleAfterRandomLinkMoves) {
       EXPECT_EQ(map.RootBlockOf(id), oracle_root(block))
           << "seed " << seed << " block " << block;
       EXPECT_LT(map.ShardOf(id), kShards);
+      // The group circles (what bucket migration enumerates) must agree
+      // with the forest: every member shares the root.
+      size_t members = 0;
+      map.ForEachGroupMember(id, [&](OidId member) {
+        ++members;
+        EXPECT_EQ(map.RootBlockOf(member), map.RootBlockOf(id))
+            << "seed " << seed << " block " << block;
+      });
+      EXPECT_GE(members, 1u);
     }
     // Same component => same shard.
     for (const OidId a : oids) {
