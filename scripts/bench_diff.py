@@ -9,6 +9,14 @@ DAMOCLES_BENCH_JSON emitter ({"series": [{"name", "ns_per_op",
 series whose ns_per_op grew by more than the threshold (default 20%) is
 flagged as a regression.
 
+A series present only on one side is reported exactly once: a fresh
+series paired with a missing series from the same file is folded into a
+single "renamed" line (matched by closest ns_per_op, the strongest
+signal available without history) and still diffed across the rename;
+the leftovers are listed as fresh (new bench) or missing (retired
+bench). Earlier versions reported a rename as both fresh AND missing,
+which double-counted every rename and buried real retirements.
+
 Exit code is always 0 — regressions warn, they do not fail the build —
 so a missing or partial baseline (first run on a branch, renamed bench)
 degrades quietly. CI gates on *series presence* separately; this script
@@ -20,6 +28,7 @@ surface on the workflow summary.
 
 import argparse
 import json
+import math
 import pathlib
 import sys
 
@@ -57,6 +66,107 @@ def ns_per_op(entry: dict) -> float:
     return value if value > 0.0 else 0.0
 
 
+# A fresh/missing pair only reads as a rename while the timings are
+# within 4x of each other: a rename keeps the workload, so wildly
+# different ns_per_op means an added series plus an unrelated retired
+# one, not one series under a new name.
+MAX_RENAME_LOG_RATIO = math.log(4.0)
+
+
+def pair_renames(fresh: list, missing: list, baseline: dict, current: dict):
+    """Pairs fresh/missing keys from the same file by closest ns_per_op
+    (log-ratio distance, capped at MAX_RENAME_LOG_RATIO): a rename
+    keeps the workload, so its timing is the best available
+    fingerprint. All candidate pairs are ranked globally before taking
+    them greedily, so a fresh series with an earlier name cannot steal
+    a missing series from its true (closer-timed) rename partner.
+    Returns (renames, fresh, missing) with every key appearing in
+    exactly one list; a rename is (old_key, new_key)."""
+    candidates = []
+    for new_key in fresh:
+        new_ns = ns_per_op(current[new_key])
+        if new_ns <= 0.0:
+            continue  # No fingerprint — cannot claim a rename.
+        for old_key in missing:
+            if old_key[0] != new_key[0]:
+                continue  # Renames stay within one bench binary's file.
+            old_ns = ns_per_op(baseline[old_key])
+            if old_ns <= 0.0:
+                continue
+            distance = abs(math.log(new_ns / old_ns))
+            if distance <= MAX_RENAME_LOG_RATIO:
+                candidates.append((distance, old_key, new_key))
+
+    renames = []
+    taken_old = set()
+    taken_new = set()
+    for _, old_key, new_key in sorted(candidates):
+        if old_key in taken_old or new_key in taken_new:
+            continue
+        taken_old.add(old_key)
+        taken_new.add(new_key)
+        renames.append((old_key, new_key))
+    leftover_fresh = [key for key in fresh if key not in taken_new]
+    remaining_missing = [key for key in missing if key not in taken_old]
+    return renames, leftover_fresh, remaining_missing
+
+
+def diff_directories(baseline_dir: pathlib.Path, current_dir: pathlib.Path,
+                     threshold: float) -> dict:
+    """The structured diff the CLI prints (and the unit test asserts):
+    {compared, regressions, improvements, fresh, missing, renames,
+    skipped} — regression/improvement entries are printable lines,
+    renames are (old "file:name", new "file:name") pairs."""
+    baseline = load_series(baseline_dir)
+    current = load_series(current_dir)
+    report = {
+        "baseline_series": len(baseline),
+        "compared": 0,
+        "regressions": [],
+        "improvements": [],
+        "fresh": [],
+        "missing": [],
+        "renames": [],
+        "skipped": [],
+    }
+    if not baseline:
+        return report
+
+    fresh_keys = [key for key in sorted(current) if key not in baseline]
+    missing_keys = [key for key in sorted(baseline) if key not in current]
+    renames, fresh_keys, missing_keys = pair_renames(
+        fresh_keys, missing_keys, baseline, current)
+
+    def compare(old_key, old_entry, new_key, new_entry, renamed):
+        old_ns = ns_per_op(old_entry)
+        new_ns = ns_per_op(new_entry)
+        label = f"{new_key[0]}:{new_key[1]}"
+        if renamed:
+            label = f"{old_key[1]} -> {new_key[1]} ({new_key[0]}, renamed)"
+        if old_ns == 0.0 or new_ns == 0.0:
+            report["skipped"].append(label)
+            return
+        report["compared"] += 1
+        delta_pct = (new_ns - old_ns) / old_ns * 100.0
+        line = f"{label}: {old_ns:.1f} -> {new_ns:.1f} ns/op ({delta_pct:+.1f}%)"
+        if delta_pct > threshold:
+            report["regressions"].append(line)
+        elif delta_pct < -threshold:
+            report["improvements"].append(line)
+
+    for key in sorted(current):
+        if key in baseline:
+            compare(key, baseline[key], key, current[key], renamed=False)
+    for old_key, new_key in renames:
+        report["renames"].append(
+            (f"{old_key[0]}:{old_key[1]}", f"{new_key[0]}:{new_key[1]}"))
+        compare(old_key, baseline[old_key], new_key, current[new_key],
+                renamed=True)
+    report["fresh"] = [f"{key[0]}:{key[1]}" for key in fresh_keys]
+    report["missing"] = [f"{key[0]}:{key[1]}" for key in missing_keys]
+    return report
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=pathlib.Path)
@@ -70,51 +180,33 @@ def main() -> int:
               "(first run on this branch?) — nothing to compare")
         return 0
 
-    baseline = load_series(args.baseline)
-    current = load_series(args.current)
-    if not baseline:
+    report = diff_directories(args.baseline, args.current, args.threshold)
+    if report["baseline_series"] == 0:
         print("bench_diff: baseline holds no series — nothing to compare")
         return 0
 
-    regressions = []
-    improvements = []
-    fresh = []
-    compared = 0
-    for key, entry in sorted(current.items()):
-        base = baseline.get(key)
-        if base is None:
-            # A series with no baseline (new bench, renamed series) is
-            # expected on its first run: note it, never divide by it.
-            fresh.append(f"{key[0]}:{key[1]}")
-            continue
-        old_ns = ns_per_op(base)
-        new_ns = ns_per_op(entry)
-        if old_ns == 0.0 or new_ns == 0.0:
-            print(f"bench_diff: {key[0]}:{key[1]} has no usable ns_per_op "
-                  "on one side — skipping")
-            continue
-        compared += 1
-        delta_pct = (new_ns - old_ns) / old_ns * 100.0
-        line = (f"{key[0]}:{key[1]}: {old_ns:.1f} -> {new_ns:.1f} ns/op "
-                f"({delta_pct:+.1f}%)")
-        if delta_pct > args.threshold:
-            regressions.append(line)
-        elif delta_pct < -args.threshold:
-            improvements.append(line)
-
-    print(f"bench_diff: compared {compared} series "
+    print(f"bench_diff: compared {report['compared']} series "
           f"(threshold {args.threshold:.0f}%)")
-    if fresh:
-        print(f"bench_diff: {len(fresh)} series without baseline "
-              f"(diffed from the next run): {', '.join(fresh)}")
-    for line in improvements:
+    for label in report["skipped"]:
+        print(f"bench_diff: {label} has no usable ns_per_op on one side "
+              "— skipping")
+    for old, new in report["renames"]:
+        print(f"bench_diff: renamed series {old} -> {new} "
+              "(reported once; diffed across the rename)")
+    if report["fresh"]:
+        print(f"bench_diff: {len(report['fresh'])} series without baseline "
+              f"(diffed from the next run): {', '.join(report['fresh'])}")
+    if report["missing"]:
+        print(f"bench_diff: {len(report['missing'])} baseline series no "
+              f"longer emitted: {', '.join(report['missing'])}")
+    for line in report["improvements"]:
         print(f"  improved: {line}")
-    for line in regressions:
+    for line in report["regressions"]:
         print(f"  REGRESSED: {line}")
         # Annotate on the workflow run; smoke-mode numbers are noisy, so
         # this warns rather than fails until a trend is established.
         print(f"::warning title=bench regression::{line}")
-    if not regressions:
+    if not report["regressions"]:
         print("bench_diff: no regressions above threshold")
     return 0
 

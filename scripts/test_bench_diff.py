@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py — in particular the rename folding: a
+series that changed name between runs must be reported exactly once (as
+a rename, diffed across it), not double-counted as both "fresh" and
+"missing". Registered with ctest as bench_diff_py."""
+
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import bench_diff  # noqa: E402
+
+
+def write_bench(directory: pathlib.Path, stem: str, series: dict) -> None:
+    payload = {"series": [
+        {"name": name, "ns_per_op": ns, "deliveries_per_sec": 1.0}
+        for name, ns in series.items()
+    ]}
+    (directory / f"{stem}.json").write_text(json.dumps(payload))
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = pathlib.Path(self._tmp.name)
+        self.baseline = root / "baseline"
+        self.current = root / "current"
+        self.baseline.mkdir()
+        self.current.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def diff(self, threshold=20.0):
+        return bench_diff.diff_directories(self.baseline, self.current,
+                                           threshold)
+
+    def test_identical_series_report_nothing(self):
+        write_bench(self.baseline, "BENCH_a", {"wave_s1": 100.0})
+        write_bench(self.current, "BENCH_a", {"wave_s1": 104.0})
+        report = self.diff()
+        self.assertEqual(report["compared"], 1)
+        self.assertEqual(report["regressions"], [])
+        self.assertEqual(report["fresh"], [])
+        self.assertEqual(report["missing"], [])
+        self.assertEqual(report["renames"], [])
+
+    def test_regression_and_improvement_flagged(self):
+        write_bench(self.baseline, "BENCH_a",
+                    {"slow": 100.0, "fast": 100.0, "flat": 100.0})
+        write_bench(self.current, "BENCH_a",
+                    {"slow": 150.0, "fast": 50.0, "flat": 101.0})
+        report = self.diff()
+        self.assertEqual(len(report["regressions"]), 1)
+        self.assertIn("slow", report["regressions"][0])
+        self.assertEqual(len(report["improvements"]), 1)
+        self.assertIn("fast", report["improvements"][0])
+
+    def test_rename_reported_once_not_as_fresh_plus_missing(self):
+        # The bug this pins: "wave_old" -> "wave_new" used to surface as
+        # BOTH a fresh series and (in a missing report) a retired one.
+        write_bench(self.baseline, "BENCH_a", {"wave_old": 100.0})
+        write_bench(self.current, "BENCH_a", {"wave_new": 102.0})
+        report = self.diff()
+        self.assertEqual(report["renames"],
+                         [("BENCH_a:wave_old", "BENCH_a:wave_new")])
+        self.assertEqual(report["fresh"], [])
+        self.assertEqual(report["missing"], [])
+        # The rename is still diffed (and +2% is below threshold).
+        self.assertEqual(report["compared"], 1)
+        self.assertEqual(report["regressions"], [])
+
+    def test_rename_pairs_by_closest_ns_within_file(self):
+        write_bench(self.baseline, "BENCH_a",
+                    {"old_cheap": 10.0, "old_dear": 1000.0})
+        write_bench(self.current, "BENCH_a",
+                    {"new_cheap": 11.0, "new_dear": 990.0})
+        report = self.diff()
+        self.assertEqual(sorted(report["renames"]),
+                         [("BENCH_a:old_cheap", "BENCH_a:new_cheap"),
+                          ("BENCH_a:old_dear", "BENCH_a:new_dear")])
+
+    def test_rename_never_crosses_files_or_dissimilar_timings(self):
+        # BENCH_a's loss must not pair with BENCH_b's gain (different
+        # file), and BENCH_b's own fresh/missing pair is 20x apart in
+        # ns_per_op — an added series plus a retirement, not a rename.
+        write_bench(self.baseline, "BENCH_a", {"gone": 100.0, "kept": 7.0})
+        write_bench(self.current, "BENCH_a", {"gone2": 95.0, "kept": 7.0})
+        write_bench(self.baseline, "BENCH_b", {"stable": 5.0})
+        write_bench(self.current, "BENCH_b", {"arrived": 100.0})
+        report = self.diff()
+        self.assertEqual(report["renames"],
+                         [("BENCH_a:gone", "BENCH_a:gone2")])
+        self.assertEqual(report["fresh"], ["BENCH_b:arrived"])
+        self.assertEqual(report["missing"], ["BENCH_b:stable"])
+
+    def test_earlier_named_fresh_series_cannot_steal_rename_partner(self):
+        # "a_new" sorts before "z_renamed" but z_renamed is the true
+        # rename of "old" (identical timing); global distance ranking
+        # must pair (old, z_renamed) and leave a_new fresh.
+        write_bench(self.baseline, "BENCH_a", {"old": 104.0})
+        write_bench(self.current, "BENCH_a",
+                    {"a_new": 100.0, "z_renamed": 104.0})
+        report = self.diff()
+        self.assertEqual(report["renames"],
+                         [("BENCH_a:old", "BENCH_a:z_renamed")])
+        self.assertEqual(report["fresh"], ["BENCH_a:a_new"])
+        self.assertEqual(report["missing"], [])
+
+    def test_genuinely_fresh_and_missing_still_reported(self):
+        write_bench(self.baseline, "BENCH_a",
+                    {"stable": 100.0, "retired": 70.0})
+        write_bench(self.current, "BENCH_a",
+                    {"stable": 100.0, "retired2": 71.0, "brand_new": 5.0})
+        report = self.diff()
+        # retired->retired2 is the rename (closest ns); brand_new stays
+        # fresh.
+        self.assertEqual(report["renames"],
+                         [("BENCH_a:retired", "BENCH_a:retired2")])
+        self.assertEqual(report["fresh"], ["BENCH_a:brand_new"])
+        self.assertEqual(report["missing"], [])
+
+    def test_regression_detected_across_rename(self):
+        write_bench(self.baseline, "BENCH_a", {"old_name": 100.0})
+        write_bench(self.current, "BENCH_a", {"new_name": 160.0})
+        report = self.diff()
+        self.assertEqual(len(report["regressions"]), 1)
+        self.assertIn("renamed", report["regressions"][0])
+
+    def test_zero_and_malformed_ns_are_skipped(self):
+        write_bench(self.baseline, "BENCH_a", {"zeroed": 0.0, "ok": 10.0})
+        write_bench(self.current, "BENCH_a", {"zeroed": 50.0, "ok": 10.0})
+        report = self.diff()
+        self.assertEqual(report["compared"], 1)
+        self.assertEqual(len(report["skipped"]), 1)
+
+    def test_empty_baseline_short_circuits(self):
+        write_bench(self.current, "BENCH_a", {"anything": 1.0})
+        report = self.diff()
+        self.assertEqual(report["baseline_series"], 0)
+        self.assertEqual(report["compared"], 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

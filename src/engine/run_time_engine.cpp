@@ -374,8 +374,8 @@ void RunTimeEngine::DeliverSeededWave(std::vector<OidId> seeds,
   event.origin = events::EventOrigin::kPropagated;
   {
     processing_ = true;
-    ProcessWaveSeeded(std::move(seeds), /*seeds_are_origin=*/false,
-                      /*claim_seeds=*/true, event, event_sym);
+    ProcessWaveSeeded(std::move(seeds), /*seeds_are_origin=*/false, event,
+                      event_sym);
     processing_ = false;
   }
   DispatchPendingExecs();
@@ -392,8 +392,7 @@ size_t RunTimeEngine::ProcessAll() {
 
 void RunTimeEngine::ProcessWave(OidId start, const EventMessage& event,
                                 SymbolId event_sym) {
-  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, /*claim_seeds=*/true,
-                    event, event_sym);
+  ProcessWaveSeeded({start}, /*seeds_are_origin=*/true, event, event_sym);
 }
 
 void RunTimeEngine::AdmitReceiver(OidId receiver, const EventMessage& event,
@@ -401,16 +400,12 @@ void RunTimeEngine::AdmitReceiver(OidId receiver, const EventMessage& event,
                                   std::vector<OidId>& out) {
   if (!visited.Insert(receiver.value())) return;
   if (router_ == nullptr || router_->Owns(receiver)) {
-    // Owned receiver: the claim makes delivery exactly-once across the
-    // whole wave — another sub-wave of the same epoch (re-entering this
-    // shard through a different boundary link) may have delivered it
-    // already. Claims are arbitrated by the receiver's owning shard, so
-    // the local visited probe above is just a cheap pre-filter.
-    if (router_ != nullptr && event.wave_epoch != 0 &&
-        !router_->ClaimDelivery(event.wave_epoch, receiver)) {
-      ++stats_.dedup_suppressed;
-      return;
-    }
+    // Owned receiver: appended unclaimed — ProcessWaveSeeded claims the
+    // whole generation in one batched round before its rules run, which
+    // makes delivery exactly-once across the wave (another sub-wave of
+    // the same epoch may have re-entered this shard through a different
+    // boundary link). The local visited probe above is just a cheap
+    // pre-filter.
     out.push_back(receiver);
     return;
   }
@@ -460,7 +455,7 @@ void RunTimeEngine::CollectReceivers(OidId source, const EventMessage& event,
 }
 
 void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
-                                      bool seeds_are_origin, bool claim_seeds,
+                                      bool seeds_are_origin,
                                       const EventMessage& event,
                                       SymbolId event_sym) {
   ++stats_.waves_started;
@@ -476,19 +471,29 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
   std::vector<OidId> batch;
   batch.reserve(seeds.size());
   for (const OidId seed : seeds) {
-    if (!visited.set.Insert(seed.value())) continue;
-    // Wave entry points claim their seeds: two shards may hand the same
-    // receiver off for one wave, and a cross-shard cycle leads a wave
-    // back to OIDs it already delivered to — the (epoch, OID) claim
-    // collapses both to a single delivery, exactly like the single
-    // visited set of an unsharded wave.
-    if (claim_seeds && router_ != nullptr && event.wave_epoch != 0 &&
-        !router_->ClaimDelivery(event.wave_epoch, seed)) {
-      ++stats_.dedup_suppressed;
-      continue;
-    }
-    batch.push_back(seed);
+    if (visited.set.Insert(seed.value())) batch.push_back(seed);
   }
+
+  // Every generation — seeds included — passes one batched
+  // (epoch, OID) claim round before its rules run: two shards may hand
+  // the same receiver off for one wave, and a cross-shard cycle leads a
+  // wave back to OIDs it already delivered to. The claim collapses both
+  // to a single delivery, exactly like the single visited set of an
+  // unsharded wave, at one claim-store round per generation.
+  const auto claim_batch = [&](std::vector<OidId>& generation) {
+    if (router_ == nullptr || event.wave_epoch == 0 || generation.empty()) {
+      return;
+    }
+    ++stats_.claim_batches;
+    stats_.dedup_suppressed +=
+        router_->ClaimSeedBatch(event.wave_epoch, generation);
+  };
+  claim_batch(batch);
+
+  // Shared-payload journal key, built once per wave: per-delivery
+  // journaling interns only the target block/view (seed-batch rows).
+  events::EventJournal::PayloadKey journal_key;
+  bool journal_key_ready = false;
 
   std::vector<OidId> next_batch;
   std::vector<DirectionPost> direction_posts;
@@ -509,11 +514,21 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
       ++extent;
       ++stats_.wave_deliveries;
 
+      // Delivery bracket: under a lane-stealing router, sub-waves of
+      // different epochs may execute concurrently and reconverge on one
+      // OID — the router serializes same-OID rule execution here.
+      if (router_ != nullptr) router_->BeginDelivery(target);
+
       if (!is_origin_batch) {
         ++stats_.propagated_deliveries;
         if (options_.journal_propagated) {
-          // Interned journal row: no EventMessage is copied per delivery.
-          journal_.RecordPropagated(event, db_.GetObject(target).oid);
+          // Interned journal row off the shared payload key: no
+          // EventMessage is copied or re-interned per delivery.
+          if (!journal_key_ready) {
+            journal_key = journal_.MakePayloadKey(event);
+            journal_key_ready = true;
+          }
+          journal_.RecordPropagated(journal_key, db_.GetObject(target).oid);
         }
       }
 
@@ -532,6 +547,8 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
         RunRulesAt(target, local, event_sym, direction_posts);
       }
 
+      if (router_ != nullptr) router_->EndDelivery(target);
+
       // Direction-posted events are "directly propagated from the
       // current OID" (paper §3.2, example 2): the posting OID's rules
       // are *not* re-run; all qualifying neighbours seed ONE sub-wave so
@@ -541,7 +558,7 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
         // A direction post opens its own wave scope (the unsharded
         // engine gives it a fresh visited set); under a router it gets
         // its own epoch so its deliveries dedup independently of the
-        // enclosing wave's.
+        // enclosing wave's. The nested wave claims its own seed batch.
         if (router_ != nullptr) posted.event.wave_epoch = router_->MintEpoch();
         std::vector<OidId> posted_seeds;
         {
@@ -551,22 +568,21 @@ void RunTimeEngine::ProcessWaveSeeded(std::vector<OidId> seeds,
         }
         if (!posted_seeds.empty()) {
           posted.event.origin = events::EventOrigin::kPropagated;
-          // Seeds were claimed by CollectReceivers above under the new
-          // epoch; claiming again would drop every one of them.
           ProcessWaveSeeded(std::move(posted_seeds),
-                            /*seeds_are_origin=*/false, /*claim_seeds=*/false,
-                            posted.event, posted.name_sym);
+                            /*seeds_are_origin=*/false, posted.event,
+                            posted.name_sym);
         }
       }
     }
 
     // Phase 5, batched: collect the whole next generation before any of
-    // its rules run.
+    // its rules run, then claim it in one round.
     next_batch.clear();
     if (!truncated) {
       for (const OidId target : batch) {
         CollectReceivers(target, event, event_sym, visited.set, next_batch);
       }
+      claim_batch(next_batch);
     }
     batch.swap(next_batch);
     is_origin_batch = false;

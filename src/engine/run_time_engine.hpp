@@ -126,11 +126,24 @@ class WaveRouter {
   /// like the fresh visited set of the unsharded engine).
   virtual uint64_t MintEpoch() = 0;
 
-  /// Claims (epoch, receiver) for exactly-once delivery. Called only
-  /// for receivers this engine owns, from the worker occupying the
-  /// shard. False means another sub-wave of the same wave already
-  /// delivered (or is delivering) the receiver — skip it.
-  virtual bool ClaimDelivery(uint64_t epoch, metadb::OidId receiver) = 0;
+  /// Claims a whole BFS generation for exactly-once delivery: removes
+  /// from `seeds` every receiver another sub-wave of `epoch` already
+  /// claimed (preserving order) and returns the number removed. Called
+  /// only for receivers this engine owns. The batch is the claim
+  /// primitive — the engine claims once per generation, so a router
+  /// backed by a shared claim store pays one synchronization round per
+  /// generation, not one per receiver.
+  virtual size_t ClaimSeedBatch(uint64_t epoch,
+                                std::vector<metadb::OidId>& seeds) = 0;
+
+  /// Bracketing hooks around one delivery (journal row + rule phases)
+  /// at `receiver`. A router that lets sub-waves of *different* epochs
+  /// run on concurrent executors (lane stealing) serializes same-OID
+  /// deliveries here; the defaults are no-ops for single-executor
+  /// shards. BeginDelivery may block; the engine never holds two
+  /// receivers' brackets at once.
+  virtual void BeginDelivery(metadb::OidId receiver) { (void)receiver; }
+  virtual void EndDelivery(metadb::OidId receiver) { (void)receiver; }
 };
 
 /// The run-time engine. Owns the FIFO queue and the journal; operates on
@@ -378,15 +391,15 @@ class RunTimeEngine : private metadb::LinkObserver {
   /// Wave engine: delivers `event` to every seed (and onward through
   /// qualifying links) with one shared visited set. `seeds_are_origin`
   /// marks seeds as queue-event targets (not propagated deliveries).
-  /// `claim_seeds` runs each seed through the router's (epoch, OID)
-  /// claim — on for wave entry points (queue events, cross-shard
-  /// handoffs), off for direction-posted sub-waves whose seeds were
-  /// already claimed during collection. Processing is batched: each BFS
-  /// generation's receivers are fully collected (and de-duplicated)
-  /// before any of their rules run. The payload is borrowed for the
-  /// whole wave, never copied per delivery.
+  /// Under a router every generation — the seed batch included — is run
+  /// through one batched (epoch, OID) claim before any of its rules
+  /// execute, so exactly-once holds across sub-waves with one claim
+  /// round per generation. Processing is batched: each BFS generation's
+  /// receivers are fully collected (and de-duplicated) before any of
+  /// their rules run. The payload is borrowed for the whole wave, never
+  /// copied per delivery.
   void ProcessWaveSeeded(std::vector<metadb::OidId> seeds,
-                         bool seeds_are_origin, bool claim_seeds,
+                         bool seeds_are_origin,
                          const events::EventMessage& event,
                          SymbolId event_sym);
 

@@ -1,6 +1,7 @@
 #include "engine/sharded_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -55,10 +56,13 @@ struct ShardedEngine::Task {
   std::vector<OidId> seeds;  ///< kSeededWave only.
 };
 
-/// Bounded multi-producer single-consumer ring (Vyukov's bounded MPMC
-/// restricted to one consumer). Producers never lock; a full ring is
-/// reported to the caller, which falls back to the lane's overflow
-/// deque so intake can never deadlock on a saturated shard.
+/// Bounded Vyukov ring. Producers never lock; a full ring is reported
+/// to the caller, which falls back to the lane's overflow deque so
+/// intake can never deadlock on a saturated shard. Two pop flavours:
+/// TryPop assumes a single consumer (the lane's busy flag serializes
+/// claimants — the top-level event ring), TryPopShared runs the full
+/// MPMC protocol so stealers and the lane occupant can drain the
+/// sub-wave ring concurrently.
 class ShardedEngine::TaskRing {
  public:
   explicit TaskRing(size_t capacity)
@@ -106,6 +110,31 @@ class ShardedEngine::TaskRing {
     return true;
   }
 
+  /// Multi-consumer pop (Vyukov MPMC): concurrent claimants race on
+  /// dequeue_pos_ with CAS; the winner owns the cell.
+  bool TryPopShared(Task& out) {
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          out = std::move(cell.task);
+          cell.task = Task{};  // Release payloads eagerly.
+          cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // Empty.
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
   /// Approximate (racy reads are fine: idle wakeup predicate only).
   bool Empty() const {
     const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
@@ -134,9 +163,24 @@ struct ShardedEngine::Counters {
   std::atomic<size_t> pending{0};  ///< Enqueued but not yet finished tasks.
   std::atomic<bool> stop{false};
 
+  /// Per-OID delivery locks, striped by OID slot: a lane occupant and a
+  /// stealer may deliver *different* epochs to the same OID
+  /// concurrently; the stripe serializes the rule execution (and the
+  /// property writes inside it). Stripe collisions only over-serialize.
+  /// Cache-line padded: neighbouring stripes are hit by unrelated
+  /// executors on every delivery, so sharing a line would put false
+  /// sharing on exactly the path this layer optimizes.
+  struct alignas(64) DeliveryStripe {
+    std::atomic<uint8_t> flag{0};
+  };
+  std::array<DeliveryStripe, 256> delivery_stripes{};
+
   std::atomic<size_t> events_posted{0};
   std::atomic<size_t> tasks_processed{0};
   std::atomic<size_t> handoff_waves{0};
+  std::atomic<size_t> handoff_seeds{0};
+  std::atomic<size_t> seed_batch_splits{0};
+  std::atomic<size_t> stolen_subwaves{0};
   std::atomic<size_t> handoff_waves_truncated{0};
   std::atomic<size_t> reposted_events{0};
   std::atomic<size_t> ring_overflows{0};
@@ -161,20 +205,136 @@ struct ShardedEngine::Counters {
   std::condition_variable wake_cv;
 };
 
+// --- Claim sets --------------------------------------------------------------
+
+namespace {
+
+/// (epoch -> delivered OID slots) exactly-once claim map with
+/// rate-limited lazy merge-out. The ONE implementation of the claim
+/// filter and purge cadence, wrapped unlocked by the lane-local router
+/// path and under a mutex by the shared ClaimStore.
+class EpochClaimSet {
+ public:
+  /// Filters `seeds` down to the claim winners (preserving order);
+  /// returns the number suppressed. `horizon` is the caller's
+  /// lowest-live-epoch snapshot, the merge-out bound.
+  size_t Filter(uint64_t epoch, std::vector<OidId>& seeds, uint64_t horizon) {
+    MaybePurge(horizon);
+    claims_since_purge_ += seeds.size();
+    std::unordered_set<uint32_t>& set = claims_[epoch];
+    size_t suppressed = 0;
+    auto keep = seeds.begin();
+    for (const OidId seed : seeds) {
+      if (set.insert(seed.value()).second) {
+        *keep++ = seed;
+      } else {
+        ++suppressed;
+      }
+    }
+    seeds.erase(keep, seeds.end());
+    return suppressed;
+  }
+
+  /// The epoch below which completed waves' claim sets have been
+  /// merged out (0 until the first purge).
+  uint64_t purge_floor() const noexcept { return purge_floor_; }
+
+ private:
+  /// Lazy merge-out. Rate-limited: when many epochs are pinned live (a
+  /// deep cross-shard backlog) an eager scan would free nothing and
+  /// turn every claim round into an O(live-epochs) traversal.
+  void MaybePurge(uint64_t horizon) {
+    if (claims_since_purge_ < kPurgeInterval &&
+        (claims_.size() <= kPurgeEpochThreshold ||
+         claims_since_purge_ < kPurgeSizeBackoff)) {
+      return;
+    }
+    claims_since_purge_ = 0;
+    for (auto it = claims_.begin(); it != claims_.end();) {
+      it = it->first < horizon ? claims_.erase(it) : std::next(it);
+    }
+    purge_floor_ = horizon;
+  }
+
+  /// Purge cadence: often enough that completed waves cannot pile up,
+  /// rare enough to stay invisible next to rule execution. The size
+  /// trigger fires at most once per kPurgeSizeBackoff claims.
+  static constexpr size_t kPurgeInterval = 512;
+  static constexpr size_t kPurgeEpochThreshold = 64;
+  static constexpr size_t kPurgeSizeBackoff = 64;
+
+  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> claims_;
+  size_t claims_since_purge_ = 0;
+  uint64_t purge_floor_ = 0;
+};
+
+}  // namespace
+
+/// The per-shard exactly-once claim set, published behind an
+/// epoch-versioned read path so sub-waves of the shard can be claimed
+/// from ANY executor (the owning lane's occupant or a stealing
+/// worker): claim rounds happen under the store mutex — one batched
+/// round per BFS generation, not one lock per receiver — and the purge
+/// floor (the epoch below which claim sets have been merged out, i.e.
+/// the version of the published claim state) is an atomic any thread
+/// may read without the lock; ShardedStats::claim_purge_floor surfaces
+/// it and the ShardedSteal suite asserts it advances. Only
+/// instantiated for threaded multi-shard engines with lane stealing;
+/// single-executor shards keep their lock-free lane-local claim sets
+/// in the router.
+class ShardedEngine::ClaimStore {
+ public:
+  /// Batched claim round under one lock acquisition; see
+  /// EpochClaimSet::Filter.
+  size_t ClaimBatch(uint64_t epoch, std::vector<OidId>& seeds,
+                    uint64_t horizon) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t suppressed = claims_.Filter(epoch, seeds, horizon);
+    purge_floor_.store(claims_.purge_floor(), std::memory_order_release);
+    return suppressed;
+  }
+
+  /// Lock-free view of the merge-out horizon.
+  uint64_t purge_floor() const noexcept {
+    return purge_floor_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::mutex mutex_;
+  EpochClaimSet claims_;
+  std::atomic<uint64_t> purge_floor_{0};
+};
+
 // --- Cross-shard router ------------------------------------------------------
 
-/// Per-lane WaveRouter: answers ownership from the shard map,
-/// arbitrates the per-wave (epoch, OID) exactly-once claims for the
-/// OIDs this shard owns, and accumulates foreign receivers, grouped per
-/// (source event, target shard) in first-encounter order, until the
-/// lane flushes them as seeded sub-wave tasks after the current task
-/// completes. All state is touched only by the worker occupying the
-/// lane (the busy flag's acquire/release publishes it between workers),
-/// so the claim path needs no locks and no atomics.
+/// Per-executor WaveRouter bound to one shard: answers ownership from
+/// the shard map, arbitrates the per-wave (epoch, OID) exactly-once
+/// claims for the OIDs the bound shard owns, and accumulates foreign
+/// receivers until the executor flushes them as seeded sub-wave tasks
+/// after the current task completes. Lane routers stay bound to their
+/// lane for life; each stealing worker owns one router it re-binds to
+/// the stolen task's shard.
+///
+/// Claim routing: with lane stealing active, claims go to the bound
+/// shard's shared ClaimStore (any executor may consult it); otherwise
+/// every task of a shard runs under the lane's busy flag and the claims
+/// stay in a lane-local map — no locks, no atomics on the claim path,
+/// published between workers by the busy flag's acquire/release.
+///
+/// Handoff batching (batched_handoff): foreign receivers aggregate per
+/// (wave epoch, target shard) in first-encounter order — the epoch
+/// uniquely identifies the wave payload within a task, each direction
+/// post minting its own — so a wave whose receivers interleave across
+/// shards posts one aggregated sub-wave per shard instead of one per
+/// consecutive run (the PR-4 baseline kept behind the option).
 class ShardedEngine::LaneRouter final : public WaveRouter {
  public:
   LaneRouter(ShardedEngine& owner, uint32_t shard)
       : owner_(owner), shard_(shard) {}
+
+  /// Re-targets this router at `shard` (steal contexts only; called
+  /// between tasks, never mid-wave).
+  void Bind(uint32_t shard) noexcept { shard_ = shard; }
 
   bool Owns(OidId receiver) override {
     // Cache the lookup: Handoff(receiver) follows immediately when this
@@ -189,34 +349,32 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
     const uint64_t epoch = owner_.MintEpoch();
     // Hold a ref for the rest of the current task: claims under this
     // epoch begin immediately (direction-post collection), before any
-    // handoff task of the epoch is enqueued. Released by the lane after
-    // Flush().
+    // handoff task of the epoch is enqueued. Released by the executor
+    // after Flush().
     owner_.AcquireEpochRef(epoch);
     minted_.push_back(epoch);
     return epoch;
   }
 
-  bool ClaimDelivery(uint64_t epoch, OidId receiver) override {
-    // Lazy merge-out: every so often drop the claim sets of completed
-    // waves (everything below the lowest in-flight epoch). The size
-    // trigger is rate-limited too: when many epochs are pinned live (a
-    // deep cross-shard backlog), an eager scan would free nothing and
-    // turn every claim into an O(live-epochs) traversal.
-    ++claims_since_purge_;
-    if (claims_since_purge_ >= kPurgeInterval ||
-        (claims_.size() > kPurgeEpochThreshold &&
-         claims_since_purge_ >= kPurgeSizeBackoff)) {
-      claims_since_purge_ = 0;
-      const uint64_t horizon = owner_.MinLiveEpoch();
-      for (auto it = claims_.begin(); it != claims_.end();) {
-        it = it->first < horizon ? claims_.erase(it) : std::next(it);
-      }
+  size_t ClaimSeedBatch(uint64_t epoch, std::vector<OidId>& seeds) override {
+    if (owner_.stealing_active_) {
+      return owner_.StoreOf(shard_).ClaimBatch(epoch, seeds,
+                                               owner_.MinLiveEpoch());
     }
-    return claims_[epoch].insert(receiver.value()).second;
+    // Lane-local claims: same filter, no synchronization.
+    return claims_.Filter(epoch, seeds, owner_.MinLiveEpoch());
   }
 
-  /// Epoch refs minted during the current task; the lane releases them
-  /// once the task's handoffs are enqueued.
+  void BeginDelivery(OidId receiver) override {
+    owner_.LockDelivery(receiver);
+  }
+
+  void EndDelivery(OidId receiver) override {
+    owner_.UnlockDelivery(receiver);
+  }
+
+  /// Epoch refs minted during the current task; the executor releases
+  /// them once the task's handoffs are enqueued.
   std::vector<uint64_t> TakeMintedEpochs() {
     return std::exchange(minted_, {});
   }
@@ -225,28 +383,49 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
     const uint32_t target = receiver == last_receiver_
                                 ? last_shard_
                                 : owner_.shard_map_.ShardOf(receiver);
-    // Group consecutive receivers of the same wave payload headed for
-    // the same shard into one seeded sub-wave, so the target delivers
-    // them in one batch exactly like the origin shard would have. The
-    // source pointer is only an identity hint (direction posts reuse
-    // storage), so the payload fields are compared too.
+    if (owner_.options_.batched_handoff) {
+      // One aggregated sub-wave per (epoch, target shard), regardless
+      // of how receivers interleave. Runs of same-shard receivers are
+      // the common case, so the last pending wave is checked before
+      // the map. Shards fit in 16 bits (enforced at construction); the
+      // packed key below cannot alias, and epochs are dense counters
+      // nowhere near 2^48.
+      if (!pending_.empty() && pending_.back().target_shard == target &&
+          pending_.back().epoch == event.wave_epoch) {
+        pending_.back().seeds.push_back(receiver);
+        return;
+      }
+      const uint64_t key = (event.wave_epoch << 16) |
+                           static_cast<uint64_t>(target & 0xFFFF);
+      const auto [it, inserted] =
+          pending_index_.try_emplace(key, pending_.size());
+      if (inserted) {
+        pending_.push_back(PendingWave{target, event.wave_epoch, event, {}});
+      }
+      pending_[it->second].seeds.push_back(receiver);
+      return;
+    }
+    // Unbatched baseline: only consecutive receivers of the same wave
+    // payload headed for the same shard merge (the epoch uniquely
+    // identifies the payload within a task).
     if (pending_.empty() || pending_.back().target_shard != target ||
-        pending_.back().source != &event ||
-        !SamePayload(pending_.back().event, event)) {
-      pending_.push_back(PendingWave{target, &event, event, {}});
+        pending_.back().epoch != event.wave_epoch) {
+      pending_.push_back(PendingWave{target, event.wave_epoch, event, {}});
     }
     pending_.back().seeds.push_back(receiver);
   }
 
-  /// Enqueues every accumulated sub-wave on its target shard. Called
-  /// by the owning lane between tasks (never mid-wave). `hops` is the
-  /// handoff depth of the task that produced these waves, `order_epoch`
-  /// its scheduling root (inherited so direction-post handoffs stay
-  /// inside their spawning wave's deterministic slot). A chain past the
-  /// configured hop cap is dropped — the backstop behind the
-  /// (epoch, OID) claims.
+  /// Enqueues every accumulated sub-wave on its target shard, splitting
+  /// batches larger than max_batch_seeds into consecutive FIFO chunks.
+  /// Called by the executor between tasks (never mid-wave). `hops` is
+  /// the handoff depth of the task that produced these waves,
+  /// `order_epoch` its scheduling root (inherited so direction-post
+  /// handoffs stay inside their spawning wave's deterministic slot). A
+  /// chain past the configured hop cap is dropped — the backstop behind
+  /// the (epoch, OID) claims.
   void Flush(uint32_t hops, uint64_t order_epoch) {
     const bool truncate = hops >= owner_.options_.max_handoff_hops;
+    const size_t limit = owner_.options_.max_batch_seeds;
     for (PendingWave& wave : pending_) {
       if (truncate) {
         owner_.counters_->handoff_waves_truncated.fetch_add(
@@ -256,52 +435,59 @@ class ShardedEngine::LaneRouter final : public WaveRouter {
                      wave.event.name + "')");
         continue;
       }
-      Task task;
-      task.kind = Task::Kind::kSeededWave;
-      task.hops = hops + 1;
-      task.ticket =
-          owner_.counters_->next_ticket.fetch_add(1, std::memory_order_relaxed);
-      task.order_epoch = order_epoch;
-      task.event = std::move(wave.event);
-      task.seeds = std::move(wave.seeds);
-      owner_.counters_->handoff_waves.fetch_add(1, std::memory_order_relaxed);
-      owner_.Enqueue(wave.target_shard, std::move(task));
+      owner_.counters_->handoff_seeds.fetch_add(wave.seeds.size(),
+                                                std::memory_order_relaxed);
+      const size_t chunks =
+          limit == 0 ? 1 : (wave.seeds.size() + limit - 1) / limit;
+      if (chunks > 1) {
+        owner_.counters_->seed_batch_splits.fetch_add(
+            chunks - 1, std::memory_order_relaxed);
+      }
+      for (size_t chunk = 0; chunk < chunks; ++chunk) {
+        Task task;
+        task.kind = Task::Kind::kSeededWave;
+        task.hops = hops + 1;
+        task.ticket = owner_.counters_->next_ticket.fetch_add(
+            1, std::memory_order_relaxed);
+        task.order_epoch = order_epoch;
+        if (chunk + 1 == chunks) {
+          task.event = std::move(wave.event);
+        } else {
+          task.event = wave.event;
+        }
+        if (chunks == 1) {
+          task.seeds = std::move(wave.seeds);
+        } else {
+          const size_t begin = chunk * limit;
+          const size_t end = std::min(begin + limit, wave.seeds.size());
+          task.seeds.assign(wave.seeds.begin() + static_cast<ptrdiff_t>(begin),
+                            wave.seeds.begin() + static_cast<ptrdiff_t>(end));
+        }
+        owner_.counters_->handoff_waves.fetch_add(1, std::memory_order_relaxed);
+        owner_.Enqueue(wave.target_shard, std::move(task));
+      }
     }
     pending_.clear();
+    pending_index_.clear();
   }
 
  private:
   struct PendingWave {
     uint32_t target_shard = 0;
-    const EventMessage* source = nullptr;  ///< Identity hint, never read.
-    EventMessage event;                    ///< Snapshot of the payload.
+    uint64_t epoch = 0;   ///< Payload identity within this task.
+    EventMessage event;   ///< Snapshot of the payload.
     std::vector<OidId> seeds;
   };
-
-  static bool SamePayload(const EventMessage& a, const EventMessage& b) {
-    // The epoch participates: a direction post can carry the same name,
-    // direction and argument as its enclosing wave, but it is its own
-    // wave scope and must not merge into the parent's sub-wave.
-    return a.wave_epoch == b.wave_epoch && a.name == b.name &&
-           a.direction == b.direction && a.arg == b.arg && a.user == b.user &&
-           a.timestamp == b.timestamp;
-  }
-
-  /// Claim purge cadence: often enough that completed waves cannot pile
-  /// up, rare enough to stay invisible next to rule execution. The size
-  /// trigger fires at most once per kPurgeSizeBackoff claims.
-  static constexpr size_t kPurgeInterval = 512;
-  static constexpr size_t kPurgeEpochThreshold = 64;
-  static constexpr size_t kPurgeSizeBackoff = 64;
 
   ShardedEngine& owner_;
   uint32_t shard_;
   OidId last_receiver_;  ///< Owns() memo consumed by Handoff().
   uint32_t last_shard_ = 0;
-  std::vector<PendingWave> pending_;
-  /// (epoch -> delivered OID slots) claim shards; see ClaimDelivery.
-  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> claims_;
-  size_t claims_since_purge_ = 0;
+  std::vector<PendingWave> pending_;  ///< First-encounter order.
+  /// (epoch, target shard) -> pending_ slot (batched_handoff mode).
+  std::unordered_map<uint64_t, size_t> pending_index_;
+  /// Lane-local claims (single-executor shards; no stealing).
+  EpochClaimSet claims_;
   std::vector<uint64_t> minted_;  ///< Epoch refs held for this task.
 };
 
@@ -447,20 +633,37 @@ struct ShardedEngine::Lane {
   std::unique_ptr<RunTimeEngine> engine;
   std::unique_ptr<LaneRouter> router;
 
-  /// Lock-free intake (threaded mode); null in deterministic mode.
+  /// Lock-free intake for TOP-LEVEL queue events (threaded mode); null
+  /// in deterministic mode. Single consumer (the occupant), so
+  /// per-shard FIFO for top-level waves is structural: stealing never
+  /// touches this ring.
   std::unique_ptr<TaskRing> ring;
 
+  /// Epoch-tagged cross-shard sub-waves (threaded mode); null in
+  /// deterministic mode. Multi-consumer: the occupant and stealing
+  /// workers pop concurrently (TryPopShared) — sub-wave order across
+  /// executors is free, exactly-once comes from the claim stores.
+  std::unique_ptr<TaskRing> sub_ring;
+
   /// Claim flag: at most one worker occupies a lane at a time, which
-  /// keeps the ring single-consumer and the shard's delivery order
-  /// FIFO with any worker count.
+  /// keeps the event ring single-consumer and the shard's top-level
+  /// delivery order FIFO with any worker count.
   std::atomic<bool> busy{false};
 
-  /// Overflow fallback (threaded only). Once a push overflows, later
-  /// pushes follow until the consumer drains the deque, so FIFO order
+  /// Overflow fallbacks (threaded only). Once a push overflows, later
+  /// pushes follow until a consumer drains the deque, so FIFO order
   /// holds across the spill.
   std::mutex overflow_mutex;
   std::deque<Task> overflow;
   std::atomic<bool> overflowed{false};
+  std::mutex sub_overflow_mutex;
+  std::deque<Task> sub_overflow;
+  std::atomic<bool> sub_overflowed{false};
+
+  /// Queued sub-wave gauge (incremented before a push is visible, so
+  /// it never under-counts): the stealers' cheap probe for whether this
+  /// lane has stealable work.
+  std::atomic<size_t> queued_subwaves{0};
 
   /// Deterministic-mode storage: tasks keyed by (order epoch, ticket),
   /// so the scheduler's pick is one begin() away — O(log n) per push
@@ -470,6 +673,7 @@ struct ShardedEngine::Lane {
 
   bool HasWork() {
     if (ring != nullptr && !ring->Empty()) return true;
+    if (queued_subwaves.load(std::memory_order_acquire) > 0) return true;
     if (!overflowed.load(std::memory_order_acquire)) return false;
     std::lock_guard<std::mutex> lock(overflow_mutex);
     return !overflow.empty();
@@ -480,6 +684,10 @@ struct ShardedEngine::Lane {
       std::lock_guard<std::mutex> lock(overflow_mutex);
       const auto key = std::make_pair(task.order_epoch, task.ticket);
       ordered.emplace(key, std::move(task));
+      return;
+    }
+    if (task.kind == Task::Kind::kSeededWave) {
+      PushSub(std::move(task), overflow_counter);
       return;
     }
     if (!overflowed.load(std::memory_order_acquire) &&
@@ -494,7 +702,22 @@ struct ShardedEngine::Lane {
     overflow_counter.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Single consumer: ring first (older tasks), then the spill.
+  void PushSub(Task&& task, std::atomic<size_t>& overflow_counter) {
+    queued_subwaves.fetch_add(1, std::memory_order_release);
+    if (!sub_overflowed.load(std::memory_order_acquire) &&
+        sub_ring->TryPush(std::move(task))) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sub_overflow_mutex);
+      sub_overflowed.store(true, std::memory_order_release);
+      sub_overflow.push_back(std::move(task));
+    }
+    overflow_counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Single consumer (the occupant): event ring first (older tasks),
+  /// then the spill.
   bool Pop(Task& out) {
     if (ring != nullptr && ring->TryPop(out)) return true;
     if (!overflowed.load(std::memory_order_acquire)) return false;
@@ -506,6 +729,29 @@ struct ShardedEngine::Lane {
     out = std::move(overflow.front());
     overflow.pop_front();
     if (overflow.empty()) overflowed.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// Multi-consumer sub-wave pop: occupant and stealers race through
+  /// the MPMC ring, then the spill deque under its mutex.
+  bool PopSub(Task& out) {
+    if (sub_ring == nullptr) return false;
+    if (sub_ring->TryPopShared(out)) {
+      queued_subwaves.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+    if (!sub_overflowed.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(sub_overflow_mutex);
+    if (sub_overflow.empty()) {
+      sub_overflowed.store(false, std::memory_order_release);
+      return false;
+    }
+    out = std::move(sub_overflow.front());
+    sub_overflow.pop_front();
+    if (sub_overflow.empty()) {
+      sub_overflowed.store(false, std::memory_order_release);
+    }
+    queued_subwaves.fetch_sub(1, std::memory_order_release);
     return true;
   }
 
@@ -530,6 +776,23 @@ struct ShardedEngine::Lane {
   }
 };
 
+// --- Steal contexts ----------------------------------------------------------
+
+/// One stealing worker's private executor: a RunTimeEngine over the
+/// shared meta-database plus a re-bindable router. The engine runs in
+/// scan mode (use_propagation_index = false): wave expansion reads the
+/// immutable-during-drain link graph directly, so it needs neither a
+/// propagation index of its own nor access to the owning lane's (whose
+/// symbol table the occupant may be growing concurrently). Scan and
+/// index expansion produce identical receiver sets, so the delivered
+/// record multiset is unchanged; the steal path trades per-hop lookup
+/// speed for running on cycles that were idle anyway. Journal and
+/// stats are private and merged into the engine-wide views.
+struct ShardedEngine::StealContext {
+  std::unique_ptr<RunTimeEngine> engine;
+  std::unique_ptr<LaneRouter> router;
+};
+
 // --- Construction -----------------------------------------------------------
 
 ShardedEngine::ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
@@ -543,6 +806,11 @@ ShardedEngine::ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
       index_router_(std::make_unique<IndexRouter>(*this)),
       shard_map_(db, num_shards_),
       counters_(std::make_unique<Counters>()) {
+  if (num_shards_ > 0xFFFF) {
+    // The batched-handoff key packs the target shard into 16 bits
+    // (LaneRouter::Handoff); aliasing shards would break exactly-once.
+    throw Error("ShardedEngine: num_shards must be <= 65535");
+  }
   lanes_.reserve(num_shards_);
   // Shard engines never self-maintain their index: SetIndexScope below
   // installs the scoped build, so the constructor's full-graph build
@@ -562,6 +830,8 @@ ShardedEngine::ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
     if (num_shards_ > 1) lane->engine->SetWaveRouter(lane->router.get());
     if (!options_.deterministic) {
       lane->ring = std::make_unique<TaskRing>(
+          RingCapacity(options_.queue_capacity));
+      lane->sub_ring = std::make_unique<TaskRing>(
           RingCapacity(options_.queue_capacity));
     }
     lanes_.push_back(std::move(lane));
@@ -589,6 +859,30 @@ ShardedEngine::ShardedEngine(metadb::MetaDatabase& db, SimClock& clock,
       worker_count = std::min<size_t>(num_shards_, cores);
     }
     worker_count = std::min<size_t>(worker_count, num_shards_);
+    // Lane stealing: shared per-shard claim stores replace the
+    // lane-local claim sets (any executor may consult them) and every
+    // worker gets a private scan-mode steal engine. A single worker
+    // never observes a busy lane, so stealing is moot below two.
+    stealing_active_ =
+        options_.lane_stealing && num_shards_ > 1 && worker_count > 1;
+    if (stealing_active_) {
+      claim_stores_.reserve(num_shards_);
+      for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+        claim_stores_.push_back(std::make_unique<ClaimStore>());
+      }
+      EngineOptions steal_options = options_.engine;
+      steal_options.use_propagation_index = false;
+      steal_options.external_index_maintenance = false;
+      steal_contexts_.reserve(worker_count);
+      for (size_t i = 0; i < worker_count; ++i) {
+        auto context = std::make_unique<StealContext>();
+        context->engine =
+            std::make_unique<RunTimeEngine>(db_, clock_, steal_options);
+        context->router = std::make_unique<LaneRouter>(*this, 0);
+        context->engine->SetWaveRouter(context->router.get());
+        steal_contexts_.push_back(std::move(context));
+      }
+    }
     workers_.reserve(worker_count);
     for (size_t i = 0; i < worker_count; ++i) {
       workers_.emplace_back(&ShardedEngine::WorkerLoop, this, i);
@@ -607,6 +901,31 @@ ShardedEngine::~ShardedEngine() {
 
 PropagationIndex& ShardedEngine::ShardIndex(uint32_t shard) {
   return lanes_[shard]->engine->mutable_propagation_index();
+}
+
+ShardedEngine::ClaimStore& ShardedEngine::StoreOf(uint32_t shard) {
+  return *claim_stores_[shard];
+}
+
+void ShardedEngine::LockDelivery(OidId receiver) {
+  if (!stealing_active_) return;
+  std::atomic<uint8_t>& stripe =
+      counters_->delivery_stripes[receiver.value() %
+                                  counters_->delivery_stripes.size()]
+          .flag;
+  // Spin with yield: the bracket covers one OID's rule phases, which
+  // are short, and each executor holds at most one stripe at a time
+  // (no hold-and-wait, so no deadlock).
+  while (stripe.exchange(1, std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void ShardedEngine::UnlockDelivery(OidId receiver) {
+  if (!stealing_active_) return;
+  counters_->delivery_stripes[receiver.value() %
+                              counters_->delivery_stripes.size()]
+      .flag.store(0, std::memory_order_release);
 }
 
 // --- Wave epochs -------------------------------------------------------------
@@ -644,6 +963,9 @@ uint64_t ShardedEngine::MinLiveEpoch() const noexcept {
 void ShardedEngine::LoadBlueprint(const blueprint::Blueprint& blueprint) {
   for (auto& lane : lanes_) {
     lane->engine->LoadBlueprint(blueprint.Clone());
+  }
+  for (auto& context : steal_contexts_) {
+    context->engine->LoadBlueprint(blueprint.Clone());
   }
 }
 
@@ -709,15 +1031,15 @@ void ShardedEngine::Enqueue(uint32_t shard, Task&& task) {
 
 // --- Execution ---------------------------------------------------------------
 
-void ShardedEngine::ExecuteTask(Lane& lane, Task&& task) {
+void ShardedEngine::ExecuteTask(RunTimeEngine& engine, LaneRouter& router,
+                                Task&& task) {
   const uint32_t hops = task.hops;
   const uint64_t order_epoch = task.order_epoch;
   if (task.kind == Task::Kind::kEvent) {
-    lane.engine->queue().Push(std::move(task.event));
-    lane.engine->ProcessOne();
+    engine.queue().Push(std::move(task.event));
+    engine.ProcessOne();
   } else {
-    lane.engine->DeliverSeededWave(std::move(task.seeds),
-                                   std::move(task.event));
+    engine.DeliverSeededWave(std::move(task.seeds), std::move(task.event));
   }
   // Cross-shard sub-waves accumulated during the task go out first (in
   // the single-queue engine those deliveries happened inside the wave,
@@ -725,12 +1047,12 @@ void ShardedEngine::ExecuteTask(Lane& lane, Task&& task) {
   // to the shard engine's local queue re-enter sharded intake. Epoch
   // refs minted mid-task (direction-post scopes) are dropped last, so
   // their handoff tasks are pinned before the mint ref lapses.
-  lane.router->Flush(hops, order_epoch);
-  while (std::optional<EventMessage> posted = lane.engine->queue().Pop()) {
+  router.Flush(hops, order_epoch);
+  while (std::optional<EventMessage> posted = engine.queue().Pop()) {
     counters_->reposted_events.fetch_add(1, std::memory_order_relaxed);
     Route(std::move(*posted));
   }
-  for (const uint64_t epoch : lane.router->TakeMintedEpochs()) {
+  for (const uint64_t epoch : router.TakeMintedEpochs()) {
     ReleaseEpochRef(epoch);
   }
   counters_->tasks_processed.fetch_add(1, std::memory_order_relaxed);
@@ -744,27 +1066,53 @@ void ShardedEngine::FinishTask(uint64_t epoch) {
   }
 }
 
+bool ShardedEngine::TrySteal(size_t worker_index) {
+  // One stolen task per pass, then back to the regular sweep: occupying
+  // a free lane beats stealing from a busy one. Sub-waves may be stolen
+  // from any lane (busy or not) — exactly-once is arbitrated by the
+  // shared claim stores and same-OID execution by the delivery locks,
+  // and top-level waves are untouched (they live in the single-consumer
+  // event rings).
+  StealContext& context = *steal_contexts_[worker_index];
+  Task task;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = *lanes_[(worker_index + i) % lanes_.size()];
+    if (lane.queued_subwaves.load(std::memory_order_acquire) == 0) continue;
+    if (!lane.PopSub(task)) continue;
+    counters_->stolen_subwaves.fetch_add(1, std::memory_order_relaxed);
+    context.router->Bind(lane.shard);
+    const uint64_t epoch = task.event.wave_epoch;
+    ExecuteTask(*context.engine, *context.router, std::move(task));
+    FinishTask(epoch);
+    return true;
+  }
+  return false;
+}
+
 void ShardedEngine::WorkerLoop(size_t worker_index) {
   Task task;
   int idle_spins = 0;
   for (;;) {
     // Sweep the lanes, starting at this worker's home lane so workers
     // spread out. A claimed lane is skipped — its occupant drains it —
-    // which keeps every ring single-consumer.
+    // which keeps every event ring single-consumer.
     bool did_work = false;
     for (size_t i = 0; i < lanes_.size(); ++i) {
       Lane& lane = *lanes_[(worker_index + i) % lanes_.size()];
       if (lane.busy.exchange(true, std::memory_order_acquire)) continue;
       // Bounded burst per claim so one hot lane cannot starve the rest
-      // of this worker's sweep.
-      for (int burst = 0; burst < 64 && lane.Pop(task); ++burst) {
+      // of this worker's sweep. Queued sub-waves first: they complete
+      // in-flight epochs, which lowers the claim purge horizon.
+      for (int burst = 0;
+           burst < 64 && (lane.PopSub(task) || lane.Pop(task)); ++burst) {
         const uint64_t epoch = task.event.wave_epoch;
-        ExecuteTask(lane, std::move(task));
+        ExecuteTask(*lane.engine, *lane.router, std::move(task));
         FinishTask(epoch);
         did_work = true;
       }
       lane.busy.store(false, std::memory_order_release);
     }
+    if (!did_work && stealing_active_) did_work = TrySteal(worker_index);
     if (did_work) {
       idle_spins = 0;
       continue;
@@ -813,7 +1161,7 @@ void ShardedEngine::DrainDeterministic() {
     Task task;
     next->PopBest(task);
     const uint64_t epoch = task.event.wave_epoch;
-    ExecuteTask(*next, std::move(task));
+    ExecuteTask(*next->engine, *next->router, std::move(task));
     if (epoch != 0) ReleaseEpochRef(epoch);
     counters_->pending.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -864,6 +1212,16 @@ ShardedStats ShardedEngine::stats() const {
       counters_->tasks_processed.load(std::memory_order_relaxed);
   stats.handoff_waves =
       counters_->handoff_waves.load(std::memory_order_relaxed);
+  stats.handoff_seeds =
+      counters_->handoff_seeds.load(std::memory_order_relaxed);
+  stats.seed_batch_splits =
+      counters_->seed_batch_splits.load(std::memory_order_relaxed);
+  stats.stolen_subwaves =
+      counters_->stolen_subwaves.load(std::memory_order_relaxed);
+  for (const auto& store : claim_stores_) {
+    stats.claim_purge_floor =
+        std::max(stats.claim_purge_floor, store->purge_floor());
+  }
   stats.handoff_waves_truncated =
       counters_->handoff_waves_truncated.load(std::memory_order_relaxed);
   stats.reposted_events =
@@ -887,6 +1245,9 @@ EngineStats ShardedEngine::AggregateEngineStats() const {
   for (const auto& lane : lanes_) {
     total.Accumulate(lane->engine->stats());
   }
+  for (const auto& context : steal_contexts_) {
+    total.Accumulate(context->engine->stats());
+  }
   return total;
 }
 
@@ -896,13 +1257,18 @@ std::string ShardedEngine::MergedJournalDump() const {
     text += "shard " + std::to_string(lane->shard) + ":\n";
     text += lane->engine->journal().Dump();
   }
+  for (size_t i = 0; i < steal_contexts_.size(); ++i) {
+    const events::EventJournal& journal = steal_contexts_[i]->engine->journal();
+    if (journal.Empty()) continue;
+    text += "steal worker " + std::to_string(i) + ":\n";
+    text += journal.Dump();
+  }
   return text;
 }
 
 std::vector<std::string> ShardedEngine::JournalLines() const {
   std::vector<std::string> lines;
-  for (const auto& lane : lanes_) {
-    const events::EventJournal& journal = lane->engine->journal();
+  const auto append = [&lines](const events::EventJournal& journal) {
     for (size_t i = 0; i < journal.Size(); ++i) {
       const events::JournalRecord record = journal.At(i);
       std::string line = "[";
@@ -911,19 +1277,28 @@ std::vector<std::string> ShardedEngine::JournalLines() const {
       line += events::FormatEvent(record.event);
       lines.push_back(std::move(line));
     }
+  };
+  for (const auto& lane : lanes_) append(lane->engine->journal());
+  for (const auto& context : steal_contexts_) {
+    append(context->engine->journal());
   }
   return lines;
 }
 
 void ShardedEngine::ClearJournals() {
   for (auto& lane : lanes_) lane->engine->ClearJournal();
+  for (auto& context : steal_contexts_) context->engine->ClearJournal();
 }
 
 void ShardedEngine::ResetStats() {
   for (auto& lane : lanes_) lane->engine->ResetStats();
+  for (auto& context : steal_contexts_) context->engine->ResetStats();
   counters_->events_posted.store(0, std::memory_order_relaxed);
   counters_->tasks_processed.store(0, std::memory_order_relaxed);
   counters_->handoff_waves.store(0, std::memory_order_relaxed);
+  counters_->handoff_seeds.store(0, std::memory_order_relaxed);
+  counters_->seed_batch_splits.store(0, std::memory_order_relaxed);
+  counters_->stolen_subwaves.store(0, std::memory_order_relaxed);
   counters_->handoff_waves_truncated.store(0, std::memory_order_relaxed);
   counters_->reposted_events.store(0, std::memory_order_relaxed);
   counters_->ring_overflows.store(0, std::memory_order_relaxed);

@@ -15,13 +15,15 @@
 //  * runs one worker thread per shard, each draining its ring in FIFO
 //    order through its shard engine, so delivery order *within a
 //    shard* is byte-identical to the unsharded PR-2 engine;
-//  * hands cross-shard waves off: when a delivery's receiver set spans
-//    shards (a derive link between blocks of different subtrees — the
-//    PropagationIndex surfaces the receiver, the WaveRouter detects
-//    the foreign shard), the foreign receivers are grouped per target
-//    shard and re-enter that shard's queue as a seeded sub-wave
-//    (RunTimeEngine::DeliverSeededWave), behind whatever that shard
-//    already has queued;
+//  * hands cross-shard waves off BATCHED: when a delivery's receiver
+//    set spans shards (a derive link between blocks of different
+//    subtrees — the PropagationIndex surfaces the receiver, the
+//    WaveRouter detects the foreign shard), the foreign receivers
+//    aggregate per (wave epoch, target shard) — however they interleave
+//    — and re-enter the target shard as ONE seeded sub-wave per shard
+//    (RunTimeEngine::DeliverSeededWave), split into FIFO chunks above
+//    max_batch_seeds; epochs identify wave payloads, so no payload
+//    comparison is ever needed;
 //  * re-routes rule-posted events ('post ... to <View>') from each
 //    shard engine's local queue back through sharded intake after every
 //    task, preserving the relative order a single queue would produce.
@@ -31,16 +33,33 @@
 // — it opens a fresh visited universe in the unsharded engine too); all
 // cross-shard sub-waves of a wave carry the epoch in their payload.
 // Delivery is arbitrated per (epoch, OID) by the receiver's OWNING
-// shard: each lane keeps its own claim shard (a per-epoch visited set
-// touched only by the worker occupying the lane — no locks, no atomics
-// on the claim path), foreign receivers are handed off unclaimed, and
-// the claim at the target collapses however many sub-waves reach an OID
-// into one delivery. Retired epochs are merged out lazily: a lane
-// purges claim sets below the globally lowest in-flight epoch
-// (refcounted per task) the next time it claims. The hop cap is thereby
-// a backstop against runaway chains of *distinct* OIDs, not a
-// termination patch — cross-shard cycles terminate through the claims
-// exactly like the single visited set of an unsharded wave.
+// shard, one batched claim round per BFS generation: without stealing
+// each lane keeps its own claim set (touched only by the worker
+// occupying the lane — no locks, no atomics on the claim path); with
+// lane stealing the claims live in per-shard ClaimStores published
+// behind an epoch-versioned read path (mutex-guarded writes, an atomic
+// purge floor) so ANY executor can consult the owning shard's claims.
+// Foreign receivers are handed off unclaimed, and the claim at the
+// target collapses however many sub-waves reach an OID into one
+// delivery. Retired epochs are merged out lazily: claim sets below the
+// globally lowest in-flight epoch (refcounted per task) drop on the
+// next claim round. The hop cap is thereby a backstop against runaway
+// chains of *distinct* OIDs, not a termination patch — cross-shard
+// cycles terminate through the claims exactly like the single visited
+// set of an unsharded wave.
+//
+// Lane stealing. Top-level events and sub-waves queue separately: the
+// event ring stays single-consumer under the lane's busy flag (per
+// -shard FIFO for top-level waves is structural), while sub-wave tasks
+// sit in an MPMC ring any idle worker may pop. A stealing worker runs
+// the stolen sub-wave on its private scan-mode engine (wave expansion
+// reads the drain-quiescent link graph directly; scan and index
+// expansion deliver identical receiver sets), claims against the
+// owning shard's ClaimStore, and serializes same-OID rule execution
+// against the lane's occupant through striped per-OID delivery locks
+// (different epochs may reach one OID concurrently). Stolen deliveries
+// journal into the steal engine's private journal; the merged views
+// below and AggregateEngineStats fold them in.
 //
 // Per-shard propagation indexes. Each shard engine's PropagationIndex
 // is scoped to the sources its shard owns (SetIndexScope), so N shards
@@ -123,6 +142,31 @@ struct ShardedEngineOptions {
   /// bounded by the number of subtree crossings, far below this.
   uint32_t max_handoff_hops = 64;
 
+  /// Aggregate handoff seeds per (wave epoch, target shard): a wave
+  /// whose foreign receivers interleave across shards posts ONE seeded
+  /// sub-wave per target shard instead of one per consecutive run of
+  /// receivers, amortizing ring traffic and claim rounds. Off keeps the
+  /// PR-4 behaviour (only consecutive same-shard receivers merge) as
+  /// the benchmark baseline; the delivered record multiset is identical
+  /// either way.
+  bool batched_handoff = true;
+
+  /// Upper bound on seeds per handoff task (0 = unbounded). A batch
+  /// larger than this is split into consecutive FIFO chunks, which
+  /// bounds task granularity so stolen sub-waves stay small and a batch
+  /// larger than the intake ring spills cleanly instead of wedging one
+  /// giant task.
+  size_t max_batch_seeds = 1024;
+
+  /// Let idle workers steal queued cross-shard sub-wave tasks from busy
+  /// lanes and execute them on a per-worker steal engine. Top-level
+  /// waves are never stolen (per-shard FIFO is preserved structurally:
+  /// they live in the lane's single-consumer ring); epoch-tagged
+  /// sub-waves may run anywhere because exactly-once is arbitrated by
+  /// the owning shard's shared claim store and same-OID rule execution
+  /// is serialized by per-OID delivery locks. Threaded mode only.
+  bool lane_stealing = true;
+
   /// Options forwarded to every per-shard engine.
   EngineOptions engine;
 };
@@ -133,6 +177,19 @@ struct ShardedStats {
   size_t events_posted = 0;    ///< External events routed through intake.
   size_t tasks_processed = 0;  ///< Queue events + handoff waves executed.
   size_t handoff_waves = 0;    ///< Cross-shard sub-wave tasks enqueued.
+  size_t handoff_seeds = 0;    ///< Receivers carried by those tasks (the
+                               ///< batching win: seeds per task).
+  size_t seed_batch_splits = 0;  ///< Extra chunks created when a batch
+                                 ///< exceeded max_batch_seeds.
+  size_t stolen_subwaves = 0;  ///< Sub-wave tasks executed by a worker
+                               ///< that did not occupy the owning lane.
+  uint64_t claim_purge_floor = 0;  ///< Gauge: highest epoch below which
+                                   ///< some shard's ClaimStore has
+                                   ///< merged out completed waves (the
+                                   ///< epoch-versioned read path's
+                                   ///< published version; 0 with
+                                   ///< lane-local claims or before the
+                                   ///< first merge-out).
   size_t handoff_waves_truncated = 0;  ///< Dropped at max_handoff_hops.
   size_t reposted_events = 0;  ///< Rule-posted events re-routed at intake.
   size_t ring_overflows = 0;   ///< Pushes that took the fallback deque.
@@ -236,15 +293,33 @@ class ShardedEngine {
   struct Lane;
   class LaneRouter;
   class IndexRouter;
+  class ClaimStore;
+  struct StealContext;
 
   uint32_t ShardOfTarget(const metadb::Oid& target) const;
   PropagationIndex& ShardIndex(uint32_t shard);
   void Route(events::EventMessage event);
   void Enqueue(uint32_t shard, Task&& task);
-  void ExecuteTask(Lane& lane, Task&& task);
+  void ExecuteTask(RunTimeEngine& engine, LaneRouter& router, Task&& task);
   void FinishTask(uint64_t epoch);
   void WorkerLoop(size_t worker_index);
   void DrainDeterministic();
+
+  /// One steal pass for `worker_index`: pops queued sub-wave tasks from
+  /// any lane (busy or not) and executes them on the worker's steal
+  /// engine against the owning shard's claim store. Returns true when a
+  /// task was executed.
+  bool TrySteal(size_t worker_index);
+
+  /// The shared (epoch, OID) claim store arbitrating shard `shard`'s
+  /// deliveries.
+  ClaimStore& StoreOf(uint32_t shard);
+
+  /// Per-OID delivery locks (striped): serialize same-OID rule
+  /// execution between a lane's occupant and stealers. No-ops unless
+  /// lane stealing is active.
+  void LockDelivery(metadb::OidId receiver);
+  void UnlockDelivery(metadb::OidId receiver);
 
   /// Mints the next wave-scope epoch (monotone from 1; 0 is reserved
   /// for "no scope").
@@ -271,6 +346,14 @@ class ShardedEngine {
   std::unique_ptr<IndexRouter> index_router_;
   metadb::ShardMap shard_map_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Per-shard shared claim stores (threaded N > 1 only; deterministic
+  /// and 1-shard runs keep lane-local claims inside the routers).
+  std::vector<std::unique_ptr<ClaimStore>> claim_stores_;
+  /// Per-worker steal engines (threaded, lane_stealing): scan-mode
+  /// expansion over the shared read-only link graph, private journal
+  /// and stats merged into the engine-wide views.
+  std::vector<std::unique_ptr<StealContext>> steal_contexts_;
+  bool stealing_active_ = false;
   std::vector<std::thread> workers_;
 
   // Threading state lives behind the Lane pimpl plus these counters;

@@ -56,6 +56,10 @@ struct EngineStats {
                                     ///< (epoch, OID) exactly-once claim: the
                                     ///< OID was already delivered to by
                                     ///< another sub-wave of the same wave.
+  size_t claim_batches = 0;         ///< Batched (epoch, OID) claim calls: one
+                                    ///< per BFS generation instead of one per
+                                    ///< receiver, amortizing the claim-store
+                                    ///< synchronization.
 
   /// Mean OIDs delivered to per propagation wave.
   double DeliveriesPerWave() const {
@@ -106,6 +110,7 @@ struct EngineStats {
     handoff_receivers += other.handoff_receivers;
     seeded_handoff_waves += other.seeded_handoff_waves;
     dedup_suppressed += other.dedup_suppressed;
+    claim_batches += other.claim_batches;
   }
 };
 

@@ -49,10 +49,13 @@ struct EventMessage {
   /// at intake (and per direction-posted sub-wave mid-wave); every
   /// cross-shard sub-wave of the wave carries the same epoch, and the
   /// per-(epoch, OID) dedup handshake delivers each OID exactly once per
-  /// wave no matter how many shards the wave re-enters through. 0 means
-  /// "no wave scope" (unsharded engines; 1-shard sharded runs). Internal
-  /// to the engine: not part of the wire protocol and never printed by
-  /// FormatEvent.
+  /// wave no matter how many shards the wave re-enters through. Within
+  /// one shard task the epoch also uniquely identifies the wave payload
+  /// (each direction post opens its own epoch), which is what lets the
+  /// cross-shard handoff batch seeds per (epoch, target shard) without
+  /// comparing payload fields. 0 means "no wave scope" (unsharded
+  /// engines; 1-shard sharded runs). Internal to the engine: not part
+  /// of the wire protocol and never printed by FormatEvent.
   uint64_t wave_epoch = 0;
 
   /// Events the tracking system itself synthesises.

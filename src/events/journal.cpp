@@ -6,30 +6,52 @@
 
 namespace damocles::events {
 
-EventJournal::Row EventJournal::MakeRow(const EventMessage& event,
-                                        const metadb::Oid& target) {
-  Row row;
-  row.name = strings_.Intern(event.name);
-  row.block = strings_.Intern(target.block);
-  row.view = strings_.Intern(target.view);
-  row.arg = strings_.Intern(event.arg);
-  row.user = strings_.Intern(event.user);
-  row.version = target.version;
-  row.timestamp = event.timestamp;
-  row.epoch = event.wave_epoch;
-  row.direction = static_cast<uint8_t>(event.direction);
-  row.origin = static_cast<uint8_t>(event.origin);
+EventJournal::PayloadKey EventJournal::MakePayloadKey(
+    const EventMessage& event) {
+  PayloadKey key;
+  key.name = strings_.Intern(event.name);
+  key.arg = strings_.Intern(event.arg);
+  key.user = strings_.Intern(event.user);
+  key.timestamp = event.timestamp;
+  key.epoch = event.wave_epoch;
+  key.direction = static_cast<uint8_t>(event.direction);
   if (!event.extra_args.empty()) {
     if (event.extra_args.size() > 0xFFFF) {
       throw Error("EventJournal: more than 65535 extra args on event '" +
                   event.name + "'");
     }
-    row.extra_begin = static_cast<uint32_t>(extra_pool_.size());
-    row.extra_count = static_cast<uint16_t>(event.extra_args.size());
+    key.extra_begin = static_cast<uint32_t>(extra_pool_.size());
+    key.extra_count = static_cast<uint16_t>(event.extra_args.size());
     for (const std::string& extra : event.extra_args) {
       extra_pool_.push_back(strings_.Intern(extra));
     }
   }
+  return key;
+}
+
+EventJournal::Row EventJournal::RowFromKey(const PayloadKey& key,
+                                           const metadb::Oid& target) {
+  Row row;
+  row.name = key.name;
+  row.block = strings_.Intern(target.block);
+  row.view = strings_.Intern(target.view);
+  row.arg = key.arg;
+  row.user = key.user;
+  row.version = target.version;
+  row.timestamp = key.timestamp;
+  row.epoch = key.epoch;
+  row.extra_begin = key.extra_begin;
+  row.extra_count = key.extra_count;
+  row.direction = key.direction;
+  return row;
+}
+
+EventJournal::Row EventJournal::MakeRow(const EventMessage& event,
+                                        const metadb::Oid& target) {
+  // The per-event form keys the payload, then assembles the row
+  // exactly like the seed-batch path does.
+  Row row = RowFromKey(MakePayloadKey(event), target);
+  row.origin = static_cast<uint8_t>(event.origin);
   return row;
 }
 
@@ -42,6 +64,13 @@ void EventJournal::RecordPropagated(const EventMessage& event,
   // The substitute target is interned directly — the shared payload's
   // own target (the wave origin) never touches the side table here.
   Row row = MakeRow(event, target);
+  row.origin = static_cast<uint8_t>(EventOrigin::kPropagated);
+  rows_.push_back(row);
+}
+
+void EventJournal::RecordPropagated(const PayloadKey& key,
+                                    const metadb::Oid& target) {
+  Row row = RowFromKey(key, target);
   row.origin = static_cast<uint8_t>(EventOrigin::kPropagated);
   rows_.push_back(row);
 }

@@ -50,6 +50,31 @@ class EventJournal {
   /// no EventMessage is constructed.
   void RecordPropagated(const EventMessage& event, const metadb::Oid& target);
 
+  /// A wave payload's shared row fields, interned once. The wave engine
+  /// builds one key per wave (seed batch) and journals every delivery
+  /// through it, so the per-delivery cost drops to interning the target
+  /// block/view — the payload's name/arg/user/extra args never re-hash.
+  /// Keys index this journal's side table and are invalidated by
+  /// Clear(); they are wave-scoped scratch, never stored.
+  struct PayloadKey {
+    SymbolId name = 0;
+    SymbolId arg = 0;
+    SymbolId user = 0;
+    int64_t timestamp = 0;
+    uint64_t epoch = 0;
+    uint32_t extra_begin = 0;
+    uint16_t extra_count = 0;
+    uint8_t direction = 0;
+  };
+
+  /// Interns `event`'s shared fields (extra args included) into this
+  /// journal and returns the reusable key.
+  PayloadKey MakePayloadKey(const EventMessage& event);
+
+  /// Seed-batch row append: journals one propagated delivery of the
+  /// payload behind `key` at `target`.
+  void RecordPropagated(const PayloadKey& key, const metadb::Oid& target);
+
   /// Materializes record `index` (bounds-checked; throws NotFoundError).
   JournalRecord At(size_t index) const;
 
@@ -86,6 +111,11 @@ class EventJournal {
     uint8_t direction = 0;
     uint8_t origin = 0;
   };
+
+  /// The one row-assembly path: fills a row from an interned payload
+  /// key plus the delivery target (whose block/view are interned here).
+  /// Origin is left at the caller's discretion.
+  Row RowFromKey(const PayloadKey& key, const metadb::Oid& target);
 
   /// Builds a row for `event` delivered at `target` (the caller picks
   /// the payload's own target or a per-delivery substitute, so no field

@@ -42,6 +42,7 @@ using engine::EngineStats;
 using engine::RunTimeEngine;
 using engine::ShardedEngine;
 using engine::ShardedEngineOptions;
+using engine::ShardedStats;
 using events::Direction;
 using events::EventMessage;
 using metadb::CarryPolicy;
@@ -767,6 +768,268 @@ TEST(ShardedIndex, RebalanceMigratesBucketsAndWavesStillDeliver) {
   build(one, one_db, one_oids, one_split);
 
   EXPECT_EQ(drive(one), many_lines);
+}
+
+// --- Batched handoff & seed-batch splitting ----------------------------------
+
+/// One hub block (its own subtree) with derive links to `spokes`
+/// foreign single-block subtrees, every link propagating "edit": a
+/// boundary-heavy wave whose receivers interleave across all shards.
+struct HubSpokes {
+  OidId hub;
+  std::vector<OidId> spokes;
+};
+
+HubSpokes BuildHubSpokes(ShardedEngine& engine, MetaDatabase& db,
+                         int spokes) {
+  HubSpokes design;
+  design.hub = engine.OnCreateObject("hub", "sch", "test");
+  for (int i = 0; i < spokes; ++i) {
+    design.spokes.push_back(
+        engine.OnCreateObject("spoke" + std::to_string(i), "sch", "test"));
+  }
+  engine.shard_map().Rebalance();  // Round-robin: spokes cycle the shards.
+  for (const OidId spoke : design.spokes) {
+    db.CreateLink(LinkKind::kDerive, design.hub, spoke, {"edit"}, "",
+                  CarryPolicy::kNone);
+  }
+  return design;
+}
+
+std::vector<std::string> DriveHubWave(ShardedEngine& engine) {
+  engine.PostEvent(Event("edit", Oid{"hub", "sch", 1}, Direction::kDown));
+  engine.Drain();
+  return SortedLines(engine.JournalLines());
+}
+
+/// Batched handoff posts ONE aggregated sub-wave per (epoch, target
+/// shard) no matter how receivers interleave; the unbatched baseline
+/// merges only consecutive same-shard runs (here: runs of length one).
+TEST(ShardedBatching, HandoffAggregatesPerTargetShard) {
+  constexpr int kSpokes = 24;
+
+  const auto run = [&](bool batched, ShardedStats& stats_out) {
+    MetaDatabase db;
+    SimClock clock;
+    ShardedEngineOptions options;
+    options.num_shards = 3;
+    options.deterministic = true;
+    options.batched_handoff = batched;
+    ShardedEngine engine(db, clock, options);
+    BuildHubSpokes(engine, db, kSpokes);
+    const std::vector<std::string> lines = DriveHubWave(engine);
+    stats_out = engine.stats();
+    return lines;
+  };
+
+  ShardedStats batched_stats;
+  ShardedStats unbatched_stats;
+  const std::vector<std::string> batched_lines = run(true, batched_stats);
+  const std::vector<std::string> unbatched_lines = run(false, unbatched_stats);
+
+  // Same deliveries either way...
+  EXPECT_EQ(batched_lines, unbatched_lines);
+  EXPECT_EQ(batched_stats.handoff_seeds, unbatched_stats.handoff_seeds);
+  // ...but the batched run posts one task per foreign shard while the
+  // unbatched run pays one per receiver (round-robin spokes never put
+  // two consecutive receivers on the same shard).
+  EXPECT_EQ(batched_stats.handoff_waves, 2u);
+  EXPECT_EQ(unbatched_stats.handoff_waves, unbatched_stats.handoff_seeds);
+  EXPECT_GT(unbatched_stats.handoff_waves, batched_stats.handoff_waves);
+}
+
+/// A batch above max_batch_seeds splits into consecutive FIFO chunks:
+/// nothing is dropped, nothing reorders (the target shard's journal
+/// delivers the seeds in handoff order), and the split is visible in
+/// the stats.
+TEST(ShardedBatching, SeedBatchSplitsKeepFifoOrder) {
+  constexpr int kSpokes = 23;
+  constexpr size_t kChunk = 4;
+
+  MetaDatabase db;
+  SimClock clock;
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.deterministic = true;
+  options.max_batch_seeds = kChunk;
+  ShardedEngine engine(db, clock, options);
+
+  // All spokes in ONE foreign subtree: a single pending wave whose
+  // seed list far exceeds the chunk size.
+  const OidId hub = engine.OnCreateObject("hub", "sch", "test");
+  const OidId root = engine.OnCreateObject("faraway", "sch", "test");
+  std::vector<OidId> spokes{root};
+  for (int i = 1; i < kSpokes; ++i) {
+    const OidId spoke =
+        engine.OnCreateObject("faraway_s" + std::to_string(i), "sch", "test");
+    db.CreateLink(LinkKind::kUse, root, spoke, {}, "", CarryPolicy::kNone);
+    spokes.push_back(spoke);
+  }
+  engine.shard_map().Rebalance();
+  ASSERT_NE(engine.shard_map().ShardOf(hub), engine.shard_map().ShardOf(root));
+  for (const OidId spoke : spokes) {
+    db.CreateLink(LinkKind::kDerive, hub, spoke, {"edit"}, "",
+                  CarryPolicy::kNone);
+  }
+
+  engine.PostEvent(Event("edit", Oid{"hub", "sch", 1}, Direction::kDown));
+  engine.Drain();
+
+  const ShardedStats stats = engine.stats();
+  const size_t expected_chunks = (kSpokes + kChunk - 1) / kChunk;
+  EXPECT_EQ(stats.handoff_seeds, static_cast<size_t>(kSpokes));
+  EXPECT_EQ(stats.handoff_waves, expected_chunks);
+  EXPECT_EQ(stats.seed_batch_splits, expected_chunks - 1);
+
+  // The foreign shard delivered every spoke exactly once, in handoff
+  // (= adjacency) order across the chunk boundaries.
+  const uint32_t far_shard = engine.shard_map().ShardOf(root);
+  const events::EventJournal& journal = engine.shard(far_shard).journal();
+  ASSERT_EQ(journal.Size(), static_cast<size_t>(kSpokes));
+  EXPECT_EQ(journal.At(0).event.target.block, "faraway");
+  for (int i = 1; i < kSpokes; ++i) {
+    EXPECT_EQ(journal.At(static_cast<size_t>(i)).event.target.block,
+              "faraway_s" + std::to_string(i))
+        << "delivery " << i << " out of order";
+  }
+}
+
+/// Chunked batches wider than the sub-wave ring must spill FIFO-intact
+/// through the locked overflow deque — no drops, no duplicates — and
+/// the delivered multiset must match the deterministic run.
+TEST(ShardedBatching, SeedBatchSpillsAtRingBoundaryWithoutLoss) {
+  constexpr int kSpokes = 40;
+  constexpr int kWaves = 16;
+
+  const auto run = [&](bool deterministic) {
+    MetaDatabase db;
+    SimClock clock;
+    ShardedEngineOptions options;
+    options.num_shards = 3;
+    options.deterministic = deterministic;
+    options.max_batch_seeds = 2;  // Many tasks per wave...
+    options.queue_capacity = 4;   // ...through a tiny ring: forced spill.
+    ShardedEngine engine(db, clock, options);
+    BuildHubSpokes(engine, db, kSpokes);
+    for (int i = 0; i < kWaves; ++i) {
+      engine.PostEvent(Event("edit", Oid{"hub", "sch", 1}, Direction::kDown,
+                             "w" + std::to_string(i)));
+    }
+    engine.Drain();
+    EXPECT_EQ(engine.AggregateEngineStats().propagated_deliveries,
+              static_cast<size_t>(kSpokes * kWaves));
+    if (!deterministic) {
+      EXPECT_GT(engine.stats().ring_overflows, 0u);
+    }
+    return SortedLines(engine.JournalLines());
+  };
+
+  EXPECT_EQ(run(/*deterministic=*/true), run(/*deterministic=*/false));
+}
+
+// --- Lane stealing -----------------------------------------------------------
+
+/// The journal ordering oracle for top-level FIFO: a shard's externally
+/// originated records must appear in strictly increasing wave-epoch
+/// order (intake mints epochs in post order; only sub-waves may be
+/// stolen, so a stalled lane's queued top-level waves never reorder).
+void ExpectTopLevelFifo(const ShardedEngine& engine) {
+  for (uint32_t s = 0; s < engine.num_shards(); ++s) {
+    const events::EventJournal& journal = engine.shard(s).journal();
+    uint64_t last_epoch = 0;
+    for (size_t i = 0; i < journal.Size(); ++i) {
+      const events::JournalRecord record = journal.At(i);
+      if (record.event.origin != events::EventOrigin::kExternal) continue;
+      EXPECT_GT(record.event.wave_epoch, last_epoch)
+          << "shard " << s << " reordered top-level waves (record " << i
+          << ")";
+      last_epoch = record.event.wave_epoch;
+    }
+  }
+}
+
+/// A stalled lane's sub-waves get stolen by idle workers while its
+/// top-level waves stay FIFO: shard H grinds a long queue of wide
+/// local waves while shard L floods H with cross-shard sub-waves; the
+/// worker that drains L goes idle and must steal H's queued sub-waves.
+/// Delivered multiset stays equal to the 1-shard reference.
+TEST(ShardedSteal, StalledLaneSubWavesAreStolenTopLevelFifoHolds) {
+  constexpr int kChildren = 400;
+  constexpr int kBridged = 200;
+  constexpr int kHubEvents = 30;
+  constexpr int kFeederEvents = 60;
+
+  const auto build = [&](ShardedEngine& engine, MetaDatabase& db) {
+    // Heavy subtree: hub + kChildren use-linked children, all
+    // propagating "edit" (wide, slow top-level waves).
+    const OidId hub = engine.OnCreateObject("heavy", "sch", "test");
+    std::vector<OidId> children;
+    for (int i = 0; i < kChildren; ++i) {
+      const OidId child =
+          engine.OnCreateObject("heavy_c" + std::to_string(i), "sch", "test");
+      db.CreateLink(LinkKind::kUse, hub, child, {"edit"}, "",
+                    CarryPolicy::kNone);
+      children.push_back(child);
+    }
+    // Light subtree: one feeder whose derive links bridge into the
+    // heavy shard's children.
+    const OidId feeder = engine.OnCreateObject("feeder", "sch", "test");
+    engine.shard_map().Rebalance();
+    for (int i = 0; i < kBridged; ++i) {
+      db.CreateLink(LinkKind::kDerive, feeder,
+                    children[static_cast<size_t>(i)], {"edit"}, "",
+                    CarryPolicy::kNone);
+    }
+  };
+
+  const auto post_all = [&](ShardedEngine& engine) {
+    for (int i = 0; i < kHubEvents; ++i) {
+      engine.PostEvent(Event("edit", Oid{"heavy", "sch", 1}, Direction::kDown,
+                             "h" + std::to_string(i)));
+    }
+    for (int i = 0; i < kFeederEvents; ++i) {
+      engine.PostEvent(Event("edit", Oid{"feeder", "sch", 1},
+                             Direction::kDown, "f" + std::to_string(i)));
+    }
+    engine.Drain();
+  };
+
+  // 1-shard deterministic reference.
+  MetaDatabase ref_db;
+  SimClock ref_clock;
+  ShardedEngineOptions ref_options;
+  ref_options.num_shards = 1;
+  ref_options.deterministic = true;
+  ShardedEngine reference(ref_db, ref_clock, ref_options);
+  build(reference, ref_db);
+  post_all(reference);
+  const std::vector<std::string> expected =
+      SortedLines(reference.JournalLines());
+
+  // The steal is scheduling-dependent; retry a few times, asserting
+  // the correctness invariants on every attempt.
+  size_t stolen = 0;
+  for (int attempt = 0; attempt < 5 && stolen == 0; ++attempt) {
+    MetaDatabase db;
+    SimClock clock;
+    ShardedEngineOptions options;
+    options.num_shards = 2;
+    options.worker_threads = 2;
+    ShardedEngine engine(db, clock, options);
+    build(engine, db);
+    post_all(engine);
+
+    EXPECT_EQ(expected, SortedLines(engine.JournalLines()))
+        << "attempt " << attempt;
+    ExpectTopLevelFifo(engine);
+    EXPECT_EQ(engine.stats().handoff_seeds,
+              static_cast<size_t>(kBridged * kFeederEvents));
+    // The shared claim stores merged out completed waves behind the
+    // published epoch-versioned floor (thousands of claims ran).
+    EXPECT_GT(engine.stats().claim_purge_floor, 0u);
+    stolen = engine.stats().stolen_subwaves;
+  }
+  EXPECT_GT(stolen, 0u) << "no sub-wave was ever stolen across attempts";
 }
 
 // --- ShardMap ----------------------------------------------------------------
