@@ -57,7 +57,7 @@ void BM_ConfigurationSnapshot(benchmark::State& state) {
                                             2, 3);
   const auto& db = project.server->database();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(metadb::BuildFullSnapshot(db, "snap", 0));
+    benchmark::DoNotOptimize(metadb::BuildFullCheckpoint(db, "snap", 0));
   }
   state.counters["objects"] = static_cast<double>(db.Stats().live_objects);
 }
@@ -85,7 +85,7 @@ void PrintSeries() {
   for (const int blocks : {4, 16, 64, 256}) {
     auto project = benchutil::MakeFlowProject(5, blocks, 2, 3);
     const auto& db = project.server->database();
-    const auto config = metadb::BuildFullSnapshot(db, "snap", 0);
+    const auto config = metadb::BuildFullCheckpoint(db, "snap", 0);
     const auto deep = DeepCopy(db);
     const size_t config_bytes = ApproxBytes(config);
     const size_t deep_bytes = ApproxBytes(deep);
@@ -105,7 +105,7 @@ void PrintSeries() {
   auto project = benchutil::MakeFlowProject(5, blocks, 2, 3);
   const auto& db = project.server->database();
   benchutil::TimedSeries("config_snapshot_b64", reps, [&] {
-    return metadb::BuildFullSnapshot(db, "snap", 0);
+    return metadb::BuildFullCheckpoint(db, "snap", 0);
   });
   benchutil::TimedSeries("config_deepcopy_b64", reps,
                          [&] { return DeepCopy(db); });

@@ -59,7 +59,7 @@ int main() {
 
   // Snapshot the exploration state before switching phases.
   auto& db = server.database();
-  db.SaveConfiguration(metadb::BuildFullSnapshot(
+  db.SaveConfiguration(metadb::BuildFullCheckpoint(
       db, "end_of_exploration", server.clock().NowSeconds()));
 
   // --- Phase 2: validation under the strict blueprint -----------------
@@ -77,7 +77,7 @@ int main() {
               server.engine().stats().propagated_deliveries,
               server.engine().stats().max_wave_extent);
 
-  db.SaveConfiguration(metadb::BuildFullSnapshot(
+  db.SaveConfiguration(metadb::BuildFullCheckpoint(
       db, "end_of_validation", server.clock().NowSeconds()));
 
   // Diff the two phase snapshots: how many database addresses appeared?

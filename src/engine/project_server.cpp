@@ -8,13 +8,25 @@ namespace damocles::engine {
 ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
     : project_name_(std::move(project_name)),
       options_(options),
-      engine_(std::make_unique<RunTimeEngine>(db_, clock_, options.engine)),
       workspace_(project_name_ + ".workspace") {
+  if (options_.num_shards > 1) {
+    ShardedEngineOptions sharded;
+    sharded.num_shards = options_.num_shards;
+    sharded.deterministic = options_.deterministic_shards;
+    sharded.engine = options_.engine;
+    sharded_ = std::make_unique<ShardedEngine>(db_, clock_, sharded);
+  } else {
+    engine_ = std::make_unique<RunTimeEngine>(db_, clock_, options_.engine);
+  }
   // The observer hook: DAMOCLES watches the repository, designers never
   // talk to the tracking system directly.
   workspace_.AddObserver([this](const metadb::WorkspaceNotification& note) {
     if (note.action != metadb::WorkspaceAction::kCheckIn) return;
-    engine_->OnCreateObject(note.oid.block, note.oid.view, note.user);
+    if (sharded_ != nullptr) {
+      sharded_->OnCreateObject(note.oid.block, note.oid.view, note.user);
+    } else {
+      engine_->OnCreateObject(note.oid.block, note.oid.view, note.user);
+    }
     events::EventMessage event;
     event.name = "ckin";
     event.direction = options_.checkin_direction;
@@ -22,14 +34,31 @@ ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
     event.user = note.user;
     event.timestamp = note.timestamp;
     event.origin = events::EventOrigin::kExternal;
-    engine_->PostEvent(std::move(event));
+    PostToEngine(std::move(event));
   });
+}
+
+ProjectServer::~ProjectServer() = default;
+
+void ProjectServer::PostToEngine(events::EventMessage event) {
+  if (sharded_ != nullptr) {
+    sharded_->PostEvent(std::move(event));
+  } else {
+    engine_->PostEvent(std::move(event));
+  }
 }
 
 void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
   EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
-  engine_->LoadBlueprint(blueprint::ParseBlueprint(rule_file_text));
-  if (options_.retemplate_on_init) engine_->RetemplateLinks();
+  blueprint::Blueprint parsed = blueprint::ParseBlueprint(rule_file_text);
+  if (sharded_ != nullptr) {
+    sharded_->LoadBlueprint(parsed);
+  } else {
+    engine_->LoadBlueprint(std::move(parsed));
+  }
+  // Retemplating only mutates the shared meta-database (observers keep
+  // every shard index in step), so shard 0's engine covers both modes.
+  if (options_.retemplate_on_init) engine().RetemplateLinks();
 }
 
 void ProjectServer::SetProjectPhase(std::string phase) {
@@ -60,7 +89,7 @@ metadb::Oid ProjectServer::CheckIn(std::string_view block,
   EnforcePolicy(policy::Operation::kCheckIn, user, view, block);
   const metadb::Oid oid =
       workspace_.CheckIn(block, view, content, user, clock_.NowSeconds());
-  if (options_.auto_drain) engine_->ProcessAll();
+  if (options_.auto_drain) Drain();
   return oid;
 }
 
@@ -81,6 +110,7 @@ metadb::LinkId ProjectServer::RegisterLink(metadb::LinkKind kind,
     throw NotFoundError("RegisterLink: unknown endpoint " +
                         FormatOid(!from_id.has_value() ? from : to));
   }
+  if (sharded_ != nullptr) return sharded_->OnCreateLink(kind, *from_id, *to_id);
   return engine_->OnCreateLink(kind, *from_id, *to_id);
 }
 
@@ -96,10 +126,13 @@ void ProjectServer::Submit(events::EventMessage event) {
   // rules post internally are not re-checked.
   EnforcePolicy(policy::Operation::kPostEvent, event.user, event.name,
                 event.target.block);
-  engine_->PostEvent(std::move(event));
-  if (options_.auto_drain) engine_->ProcessAll();
+  PostToEngine(std::move(event));
+  if (options_.auto_drain) Drain();
 }
 
-size_t ProjectServer::Drain() { return engine_->ProcessAll(); }
+size_t ProjectServer::Drain() {
+  if (sharded_ != nullptr) return sharded_->Drain();
+  return engine_->ProcessAll();
+}
 
 }  // namespace damocles::engine

@@ -17,6 +17,7 @@
 
 #include "common/clock.hpp"
 #include "engine/run_time_engine.hpp"
+#include "engine/sharded_engine.hpp"
 #include "events/wire.hpp"
 #include "metadb/meta_database.hpp"
 #include "metadb/workspace.hpp"
@@ -27,6 +28,16 @@ namespace damocles::engine {
 /// Server configuration.
 struct ServerOptions {
   EngineOptions engine;
+  /// Number of engine shards. 1 (default) runs the plain single-thread
+  /// RunTimeEngine; >1 backs the server with a ShardedEngine so
+  /// submitted events flow through the lock-free sharded intake rings
+  /// and execute on the worker pool. Structural operations (check-in
+  /// registration, link registration, blueprint loads) remain
+  /// single-writer: the session mux serializes all mutations onto its
+  /// apply thread.
+  uint32_t num_shards = 1;
+  /// Forwarded to the ShardedEngine when num_shards > 1.
+  bool deterministic_shards = false;
   /// Direction stamped on auto-posted ckin events; the paper's sample
   /// command uses `up` ("postEvent ckin up reg,verilog,4 ...").
   events::Direction checkin_direction = events::Direction::kUp;
@@ -44,6 +55,7 @@ struct ServerOptions {
 class ProjectServer {
  public:
   explicit ProjectServer(std::string project_name, ServerOptions options = {});
+  ~ProjectServer();
 
   // Non-copyable, non-movable: the workspace observer captures `this`.
   ProjectServer(const ProjectServer&) = delete;
@@ -99,8 +111,26 @@ class ProjectServer {
 
   metadb::MetaDatabase& database() noexcept { return db_; }
   const metadb::MetaDatabase& database() const noexcept { return db_; }
-  RunTimeEngine& engine() noexcept { return *engine_; }
-  const RunTimeEngine& engine() const noexcept { return *engine_; }
+
+  /// The engine behind the server: the plain engine, or shard 0 of the
+  /// sharded engine (template application and retemplating delegate to
+  /// shard 0, so it is the structural-operation peer either way).
+  RunTimeEngine& engine() noexcept {
+    return sharded_ != nullptr ? sharded_->shard(0) : *engine_;
+  }
+  const RunTimeEngine& engine() const noexcept {
+    return sharded_ != nullptr ? sharded_->shard(0) : *engine_;
+  }
+
+  /// True when events flow through the sharded intake rings.
+  bool is_sharded() const noexcept { return sharded_ != nullptr; }
+
+  /// The sharded backend, or nullptr when num_shards == 1.
+  ShardedEngine* sharded_engine() noexcept { return sharded_.get(); }
+  const ShardedEngine* sharded_engine() const noexcept {
+    return sharded_.get();
+  }
+
   metadb::Workspace& workspace() noexcept { return workspace_; }
   SimClock& clock() noexcept { return clock_; }
 
@@ -109,11 +139,15 @@ class ProjectServer {
   void EnforcePolicy(policy::Operation operation, std::string_view user,
                      std::string_view view, std::string_view block) const;
 
+  /// Routes one event to the plain engine or the sharded intake rings.
+  void PostToEngine(events::EventMessage event);
+
   std::string project_name_;
   ServerOptions options_;
   SimClock clock_;
   metadb::MetaDatabase db_;
-  std::unique_ptr<RunTimeEngine> engine_;
+  std::unique_ptr<RunTimeEngine> engine_;   ///< num_shards == 1.
+  std::unique_ptr<ShardedEngine> sharded_;  ///< num_shards > 1.
   metadb::Workspace workspace_;
   policy::PolicyEngine* policy_ = nullptr;
   std::string phase_;

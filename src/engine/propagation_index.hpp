@@ -38,6 +38,7 @@
 #include "common/symbol.hpp"
 #include "events/event.hpp"
 #include "metadb/ids.hpp"
+#include "metadb/snapshot.hpp"
 #include "metadb/link.hpp"
 
 namespace damocles::metadb {
@@ -204,6 +205,14 @@ class PropagationIndex {
   /// the first divergence.
   bool ConsistentWith(const metadb::MetaDatabase& db,
                       std::string* diff = nullptr) const;
+
+  /// Snapshot form: checks consistency against a pinned published
+  /// version — handles are identical across publish, so the same oracle
+  /// applies verbatim.
+  bool ConsistentWith(const metadb::Snapshot& snapshot,
+                      std::string* diff = nullptr) const {
+    return ConsistentWith(snapshot.db(), diff);
+  }
 
  private:
   /// One packed key: event SymbolId in bits 0..31, direction in bit 32,

@@ -260,6 +260,19 @@ class RunTimeEngine : private metadb::LinkObserver {
   SimClock& clock() noexcept { return clock_; }
   const PropagationIndex& propagation_index() const noexcept { return index_; }
 
+  /// Oracle check of the propagation index against a snapshot of the
+  /// database (primary form — published versions are handle-identical,
+  /// so the index's buckets apply verbatim) or against the live
+  /// database (compat overload).
+  bool ConsistentWith(const metadb::Snapshot& snapshot,
+                      std::string* diff = nullptr) const {
+    return index_.ConsistentWith(snapshot, diff);
+  }
+  bool ConsistentWith(const metadb::MetaDatabase& db,
+                      std::string* diff = nullptr) const {
+    return index_.ConsistentWith(db, diff);
+  }
+
   /// Mutable index access for the external maintainer installed with
   /// SetIndexScope (the sharded engine's index router).
   PropagationIndex& mutable_propagation_index() noexcept { return index_; }

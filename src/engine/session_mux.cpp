@@ -1,0 +1,104 @@
+#include "engine/session_mux.hpp"
+
+namespace damocles::engine {
+
+SessionMux::SessionMux(ProjectServer& server, SessionMuxOptions options)
+    : server_(server), options_(options) {
+  if (options_.mutation_queue_capacity == 0) {
+    options_.mutation_queue_capacity = 1;
+  }
+  // Publish the initial epoch so every read — including ones racing
+  // the first mutation — answers from a pinned immutable version
+  // rather than the live database.
+  server_.database().PublishSnapshot();
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+}
+
+SessionMux::~SessionMux() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (apply_thread_.joinable()) apply_thread_.join();
+}
+
+std::unique_ptr<SessionMux::Session> SessionMux::Connect(std::string user) {
+  // Not make_unique: the constructor is private to the friend mux.
+  return std::unique_ptr<Session>(new Session(*this, std::move(user)));
+}
+
+std::string SessionMux::Session::Execute(std::string_view line) {
+  if (ClassifyWireLine(line) == WireCommandKind::kRead) {
+    return reader_.HandleLine(line);
+  }
+  return mux_.SubmitMutation(*this, line);
+}
+
+std::string SessionMux::SubmitMutation(Session& session,
+                                       std::string_view line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_) return "error: session mux is shutting down\n";
+    if (queue_.size() >= options_.mutation_queue_capacity) {
+      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return "busy: mutation queue full (" + std::to_string(queue_.size()) +
+             " pending); retry\n";
+    }
+    PendingMutation pending;
+    pending.line = std::string(line);
+    pending.session = &session;
+    pending.promise = std::move(promise);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future.get();
+}
+
+void SessionMux::ApplyLoop() {
+  uint64_t seq = 0;
+  while (true) {
+    PendingMutation pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Admitted mutations are applied even during shutdown: their
+      // sessions are blocked on the promise.
+      if (queue_.empty()) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    // The single-writer step: the session's writer-side WireSession
+    // applies the mutation (events drain through the plain engine or
+    // the sharded intake rings, per the server's configuration)...
+    std::string response = pending.session->writer_.HandleLine(pending.line);
+
+    // ...and the next epoch makes it visible to every reader at once.
+    const uint64_t epoch = options_.publish_each_mutation
+                               ? server_.database().PublishSnapshot().epoch()
+                               : server_.database().snapshot_epoch();
+
+    {
+      std::lock_guard<std::mutex> lock(log_mutex_);
+      MuxLogEntry entry;
+      entry.seq = ++seq;
+      entry.user = pending.session->user_;
+      entry.line = pending.line;
+      entry.response = response;
+      entry.epoch_after = epoch;
+      log_.push_back(std::move(entry));
+    }
+    mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+std::vector<MuxLogEntry> SessionMux::MutationLog() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_;
+}
+
+}  // namespace damocles::engine

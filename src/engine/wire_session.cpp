@@ -5,20 +5,11 @@
 #include "common/strings.hpp"
 #include "metadb/config_builder.hpp"
 #include "query/report.hpp"
+#include "viz/flow_viz.hpp"
 
 namespace damocles::engine {
 
 namespace {
-
-constexpr const char* kHelp =
-    "commands:\n"
-    "  postEvent <ev> <up|down> <block,view,version> [\"arg\"]\n"
-    "  checkin <block> <view> [\"content\"]\n"
-    "  checkout <block> <view>\n"
-    "  link <use|derive> <from-oid> <to-oid>\n"
-    "  query outofdate | query state <oid> | query block <block>\n"
-    "  blockers <prop>=<value> [...]\n"
-    "  report | snapshot <name> | validate | advance <seconds> | help\n";
 
 std::string NextWord(std::string_view& rest) {
   size_t i = 0;
@@ -43,6 +34,71 @@ std::string RestArgument(std::string_view rest) {
 
 }  // namespace
 
+/// Registry row + the member handler bound to it. The single table
+/// below is the source of truth for dispatch, help, the README table
+/// and the mux's read/mutate classification.
+struct WireSession::Entry {
+  WireCommandInfo info;
+  Handler handler;
+};
+
+const std::vector<WireCommandInfo>& WireCommands() {
+  static const std::vector<WireCommandInfo> infos = [] {
+    std::vector<WireCommandInfo> out;
+    for (const WireSession::Entry& entry : WireSession::Registry()) {
+      out.push_back(entry.info);
+    }
+    return out;
+  }();
+  return infos;
+}
+
+const std::string& WireCommandHelp() {
+  static const std::string help = [] {
+    std::string out = "commands:\n";
+    for (const WireCommandInfo& info : WireCommands()) {
+      if (info.deprecated) continue;
+      out += "  " + std::string(info.usage) + "\n      " +
+             std::string(info.summary) + "\n";
+    }
+    out += "deprecated:\n";
+    for (const WireCommandInfo& info : WireCommands()) {
+      if (!info.deprecated) continue;
+      out += "  " + std::string(info.usage) + "  (use '" +
+             std::string(info.replacement) + "')\n";
+    }
+    return out;
+  }();
+  return help;
+}
+
+std::string WireCommandMarkdownTable() {
+  std::string out =
+      "| Command | Kind | Usage | Description |\n"
+      "|---------|------|-------|-------------|\n";
+  for (const WireCommandInfo& info : WireCommands()) {
+    std::string summary(info.summary);
+    if (info.deprecated) {
+      summary += " Deprecated; use `" + std::string(info.replacement) + "`.";
+    }
+    out += "| `" + std::string(info.name) + "` | " +
+           (info.kind == WireCommandKind::kRead ? "read" : "mutate") +
+           " | `" + std::string(info.usage) + "` | " + summary + " |\n";
+  }
+  return out;
+}
+
+WireCommandKind ClassifyWireLine(std::string_view line) {
+  std::string_view rest = line;
+  const std::string command = NextWord(rest);
+  for (const WireCommandInfo& info : WireCommands()) {
+    if (info.name == command) return info.kind;
+  }
+  // Unknown (and empty) lines are reads: they produce an immediate
+  // in-band error without occupying the mutation queue.
+  return WireCommandKind::kRead;
+}
+
 std::string WireSession::HandleLine(std::string_view line) {
   ++commands_handled_;
   try {
@@ -55,144 +111,255 @@ std::string WireSession::HandleLine(std::string_view line) {
 std::string WireSession::Dispatch(std::string_view line) {
   std::string_view rest = line;
   const std::string command = NextWord(rest);
-  if (command.empty() || command == "help") return kHelp;
+  if (command.empty()) return WireCommandHelp();
 
-  if (command == "postEvent") {
-    server_.SubmitWireLine(line, user_);
-    return "ok\n";
-  }
-
-  if (command == "checkin") {
-    const std::string block = NextWord(rest);
-    const std::string view = NextWord(rest);
-    if (block.empty() || view.empty()) {
-      return "error: usage: checkin <block> <view> [\"content\"]\n";
-    }
-    const std::string content = RestArgument(rest);
-    const metadb::Oid oid = server_.CheckIn(block, view, content, user_);
-    return "ok " + metadb::FormatOidWire(oid) + "\n";
-  }
-
-  if (command == "checkout") {
-    const std::string block = NextWord(rest);
-    const std::string view = NextWord(rest);
-    if (block.empty() || view.empty()) {
-      return "error: usage: checkout <block> <view>\n";
-    }
-    const metadb::Oid oid = server_.CheckOut(block, view, user_);
-    return "ok " + metadb::FormatOidWire(oid) + "\n";
-  }
-
-  if (command == "link") {
-    const std::string kind_word = NextWord(rest);
-    const std::string from_word = NextWord(rest);
-    const std::string to_word = NextWord(rest);
-    if (to_word.empty()) {
-      return "error: usage: link <use|derive> <from-oid> <to-oid>\n";
-    }
-    metadb::LinkKind kind;
-    if (kind_word == "use") {
-      kind = metadb::LinkKind::kUse;
-    } else if (kind_word == "derive") {
-      kind = metadb::LinkKind::kDerive;
+  for (const Entry& entry : Registry()) {
+    if (entry.info.name != command) continue;
+    Context ctx;
+    ctx.rest = rest;
+    ctx.line = line;
+    if (entry.info.kind == WireCommandKind::kRead) {
+      // Reads answer from a snapshot: the latest published version
+      // when snapshot reads are on (lock-free against committing
+      // waves), the live database otherwise.
+      ctx.snap = snapshot_reads_ ? server_.database().Latest()
+                                 : metadb::Snapshot::Live(server_.database());
+      last_read_epoch_ = ctx.snap.epoch();
     } else {
-      return "error: link kind must be 'use' or 'derive'\n";
+      // Mutations always see (and change) the live database.
+      ctx.snap = metadb::Snapshot::Live(server_.database());
     }
-    server_.RegisterLink(kind, metadb::ParseOidWire(from_word),
-                         metadb::ParseOidWire(to_word));
-    return "ok\n";
+    return (this->*entry.handler)(ctx);
   }
-
-  if (command == "query") {
-    query::ProjectQuery q(server_.database());
-    const std::string what = NextWord(rest);
-    if (what == "outofdate") {
-      const auto matches = q.OutOfDate();
-      std::string out = std::to_string(matches.size()) + " out of date\n";
-      for (const auto& match : matches) {
-        out += "  " + metadb::FormatOid(match.oid) + "\n";
-      }
-      return out;
-    }
-    if (what == "state") {
-      const metadb::Oid oid = metadb::ParseOidWire(NextWord(rest));
-      const auto id = server_.database().FindObject(oid);
-      if (!id.has_value()) {
-        return "error: no such OID " + metadb::FormatOid(oid) + "\n";
-      }
-      const metadb::MetaObject& object = server_.database().GetObject(*id);
-      std::string out = metadb::FormatOid(oid) + "\n";
-      for (const auto& [name, value] : object.properties) {
-        out += "  " + name + " = '" + value + "'\n";
-      }
-      return out;
-    }
-    if (what == "block") {
-      const std::string block = NextWord(rest);
-      const auto matches = q.FindByBlock(block);
-      std::string out = std::to_string(matches.size()) + " object(s)\n";
-      for (const auto& match : matches) {
-        out += "  " + metadb::FormatOid(match.oid) + "\n";
-      }
-      return out;
-    }
-    return "error: usage: query outofdate|state <oid>|block <block>\n";
-  }
-
-  if (command == "blockers") {
-    std::vector<query::PlannedProperty> plan;
-    while (true) {
-      const std::string pair = NextWord(rest);
-      if (pair.empty()) break;
-      const size_t eq = pair.find('=');
-      if (eq == std::string::npos) {
-        return "error: blockers arguments are <prop>=<value>\n";
-      }
-      plan.push_back(query::PlannedProperty{pair.substr(0, eq),
-                                            pair.substr(eq + 1)});
-    }
-    if (plan.empty()) {
-      return "error: usage: blockers <prop>=<value> [...]\n";
-    }
-    query::ProjectQuery q(server_.database());
-    return query::FormatBlockers(q.DistanceToPlannedState(plan, {}));
-  }
-
-  if (command == "report") {
-    return query::FormatProjectReport(
-        query::BuildProjectReport(server_.database()));
-  }
-
-  if (command == "snapshot") {
-    const std::string name = NextWord(rest);
-    if (name.empty()) return "error: usage: snapshot <name>\n";
-    auto config = metadb::BuildFullSnapshot(server_.database(), name,
-                                            server_.clock().NowSeconds());
-    const size_t addresses = config.AddressCount();
-    server_.database().SaveConfiguration(std::move(config));
-    return "ok snapshot '" + name + "' with " + std::to_string(addresses) +
-           " addresses\n";
-  }
-
-  if (command == "validate") {
-    if (!server_.engine().HasBlueprint()) {
-      return "error: no blueprint installed\n";
-    }
-    return blueprint::FormatValidationReport(
-        blueprint::ValidateBlueprint(server_.engine().Current()));
-  }
-
-  if (command == "advance") {
-    const std::string seconds = NextWord(rest);
-    try {
-      server_.AdvanceClock(std::stoll(seconds));
-    } catch (const std::exception&) {
-      return "error: usage: advance <seconds>\n";
-    }
-    return "ok " + server_.clock().FormatDate() + "\n";
-  }
-
   return "error: unknown command '" + command + "' (try 'help')\n";
+}
+
+std::string WireSession::CmdPostEvent(Context& ctx) {
+  server_.SubmitWireLine(ctx.line, user_);
+  return "ok\n";
+}
+
+std::string WireSession::CmdCheckin(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string block = NextWord(rest);
+  const std::string view = NextWord(rest);
+  if (block.empty() || view.empty()) {
+    return "error: usage: checkin <block> <view> [\"content\"]\n";
+  }
+  const std::string content = RestArgument(rest);
+  const metadb::Oid oid = server_.CheckIn(block, view, content, user_);
+  return "ok " + metadb::FormatOidWire(oid) + "\n";
+}
+
+std::string WireSession::CmdCheckout(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string block = NextWord(rest);
+  const std::string view = NextWord(rest);
+  if (block.empty() || view.empty()) {
+    return "error: usage: checkout <block> <view>\n";
+  }
+  const metadb::Oid oid = server_.CheckOut(block, view, user_);
+  return "ok " + metadb::FormatOidWire(oid) + "\n";
+}
+
+std::string WireSession::CmdLink(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string kind_word = NextWord(rest);
+  const std::string from_word = NextWord(rest);
+  const std::string to_word = NextWord(rest);
+  if (to_word.empty()) {
+    return "error: usage: link <use|derive> <from-oid> <to-oid>\n";
+  }
+  metadb::LinkKind kind;
+  if (kind_word == "use") {
+    kind = metadb::LinkKind::kUse;
+  } else if (kind_word == "derive") {
+    kind = metadb::LinkKind::kDerive;
+  } else {
+    return "error: link kind must be 'use' or 'derive'\n";
+  }
+  server_.RegisterLink(kind, metadb::ParseOidWire(from_word),
+                       metadb::ParseOidWire(to_word));
+  return "ok\n";
+}
+
+std::string WireSession::CmdQuery(Context& ctx) {
+  const metadb::MetaDatabase& db = ctx.snap.db();
+  query::ProjectQuery q(ctx.snap);
+  std::string_view rest = ctx.rest;
+  const std::string what = NextWord(rest);
+  if (what == "outofdate") {
+    const auto matches = q.OutOfDate();
+    std::string out = std::to_string(matches.size()) + " out of date\n";
+    for (const auto& match : matches) {
+      out += "  " + metadb::FormatOid(match.oid) + "\n";
+    }
+    return out;
+  }
+  if (what == "state") {
+    const metadb::Oid oid = metadb::ParseOidWire(NextWord(rest));
+    const auto id = db.FindObject(oid);
+    if (!id.has_value()) {
+      return "error: no such OID " + metadb::FormatOid(oid) + "\n";
+    }
+    const metadb::MetaObject& object = db.GetObject(*id);
+    std::string out = metadb::FormatOid(oid) + "\n";
+    for (const auto& [name, value] : object.properties) {
+      out += "  " + name + " = '" + value + "'\n";
+    }
+    return out;
+  }
+  if (what == "block") {
+    const std::string block = NextWord(rest);
+    const auto matches = q.FindByBlock(block);
+    std::string out = std::to_string(matches.size()) + " object(s)\n";
+    for (const auto& match : matches) {
+      out += "  " + metadb::FormatOid(match.oid) + "\n";
+    }
+    return out;
+  }
+  return "error: usage: query outofdate|state <oid>|block <block>\n";
+}
+
+std::string WireSession::CmdBlockers(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  std::vector<query::PlannedProperty> plan;
+  while (true) {
+    const std::string pair = NextWord(rest);
+    if (pair.empty()) break;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return "error: blockers arguments are <prop>=<value>\n";
+    }
+    plan.push_back(
+        query::PlannedProperty{pair.substr(0, eq), pair.substr(eq + 1)});
+  }
+  if (plan.empty()) {
+    return "error: usage: blockers <prop>=<value> [...]\n";
+  }
+  query::ProjectQuery q(ctx.snap);
+  return query::FormatBlockers(q.DistanceToPlannedState(plan, {}));
+}
+
+std::string WireSession::CmdReport(Context& ctx) {
+  return query::FormatProjectReport(query::BuildProjectReport(ctx.snap));
+}
+
+std::string WireSession::CmdViz(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string what = NextWord(rest);
+  if (what == "block") {
+    const std::string block = NextWord(rest);
+    if (block.empty()) return "error: usage: viz block <block>\n";
+    return viz::RenderBlockState(ctx.snap, block);
+  }
+  if (what == "dot") {
+    return viz::ExportDot(ctx.snap);
+  }
+  return "error: usage: viz block <block>|dot\n";
+}
+
+std::string WireSession::CmdEpoch(Context& ctx) {
+  return "epoch " + std::to_string(ctx.snap.epoch()) + "\n";
+}
+
+std::string WireSession::CmdCheckpoint(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string name = NextWord(rest);
+  if (name.empty()) return "error: usage: checkpoint <name>\n";
+  auto config = metadb::BuildFullCheckpoint(server_.database(), name,
+                                            server_.clock().NowSeconds());
+  const size_t addresses = config.AddressCount();
+  server_.database().SaveConfiguration(std::move(config));
+  return "ok checkpoint '" + name + "' with " + std::to_string(addresses) +
+         " addresses\n";
+}
+
+std::string WireSession::CmdSnapshotAlias(Context& ctx) {
+  return "notice: 'snapshot' is deprecated; use 'checkpoint <name>'\n" +
+         CmdCheckpoint(ctx);
+}
+
+std::string WireSession::CmdValidate(Context& ctx) {
+  (void)ctx;
+  if (!server_.engine().HasBlueprint()) {
+    return "error: no blueprint installed\n";
+  }
+  return blueprint::FormatValidationReport(
+      blueprint::ValidateBlueprint(server_.engine().Current()));
+}
+
+std::string WireSession::CmdAdvance(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string seconds = NextWord(rest);
+  try {
+    server_.AdvanceClock(std::stoll(seconds));
+  } catch (const std::exception&) {
+    return "error: usage: advance <seconds>\n";
+  }
+  return "ok " + server_.clock().FormatDate() + "\n";
+}
+
+std::string WireSession::CmdHelp(Context& ctx) {
+  (void)ctx;
+  return WireCommandHelp();
+}
+
+const std::vector<WireSession::Entry>& WireSession::Registry() {
+  using Kind = WireCommandKind;
+  static const std::vector<WireSession::Entry> registry = {
+      {{"postEvent", "postEvent <ev> <up|down> <block,view,version> [\"arg\"]",
+        "Post a tracking event into the propagation engine.", Kind::kMutate,
+        false, ""},
+       &WireSession::CmdPostEvent},
+      {{"checkin", "checkin <block> <view> [\"content\"]",
+        "Check design data in; registers the new version and posts ckin.",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdCheckin},
+      {{"checkout", "checkout <block> <view>",
+        "Check the latest version out for editing.", Kind::kMutate, false,
+        ""},
+       &WireSession::CmdCheckout},
+      {{"link", "link <use|derive> <from-oid> <to-oid>",
+        "Register a hierarchy or derivation link.", Kind::kMutate, false, ""},
+       &WireSession::CmdLink},
+      {{"query", "query outofdate|state <oid>|block <block>",
+        "Query project state (out-of-date set, one OID, one block).",
+        Kind::kRead, false, ""},
+       &WireSession::CmdQuery},
+      {{"blockers", "blockers <prop>=<value> [...]",
+        "Distance to a planned state: what still blocks it.", Kind::kRead,
+        false, ""},
+       &WireSession::CmdBlockers},
+      {{"report", "report", "Per-(block, view) project state report.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdReport},
+      {{"viz", "viz block <block>|dot",
+        "Visualize one block's state, or export the graph as DOT.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdViz},
+      {{"epoch", "epoch",
+        "Snapshot epoch this session's reads are answering from.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdEpoch},
+      {{"checkpoint", "checkpoint <name>",
+        "Save a named configuration capturing every live object and link.",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdCheckpoint},
+      {{"validate", "validate", "Validate the installed blueprint.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdValidate},
+      {{"advance", "advance <seconds>", "Advance the simulated clock.",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdAdvance},
+      {{"help", "help", "This command list.", Kind::kRead, false, ""},
+       &WireSession::CmdHelp},
+      {{"snapshot", "snapshot <name>",
+        "Save a named configuration capturing every live object and link.",
+        Kind::kMutate, true, "checkpoint"},
+       &WireSession::CmdSnapshotAlias},
+  };
+  return registry;
 }
 
 }  // namespace damocles::engine

@@ -67,7 +67,7 @@ Configuration BuildQueryConfiguration(
   return config;
 }
 
-Configuration BuildFullSnapshot(const MetaDatabase& db, std::string name,
+Configuration BuildFullCheckpoint(const MetaDatabase& db, std::string name,
                                 int64_t timestamp) {
   Configuration config;
   config.name = std::move(name);

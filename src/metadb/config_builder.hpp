@@ -40,10 +40,18 @@ Configuration BuildQueryConfiguration(
     const std::function<bool(OidId, const MetaObject&)>& predicate,
     int64_t timestamp);
 
-/// Snapshot of every live object and link — "the state of the design
-/// hierarchy in a snapshot at each step of the design cycle".
-Configuration BuildFullSnapshot(const MetaDatabase& db, std::string name,
-                                int64_t timestamp);
+/// Checkpoint of every live object and link — "the state of the design
+/// hierarchy in a snapshot at each step of the design cycle". Named
+/// "checkpoint" to keep persistent Configuration captures distinct from
+/// the in-memory epoch-versioned read snapshots of metadb/snapshot.hpp.
+Configuration BuildFullCheckpoint(const MetaDatabase& db, std::string name,
+                                  int64_t timestamp);
+
+/// Deprecated alias for BuildFullCheckpoint (pre-rename name).
+inline Configuration BuildFullSnapshot(const MetaDatabase& db,
+                                       std::string name, int64_t timestamp) {
+  return BuildFullCheckpoint(db, std::move(name), timestamp);
+}
 
 /// Returns the objects of `config` whose given property differs from the
 /// current database value recorded in `other`, i.e. the drift between

@@ -50,6 +50,7 @@ OidId MetaDatabase::CreateObject(const Oid& oid, std::string_view user,
 
   by_oid_.emplace(oid, id);
   chain.push_back(id);
+  Touch();
   for (LinkObserver* observer : link_observers_) {
     observer->OnObjectCreated(id, objects_[id.value()]);
   }
@@ -79,6 +80,7 @@ void MetaDatabase::DeleteObject(OidId id) {
   const std::vector<LinkId> in = in_links_[id.value()];
   for (const LinkId link : in) DeleteLink(link);
   by_oid_.erase(object.oid);
+  Touch();
 }
 
 // --- Lookup --------------------------------------------------------------------
@@ -132,6 +134,7 @@ const MetaObject& MetaDatabase::GetObject(OidId id) const {
 
 MetaObject& MetaDatabase::GetObjectMutable(OidId id) {
   CheckObjectHandle(id);
+  Touch();  // Conservative: the caller holds a mutable reference.
   return objects_[id.value()];
 }
 
@@ -141,6 +144,7 @@ void MetaDatabase::SetProperty(OidId id, const std::string& name,
                                const std::string& value) {
   CheckObjectHandle(id);
   objects_[id.value()].properties[name] = value;
+  Touch();
 }
 
 const std::string* MetaDatabase::GetProperty(OidId id,
@@ -153,7 +157,9 @@ const std::string* MetaDatabase::GetProperty(OidId id,
 
 bool MetaDatabase::RemoveProperty(OidId id, const std::string& name) {
   CheckObjectHandle(id);
-  return objects_[id.value()].properties.erase(name) > 0;
+  const bool removed = objects_[id.value()].properties.erase(name) > 0;
+  if (removed) Touch();
+  return removed;
 }
 
 // --- Links -----------------------------------------------------------------------
@@ -190,6 +196,7 @@ LinkId MetaDatabase::CreateLink(LinkKind kind, OidId from, OidId to,
 
   out_links_[from.value()].push_back(id);
   in_links_[to.value()].push_back(id);
+  Touch();
   for (LinkObserver* observer : link_observers_) {
     observer->OnLinkAdded(id, links_[id.value()]);
   }
@@ -205,6 +212,7 @@ void MetaDatabase::DeleteLink(LinkId id) {
   }
   DetachLinkFromAdjacency(id);
   link.alive = false;
+  Touch();
 }
 
 const Link& MetaDatabase::GetLink(LinkId id) const {
@@ -214,6 +222,7 @@ const Link& MetaDatabase::GetLink(LinkId id) const {
 
 Link& MetaDatabase::GetLinkMutable(LinkId id) {
   CheckLinkHandle(id);
+  Touch();  // Conservative: the caller holds a mutable reference.
   return links_[id.value()];
 }
 
@@ -250,6 +259,7 @@ void MetaDatabase::MoveLinkEndpoint(LinkId id, bool endpoint_from,
   auto& new_list = endpoint_from ? out_links_[new_endpoint.value()]
                                  : in_links_[new_endpoint.value()];
   new_list.push_back(id);
+  Touch();
   for (LinkObserver* observer : link_observers_) {
     observer->OnLinkEndpointMoved(id, endpoint_from, old_endpoint, link);
   }
@@ -265,6 +275,7 @@ void MetaDatabase::SetLinkPropagates(LinkId id,
   if (link.propagates == propagates) return;
   std::vector<std::string> old_propagates = std::move(link.propagates);
   link.propagates = std::move(propagates);
+  Touch();
   for (LinkObserver* observer : link_observers_) {
     observer->OnLinkPropagatesChanged(id, old_propagates, link);
   }
@@ -303,6 +314,7 @@ ConfigId MetaDatabase::SaveConfiguration(Configuration config) {
   for (const OidId oid : config.oids) CheckObjectHandle(oid);
   for (const LinkId link : config.links) CheckLinkHandle(link);
 
+  Touch();
   const auto it = config_by_name_.find(config.name);
   if (it != config_by_name_.end()) {
     configurations_[it->second.value()] = std::move(config);
@@ -394,6 +406,7 @@ OidId MetaDatabase::RestoreObjectSlot(MetaObject object) {
   objects_.push_back(std::move(object));
   out_links_.emplace_back();
   in_links_.emplace_back();
+  Touch();
   for (LinkObserver* observer : link_observers_) {
     observer->OnObjectCreated(id, objects_[id.value()]);
   }
@@ -410,6 +423,7 @@ LinkId MetaDatabase::RestoreLinkSlot(Link link) {
     in_links_[link.to.value()].push_back(id);
   }
   links_.push_back(std::move(link));
+  Touch();
   if (alive) {
     for (LinkObserver* observer : link_observers_) {
       observer->OnLinkAdded(id, links_[id.value()]);
@@ -422,7 +436,28 @@ ConfigId MetaDatabase::RestoreConfigurationSlot(Configuration config) {
   const ConfigId id(static_cast<uint32_t>(configurations_.size()));
   if (!config.name.empty()) config_by_name_.emplace(config.name, id);
   configurations_.push_back(std::move(config));
+  Touch();
   return id;
+}
+
+// --- Snapshot reads ----------------------------------------------------------
+
+std::shared_ptr<const MetaDatabase> MetaDatabase::CloneForSnapshot() const {
+  auto copy = std::make_shared<MetaDatabase>();
+  // Straight member copies: the clone shares no structure with the live
+  // database, so readers of the frozen version can never observe a
+  // wave's in-place writes. Observers are deliberately not carried over
+  // (a frozen version has nothing to observe), and the clone's own
+  // snapshot store starts empty.
+  copy->objects_ = objects_;
+  copy->links_ = links_;
+  copy->configurations_ = configurations_;
+  copy->by_oid_ = by_oid_;
+  copy->chains_ = chains_;
+  copy->config_by_name_ = config_by_name_;
+  copy->out_links_ = out_links_;
+  copy->in_links_ = in_links_;
+  return copy;
 }
 
 // --- Internal -------------------------------------------------------------------

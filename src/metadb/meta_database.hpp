@@ -24,6 +24,7 @@
 #include "metadb/link.hpp"
 #include "metadb/meta_object.hpp"
 #include "metadb/oid.hpp"
+#include "metadb/snapshot.hpp"
 
 namespace damocles::metadb {
 
@@ -70,12 +71,16 @@ class LinkObserver {
       const Link& link) = 0;
 };
 
-/// The meta-database. Not thread-safe; the run-time engine serializes
-/// all access through its FIFO event queue, matching the paper's
-/// "events are processed sequentially, first-in first-out".
+/// The meta-database. Mutations are not thread-safe; the run-time
+/// engine serializes them through its FIFO event queue, matching the
+/// paper's "events are processed sequentially, first-in first-out".
+/// Concurrent READS go through the epoch-versioned snapshot API below
+/// (PublishSnapshot / Latest / AtEpoch): readers pin an immutable
+/// published version with one atomic load and never contend with
+/// committing waves. See metadb/snapshot.hpp.
 class MetaDatabase {
  public:
-  MetaDatabase() = default;
+  MetaDatabase() : snapshots_(std::make_unique<SnapshotStore>()) {}
 
   // MetaDatabase owns large index structures; copying is almost always
   // a bug (use Configuration snapshots instead), so copies are disabled
@@ -202,6 +207,53 @@ class MetaDatabase {
     return configurations_.size();
   }
 
+  // --- Snapshot reads -----------------------------------------------------
+  // The engine-wide versioned read API (metadb/snapshot.hpp): readers
+  // pin published immutable versions and never lock against committing
+  // waves. Publish is writer-side and quiescent-only; everything else
+  // is safe from any thread.
+
+  /// Freezes the current state under the next epoch and publishes it.
+  /// No-op (returns the existing head) when nothing mutated since the
+  /// last publish. Call only while the engine is drain-quiescent.
+  Snapshot PublishSnapshot() { return snapshots_->Publish(*this); }
+
+  /// The newest published snapshot — one atomic load, lock-free — or an
+  /// unpinned live view when nothing was published yet.
+  Snapshot Latest() const { return snapshots_->Latest(*this); }
+
+  /// The newest published snapshot with epoch <= `epoch`. Throws
+  /// NotFoundError below the purge floor or before the first publish.
+  Snapshot AtEpoch(uint64_t epoch) const { return snapshots_->AtEpoch(epoch); }
+
+  /// Epoch of the newest published snapshot (0 before the first).
+  uint64_t snapshot_epoch() const noexcept {
+    return snapshots_->head_epoch();
+  }
+
+  /// Epoch at/below which published versions were merged out (0 until
+  /// the retention cap first trims). Atomic; any thread.
+  uint64_t snapshot_purge_floor() const noexcept {
+    return snapshots_->purge_floor();
+  }
+
+  /// Count of mutations recorded so far (relaxed-atomic; exact at
+  /// quiescent points). PublishSnapshot uses it to skip no-op publishes.
+  uint64_t mutation_generation() const noexcept {
+    return snapshots_->generation();
+  }
+
+  /// Published versions retained for AtEpoch before merge-out.
+  void SetSnapshotRetention(size_t retention) {
+    snapshots_->SetRetention(retention);
+  }
+
+  /// Handle-identical deep copy of the slot state (objects, links,
+  /// configurations, indexes — observers and the snapshot store are NOT
+  /// copied). The snapshot store freezes versions through this; it is
+  /// public for tests and future cross-process bootstrap.
+  std::shared_ptr<const MetaDatabase> CloneForSnapshot() const;
+
   // --- Persistence support ---------------------------------------------
   // Raw slot appends used by LoadDatabaseText to reconstruct a database
   // with handle-identical layout (tombstones included). They validate
@@ -223,6 +275,12 @@ class MetaDatabase {
   void CheckLinkHandle(LinkId id) const;
   void DetachLinkFromAdjacency(LinkId id);
 
+  /// Bumps the mutation generation (null after a move-out; relaxed —
+  /// workers of disjoint shards may record concurrently).
+  void Touch() noexcept {
+    if (snapshots_ != nullptr) snapshots_->Touch();
+  }
+
   std::vector<MetaObject> objects_;
   std::vector<Link> links_;
   std::vector<Configuration> configurations_;
@@ -235,6 +293,10 @@ class MetaDatabase {
 
   std::vector<std::vector<LinkId>> out_links_;
   std::vector<std::vector<LinkId>> in_links_;
+
+  /// The epoch-versioned snapshot machinery. Behind a unique_ptr so the
+  /// database stays movable (the store holds atomics and a mutex).
+  std::unique_ptr<SnapshotStore> snapshots_;
 };
 
 }  // namespace damocles::metadb

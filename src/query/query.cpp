@@ -26,7 +26,7 @@ void SortMatches(std::vector<Match>& matches) {
 
 std::vector<Match> ProjectQuery::FindByView(std::string_view view) const {
   std::vector<Match> matches;
-  db_.ForEachObject([&](OidId id, const MetaObject& object) {
+  db_->ForEachObject([&](OidId id, const MetaObject& object) {
     if (object.oid.view == view) matches.push_back(Match{id, object.oid});
   });
   SortMatches(matches);
@@ -35,7 +35,7 @@ std::vector<Match> ProjectQuery::FindByView(std::string_view view) const {
 
 std::vector<Match> ProjectQuery::FindByBlock(std::string_view block) const {
   std::vector<Match> matches;
-  db_.ForEachObject([&](OidId id, const MetaObject& object) {
+  db_->ForEachObject([&](OidId id, const MetaObject& object) {
     if (object.oid.block == block) matches.push_back(Match{id, object.oid});
   });
   SortMatches(matches);
@@ -46,7 +46,7 @@ std::vector<Match> ProjectQuery::FindByProperty(std::string_view name,
                                                 std::string_view value) const {
   std::vector<Match> matches;
   const std::string key(name);
-  db_.ForEachObject([&](OidId id, const MetaObject& object) {
+  db_->ForEachObject([&](OidId id, const MetaObject& object) {
     const auto it = object.properties.find(key);
     if (it != object.properties.end() && it->second == value) {
       matches.push_back(Match{id, object.oid});
@@ -59,7 +59,7 @@ std::vector<Match> ProjectQuery::FindByProperty(std::string_view name,
 std::vector<Match> ProjectQuery::FindWhere(
     const std::function<bool(const MetaObject&)>& predicate) const {
   std::vector<Match> matches;
-  db_.ForEachObject([&](OidId id, const MetaObject& object) {
+  db_->ForEachObject([&](OidId id, const MetaObject& object) {
     if (predicate(object)) matches.push_back(Match{id, object.oid});
   });
   SortMatches(matches);
@@ -69,7 +69,7 @@ std::vector<Match> ProjectQuery::FindWhere(
 std::vector<Match> ProjectQuery::FindMatching(
     const blueprint::Expr& expr) const {
   std::vector<Match> matches;
-  db_.ForEachObject([&](OidId id, const MetaObject& object) {
+  db_->ForEachObject([&](OidId id, const MetaObject& object) {
     if (expr.EvaluateBool(ResolverFor(object))) {
       matches.push_back(Match{id, object.oid});
     }
@@ -84,7 +84,7 @@ std::vector<Match> ProjectQuery::LatestVersions(
   std::vector<Match> matches;
   std::unordered_set<std::string> seen;
   std::vector<Match> all;
-  db_.ForEachObject([&](OidId id, const MetaObject& object) {
+  db_->ForEachObject([&](OidId id, const MetaObject& object) {
     all.push_back(Match{id, object.oid});
   });
   // Visit newest versions first so the first (block, view) hit wins.
@@ -98,7 +98,7 @@ std::vector<Match> ProjectQuery::LatestVersions(
     key.push_back('\0');
     key += match.oid.view;
     if (!seen.insert(std::move(key)).second) continue;
-    if (predicate == nullptr || predicate(db_.GetObject(match.id))) {
+    if (predicate == nullptr || predicate(db_->GetObject(match.id))) {
       matches.push_back(match);
     }
   }
@@ -111,11 +111,11 @@ std::vector<Match> ProjectQuery::OutOfDate() const {
 }
 
 std::optional<std::string> ProjectQuery::StateOf(const Oid& oid) const {
-  const auto id = db_.FindObject(oid);
+  const auto id = db_->FindObject(oid);
   if (!id.has_value()) {
     throw NotFoundError("StateOf: unknown OID " + FormatOid(oid));
   }
-  const std::string* state = db_.GetProperty(*id, "state");
+  const std::string* state = db_->GetProperty(*id, "state");
   if (state == nullptr) return std::nullopt;
   return *state;
 }
@@ -132,7 +132,7 @@ std::vector<Blocker> ProjectQuery::DistanceToPlannedState(
 
   std::vector<Blocker> blockers;
   for (const Match& match : scope) {
-    const MetaObject& object = db_.GetObject(match.id);
+    const MetaObject& object = db_->GetObject(match.id);
     for (const PlannedProperty& planned : plan) {
       const auto it = object.properties.find(planned.property);
       if (it == object.properties.end()) continue;  // Not tracked here.
@@ -146,7 +146,7 @@ std::vector<Blocker> ProjectQuery::DistanceToPlannedState(
 }
 
 std::vector<Match> ProjectQuery::HierarchyMembers(const Oid& root) const {
-  const auto root_id = db_.FindObject(root);
+  const auto root_id = db_->FindObject(root);
   if (!root_id.has_value()) {
     throw NotFoundError("HierarchyMembers: unknown OID " + FormatOid(root));
   }
@@ -156,9 +156,9 @@ std::vector<Match> ProjectQuery::HierarchyMembers(const Oid& root) const {
   while (!frontier.empty()) {
     const OidId current = frontier.front();
     frontier.pop_front();
-    matches.push_back(Match{current, db_.GetObject(current).oid});
-    for (const LinkId link_id : db_.OutLinks(current)) {
-      const Link& link = db_.GetLink(link_id);
+    matches.push_back(Match{current, db_->GetObject(current).oid});
+    for (const LinkId link_id : db_->OutLinks(current)) {
+      const Link& link = db_->GetLink(link_id);
       if (link.kind != LinkKind::kUse) continue;
       if (visited.insert(link.to.value()).second) {
         frontier.push_back(link.to);
@@ -169,7 +169,7 @@ std::vector<Match> ProjectQuery::HierarchyMembers(const Oid& root) const {
 }
 
 std::vector<Match> ProjectQuery::DerivationSources(const Oid& oid) const {
-  const auto start = db_.FindObject(oid);
+  const auto start = db_->FindObject(oid);
   if (!start.has_value()) {
     throw NotFoundError("DerivationSources: unknown OID " + FormatOid(oid));
   }
@@ -179,11 +179,11 @@ std::vector<Match> ProjectQuery::DerivationSources(const Oid& oid) const {
   while (!frontier.empty()) {
     const OidId current = frontier.front();
     frontier.pop_front();
-    for (const LinkId link_id : db_.InLinks(current)) {
-      const Link& link = db_.GetLink(link_id);
+    for (const LinkId link_id : db_->InLinks(current)) {
+      const Link& link = db_->GetLink(link_id);
       if (link.kind != LinkKind::kDerive) continue;
       if (visited.insert(link.from.value()).second) {
-        matches.push_back(Match{link.from, db_.GetObject(link.from).oid});
+        matches.push_back(Match{link.from, db_->GetObject(link.from).oid});
         frontier.push_back(link.from);
       }
     }

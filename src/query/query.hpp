@@ -4,9 +4,13 @@
 // performing queries. Therefore, designers know exactly what data still
 // needs to be modified before reaching a planned state in the project."
 //
-// The query layer is strictly read-only (const MetaDatabase&): running
-// queries never perturbs tracking state, preserving the observer,
-// non-obstructive discipline.
+// The query layer is strictly read-only and consumes a metadb::Snapshot
+// — an epoch-stamped immutable read handle (metadb/snapshot.hpp) — so
+// queries never perturb tracking state AND never contend with
+// committing waves: thousands of sessions can query a pinned epoch
+// while propagation runs. Compatibility overloads taking
+// `const MetaDatabase&` wrap the live database unpinned for
+// single-threaded callers.
 #pragma once
 
 #include <functional>
@@ -41,10 +45,22 @@ struct Blocker {
   std::string required_value;
 };
 
-/// Read-only query interface bound to one meta-database.
+/// Read-only query interface bound to one snapshot of a meta-database.
+/// The snapshot is pinned for the query object's lifetime: every query
+/// answers from the same epoch, however many waves commit meanwhile.
 class ProjectQuery {
  public:
-  explicit ProjectQuery(const metadb::MetaDatabase& db) : db_(db) {}
+  /// Primary form: bind to a pinned (or live) snapshot.
+  explicit ProjectQuery(metadb::Snapshot snapshot)
+      : snap_(std::move(snapshot)), db_(&snap_.db()) {}
+
+  /// Compatibility: wraps the live database unpinned (callers that
+  /// serialize reads against mutations themselves, epoch() == 0).
+  explicit ProjectQuery(const metadb::MetaDatabase& db)
+      : snap_(metadb::Snapshot::Live(db)), db_(&db) {}
+
+  /// Epoch of the bound snapshot (0 for live views).
+  uint64_t epoch() const noexcept { return snap_.epoch(); }
 
   // --- Object finders -----------------------------------------------------
 
@@ -108,7 +124,8 @@ class ProjectQuery {
   blueprint::VariableResolver ResolverFor(const metadb::MetaObject& object)
       const;
 
-  const metadb::MetaDatabase& db_;
+  metadb::Snapshot snap_;            ///< Pins the version being queried.
+  const metadb::MetaDatabase* db_;   ///< &snap_.db() (never null).
 };
 
 }  // namespace damocles::query

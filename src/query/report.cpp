@@ -5,8 +5,9 @@
 
 namespace damocles::query {
 
-ProjectReport BuildProjectReport(const metadb::MetaDatabase& db) {
-  ProjectQuery query(db);
+ProjectReport BuildProjectReport(const metadb::Snapshot& snapshot) {
+  const metadb::MetaDatabase& db = snapshot.db();
+  ProjectQuery query(snapshot);
   ProjectReport report;
 
   for (const Match& match : query.LatestVersions(nullptr)) {
@@ -24,6 +25,10 @@ ProjectReport BuildProjectReport(const metadb::MetaDatabase& db) {
     report.rows.push_back(std::move(row));
   }
   return report;
+}
+
+ProjectReport BuildProjectReport(const metadb::MetaDatabase& db) {
+  return BuildProjectReport(metadb::Snapshot::Live(db));
 }
 
 std::string FormatProjectReport(const ProjectReport& report) {

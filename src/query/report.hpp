@@ -32,7 +32,11 @@ struct ProjectReport {
   size_t total = 0;
 };
 
-/// Builds a report over the latest versions of every (block, view).
+/// Builds a report over the latest versions of every (block, view), as
+/// of the snapshot's epoch (primary form — lock-free against waves).
+ProjectReport BuildProjectReport(const metadb::Snapshot& snapshot);
+
+/// Compatibility: reports over the live database (unpinned view).
 ProjectReport BuildProjectReport(const metadb::MetaDatabase& db);
 
 /// Renders the report as an aligned text table.

@@ -54,8 +54,9 @@ std::string RenderFlowDiagram(const blueprint::Blueprint& bp) {
   return text;
 }
 
-std::string RenderBlockState(const metadb::MetaDatabase& db,
+std::string RenderBlockState(const metadb::Snapshot& snapshot,
                              std::string_view block) {
+  const metadb::MetaDatabase& db = snapshot.db();
   // Collect the latest version of every view this block has.
   std::map<std::string, OidId> latest;
   db.ForEachObject([&](OidId id, const MetaObject& object) {
@@ -93,6 +94,11 @@ std::string RenderBlockState(const metadb::MetaDatabase& db,
   return text;
 }
 
+std::string RenderBlockState(const metadb::MetaDatabase& db,
+                             std::string_view block) {
+  return RenderBlockState(metadb::Snapshot::Live(db), block);
+}
+
 namespace {
 
 std::string DotId(const metadb::Oid& oid) {
@@ -110,8 +116,9 @@ std::string DotEscape(const std::string& text) {
 
 }  // namespace
 
-std::string ExportDot(const metadb::MetaDatabase& db,
+std::string ExportDot(const metadb::Snapshot& snapshot,
                       const DotOptions& options) {
+  const metadb::MetaDatabase& db = snapshot.db();
   // Select the nodes.
   std::set<uint32_t> included;
   if (options.latest_only) {
@@ -169,6 +176,11 @@ std::string ExportDot(const metadb::MetaDatabase& db,
   });
   dot += "}\n";
   return dot;
+}
+
+std::string ExportDot(const metadb::MetaDatabase& db,
+                      const DotOptions& options) {
+  return ExportDot(metadb::Snapshot::Live(db), options);
 }
 
 }  // namespace damocles::viz

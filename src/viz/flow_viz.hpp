@@ -21,7 +21,11 @@ std::string RenderFlowDiagram(const blueprint::Blueprint& bp);
 
 /// Renders the state of one block relative to the flow: for every view
 /// the block has, the latest version, its tracked properties and the
-/// state of its incoming links.
+/// state of its incoming links. Primary form reads a pinned snapshot
+/// (lock-free against waves); the MetaDatabase overload wraps the live
+/// database unpinned for single-threaded callers.
+std::string RenderBlockState(const metadb::Snapshot& snapshot,
+                             std::string_view block);
 std::string RenderBlockState(const metadb::MetaDatabase& db,
                              std::string_view block);
 
@@ -36,7 +40,10 @@ struct DotOptions {
 };
 
 /// Exports the meta-data graph as Graphviz DOT ("dot -Tsvg ..." renders
-/// the picture the paper's GUI would have shown).
+/// the picture the paper's GUI would have shown). Snapshot form is
+/// primary; the MetaDatabase overload wraps the live database unpinned.
+std::string ExportDot(const metadb::Snapshot& snapshot,
+                      const DotOptions& options = {});
 std::string ExportDot(const metadb::MetaDatabase& db,
                       const DotOptions& options = {});
 

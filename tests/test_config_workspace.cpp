@@ -86,16 +86,16 @@ TEST_F(ConfigBuilderTest, QueryConfiguration) {
 }
 
 TEST_F(ConfigBuilderTest, FullSnapshotCoversEverything) {
-  const Configuration config = BuildFullSnapshot(db_, "all", 30);
+  const Configuration config = BuildFullCheckpoint(db_, "all", 30);
   EXPECT_EQ(config.oids.size(), 4u);
   EXPECT_EQ(config.links.size(), 3u);
 }
 
 TEST_F(ConfigBuilderTest, DiffFindsAddedAndRemoved) {
-  const Configuration before = BuildFullSnapshot(db_, "before", 1);
+  const Configuration before = BuildFullCheckpoint(db_, "before", 1);
   const OidId extra = db_.CreateNextVersion("c", "schematic", "t", 5);
   db_.DeleteObject(a_);
-  const Configuration after = BuildFullSnapshot(db_, "after", 2);
+  const Configuration after = BuildFullCheckpoint(db_, "after", 2);
 
   const auto diff = ConfigurationDiff(before, after);
   // 'extra' appears only in after; 'a_' only in before.
@@ -105,8 +105,8 @@ TEST_F(ConfigBuilderTest, DiffFindsAddedAndRemoved) {
 }
 
 TEST_F(ConfigBuilderTest, DiffOfIdenticalSnapshotsIsEmpty) {
-  const Configuration s1 = BuildFullSnapshot(db_, "s1", 1);
-  const Configuration s2 = BuildFullSnapshot(db_, "s2", 2);
+  const Configuration s1 = BuildFullCheckpoint(db_, "s1", 1);
+  const Configuration s2 = BuildFullCheckpoint(db_, "s2", 2);
   EXPECT_TRUE(ConfigurationDiff(s1, s2).empty());
 }
 

@@ -23,7 +23,7 @@ MetaDatabase MakeSampleDatabase() {
                                     CarryPolicy::kMove);
   db.GetLinkMutable(link).properties["PROPAGATE"] = "outofdate,lvs";
 
-  Configuration config = BuildFullSnapshot(db, "snap", 40);
+  Configuration config = BuildFullCheckpoint(db, "snap", 40);
   db.SaveConfiguration(std::move(config));
 
   // A tombstone, to prove dead slots survive the round trip.

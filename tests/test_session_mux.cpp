@@ -1,0 +1,435 @@
+// Epoch-versioned snapshot reads + the multiplexed session server.
+//
+// Three layers under test:
+//  * the MetaDatabase snapshot API (publish / Latest / AtEpoch /
+//    purge floor / pinned-epoch stability);
+//  * the SessionMux (read-vs-mutate classification, bounded-queue
+//    backpressure, mutation log);
+//  * the concurrent differential property: N threaded sessions of
+//    mixed query/event traffic produce read responses that match a
+//    single-session serialized replay of the mutation log, each read
+//    evaluated at its pinned epoch.
+#include "engine/session_mux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace damocles::engine {
+namespace {
+
+using metadb::MetaDatabase;
+using metadb::Oid;
+using metadb::Snapshot;
+using testutil::MakeEdtcServer;
+
+// --- Snapshot API ---------------------------------------------------------
+
+TEST(SessionMuxSnapshotTest, LatestWrapsLiveDatabaseBeforeFirstPublish) {
+  MetaDatabase db;
+  const Snapshot live = db.Latest();
+  EXPECT_TRUE(live.valid());
+  EXPECT_FALSE(live.pinned());
+  EXPECT_EQ(live.epoch(), Snapshot::kLiveEpoch);
+  // Unpinned snapshots see in-place mutations.
+  db.CreateObject(Oid{"cpu", "hdl", 1}, "u", 0);
+  EXPECT_TRUE(live.db().FindObject(Oid{"cpu", "hdl", 1}).has_value());
+}
+
+TEST(SessionMuxSnapshotTest, PinnedEpochIsStableUnderMutation) {
+  MetaDatabase db;
+  db.CreateObject(Oid{"cpu", "hdl", 1}, "u", 0);
+  const Snapshot s1 = db.PublishSnapshot();
+  EXPECT_EQ(s1.epoch(), 1u);
+  EXPECT_TRUE(s1.pinned());
+  EXPECT_EQ(db.snapshot_epoch(), 1u);
+
+  // Mutate and publish epoch 2; the pinned epoch-1 snapshot must not
+  // observe any of it.
+  const auto id = db.CreateNextVersion("cpu", "hdl", "u", 1);
+  db.SetProperty(id, "uptodate", "false");
+  const Snapshot s2 = db.PublishSnapshot();
+  EXPECT_EQ(s2.epoch(), 2u);
+
+  EXPECT_FALSE(s1.db().FindObject(Oid{"cpu", "hdl", 2}).has_value());
+  EXPECT_TRUE(s2.db().FindObject(Oid{"cpu", "hdl", 2}).has_value());
+  EXPECT_EQ(db.Latest().epoch(), 2u);
+
+  // Handles are identical across the publish: the frozen version
+  // resolves the same OidId to the same object.
+  EXPECT_EQ(s2.db().GetObject(id).oid, db.GetObject(id).oid);
+}
+
+TEST(SessionMuxSnapshotTest, PublishIsNoOpWithoutMutations) {
+  MetaDatabase db;
+  db.CreateObject(Oid{"cpu", "hdl", 1}, "u", 0);
+  const Snapshot first = db.PublishSnapshot();
+  const Snapshot again = db.PublishSnapshot();
+  EXPECT_EQ(first.epoch(), again.epoch());
+  EXPECT_EQ(&first.db(), &again.db());
+  EXPECT_EQ(db.snapshot_epoch(), 1u);
+}
+
+TEST(SessionMuxSnapshotTest, AtEpochReturnsNewestAtOrBelow) {
+  MetaDatabase db;
+  for (int i = 1; i <= 3; ++i) {
+    db.CreateNextVersion("cpu", "hdl", "u", i);
+    db.PublishSnapshot();
+  }
+  EXPECT_EQ(db.AtEpoch(2).epoch(), 2u);
+  EXPECT_FALSE(db.AtEpoch(2).db().FindObject(Oid{"cpu", "hdl", 3}).has_value());
+  // Requests above the head clamp to the newest published version.
+  EXPECT_EQ(db.AtEpoch(99).epoch(), 3u);
+  EXPECT_THROW(db.AtEpoch(0), NotFoundError);
+}
+
+TEST(SessionMuxSnapshotTest, RetentionAdvancesPurgeFloor) {
+  MetaDatabase db;
+  db.SetSnapshotRetention(4);
+  for (int i = 1; i <= 10; ++i) {
+    db.CreateNextVersion("cpu", "hdl", "u", i);
+    db.PublishSnapshot();
+  }
+  EXPECT_EQ(db.snapshot_epoch(), 10u);
+  // Epochs 1..6 were merged out; the floor names the newest of them.
+  EXPECT_EQ(db.snapshot_purge_floor(), 6u);
+  EXPECT_THROW(db.AtEpoch(6), NotFoundError);
+  EXPECT_EQ(db.AtEpoch(7).epoch(), 7u);
+  // A snapshot pinned before merge-out stays readable: handles keep
+  // the version alive independently of the store's history.
+  const Snapshot early = db.AtEpoch(7);
+  for (int i = 11; i <= 20; ++i) {
+    db.CreateNextVersion("cpu", "hdl", "u", i);
+    db.PublishSnapshot();
+  }
+  EXPECT_THROW(db.AtEpoch(7), NotFoundError);
+  EXPECT_TRUE(early.db().FindObject(Oid{"cpu", "hdl", 7}).has_value());
+}
+
+// --- SessionMux basics ----------------------------------------------------
+
+TEST(SessionMuxTest, ReadsPinEpochsMutationsAdvanceThem) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+  auto alice = mux.Connect("alice");
+
+  // The mux published the initial epoch at construction.
+  EXPECT_EQ(mux.head_epoch(), 1u);
+  EXPECT_EQ(alice->Execute("epoch"), "epoch 1\n");
+
+  EXPECT_EQ(alice->Execute("checkin CPU HDL_model \"m\""),
+            "ok CPU,HDL_model,1\n");
+  EXPECT_EQ(mux.head_epoch(), 2u);
+  EXPECT_EQ(alice->Execute("epoch"), "epoch 2\n");
+  EXPECT_NE(alice->Execute("query block CPU").find("1 object(s)"),
+            std::string::npos);
+  EXPECT_EQ(alice->last_read_epoch(), 2u);
+
+  const auto log = mux.MutationLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].seq, 1u);
+  EXPECT_EQ(log[0].user, "alice");
+  EXPECT_EQ(log[0].line, "checkin CPU HDL_model \"m\"");
+  EXPECT_EQ(log[0].response, "ok CPU,HDL_model,1\n");
+  EXPECT_EQ(log[0].epoch_after, 2u);
+  EXPECT_EQ(mux.mutations_applied(), 1u);
+}
+
+TEST(SessionMuxTest, UnknownCommandsAnswerImmediately) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+  auto s = mux.Connect("alice");
+  EXPECT_NE(s->Execute("frobnicate").find("unknown command"),
+            std::string::npos);
+  EXPECT_EQ(mux.mutations_applied(), 0u);
+}
+
+TEST(SessionMuxTest, ClockOnlyMutationsDoNotMintEpochs) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+  auto s = mux.Connect("alice");
+  EXPECT_EQ(s->Execute("advance 60"), "ok day 0 00:01:00\n");
+  // The clock moved but the database did not: publish was a no-op and
+  // the epoch is unchanged (replay reproduces this exactly).
+  EXPECT_EQ(mux.head_epoch(), 1u);
+  const auto log = mux.MutationLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].epoch_after, 1u);
+}
+
+TEST(SessionMuxTest, ConcurrentReadersObserveMonotoneEpochs) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kReadsPerReader = 300;
+  constexpr int kWritesPerWriter = 40;
+
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> applied_ok{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto session = mux.Connect("writer" + std::to_string(w));
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        const std::string line = "checkin w" + std::to_string(w) + "blk" +
+                                 std::to_string(i) + " HDL_model \"m\"";
+        std::string response = session->Execute(line);
+        while (response.rfind("busy:", 0) == 0) {
+          response = session->Execute(line);
+        }
+        ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+        applied_ok.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      auto session = mux.Connect("reader" + std::to_string(r));
+      while (!go.load()) std::this_thread::yield();
+      uint64_t last_epoch = 0;
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        const std::string response =
+            (i % 3 == 0) ? session->Execute("query outofdate")
+                         : session->Execute("epoch");
+        ASSERT_FALSE(response.empty());
+        ASSERT_EQ(response.find("error:"), std::string::npos) << response;
+        // Published epochs only move forward under a reader's feet.
+        const uint64_t epoch = session->last_read_epoch();
+        ASSERT_GE(epoch, last_epoch);
+        ASSERT_GE(epoch, 1u);  // Never the unpinned live view.
+        last_epoch = epoch;
+      }
+    });
+  }
+
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mux.mutations_applied(), applied_ok.load());
+  EXPECT_EQ(mux.mutations_applied(),
+            static_cast<uint64_t>(kWriters * kWritesPerWriter));
+  // Every checkin mutates the database, so every applied mutation
+  // minted exactly one epoch past the initial publish.
+  EXPECT_EQ(mux.head_epoch(), 1u + mux.mutations_applied());
+}
+
+// --- Concurrent differential ---------------------------------------------
+
+struct RecordedRead {
+  std::string line;
+  uint64_t epoch = 0;
+  std::string response;
+};
+
+TEST(SessionMuxDifferentialTest, ConcurrentSessionsMatchSerializedReplay) {
+  auto server = MakeEdtcServer();
+  std::vector<RecordedRead> reads;
+  std::vector<MuxLogEntry> log;
+  {
+    SessionMux mux(*server);
+
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 60;
+
+    std::mutex reads_mutex;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937 rng(1234u + static_cast<unsigned>(t));
+        auto session = mux.Connect("user" + std::to_string(t));
+        std::vector<RecordedRead> local;
+        // Per-thread blocks so concurrent mutations never conflict;
+        // reads roam over every thread's blocks.
+        const std::string mine = "t" + std::to_string(t) + "blk";
+        int checkins = 0;
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const uint32_t dice = rng() % 10;
+          if (dice < 4) {  // ~40% mutations.
+            std::string line;
+            if (checkins == 0 || dice < 3) {
+              line = "checkin " + mine + " HDL_model \"m\"";
+              ++checkins;
+            } else {
+              line = "postEvent hdl_sim up " + mine + ",HDL_model," +
+                     std::to_string(1 + (rng() % checkins)) + " \"good\"";
+            }
+            std::string response = session->Execute(line);
+            while (response.rfind("busy:", 0) == 0) {
+              response = session->Execute(line);
+            }
+            ASSERT_EQ(response.find("error:"), std::string::npos)
+                << line << " -> " << response;
+          } else {  // ~60% reads.
+            std::string line;
+            switch (rng() % 4) {
+              case 0:
+                line = "query outofdate";
+                break;
+              case 1:
+                line = "query block t" + std::to_string(rng() % kThreads) +
+                       "blk";
+                break;
+              case 2:
+                line = "report";
+                break;
+              default:
+                line = "blockers sim_result=good";
+                break;
+            }
+            RecordedRead read;
+            read.line = line;
+            read.response = session->Execute(line);
+            read.epoch = session->last_read_epoch();
+            local.push_back(std::move(read));
+          }
+        }
+        std::lock_guard<std::mutex> lock(reads_mutex);
+        for (auto& read : local) reads.push_back(std::move(read));
+      });
+    }
+    go.store(true);
+    for (std::thread& t : threads) t.join();
+    log = mux.MutationLog();
+  }
+
+  ASSERT_FALSE(log.empty());
+  ASSERT_FALSE(reads.empty());
+
+  // Serialized replay on a fresh identical server: same blueprint,
+  // same mutation order, one session per user — every mutation
+  // response, every minted epoch and every pinned-epoch read must
+  // reproduce exactly.
+  auto replay = MakeEdtcServer();
+  replay->database().PublishSnapshot();  // The mux's initial epoch.
+
+  std::map<uint64_t, std::vector<const RecordedRead*>> reads_by_epoch;
+  for (const RecordedRead& read : reads) {
+    reads_by_epoch[read.epoch].push_back(&read);
+  }
+  // Reads pinned epochs the replay will reach; nothing below the
+  // initial publish, nothing above the final mutation's epoch.
+  ASSERT_GE(reads_by_epoch.begin()->first, 1u);
+  ASSERT_LE(reads_by_epoch.rbegin()->first, log.back().epoch_after);
+
+  WireSession replay_reader(*replay, "replay-reader");
+  replay_reader.set_snapshot_reads(true);
+  const auto check_reads_at = [&](uint64_t epoch) {
+    const auto it = reads_by_epoch.find(epoch);
+    if (it == reads_by_epoch.end()) return;
+    for (const RecordedRead* read : it->second) {
+      EXPECT_EQ(replay_reader.HandleLine(read->line), read->response)
+          << "read '" << read->line << "' diverged at epoch " << epoch;
+      EXPECT_EQ(replay_reader.last_read_epoch(), epoch);
+    }
+    reads_by_epoch.erase(it);
+  };
+
+  std::map<std::string, std::unique_ptr<WireSession>> replay_sessions;
+  check_reads_at(replay->database().snapshot_epoch());
+  for (const MuxLogEntry& entry : log) {
+    auto& session = replay_sessions[entry.user];
+    if (session == nullptr) {
+      session = std::make_unique<WireSession>(*replay, entry.user);
+    }
+    EXPECT_EQ(session->HandleLine(entry.line), entry.response)
+        << "mutation diverged at seq " << entry.seq;
+    EXPECT_EQ(replay->database().PublishSnapshot().epoch(), entry.epoch_after)
+        << "epoch diverged at seq " << entry.seq;
+    check_reads_at(entry.epoch_after);
+  }
+  EXPECT_TRUE(reads_by_epoch.empty())
+      << reads_by_epoch.size() << " read epoch group(s) never reached";
+}
+
+TEST(SessionMuxDifferentialTest, ShardedServerMatchesSerializedReplay) {
+  // Same property with the mutations flowing through the sharded
+  // intake rings (the replay side stays single-engine: the meta-data
+  // outcome must be identical either way).
+  ServerOptions options;
+  options.num_shards = 4;
+  auto server = MakeEdtcServer(options);
+  ASSERT_TRUE(server->is_sharded());
+
+  std::vector<MuxLogEntry> log;
+  {
+    SessionMux mux(*server);
+    constexpr int kThreads = 3;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto session = mux.Connect("user" + std::to_string(t));
+        const std::string mine = "s" + std::to_string(t) + "blk";
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 20; ++i) {
+          std::string line = (i % 4 == 3)
+                                 ? "postEvent hdl_sim up " + mine +
+                                       ",HDL_model," +
+                                       std::to_string(i / 4 + 1) + " \"good\""
+                                 : "checkin " + mine + " HDL_model \"m\"";
+          std::string response = session->Execute(line);
+          while (response.rfind("busy:", 0) == 0) {
+            response = session->Execute(line);
+          }
+          ASSERT_EQ(response.find("error:"), std::string::npos)
+              << line << " -> " << response;
+        }
+      });
+    }
+    go.store(true);
+    for (std::thread& t : threads) t.join();
+    log = mux.MutationLog();
+  }
+
+  auto replay = MakeEdtcServer();
+  replay->database().PublishSnapshot();
+  std::map<std::string, std::unique_ptr<WireSession>> replay_sessions;
+  for (const MuxLogEntry& entry : log) {
+    auto& session = replay_sessions[entry.user];
+    if (session == nullptr) {
+      session = std::make_unique<WireSession>(*replay, entry.user);
+    }
+    EXPECT_EQ(session->HandleLine(entry.line), entry.response)
+        << "mutation diverged at seq " << entry.seq;
+    EXPECT_EQ(replay->database().PublishSnapshot().epoch(), entry.epoch_after)
+        << "epoch diverged at seq " << entry.seq;
+  }
+}
+
+// --- Documentation drift --------------------------------------------------
+
+TEST(SessionMuxDocsTest, ReadmeCarriesTheGeneratedCommandTable) {
+  std::ifstream readme(std::string(DAMOCLES_SOURCE_DIR) + "/README.md");
+  ASSERT_TRUE(readme.is_open()) << "README.md not found next to sources";
+  std::stringstream buffer;
+  buffer << readme.rdbuf();
+  const std::string text = buffer.str();
+
+  // The README's wire-command table is the generated table verbatim —
+  // regenerate with WireCommandMarkdownTable() when commands change.
+  for (const WireCommandInfo& info : WireCommands()) {
+    EXPECT_NE(text.find("`" + std::string(info.usage) + "`"),
+              std::string::npos)
+        << "README.md is missing the usage line for '" << info.name << "'";
+  }
+  EXPECT_NE(text.find(WireCommandMarkdownTable()), std::string::npos)
+      << "README.md command table drifted from WireCommandMarkdownTable()";
+}
+
+}  // namespace
+}  // namespace damocles::engine

@@ -82,14 +82,82 @@ TEST_F(WireSessionTest, BlockersCommand) {
             std::string::npos);
 }
 
-TEST_F(WireSessionTest, ReportAndSnapshot) {
+TEST_F(WireSessionTest, ReportAndCheckpoint) {
   session_.HandleLine("checkin CPU HDL_model \"m\"");
   EXPECT_NE(session_.HandleLine("report").find("<CPU.HDL_model.1>"),
             std::string::npos);
-  EXPECT_EQ(session_.HandleLine("snapshot milestone1"),
-            "ok snapshot 'milestone1' with 1 addresses\n");
+  EXPECT_EQ(session_.HandleLine("checkpoint milestone1"),
+            "ok checkpoint 'milestone1' with 1 addresses\n");
   EXPECT_TRUE(
       server_->database().FindConfiguration("milestone1").has_value());
+}
+
+TEST_F(WireSessionTest, SnapshotIsADeprecatedCheckpointAlias) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  EXPECT_EQ(session_.HandleLine("snapshot milestone1"),
+            "notice: 'snapshot' is deprecated; use 'checkpoint <name>'\n"
+            "ok checkpoint 'milestone1' with 1 addresses\n");
+  EXPECT_TRUE(
+      server_->database().FindConfiguration("milestone1").has_value());
+}
+
+TEST_F(WireSessionTest, HelpIsGeneratedFromTheRegistry) {
+  const std::string help = session_.HandleLine("help");
+  for (const WireCommandInfo& info : WireCommands()) {
+    EXPECT_NE(help.find(std::string(info.usage)), std::string::npos)
+        << "usage line missing from help: " << info.usage;
+  }
+  // The deprecated alias is listed with its replacement, not as a
+  // first-class command.
+  EXPECT_NE(help.find("deprecated:"), std::string::npos);
+}
+
+TEST_F(WireSessionTest, RegistryClassifiesReadsAndMutations) {
+  EXPECT_EQ(ClassifyWireLine("query outofdate"), WireCommandKind::kRead);
+  EXPECT_EQ(ClassifyWireLine("report"), WireCommandKind::kRead);
+  EXPECT_EQ(ClassifyWireLine("viz dot"), WireCommandKind::kRead);
+  EXPECT_EQ(ClassifyWireLine("checkin CPU HDL_model"),
+            WireCommandKind::kMutate);
+  EXPECT_EQ(ClassifyWireLine("postEvent ckin up a,b,1"),
+            WireCommandKind::kMutate);
+  EXPECT_EQ(ClassifyWireLine("checkpoint m1"), WireCommandKind::kMutate);
+  EXPECT_EQ(ClassifyWireLine("snapshot m1"), WireCommandKind::kMutate);
+  EXPECT_EQ(ClassifyWireLine("advance 60"), WireCommandKind::kMutate);
+  // Unknown commands classify as reads: they error out immediately
+  // instead of occupying the mutation queue.
+  EXPECT_EQ(ClassifyWireLine("frobnicate"), WireCommandKind::kRead);
+}
+
+TEST_F(WireSessionTest, VizCommands) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  const std::string block = session_.HandleLine("viz block CPU");
+  EXPECT_NE(block.find("block 'CPU'"), std::string::npos);
+  EXPECT_NE(block.find("[HDL_model] v1"), std::string::npos);
+  const std::string dot = session_.HandleLine("viz dot");
+  EXPECT_NE(dot.find("digraph damocles"), std::string::npos);
+  EXPECT_NE(session_.HandleLine("viz sideways").find("error:"),
+            std::string::npos);
+}
+
+TEST_F(WireSessionTest, SnapshotReadsPinThePublishedEpoch) {
+  session_.HandleLine("checkin CPU HDL_model \"m\"");
+  server_->database().PublishSnapshot();
+  session_.set_snapshot_reads(true);
+
+  EXPECT_EQ(session_.HandleLine("epoch"), "epoch 1\n");
+  EXPECT_EQ(session_.last_read_epoch(), 1u);
+
+  // A read answered from the pinned snapshot does not see unpublished
+  // mutations...
+  session_.HandleLine("checkin CPU schematic \"s\"");
+  EXPECT_NE(session_.HandleLine("query block CPU").find("1 object(s)"),
+            std::string::npos);
+
+  // ...until the writer publishes the next epoch.
+  server_->database().PublishSnapshot();
+  EXPECT_NE(session_.HandleLine("query block CPU").find("2 object(s)"),
+            std::string::npos);
+  EXPECT_EQ(session_.last_read_epoch(), 2u);
 }
 
 TEST_F(WireSessionTest, ValidateRunsTheLinter) {
