@@ -1,7 +1,11 @@
 #include "engine/project_server.hpp"
 
+#include <filesystem>
+
 #include "blueprint/parser.hpp"
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "metadb/persistence.hpp"
 
 namespace damocles::engine {
 
@@ -9,6 +13,24 @@ ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
     : project_name_(std::move(project_name)),
       options_(options),
       workspace_(project_name_ + ".workspace") {
+  const bool durable = !options_.wal_dir.empty();
+  metadb::RecoveryPlan plan;
+  if (durable) {
+    std::filesystem::create_directories(options_.wal_dir);
+    if (options_.auto_recover) {
+      plan = metadb::BuildRecoveryPlan(options_.wal_dir);
+      metadb::PrepareWalDirectory(options_.wal_dir, plan);
+    }
+    if (plan.have_checkpoint) {
+      // Load the checkpoint before any engine exists: move-assigning
+      // the database is only safe while its observer list is empty.
+      db_ = metadb::LoadDatabaseString(plan.db_text);
+      metadb::LoadWorkspaceText(plan.workspace_text, workspace_);
+      clock_.Advance(plan.manifest.clock_seconds - clock_.NowSeconds());
+      blueprint_text_ = plan.blueprint_text;
+    }
+  }
+
   if (options_.num_shards > 1) {
     ShardedEngineOptions sharded;
     sharded.num_shards = options_.num_shards;
@@ -36,9 +58,262 @@ ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
     event.origin = events::EventOrigin::kExternal;
     PostToEngine(std::move(event));
   });
+
+  if (plan.have_checkpoint) {
+    // Re-install the checkpointed rules (suppressing op logging), then
+    // the pre-checkpoint journal rows and the epoch bookkeeping —
+    // sinks are not attached yet, so none of this re-enters the WAL.
+    if (!blueprint_text_.empty()) {
+      replaying_ = true;
+      InitializeBlueprint(blueprint_text_);
+      replaying_ = false;
+    }
+    for (const metadb::RecoveredStream& stream : plan.streams) {
+      events::EventJournal* journal = JournalForStream(stream.name);
+      if (journal == nullptr) continue;
+      for (const events::WalRestoredRow& row : stream.rows) {
+        journal->Record(row.event);
+      }
+    }
+    if (sharded_ != nullptr) {
+      sharded_->RestoreEpochCeiling(
+          plan.manifest.epoch_next,
+          static_cast<size_t>(plan.manifest.epoch_waves));
+    }
+    recovered_checkpoint_ = true;
+    recovered_checkpoint_id_ = plan.manifest.checkpoint_id;
+    recovered_op_seq_ = plan.manifest.op_seq;
+    restored_rows_ = plan.restored_rows;
+  }
+
+  if (durable) {
+    manifests_skipped_ = plan.manifests_skipped;
+    AttachWal();
+    op_seq_ = plan.last_op_seq;
+    replayed_ops_offset_ = plan.replay_ops_end;
+    if (!plan.replay_ops.empty()) ReplayOps(plan.replay_ops);
+  }
 }
 
-ProjectServer::~ProjectServer() = default;
+ProjectServer::~ProjectServer() {
+  // Detach sinks before the writers die; the journals (inside the
+  // engines) outlive the writers by declaration order.
+  for (events::EventJournal* journal : sink_journals_) {
+    journal->SetSink(nullptr);
+  }
+}
+
+events::EventJournal* ProjectServer::JournalForStream(
+    const std::string& name) {
+  if (sharded_ == nullptr) {
+    return &engine_->mutable_journal();
+  }
+  const auto parse_index = [&name](const char* prefix,
+                                   size_t& out) -> bool {
+    if (!StartsWith(name, prefix)) return false;
+    const std::string digits = name.substr(std::string(prefix).size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    out = static_cast<size_t>(std::stoull(digits));
+    return true;
+  };
+  size_t index = 0;
+  if (parse_index("shard", index) && index < sharded_->num_shards()) {
+    return &sharded_->shard(static_cast<uint32_t>(index)).mutable_journal();
+  }
+  if (parse_index("steal", index) &&
+      index < sharded_->steal_journal_count()) {
+    return &sharded_->steal_journal(index);
+  }
+  // Config drift (fewer shards / steal contexts than the checkpointing
+  // process had): fold leftovers into shard 0 — the journal multiset
+  // across all streams is what recovery preserves.
+  return &sharded_->shard(0).mutable_journal();
+}
+
+void ProjectServer::AttachWal() {
+  const auto make_writer = [this](const std::string& stream,
+                                  uint32_t shard_id) {
+    events::WalWriterOptions wal;
+    wal.dir = options_.wal_dir;
+    wal.stream = stream;
+    wal.shard_id = shard_id;
+    wal.segment_bytes = options_.wal_segment_bytes;
+    wal.fsync = options_.wal_fsync;
+    wal.observer = options_.wal_observer;
+    if (sharded_ != nullptr) {
+      wal.epoch_floor = [this] { return sharded_->stats().claim_purge_floor; };
+    }
+    return std::make_unique<events::WalWriter>(std::move(wal));
+  };
+
+  ops_writer_ = make_writer("ops", 0);
+
+  const auto attach = [this](events::EventJournal& journal,
+                             std::unique_ptr<events::WalWriter> writer) {
+    journal.SetSink(writer.get());
+    sink_journals_.push_back(&journal);
+    row_writers_.push_back(std::move(writer));
+  };
+  if (sharded_ != nullptr) {
+    for (uint32_t i = 0; i < sharded_->num_shards(); ++i) {
+      attach(sharded_->shard(i).mutable_journal(),
+             make_writer("shard" + std::to_string(i), i));
+    }
+    for (size_t i = 0; i < sharded_->steal_journal_count(); ++i) {
+      attach(sharded_->steal_journal(i),
+             make_writer("steal" + std::to_string(i), 0));
+    }
+  } else {
+    attach(engine_->mutable_journal(), make_writer("shard0", 0));
+  }
+}
+
+void ProjectServer::ApplyOp(const events::WalOpRecord& op) {
+  switch (op.type) {
+    case events::WalRecordType::kOpEvent:
+      Submit(op.event);
+      break;
+    case events::WalRecordType::kOpCheckIn:
+      CheckIn(op.block, op.view, op.content, op.user);
+      break;
+    case events::WalRecordType::kOpLink:
+      RegisterLink(static_cast<metadb::LinkKind>(op.link_kind), op.link_from,
+                   op.link_to);
+      break;
+    case events::WalRecordType::kOpBlueprint:
+      InitializeBlueprint(op.text);
+      break;
+    case events::WalRecordType::kOpClock:
+      // Clock ops carry absolute simulated time; never step backwards.
+      if (op.clock_seconds > clock_.NowSeconds()) {
+        clock_.Advance(op.clock_seconds - clock_.NowSeconds());
+      }
+      break;
+    default:
+      throw Error("ApplyOp: record type " +
+                  std::to_string(static_cast<int>(op.type)) +
+                  " is not an operation");
+  }
+}
+
+void ProjectServer::ReplayOps(const std::vector<events::WalOpEntry>& ops) {
+  replaying_ = true;
+  for (const events::WalOpEntry& entry : ops) {
+    try {
+      ApplyOp(entry.op);
+    } catch (const Error&) {
+      // The op failed identically when it ran the first time, or the
+      // environment it needed (an installed policy, say) is gone;
+      // either way the surviving timeline continues without it.
+    }
+    ++replayed_ops_;
+  }
+  Drain();
+  replaying_ = false;
+  FlushWal();
+}
+
+void ProjectServer::FlushWal() {
+  if (!durable()) return;
+  switch (options_.wal_fsync) {
+    case events::FsyncPolicy::kBatch:
+      ops_writer_->Sync();
+      for (auto& writer : row_writers_) writer->Sync();
+      break;
+    case events::FsyncPolicy::kEveryRecord:
+      // Each append group already fsynced itself.
+      ops_writer_->Flush();
+      for (auto& writer : row_writers_) writer->Flush();
+      break;
+    case events::FsyncPolicy::kNone:
+      // Best-effort tier: records stay in the writers' stdio buffers
+      // until a buffer fills, a checkpoint syncs, or the server shuts
+      // down cleanly. Draining costs no syscalls; a kill -9 can lose
+      // the buffered tail (recovery then resumes from the durable
+      // prefix — the crash fuzz exercises exactly this).
+      break;
+  }
+}
+
+void ProjectServer::MaybeAutoCheckpoint() {
+  if (!durable() || replaying_) return;
+  if (options_.checkpoint_every_ops == 0) return;
+  if (ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
+    WalCheckpoint();
+  }
+}
+
+uint64_t ProjectServer::WalCheckpoint() {
+  if (!durable()) {
+    throw Error("wal-checkpoint: durability is off (no wal_dir configured)");
+  }
+  Drain();
+  ops_writer_->Sync();
+  for (auto& writer : row_writers_) writer->Sync();
+
+  metadb::CheckpointRequest request;
+  request.op_seq = op_seq_;
+  request.ops_offset = ops_writer_->logical_end();
+  request.clock_seconds = clock_.NowSeconds();
+  if (sharded_ != nullptr) {
+    request.epoch_next = sharded_->epoch_ceiling();
+    request.epoch_waves = sharded_->stats().wave_epochs;
+  }
+  request.num_shards = options_.num_shards;
+  request.db_text = metadb::SaveDatabaseString(db_);
+  request.blueprint_text = blueprint_text_;
+  request.workspace_text = metadb::SaveWorkspaceText(workspace_);
+  for (const auto& writer : row_writers_) {
+    request.streams.emplace_back(writer->stream(), writer->logical_end());
+  }
+  request.observer = options_.wal_observer;
+
+  const uint64_t id = metadb::WriteWalCheckpoint(options_.wal_dir, request);
+  ops_since_checkpoint_ = 0;
+  ++checkpoints_taken_;
+  return id;
+}
+
+WalStatus ProjectServer::GetWalStatus() const {
+  WalStatus status;
+  status.enabled = durable();
+  status.dir = options_.wal_dir;
+  status.fsync = options_.wal_fsync;
+  status.recovered = recovered_checkpoint_;
+  status.checkpoint_id = recovered_checkpoint_id_;
+  status.recovered_op_seq = recovered_op_seq_;
+  status.replayed_ops = replayed_ops_;
+  status.replayed_ops_offset = replayed_ops_offset_;
+  status.restored_rows = restored_rows_;
+  status.manifests_skipped = manifests_skipped_;
+  status.ops_logged = op_seq_;
+  status.ops_end_offset =
+      ops_writer_ != nullptr ? ops_writer_->logical_end() : 0;
+  status.checkpoints_taken = checkpoints_taken_;
+  return status;
+}
+
+size_t ProjectServer::RecoverFrom(const std::string& dir) {
+  if (durable() && dir == options_.wal_dir) {
+    throw Error("recover: refusing to replay this server's own WAL "
+                "directory into itself");
+  }
+  const events::WalStreamData ops = events::ReadWalStream(dir, "ops");
+  size_t applied = 0;
+  for (const events::WalOpEntry& entry : ops.ops) {
+    try {
+      ApplyOp(entry.op);
+      ++applied;
+    } catch (const Error&) {
+      // Ops that failed in the original timeline re-fail here.
+    }
+  }
+  Drain();
+  return applied;
+}
 
 void ProjectServer::PostToEngine(events::EventMessage event) {
   if (sharded_ != nullptr) {
@@ -59,6 +334,9 @@ void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
   // Retemplating only mutates the shared meta-database (observers keep
   // every shard index in step), so shard 0's engine covers both modes.
   if (options_.retemplate_on_init) engine().RetemplateLinks();
+  blueprint_text_ = std::string(rule_file_text);
+  if (logging()) ops_writer_->AppendBlueprintOp(NextOpSeq(), blueprint_text_);
+  MaybeAutoCheckpoint();
 }
 
 void ProjectServer::SetProjectPhase(std::string phase) {
@@ -89,7 +367,11 @@ metadb::Oid ProjectServer::CheckIn(std::string_view block,
   EnforcePolicy(policy::Operation::kCheckIn, user, view, block);
   const metadb::Oid oid =
       workspace_.CheckIn(block, view, content, user, clock_.NowSeconds());
+  if (logging()) {
+    ops_writer_->AppendCheckInOp(NextOpSeq(), block, view, content, user);
+  }
   if (options_.auto_drain) Drain();
+  MaybeAutoCheckpoint();
   return oid;
 }
 
@@ -110,8 +392,15 @@ metadb::LinkId ProjectServer::RegisterLink(metadb::LinkKind kind,
     throw NotFoundError("RegisterLink: unknown endpoint " +
                         FormatOid(!from_id.has_value() ? from : to));
   }
-  if (sharded_ != nullptr) return sharded_->OnCreateLink(kind, *from_id, *to_id);
-  return engine_->OnCreateLink(kind, *from_id, *to_id);
+  const metadb::LinkId link =
+      sharded_ != nullptr ? sharded_->OnCreateLink(kind, *from_id, *to_id)
+                          : engine_->OnCreateLink(kind, *from_id, *to_id);
+  if (logging()) {
+    ops_writer_->AppendLinkOp(NextOpSeq(), static_cast<uint8_t>(kind), from,
+                              to);
+  }
+  MaybeAutoCheckpoint();
+  return link;
 }
 
 void ProjectServer::SubmitWireLine(std::string_view line,
@@ -126,13 +415,26 @@ void ProjectServer::Submit(events::EventMessage event) {
   // rules post internally are not re-checked.
   EnforcePolicy(policy::Operation::kPostEvent, event.user, event.name,
                 event.target.block);
+  // Logged before the move hands the fields to the engine; intake is a
+  // queue push that cannot fail once the policy gate passed, and replay
+  // tolerates ops that re-fail.
+  if (logging()) ops_writer_->AppendEventOp(NextOpSeq(), event);
   PostToEngine(std::move(event));
   if (options_.auto_drain) Drain();
+  MaybeAutoCheckpoint();
 }
 
 size_t ProjectServer::Drain() {
-  if (sharded_ != nullptr) return sharded_->Drain();
-  return engine_->ProcessAll();
+  const size_t processed =
+      sharded_ != nullptr ? sharded_->Drain() : engine_->ProcessAll();
+  FlushWal();
+  return processed;
+}
+
+void ProjectServer::AdvanceClock(int64_t seconds) {
+  clock_.Advance(seconds);
+  if (logging()) ops_writer_->AppendClockOp(NextOpSeq(), clock_.NowSeconds());
+  MaybeAutoCheckpoint();
 }
 
 }  // namespace damocles::engine

@@ -18,8 +18,10 @@
 #include "common/clock.hpp"
 #include "engine/run_time_engine.hpp"
 #include "engine/sharded_engine.hpp"
+#include "events/wal.hpp"
 #include "events/wire.hpp"
 #include "metadb/meta_database.hpp"
+#include "metadb/recovery.hpp"
 #include "metadb/workspace.hpp"
 #include "policy/policy_engine.hpp"
 
@@ -49,6 +51,40 @@ struct ServerOptions {
   /// between loose and strict blueprints effective for data created
   /// under the previous phase (paper §3.2).
   bool retemplate_on_init = true;
+
+  // --- Durability (write-ahead log; see events/wal.hpp) ------------------
+
+  /// Directory for WAL segments, checkpoints and manifests. Created on
+  /// demand. Empty (default) disables durability entirely.
+  std::string wal_dir;
+  /// When appended WAL bytes are forced down (none|batch|every_record).
+  events::FsyncPolicy wal_fsync = events::FsyncPolicy::kNone;
+  /// Segment roll threshold.
+  size_t wal_segment_bytes = 4u << 20;
+  /// Take a checkpoint automatically every N logged operations
+  /// (0 = only explicit WalCheckpoint / wire "wal-checkpoint" calls).
+  size_t checkpoint_every_ops = 0;
+  /// Recover from wal_dir contents at construction (default on).
+  bool auto_recover = true;
+  /// Crash-harness hook observing durable extents; not owned.
+  events::WalAppendObserver* wal_observer = nullptr;
+};
+
+/// Durability-state snapshot (the wire "wal-status" command's payload).
+struct WalStatus {
+  bool enabled = false;
+  std::string dir;
+  events::FsyncPolicy fsync = events::FsyncPolicy::kNone;
+  bool recovered = false;  ///< A checkpoint was loaded at construction.
+  uint64_t checkpoint_id = 0;       ///< Checkpoint recovered from.
+  uint64_t recovered_op_seq = 0;    ///< op_seq the checkpoint covered.
+  size_t replayed_ops = 0;          ///< WAL tail ops re-executed.
+  uint64_t replayed_ops_offset = 0; ///< Ops offset replayed through.
+  size_t restored_rows = 0;         ///< Journal rows restored.
+  size_t manifests_skipped = 0;     ///< Torn checkpoints passed over.
+  uint64_t ops_logged = 0;          ///< Current operation sequence number.
+  uint64_t ops_end_offset = 0;      ///< Ops stream logical end, now.
+  uint64_t checkpoints_taken = 0;   ///< Checkpoints this process wrote.
 };
 
 /// Facade bundling the tracking system's moving parts.
@@ -105,7 +141,28 @@ class ProjectServer {
   size_t Drain();
 
   /// Advances simulated time (design activities take time).
-  void AdvanceClock(int64_t seconds) { clock_.Advance(seconds); }
+  void AdvanceClock(int64_t seconds);
+
+  // --- Durability ---------------------------------------------------------
+
+  /// True when operations and journal rows are mirrored to a WAL.
+  bool durable() const noexcept { return ops_writer_ != nullptr; }
+
+  /// Drains, syncs every stream and writes a checkpoint (database,
+  /// blueprint, workspace, per-stream offsets). Returns the checkpoint
+  /// id. Throws Error when durability is off.
+  uint64_t WalCheckpoint();
+
+  /// Current durability state (recovery provenance included).
+  WalStatus GetWalStatus() const;
+
+  /// Replays the complete operation history of another WAL directory
+  /// into this server (full-genesis replay: checkpoints in `dir` are
+  /// ignored, the ops stream alone is the source). Intended for
+  /// standing up a fresh server from a crashed one's log; throws Error
+  /// when `dir` is this server's own WAL directory. Returns the number
+  /// of operations applied.
+  size_t RecoverFrom(const std::string& dir);
 
   // --- Component access --------------------------------------------------
 
@@ -142,6 +199,42 @@ class ProjectServer {
   /// Routes one event to the plain engine or the sharded intake rings.
   void PostToEngine(events::EventMessage event);
 
+  // --- Durability internals ----------------------------------------------
+
+  /// The journal a WAL row stream mirrors ("shard<K>" -> lane K,
+  /// "steal<K>" -> steal context K; unknown names fold into shard 0 so
+  /// a config change never loses restored rows). Null only when the
+  /// stream index is out of range and no fallback exists.
+  events::EventJournal* JournalForStream(const std::string& name);
+
+  /// Creates the ops + row writers and attaches the journal sinks.
+  void AttachWal();
+
+  /// True when operations should be appended to the ops stream: the
+  /// call sites log through the writer's zero-copy Append*Op methods
+  /// after an operation succeeded (policy, validation and mutation),
+  /// and skip it while replaying or when durability is off.
+  bool logging() const noexcept {
+    return ops_writer_ != nullptr && !replaying_;
+  }
+
+  /// Assigns the next op_seq (and counts toward auto-checkpointing).
+  uint64_t NextOpSeq() noexcept {
+    ++ops_since_checkpoint_;
+    return ++op_seq_;
+  }
+
+  /// Re-executes one logged operation (replay path).
+  void ApplyOp(const events::WalOpRecord& op);
+
+  /// Replays the post-checkpoint ops tail at construction.
+  void ReplayOps(const std::vector<events::WalOpEntry>& ops);
+
+  /// Applies the fsync policy at drain boundaries.
+  void FlushWal();
+
+  void MaybeAutoCheckpoint();
+
   std::string project_name_;
   ServerOptions options_;
   SimClock clock_;
@@ -151,6 +244,26 @@ class ProjectServer {
   metadb::Workspace workspace_;
   policy::PolicyEngine* policy_ = nullptr;
   std::string phase_;
+
+  // Durability state (all inert when wal_dir is empty).
+  std::unique_ptr<events::WalWriter> ops_writer_;
+  std::vector<std::unique_ptr<events::WalWriter>> row_writers_;
+  /// Journals with an attached sink, for detaching at destruction.
+  std::vector<events::EventJournal*> sink_journals_;
+  uint64_t op_seq_ = 0;
+  size_t ops_since_checkpoint_ = 0;
+  bool replaying_ = false;
+  /// The active blueprint's source text (checkpointed alongside the
+  /// database so recovery can re-install the rules).
+  std::string blueprint_text_;
+  bool recovered_checkpoint_ = false;
+  uint64_t recovered_checkpoint_id_ = 0;
+  uint64_t recovered_op_seq_ = 0;
+  size_t replayed_ops_ = 0;
+  uint64_t replayed_ops_offset_ = 0;
+  size_t restored_rows_ = 0;
+  size_t manifests_skipped_ = 0;
+  uint64_t checkpoints_taken_ = 0;
 };
 
 }  // namespace damocles::engine

@@ -256,6 +256,10 @@ class RunTimeEngine : private metadb::LinkObserver {
   const metadb::MetaDatabase& database() const noexcept { return db_; }
   events::EventQueue& queue() noexcept { return queue_; }
   const events::EventJournal& journal() const noexcept { return journal_; }
+  /// Mutable journal access for the durability layer (events/wal.hpp):
+  /// sink attachment and crash-recovery row restore. Engine code itself
+  /// never mutates the journal through this.
+  events::EventJournal& mutable_journal() noexcept { return journal_; }
   const EngineStats& stats() const noexcept { return stats_; }
   SimClock& clock() noexcept { return clock_; }
   const PropagationIndex& propagation_index() const noexcept { return index_; }

@@ -20,6 +20,7 @@ SessionMux::~SessionMux() {
     stop_ = true;
   }
   queue_cv_.notify_all();
+  space_cv_.notify_all();
   if (apply_thread_.joinable()) apply_thread_.join();
 }
 
@@ -40,12 +41,30 @@ std::string SessionMux::SubmitMutation(Session& session,
   std::promise<std::string> promise;
   std::future<std::string> future = promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::unique_lock<std::mutex> lock(queue_mutex_);
     if (stop_) return "error: session mux is shutting down\n";
     if (queue_.size() >= options_.mutation_queue_capacity) {
-      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
-      return "busy: mutation queue full (" + std::to_string(queue_.size()) +
-             " pending); retry\n";
+      // Bounded retry: wait (with growing backoff) for the apply
+      // thread to make space, then re-check. Attempts exhausted or
+      // shutdown mid-wait falls through to the busy rejection.
+      const auto& retry = options_.mutation_retry;
+      bool admitted = false;
+      for (size_t attempt = 0; attempt < retry.attempts; ++attempt) {
+        space_cv_.wait_for(lock, retry.backoff * (attempt + 1), [this] {
+          return stop_ || queue_.size() < options_.mutation_queue_capacity;
+        });
+        if (stop_) return "error: session mux is shutting down\n";
+        if (queue_.size() < options_.mutation_queue_capacity) {
+          mutation_retries_.fetch_add(1, std::memory_order_relaxed);
+          admitted = true;
+          break;
+        }
+      }
+      if (!admitted) {
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return "busy: mutation queue full (" + std::to_string(queue_.size()) +
+               " pending); retry\n";
+      }
     }
     PendingMutation pending;
     pending.line = std::string(line);
@@ -70,6 +89,7 @@ void SessionMux::ApplyLoop() {
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
+    space_cv_.notify_all();
 
     // The single-writer step: the session's writer-side WireSession
     // applies the mutation (events drain through the plain engine or

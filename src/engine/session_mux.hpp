@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -56,6 +57,18 @@ struct SessionMuxOptions {
   /// mutation). Off, readers keep answering from the last explicit
   /// publish.
   bool publish_each_mutation = true;
+
+  /// Bounded retry when the mutation queue is full. With attempts = 0
+  /// (the default) a full queue rejects immediately ("busy: ...");
+  /// with attempts = N the submitting session waits for queue space —
+  /// backoff, 2*backoff, ... N*backoff — and only rejects after all
+  /// attempts saturate. The wait is bounded so a wedged apply thread
+  /// still cannot hold a remote client forever.
+  struct MutationRetry {
+    size_t attempts = 0;
+    std::chrono::milliseconds backoff{2};
+  };
+  MutationRetry mutation_retry;
 };
 
 /// One applied mutation, in apply order (seq ascends from 1).
@@ -130,6 +143,10 @@ class SessionMux {
   uint64_t busy_rejections() const noexcept {
     return busy_rejections_.load(std::memory_order_relaxed);
   }
+  /// Waits that found queue space before exhausting their attempts.
+  uint64_t mutation_retries() const noexcept {
+    return mutation_retries_.load(std::memory_order_relaxed);
+  }
 
   /// Copy of the mutation log (apply order).
   std::vector<MuxLogEntry> MutationLog() const;
@@ -151,6 +168,9 @@ class SessionMux {
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
+  /// Signalled when the apply thread pops an entry: submitters in a
+  /// retry wait wake to re-check for queue space.
+  std::condition_variable space_cv_;
   std::deque<PendingMutation> queue_;
   bool stop_ = false;
 
@@ -159,6 +179,7 @@ class SessionMux {
 
   std::atomic<uint64_t> mutations_applied_{0};
   std::atomic<uint64_t> busy_rejections_{0};
+  std::atomic<uint64_t> mutation_retries_{0};
 
   std::thread apply_thread_;
 };

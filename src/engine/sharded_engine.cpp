@@ -515,7 +515,8 @@ class ShardedEngine::IndexRouter final : public metadb::LinkObserver,
   explicit IndexRouter(ShardedEngine& owner) : owner_(owner) {
     // Scan-mode engines (use_propagation_index = false) query no index;
     // maintaining one per shard would be pure overhead.
-    if (owner_.num_shards_ > 1 && owner_.options_.engine.use_propagation_index) {
+    if (owner_.num_shards_ > 1 &&
+        owner_.options_.engine.use_propagation_index) {
       owner_.db_.AddLinkObserver(this);
     }
   }
@@ -933,6 +934,24 @@ void ShardedEngine::UnlockDelivery(OidId receiver) {
 uint64_t ShardedEngine::MintEpoch() {
   counters_->wave_epochs.fetch_add(1, std::memory_order_relaxed);
   return counters_->next_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t ShardedEngine::epoch_ceiling() const noexcept {
+  return counters_->next_epoch.load(std::memory_order_relaxed);
+}
+
+void ShardedEngine::RestoreEpochCeiling(uint64_t next_epoch,
+                                        size_t wave_epochs) {
+  counters_->next_epoch.store(next_epoch, std::memory_order_relaxed);
+  counters_->wave_epochs.store(wave_epochs, std::memory_order_relaxed);
+}
+
+size_t ShardedEngine::steal_journal_count() const noexcept {
+  return steal_contexts_.size();
+}
+
+events::EventJournal& ShardedEngine::steal_journal(size_t index) {
+  return steal_contexts_[index]->engine->mutable_journal();
 }
 
 void ShardedEngine::AcquireEpochRef(uint64_t epoch) {

@@ -287,6 +287,22 @@ class ShardedEngine {
   void ClearJournals();
   void ResetStats();
 
+  // --- Durability hooks (events/wal.hpp, metadb/recovery.hpp) ------------
+
+  /// Last minted wave epoch (0 when none yet): the value a checkpoint
+  /// records so a recovered engine keeps minting past every epoch the
+  /// crashed process ever issued.
+  uint64_t epoch_ceiling() const noexcept;
+
+  /// Restores the epoch counters from a checkpoint manifest. Call only
+  /// while quiescent, before any post-recovery event is posted.
+  void RestoreEpochCeiling(uint64_t next_epoch, size_t wave_epochs);
+
+  /// Steal-context journals (threaded lane stealing); the durability
+  /// layer mirrors each one as its own WAL row stream.
+  size_t steal_journal_count() const noexcept;
+  events::EventJournal& steal_journal(size_t index);
+
  private:
   struct Task;
   class TaskRing;

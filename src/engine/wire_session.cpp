@@ -300,6 +300,47 @@ std::string WireSession::CmdAdvance(Context& ctx) {
   return "ok " + server_.clock().FormatDate() + "\n";
 }
 
+std::string WireSession::CmdWalStatus(Context& ctx) {
+  (void)ctx;
+  const WalStatus status = server_.GetWalStatus();
+  if (!status.enabled) return "wal off\n";
+  std::string out = "wal on dir \"" + status.dir + "\" fsync " +
+                    std::string(events::FsyncPolicyName(status.fsync)) + "\n";
+  if (status.recovered) {
+    out += "  recovered checkpoint " + std::to_string(status.checkpoint_id) +
+           " (op-seq " + std::to_string(status.recovered_op_seq) + ")\n";
+  } else {
+    out += "  recovered no checkpoint\n";
+  }
+  out += "  replayed " + std::to_string(status.replayed_ops) +
+         " op(s) through offset " + std::to_string(status.replayed_ops_offset) +
+         "\n";
+  out += "  restored " + std::to_string(status.restored_rows) +
+         " journal row(s)\n";
+  if (status.manifests_skipped > 0) {
+    out += "  skipped " + std::to_string(status.manifests_skipped) +
+           " torn manifest(s)\n";
+  }
+  out += "  ops logged " + std::to_string(status.ops_logged) +
+         ", stream end " + std::to_string(status.ops_end_offset) +
+         ", checkpoints taken " + std::to_string(status.checkpoints_taken) +
+         "\n";
+  return out;
+}
+
+std::string WireSession::CmdWalCheckpoint(Context& ctx) {
+  (void)ctx;
+  const uint64_t id = server_.WalCheckpoint();
+  return "ok checkpoint " + std::to_string(id) + "\n";
+}
+
+std::string WireSession::CmdRecover(Context& ctx) {
+  const std::string dir = RestArgument(ctx.rest);
+  if (dir.empty()) return "error: usage: recover <wal-dir>\n";
+  const size_t applied = server_.RecoverFrom(dir);
+  return "ok replayed " + std::to_string(applied) + " op(s)\n";
+}
+
 std::string WireSession::CmdHelp(Context& ctx) {
   (void)ctx;
   return WireCommandHelp();
@@ -352,6 +393,18 @@ const std::vector<WireSession::Entry>& WireSession::Registry() {
       {{"advance", "advance <seconds>", "Advance the simulated clock.",
         Kind::kMutate, false, ""},
        &WireSession::CmdAdvance},
+      {{"wal-status", "wal-status",
+        "Durability state: WAL dir, fsync policy, recovery provenance.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdWalStatus},
+      {{"wal-checkpoint", "wal-checkpoint",
+        "Sync the WAL and write a durable checkpoint now.", Kind::kMutate,
+        false, ""},
+       &WireSession::CmdWalCheckpoint},
+      {{"recover", "recover <wal-dir>",
+        "Replay another WAL directory's full operation history here.",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdRecover},
       {{"help", "help", "This command list.", Kind::kRead, false, ""},
        &WireSession::CmdHelp},
       {{"snapshot", "snapshot <name>",

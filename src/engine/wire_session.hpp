@@ -111,6 +111,9 @@ class WireSession {
   std::string CmdSnapshotAlias(Context& ctx);
   std::string CmdValidate(Context& ctx);
   std::string CmdAdvance(Context& ctx);
+  std::string CmdWalStatus(Context& ctx);
+  std::string CmdWalCheckpoint(Context& ctx);
+  std::string CmdRecover(Context& ctx);
   std::string CmdHelp(Context& ctx);
 
   ProjectServer& server_;

@@ -57,6 +57,7 @@ EventJournal::Row EventJournal::MakeRow(const EventMessage& event,
 
 void EventJournal::Record(const EventMessage& event) {
   rows_.push_back(MakeRow(event, event.target));
+  if (sink_ != nullptr) sink_->OnAppend(*this);
 }
 
 void EventJournal::RecordPropagated(const EventMessage& event,
@@ -66,6 +67,7 @@ void EventJournal::RecordPropagated(const EventMessage& event,
   Row row = MakeRow(event, target);
   row.origin = static_cast<uint8_t>(EventOrigin::kPropagated);
   rows_.push_back(row);
+  if (sink_ != nullptr) sink_->OnAppend(*this);
 }
 
 void EventJournal::RecordPropagated(const PayloadKey& key,
@@ -73,6 +75,7 @@ void EventJournal::RecordPropagated(const PayloadKey& key,
   Row row = RowFromKey(key, target);
   row.origin = static_cast<uint8_t>(EventOrigin::kPropagated);
   rows_.push_back(row);
+  if (sink_ != nullptr) sink_->OnAppend(*this);
 }
 
 EventMessage EventJournal::Materialize(const Row& row) const {
@@ -107,6 +110,7 @@ void EventJournal::Clear() {
   rows_.clear();
   extra_pool_.clear();
   strings_ = SymbolTable();
+  if (sink_ != nullptr) sink_->OnClear(*this);
 }
 
 std::vector<EventMessage> EventJournal::ExternalTrace() const {

@@ -34,6 +34,26 @@ struct JournalRecord {
   EventMessage event;
 };
 
+class EventJournal;
+
+/// Receives journal appends as they happen. The durability layer
+/// (events/wal.hpp) attaches one WalWriter per journal to mirror rows
+/// into an on-disk write-ahead stream; the journal stays oblivious to
+/// how the sink persists them. Called synchronously on the appending
+/// thread — the sink inherits the journal's own threading contract
+/// (one appender at a time).
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  /// One row was appended; `journal.RawRow(journal.Size() - 1)` is the
+  /// new row.
+  virtual void OnAppend(const EventJournal& journal) = 0;
+
+  /// The journal was cleared (rows, extras and the side table dropped).
+  virtual void OnClear(const EventJournal& journal) = 0;
+};
+
 /// In-memory audit journal over interned compact rows.
 class EventJournal {
  public:
@@ -94,9 +114,10 @@ class EventJournal {
   /// The side string table (gauge: distinct strings across all records).
   const SymbolTable& strings() const noexcept { return strings_; }
 
- private:
   /// One packed record row. 48 bytes vs. the 4 strings + vector an
   /// EventMessage carries; extra args overflow into a shared pool.
+  /// Public (read-only, via RawRow) so a JournalSink can mirror appends
+  /// without materializing an EventMessage per row.
   struct Row {
     SymbolId name = 0;
     SymbolId block = 0;
@@ -112,6 +133,25 @@ class EventJournal {
     uint8_t origin = 0;
   };
 
+  // --- Sink access (durability layer) ------------------------------------
+
+  /// Attaches (or detaches, with nullptr) the append sink. The sink is
+  /// not owned and must outlive the journal or be detached first.
+  void SetSink(JournalSink* sink) noexcept { sink_ = sink; }
+  JournalSink* sink() const noexcept { return sink_; }
+
+  /// Raw row access for sinks (no bounds check; callers index < Size()).
+  const Row& RawRow(size_t index) const noexcept { return rows_[index]; }
+
+  /// Text behind an interned id (throws NotFoundError on unknown ids).
+  const std::string& SymbolText(SymbolId id) const { return strings_.Text(id); }
+
+  /// Extra-arg pool access for sinks (no bounds check).
+  SymbolId ExtraPoolAt(uint32_t index) const noexcept {
+    return extra_pool_[index];
+  }
+
+ private:
   /// The one row-assembly path: fills a row from an interned payload
   /// key plus the delivery target (whose block/view are interned here).
   /// Origin is left at the caller's discretion.
@@ -127,6 +167,7 @@ class EventJournal {
   SymbolTable strings_;
   std::vector<Row> rows_;
   std::vector<SymbolId> extra_pool_;
+  JournalSink* sink_ = nullptr;
 };
 
 }  // namespace damocles::events

@@ -38,15 +38,21 @@ class LineReader {
     return false;
   }
 
+  /// Names the file section subsequent failures report ("objects",
+  /// "links", "configs"), so a truncated or corrupt checkpoint says
+  /// where in the file it went wrong, not just the line number.
+  void SetSection(const char* section) noexcept { section_ = section; }
+
   [[noreturn]] void Fail(const std::string& message) const {
     throw WireFormatError("metadb load, line " + std::to_string(line_number_) +
-                          ": " + message);
+                          " (" + section_ + "): " + message);
   }
 
  private:
   std::istream& in_;
   std::string raw_;
   int line_number_ = 0;
+  const char* section_ = "header";
 };
 
 int64_t ParseInt(LineReader& reader, std::string_view token) {
@@ -146,6 +152,7 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
   if (!reader.Next(line) || !StartsWith(line, "objects ")) {
     reader.Fail("expected 'objects <count>'");
   }
+  reader.SetSection("objects");
   const int64_t object_count = ParseInt(reader, Trim(line.substr(8)));
   for (int64_t i = 0; i < object_count; ++i) {
     if (!reader.Next(line) || !StartsWith(line, "object ")) {
@@ -158,7 +165,11 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
     MetaObject object;
     object.alive = header[2] == "alive=1";
 
-    while (reader.Next(line) && line != "end") {
+    while (true) {
+      if (!reader.Next(line)) {
+        reader.Fail("truncated: object body missing 'end'");
+      }
+      if (line == "end") break;
       if (StartsWith(line, "oid ")) {
         size_t pos = 4;
         object.oid.block = ParseQuoted(reader, line, pos);
@@ -188,6 +199,7 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
   if (!reader.Next(line) || !StartsWith(line, "links ")) {
     reader.Fail("expected 'links <count>'");
   }
+  reader.SetSection("links");
   const int64_t link_count = ParseInt(reader, Trim(line.substr(6)));
   for (int64_t i = 0; i < link_count; ++i) {
     if (!reader.Next(line) || !StartsWith(line, "link ")) {
@@ -221,7 +233,11 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
     link.to =
         OidId(static_cast<uint32_t>(ParseInt(reader, header[6].substr(3))));
 
-    while (reader.Next(line) && line != "end") {
+    while (true) {
+      if (!reader.Next(line)) {
+        reader.Fail("truncated: link body missing 'end'");
+      }
+      if (line == "end") break;
       if (StartsWith(line, "type ")) {
         size_t pos = 5;
         link.type = ParseQuoted(reader, line, pos);
@@ -242,6 +258,7 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
   if (!reader.Next(line) || !StartsWith(line, "configs ")) {
     reader.Fail("expected 'configs <count>'");
   }
+  reader.SetSection("configs");
   const int64_t config_count = ParseInt(reader, Trim(line.substr(8)));
   for (int64_t i = 0; i < config_count; ++i) {
     if (!reader.Next(line) || !StartsWith(line, "config ")) {
@@ -252,7 +269,11 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
     config.name = ParseQuoted(reader, line, pos);
     config.created_at = ParseInt(reader, Trim(line.substr(pos)));
 
-    while (reader.Next(line) && line != "end") {
+    while (true) {
+      if (!reader.Next(line)) {
+        reader.Fail("truncated: config body missing 'end'");
+      }
+      if (line == "end") break;
       if (StartsWith(line, "from ")) {
         size_t from_pos = 5;
         config.built_from = ParseQuoted(reader, line, from_pos);
@@ -273,6 +294,12 @@ MetaDatabase LoadDatabaseText(std::istream& in) {
       }
     }
     db.RestoreConfigurationSlot(std::move(config));
+  }
+
+  // A checkpoint is exactly three sections; anything after the last
+  // config is corruption (e.g. a torn write appending a second copy).
+  if (reader.Next(line)) {
+    reader.Fail("trailing content after configs: '" + line + "'");
   }
 
   return db;

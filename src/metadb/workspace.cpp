@@ -132,6 +132,32 @@ void Workspace::ForEachFile(
   for (const auto& [oid, file] : files_) fn(oid, file);
 }
 
+void Workspace::RestoreFile(const Oid& oid, std::string content,
+                            int64_t modified_at) {
+  DesignFile file;
+  file.content = std::move(content);
+  file.modified_at = modified_at;
+  files_[oid] = std::move(file);
+  int& latest = latest_[PairKey(oid.block, oid.view)];
+  latest = std::max(latest, oid.version);
+}
+
+void Workspace::RestoreLatestVersion(std::string_view block,
+                                     std::string_view view, int version) {
+  int& latest = latest_[PairKey(block, view)];
+  latest = std::max(latest, version);
+}
+
+void Workspace::ForEachLatest(
+    const std::function<void(std::string_view, std::string_view, int)>& fn)
+    const {
+  for (const auto& [key, version] : latest_) {
+    const size_t sep = key.find('\0');
+    fn(std::string_view(key).substr(0, sep),
+       std::string_view(key).substr(sep + 1), version);
+  }
+}
+
 void Workspace::Notify(const WorkspaceNotification& notification) const {
   for (const Observer& observer : observers_) observer(notification);
 }

@@ -89,6 +89,24 @@ class Workspace {
   void ForEachFile(
       const std::function<void(const Oid&, const DesignFile&)>& fn) const;
 
+  // --- Restore paths (crash recovery; see metadb/recovery.hpp) ----------
+
+  /// Reinstates a stored file at its exact OID without emitting observer
+  /// notifications, and raises the latest-version floor of its
+  /// (block, view) to at least `oid.version`.
+  void RestoreFile(const Oid& oid, std::string content, int64_t modified_at);
+
+  /// Raises the latest-version floor of (block, view) to at least
+  /// `version` (checkpointed floors can exceed the newest surviving
+  /// file after deletes; check-ins must not re-mint old versions).
+  void RestoreLatestVersion(std::string_view block, std::string_view view,
+                            int version);
+
+  /// Calls `fn` for every (block, view, latest version) entry, in key
+  /// order (the checkpoint writer scans the floors this way).
+  void ForEachLatest(const std::function<void(
+                         std::string_view, std::string_view, int)>& fn) const;
+
  private:
   void Notify(const WorkspaceNotification& notification) const;
 

@@ -115,6 +115,148 @@ TEST(Persistence, RejectsGarbageLines) {
   EXPECT_THROW(LoadDatabaseString(text), WireFormatError);
 }
 
+TEST(Persistence, ErrorsNameLineAndSection) {
+  // A checkpoint torn mid-link-body reports both where (line) and what
+  // part of the file (section) failed — the operator debugging a
+  // recovery fallback needs both.
+  const std::string text = SaveDatabaseString(MakeSampleDatabase());
+  const std::string torn = text.substr(0, text.find("propagates"));
+  try {
+    LoadDatabaseString(torn);
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line "), std::string::npos) << what;
+    EXPECT_NE(what.find("(links)"), std::string::npos) << what;
+  }
+  // Truncation inside the object section names that section.
+  try {
+    LoadDatabaseString(text.substr(0, text.find("created")));
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& error) {
+    EXPECT_NE(std::string(error.what()).find("(objects)"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Persistence, RejectsGarbageSuffix) {
+  // Text appended past the configs section (e.g. a torn write that
+  // doubled part of the file) must fail loudly, not load silently.
+  const std::string text = SaveDatabaseString(MakeSampleDatabase());
+  try {
+    LoadDatabaseString(text + "object 99 alive=1\n");
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("trailing content"), std::string::npos) << what;
+    EXPECT_NE(what.find("(configs)"), std::string::npos) << what;
+  }
+  EXPECT_THROW(LoadDatabaseString(text + text), WireFormatError);
+}
+
+// --- Adversarial round trips (checkpoint-shaped databases) ------------------
+
+/// Objects and links must keep their exact slot ids across a round
+/// trip: recovery rebuilds adjacency from raw OidId/LinkId values, so a
+/// shifted slot silently rewires the design graph.
+void ExpectBitIdenticalIds(const MetaDatabase& original,
+                           const MetaDatabase& loaded) {
+  ASSERT_EQ(loaded.ObjectSlotCount(), original.ObjectSlotCount());
+  ASSERT_EQ(loaded.LinkSlotCount(), original.LinkSlotCount());
+  for (size_t i = 0; i < original.ObjectSlotCount(); ++i) {
+    const MetaObject& object = original.GetObject(OidId(uint32_t(i)));
+    if (!object.alive) continue;
+    const auto found = loaded.FindObject(object.oid);
+    ASSERT_TRUE(found.has_value()) << "slot " << i;
+    EXPECT_EQ(found->value(), uint32_t(i));
+  }
+  for (size_t i = 0; i < original.LinkSlotCount(); ++i) {
+    const Link& a = original.GetLink(LinkId(uint32_t(i)));
+    const Link& b = loaded.GetLink(LinkId(uint32_t(i)));
+    EXPECT_EQ(a.from.value(), b.from.value()) << "link slot " << i;
+    EXPECT_EQ(a.to.value(), b.to.value()) << "link slot " << i;
+  }
+}
+
+TEST(PersistenceAdversarial, EmptyDatabaseRoundTrips) {
+  const MetaDatabase empty;
+  const std::string once = SaveDatabaseString(empty);
+  const MetaDatabase loaded = LoadDatabaseString(once);
+  EXPECT_EQ(loaded.ObjectSlotCount(), 0u);
+  EXPECT_EQ(loaded.LinkSlotCount(), 0u);
+  EXPECT_EQ(SaveDatabaseString(loaded), once);
+}
+
+TEST(PersistenceAdversarial, TombstoneHeavyDatabaseRoundTrips) {
+  // Mass-delete leaves mostly dead slots; live survivors must keep
+  // their ids exactly.
+  MetaDatabase db;
+  std::vector<OidId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(db.CreateNextVersion("blk" + std::to_string(i % 8), "hdl",
+                                       "fuzz", i));
+  }
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(db.CreateNextVersion("blk" + std::to_string(i % 8), "sch",
+                                       "fuzz", 100 + i));
+  }
+  std::vector<LinkId> links;
+  for (size_t i = 0; i + 1 < ids.size(); i += 3) {
+    links.push_back(db.CreateLink(LinkKind::kDerive, ids[i], ids[i + 1],
+                                  {"outofdate"}, "derived",
+                                  CarryPolicy::kNone));
+  }
+  // Delete most links first (DeleteObject requires detached endpoints),
+  // then most objects.
+  for (size_t i = 0; i < links.size(); ++i) {
+    if (i % 4 != 0) db.DeleteLink(links[i]);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 5 != 0 && db.GetObject(ids[i]).alive &&
+        db.InLinks(ids[i]).empty() && db.OutLinks(ids[i]).empty()) {
+      db.DeleteObject(ids[i]);
+    }
+  }
+
+  const std::string once = SaveDatabaseString(db);
+  const MetaDatabase loaded = LoadDatabaseString(once);
+  EXPECT_EQ(SaveDatabaseString(loaded), once);
+  ExpectBitIdenticalIds(db, loaded);
+}
+
+TEST(PersistenceAdversarial, InterleavedDeleteRecreateRoundTrips) {
+  // Delete/re-create churn (the state a snapshot taken mid-rebalance
+  // sees): version chains with holes, slot ids far from dense.
+  MetaDatabase db;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<OidId> batch;
+    for (int i = 0; i < 10; ++i) {
+      batch.push_back(db.CreateNextVersion("churn" + std::to_string(i % 3),
+                                           "view" + std::to_string(round % 2),
+                                           "fuzz", round * 100 + i));
+    }
+    for (size_t i = 0; i < batch.size(); i += 2) {
+      db.DeleteObject(batch[i]);
+    }
+  }
+  const std::string once = SaveDatabaseString(db);
+  const MetaDatabase loaded = LoadDatabaseString(once);
+  EXPECT_EQ(SaveDatabaseString(loaded), once);
+  ExpectBitIdenticalIds(db, loaded);
+  // Version numbering continues after the holes, not inside them.
+  const MetaDatabase* const_loaded = &loaded;
+  int max_version = 0;
+  const_loaded->ForEachObject([&](OidId, const MetaObject& object) {
+    if (object.oid.block == "churn0") {
+      max_version = std::max(max_version, object.oid.version);
+    }
+  });
+  MetaDatabase mutable_loaded = LoadDatabaseString(once);
+  const OidId next =
+      mutable_loaded.CreateNextVersion("churn0", "view0", "next", 999);
+  EXPECT_GT(mutable_loaded.GetObject(next).oid.version, max_version);
+}
+
 /// Property sweep: randomly built databases round-trip byte-identically.
 class PersistenceFuzz : public ::testing::TestWithParam<uint64_t> {};
 

@@ -1,0 +1,391 @@
+// Crash-point fuzz for WAL recovery (the PR's durability invariant):
+// for ANY kill point — including mid-record and mid-checkpoint byte
+// offsets — recover + resume must reproduce the uninterrupted run's
+// journal record multiset, property state, workspace, clock and
+// sharded epoch ceiling.
+//
+// Each seeded iteration builds a random workload (check-ins, derive
+// links, event posts, clock advances, explicit checkpoints) and runs
+// it to completion on a durable server whose WalAppendObserver records
+// every durable extent (path, end offset) in global order — the exact
+// byte ranges a kill -9 would have preserved at each instant. The
+// harness then picks a random extent and a random byte offset *within*
+// it, rewinds the WAL directory to that cut (later files removed,
+// the cut file truncated mid-record), constructs a fresh server on the
+// directory (auto-recovery), resumes the workload right after the last
+// surviving operation and asserts end-state equality with the
+// uninterrupted run.
+//
+// Variants by seed: even seeds run 1-shard; seed % 4 == 1 runs 4-shard
+// deterministic; seed % 4 == 3 runs 4-shard THREADED (lane stealing +
+// worker-thread WAL appends; the suite runs under ASan in CI). The
+// fsync policy and segment size are random per seed so rolls and every
+// flush discipline are exercised.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "engine/project_server.hpp"
+#include "events/wal.hpp"
+#include "metadb/persistence.hpp"
+#include "metadb/recovery.hpp"
+
+namespace damocles {
+namespace {
+
+using engine::ProjectServer;
+using engine::ServerOptions;
+using events::FsyncPolicy;
+using metadb::Oid;
+
+// Constant-valued rules plus link templates, so RegisterLink produces
+// propagating links and the final property state is schedule-invariant
+// (any delivery order yields the same values — required for the
+// threaded variant).
+constexpr const char* kCrashBlueprint = R"(blueprint crash_fuzz
+view default
+  when edit do edited = yes done
+  when ckin do checked = yes done
+endview
+view hdl
+  link_from hdl propagates edit, ckin type derived
+  when edit do edited = yes done
+  when ckin do checked = yes done
+  when note do noted = yes done
+endview
+view relay
+  link_from hdl propagates edit, ckin type derived
+  when edit do post note down done
+  when note do noted = yes done
+  when ckin do checked = yes done
+endview
+view sink
+  link_from relay propagates note, edit type derived
+  link_from hdl propagates ckin type derived
+  when note do noted = yes done
+  when edit do edited = yes done
+  when ckin do checked = yes done
+endview
+endblueprint)";
+
+/// One deterministic workload step. The plan is a pure function of the
+/// seed, so the resumed run replays byte-identical operations.
+struct Step {
+  enum Kind { kCheckIn, kLink, kEvent, kAdvance, kCheckpoint } kind = kCheckIn;
+  std::string block;
+  std::string view;
+  std::string content;   ///< kCheckIn.
+  Oid link_from;         ///< kLink.
+  Oid link_to;           ///< kLink.
+  std::string event;     ///< kEvent.
+  int version = 1;       ///< kEvent target version.
+  int64_t seconds = 0;   ///< kAdvance.
+};
+
+struct Plan {
+  std::vector<Step> steps;
+};
+
+Plan MakePlan(uint64_t seed) {
+  Rng rng(seed);
+  Plan plan;
+  const char* kViews[] = {"hdl", "relay", "sink", "sch"};
+  const char* kEvents[] = {"edit", "note", "ckin"};
+  const int blocks = static_cast<int>(rng.UniformInt(3, 6));
+
+  // Model of workspace state, so later steps reference OIDs that exist.
+  std::map<std::pair<std::string, std::string>, int> versions;
+  std::vector<Oid> oids;
+
+  const int steps = static_cast<int>(rng.UniformInt(20, 30));
+  for (int i = 0; i < steps; ++i) {
+    Step step;
+    const double draw = oids.empty() ? 0.0 : rng.UniformDouble();
+    if (draw < 0.35) {
+      step.kind = Step::kCheckIn;
+      step.block = "blk" + std::to_string(rng.UniformInt(0, blocks - 1));
+      step.view = kViews[rng.UniformInt(0, 3)];
+      const int version = ++versions[{step.block, step.view}];
+      step.content = step.block + "/" + step.view + " v" +
+                     std::to_string(version) + " seed" + std::to_string(seed);
+      oids.push_back(Oid{step.block, step.view, version});
+    } else if (draw < 0.5 && oids.size() >= 2) {
+      step.kind = Step::kLink;
+      step.link_from = oids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+      step.link_to = oids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+      if (step.link_from == step.link_to) continue;
+    } else if (draw < 0.8) {
+      step.kind = Step::kEvent;
+      const Oid& target = oids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+      step.block = target.block;
+      step.view = target.view;
+      step.version = target.version;
+      step.event = kEvents[rng.UniformInt(0, 2)];
+    } else if (draw < 0.9) {
+      step.kind = Step::kAdvance;
+      step.seconds = rng.UniformInt(1, 600);
+    } else {
+      step.kind = Step::kCheckpoint;
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+/// Executes plan steps [from, plan.size()). Link registrations that the
+/// database rejects (duplicate endpoints etc.) fail identically in the
+/// full and the resumed run, because both see the same state.
+void RunSteps(ProjectServer& server, const Plan& plan, size_t from,
+              std::vector<size_t>* op_to_step) {
+  for (size_t i = from; i < plan.steps.size(); ++i) {
+    const Step& step = plan.steps[i];
+    const uint64_t before = server.GetWalStatus().ops_logged;
+    switch (step.kind) {
+      case Step::kCheckIn:
+        server.CheckIn(step.block, step.view, step.content, "fuzz");
+        break;
+      case Step::kLink:
+        try {
+          server.RegisterLink(metadb::LinkKind::kDerive, step.link_from,
+                              step.link_to);
+        } catch (const Error&) {
+          // Deterministically rejected in both runs.
+        }
+        break;
+      case Step::kEvent: {
+        events::EventMessage event;
+        event.name = step.event;
+        event.direction = events::Direction::kDown;
+        event.target = Oid{step.block, step.view, step.version};
+        event.user = "fuzz";
+        event.timestamp = server.clock().NowSeconds();
+        server.Submit(std::move(event));
+        break;
+      }
+      case Step::kAdvance:
+        server.AdvanceClock(step.seconds);
+        break;
+      case Step::kCheckpoint:
+        server.WalCheckpoint();
+        break;
+    }
+    if (op_to_step != nullptr) {
+      // Record which step produced each op_seq (one op per op-bearing
+      // step; checkpoints and rejected links log nothing).
+      const uint64_t after = server.GetWalStatus().ops_logged;
+      for (uint64_t seq = before + 1; seq <= after; ++seq) {
+        op_to_step->resize(static_cast<size_t>(seq) + 1, i);
+        (*op_to_step)[static_cast<size_t>(seq)] = i;
+      }
+    }
+  }
+  server.Drain();
+}
+
+/// End-state fingerprint compared between the runs.
+struct Fingerprint {
+  std::vector<std::string> journal;  ///< Sorted record lines.
+  std::string db_text;
+  std::string workspace_text;
+  int64_t clock_seconds = 0;
+  uint64_t epoch_ceiling = 0;
+};
+
+Fingerprint Capture(ProjectServer& server) {
+  Fingerprint fp;
+  if (server.is_sharded()) {
+    fp.journal = server.sharded_engine()->JournalLines();
+    fp.epoch_ceiling = server.sharded_engine()->epoch_ceiling();
+  } else {
+    const events::EventJournal& journal = server.engine().journal();
+    for (size_t i = 0; i < journal.Size(); ++i) {
+      const events::JournalRecord record = journal.At(i);
+      fp.journal.push_back(
+          "[" + std::string(events::EventOriginName(record.event.origin)) +
+          "] " + events::FormatEvent(record.event));
+    }
+  }
+  std::sort(fp.journal.begin(), fp.journal.end());
+  fp.db_text = metadb::SaveDatabaseString(server.database());
+  fp.workspace_text = metadb::SaveWorkspaceText(server.workspace());
+  fp.clock_seconds = server.clock().NowSeconds();
+  return fp;
+}
+
+/// Thread-safe recording of every durable extent, in global order.
+class AppendTrace final : public events::WalAppendObserver {
+ public:
+  struct Extent {
+    std::string path;
+    uint64_t end = 0;
+  };
+
+  void OnDurableExtent(const std::string& path, uint64_t end) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    extents_.push_back(Extent{path, end});
+  }
+
+  std::vector<Extent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return extents_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Extent> extents_;
+};
+
+/// Rewinds `dir` to the kill point: every byte durable before the cut
+/// extent survives; the cut extent itself survives only up to
+/// `cut_bytes` (possibly mid-record); everything later is gone.
+void ApplyCut(const std::filesystem::path& dir,
+              const std::vector<AppendTrace::Extent>& extents,
+              size_t cut_index, uint64_t cut_bytes) {
+  std::map<std::string, uint64_t> survive;
+  for (size_t i = 0; i < cut_index; ++i) {
+    uint64_t& end = survive[extents[i].path];
+    end = std::max(end, extents[i].end);
+  }
+  uint64_t& cut_end = survive[extents[cut_index].path];
+  cut_end = std::max(cut_end, cut_bytes);
+
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    const auto it = survive.find(path);
+    if (it == survive.end() || it->second == 0) {
+      std::filesystem::remove(entry.path());
+    } else if (std::filesystem::file_size(entry.path()) > it->second) {
+      std::filesystem::resize_file(entry.path(), it->second);
+    }
+  }
+}
+
+ServerOptions MakeOptions(uint64_t seed, const std::string& wal_dir,
+                          AppendTrace* trace) {
+  Rng rng(seed ^ 0xc0ffee);
+  ServerOptions options;
+  options.wal_dir = wal_dir;
+  options.wal_segment_bytes = static_cast<size_t>(rng.UniformInt(256, 4096));
+  const FsyncPolicy policies[] = {FsyncPolicy::kNone, FsyncPolicy::kBatch,
+                                  FsyncPolicy::kEveryRecord};
+  options.wal_fsync = policies[rng.UniformInt(0, 2)];
+  options.wal_observer = trace;
+  if (seed % 2 == 1) {
+    options.num_shards = 4;
+    options.deterministic_shards = (seed % 4 == 1);
+  }
+  return options;
+}
+
+void RunSeed(uint64_t seed) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("damocles-crash-" + std::to_string(::getpid()) + "-" +
+       std::to_string(seed));
+  std::filesystem::remove_all(dir);
+
+  const Plan plan = MakePlan(seed);
+  AppendTrace trace;
+  Fingerprint expected;
+  std::vector<size_t> op_to_step;
+
+  {
+    auto server = std::make_unique<ProjectServer>(
+        "crash", MakeOptions(seed, dir.string(), &trace));
+    server->InitializeBlueprint(kCrashBlueprint);
+    RunSteps(*server, plan, 0, &op_to_step);
+    expected = Capture(*server);
+  }
+
+  const std::vector<AppendTrace::Extent> extents = trace.Snapshot();
+  ASSERT_FALSE(extents.empty()) << "seed " << seed;
+
+  // The kill point: a random durable extent, cut at a random byte
+  // offset inside it (mid-record and mid-checkpoint cuts included).
+  Rng cut_rng(seed ^ 0xdeadbeef);
+  const size_t cut_index = static_cast<size_t>(
+      cut_rng.UniformInt(0, static_cast<int64_t>(extents.size()) - 1));
+  uint64_t prev_end = 0;
+  for (size_t i = 0; i < cut_index; ++i) {
+    if (extents[i].path == extents[cut_index].path) {
+      prev_end = std::max(prev_end, extents[i].end);
+    }
+  }
+  const uint64_t cut_bytes =
+      prev_end + static_cast<uint64_t>(cut_rng.UniformInt(
+                     0, static_cast<int64_t>(extents[cut_index].end -
+                                             prev_end)));
+  ApplyCut(dir, extents, cut_index, cut_bytes);
+
+  // Recover on the rewound directory and resume right after the last
+  // surviving operation (op 1 is the blueprint install).
+  {
+    auto recovered = std::make_unique<ProjectServer>(
+        "crash", MakeOptions(seed, dir.string(), nullptr));
+    const engine::WalStatus status = recovered->GetWalStatus();
+    size_t resume_from = 0;
+    if (status.ops_logged == 0) {
+      recovered->InitializeBlueprint(kCrashBlueprint);
+    } else if (status.ops_logged >= 2) {
+      ASSERT_LT(status.ops_logged, op_to_step.size()) << "seed " << seed;
+      resume_from = op_to_step[static_cast<size_t>(status.ops_logged)] + 1;
+    }
+    RunSteps(*recovered, plan, resume_from, nullptr);
+
+    const Fingerprint actual = Capture(*recovered);
+    ASSERT_EQ(actual.journal, expected.journal)
+        << "seed " << seed << " cut " << cut_index << "/" << extents.size()
+        << " at byte " << cut_bytes << " in " << extents[cut_index].path;
+    ASSERT_EQ(actual.db_text, expected.db_text) << "seed " << seed;
+    ASSERT_EQ(actual.workspace_text, expected.workspace_text)
+        << "seed " << seed;
+    ASSERT_EQ(actual.clock_seconds, expected.clock_seconds)
+        << "seed " << seed;
+    ASSERT_EQ(actual.epoch_ceiling, expected.epoch_ceiling)
+        << "seed " << seed;
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+void RunSeedRange(uint64_t first_seed, uint64_t last_seed) {
+  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    RunSeed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// 4 × 40 = 160 seeded kill points, split so ctest parallelism spreads
+// them across cores. Even seeds run 1-shard, odd seeds 4-shard
+// (deterministic and threaded alternating).
+TEST(WalCrashFuzz, RecoverResumeEqualsContinuousSeeds0To39) {
+  RunSeedRange(0, 39);
+}
+
+TEST(WalCrashFuzz, RecoverResumeEqualsContinuousSeeds40To79) {
+  RunSeedRange(40, 79);
+}
+
+TEST(WalCrashFuzz, RecoverResumeEqualsContinuousSeeds80To119) {
+  RunSeedRange(80, 119);
+}
+
+TEST(WalCrashFuzz, RecoverResumeEqualsContinuousSeeds120To159) {
+  RunSeedRange(120, 159);
+}
+
+}  // namespace
+}  // namespace damocles
