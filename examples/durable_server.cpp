@@ -2,6 +2,7 @@
 // WAL-backed project server, built to be killed.
 //
 //   example_durable_server <wal-dir> [fsync-policy] [num-shards]
+//                          [--fail-fsync-after N]
 //
 // Every structural operation is logged to the WAL before the response
 // is printed. The demo defaults to fsync=batch — each acked command is
@@ -16,10 +17,24 @@
 //   $ example_durable_server /tmp/demo.wal &
 //   $ ... drive it, kill -9 it ...
 //   $ example_durable_server /tmp/demo.wal     # picks up where it died
+//
+// With --fail-fsync-after N (failpoint builds only) the Nth and every
+// later fsync fails with an injected EIO until the operator heals the
+// server — a self-contained degraded-mode demo:
+//
+//   $ example_durable_server /tmp/demo.wal every_record 1 --fail-fsync-after 3
+//   > checkin CPU layout          # a few of these...
+//   degraded: server is read-only (...); heal with wal-reopen
+//   > health                      # reads still answer
+//   > failpoint clear wal.fsync   # the "disk" comes back
+//   > wal-reopen                  # heal: verify tail, checkpoint, resume
+//   > checkin CPU layout          # writes flow again
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "engine/wire_session.hpp"
 #include "events/wal.hpp"
 #include "workload/edtc.hpp"
@@ -27,23 +42,56 @@
 int main(int argc, char** argv) {
   using namespace damocles;
 
-  if (argc < 2 || argc > 4) {
+  long fail_fsync_after = -1;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fail-fsync-after") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "example_durable_server: --fail-fsync-after needs N\n");
+        return 2;
+      }
+      fail_fsync_after = std::stol(argv[++i]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 3) {
     std::fprintf(stderr,
                  "usage: example_durable_server <wal-dir> "
-                 "[none|batch|every_record] [num-shards]\n");
+                 "[none|batch|every_record] [num-shards] "
+                 "[--fail-fsync-after N]\n");
     return 2;
   }
 
   engine::ServerOptions options;
-  options.wal_dir = argv[1];
+  options.wal_dir = positional[0];
   options.wal_fsync = events::FsyncPolicy::kBatch;
   try {
-    if (argc >= 3) options.wal_fsync = events::ParseFsyncPolicy(argv[2]);
-    if (argc >= 4) options.num_shards =
-        static_cast<uint32_t>(std::stoul(argv[3]));
+    if (positional.size() >= 2) {
+      options.wal_fsync = events::ParseFsyncPolicy(positional[1]);
+    }
+    if (positional.size() >= 3) {
+      options.num_shards = static_cast<uint32_t>(std::stoul(positional[2]));
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "example_durable_server: %s\n", error.what());
     return 2;
+  }
+
+  if (fail_fsync_after >= 0) {
+    // Skip the first N fsyncs, then fail every one (injected EIO)
+    // until `failpoint clear wal.fsync` — the degraded-mode demo.
+    try {
+      common::Failpoints::Instance().Configure(
+          "wal.fsync", "errno:EIO,skip=" + std::to_string(fail_fsync_after));
+      std::fprintf(stdout, "failpoint: wal.fsync fails after %ld fsync(s)\n",
+                   fail_fsync_after);
+    } catch (const Error& error) {
+      std::fprintf(stderr, "example_durable_server: %s\n", error.what());
+      return 2;
+    }
   }
 
   engine::ProjectServer server("durable", options);

@@ -1,0 +1,34 @@
+#include "common/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace damocles::common {
+
+BackoffState::BackoffState(const BackoffPolicy& policy)
+    : policy_(policy), rng_(policy.seed) {
+  policy_.attempts = std::max(policy_.attempts, 0);
+  policy_.initial = std::max(policy_.initial, std::chrono::milliseconds(0));
+  policy_.max = std::max(policy_.max, policy_.initial);
+  policy_.multiplier = std::max(policy_.multiplier, 1.0);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+}
+
+std::chrono::milliseconds BackoffState::NextDelay() {
+  const double base = static_cast<double>(policy_.initial.count()) *
+                      std::pow(policy_.multiplier, attempt_);
+  const double capped =
+      std::min(base, static_cast<double>(policy_.max.count()));
+  // Uniform factor in [1 - jitter, 1 + jitter]; the draw happens even
+  // when jitter == 0 so the schedule of delays never depends on whether
+  // jitter is enabled.
+  const double factor =
+      1.0 + policy_.jitter * (2.0 * rng_.UniformDouble() - 1.0);
+  ++attempt_;
+  const double jittered = std::min(capped * factor,
+                                   static_cast<double>(policy_.max.count()));
+  return std::chrono::milliseconds(
+      static_cast<int64_t>(std::llround(std::max(jittered, 0.0))));
+}
+
+}  // namespace damocles::common

@@ -1,0 +1,56 @@
+// Jittered exponential backoff, shared by every bounded retry loop in
+// the tree (SessionMux mutation admission, ProjectServer WAL retry).
+//
+// A BackoffPolicy is a plain value describing the schedule; a
+// BackoffState walks it. Jitter is seeded so tests can reproduce an
+// exact delay sequence, and the whole schedule is bounded: `attempts`
+// retries, each delay capped at `max`.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace damocles::common {
+
+/// Describes a bounded jittered-exponential retry schedule.
+///
+/// Delay for retry k (0-based) before jitter is
+/// `min(initial * multiplier^k, max)`; jitter then scales it by a
+/// uniform factor in [1 - jitter, 1 + jitter]. `attempts == 0` means
+/// "never retry" — the first failure is final.
+struct BackoffPolicy {
+  int attempts = 0;
+  std::chrono::milliseconds initial{1};
+  std::chrono::milliseconds max{100};
+  double multiplier = 2.0;
+  double jitter = 0.5;
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Walks one retry sequence under a BackoffPolicy.
+class BackoffState {
+ public:
+  explicit BackoffState(const BackoffPolicy& policy);
+
+  /// True while the schedule has retries left.
+  bool ShouldRetry() const { return attempt_ < policy_.attempts; }
+
+  /// Consumes one retry and returns the jittered delay to sleep before
+  /// it. Call only when ShouldRetry() is true.
+  std::chrono::milliseconds NextDelay();
+
+  /// Retries consumed so far.
+  int attempt() const { return attempt_; }
+
+  /// Rewinds to the start of the schedule (jitter stream continues).
+  void Reset() { attempt_ = 0; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace damocles::common

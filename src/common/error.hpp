@@ -58,4 +58,19 @@ class IntegrityError : public Error {
   explicit IntegrityError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a write-ahead-log I/O operation fails (write, fsync,
+/// segment roll). Distinguished from Error so the durable server can
+/// retry / degrade instead of treating it as caller misuse.
+class WalIoError : public Error {
+ public:
+  explicit WalIoError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a mutation is rejected because the server is in
+/// degraded read-only mode (its WAL is failing); reads still serve.
+class DegradedError : public Error {
+ public:
+  explicit DegradedError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace damocles

@@ -1,0 +1,108 @@
+// Failpoint fault injection: named trigger points compiled into the
+// I/O and concurrency chokepoints (WAL flush/fsync/roll, checkpoint
+// write, mux apply loop, sharded ring spill).
+//
+// A failpoint is evaluated with the DAMOCLES_FAILPOINT(name, &hit)
+// macro. When the build has failpoints disabled the macro is a
+// constant-false no-op and the registry is never consulted; when
+// enabled, an unconfigured failpoint costs one relaxed atomic load.
+//
+// Configuration grammar (programmatic, env var, or `failpoint` wire
+// command):
+//
+//   <action>[,prob=<p>][,skip=<n>][,count=<n>][,seed=<s>]
+//
+//   actions:  error            generic injected failure
+//             errno:<E>        injected errno (ENOSPC, EIO, EINTR, or
+//                              a number); surfaces as the failing
+//                              syscall's errno
+//             short:<bytes>    torn write — only <bytes> of the
+//                              request reach the file
+//             delay:<ms>       stall the calling thread <ms> ms (the
+//                              hit does not fail the operation)
+//             abort            std::abort() the process at the hit
+//
+//   prob   trigger probability per eligible evaluation (default 1.0),
+//          drawn from a seeded Rng so schedules are reproducible
+//   skip   ignore the first <n> eligible evaluations
+//   count  disarm after <n> hits (default unlimited)
+//   seed   seed for the probability draw
+//
+// Env var activation: DAMOCLES_FAILPOINTS_CONFIG="name=config;..."
+// parsed once at first registry use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace damocles::common {
+
+enum class FailpointAction : uint8_t {
+  kError,
+  kErrno,
+  kShortWrite,
+  kDelay,
+  kAbort,
+};
+
+/// What a triggered failpoint asks the call site to do.
+struct FailpointHit {
+  FailpointAction action = FailpointAction::kError;
+  /// Errno to surface for kErrno (e.g. ENOSPC).
+  int error_number = 0;
+  /// Bytes to actually write for kShortWrite.
+  uint64_t param = 0;
+};
+
+/// One row of `failpoint list`: configuration plus trigger counters.
+struct FailpointStatus {
+  std::string name;
+  std::string config;
+  uint64_t evaluations = 0;
+  uint64_t hits = 0;
+};
+
+/// Process-wide registry of named failpoints.
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  /// Arms `name` with a config string (grammar above). Throws Error on
+  /// a malformed config.
+  void Configure(const std::string& name, const std::string& config);
+
+  /// Disarms one failpoint. Unknown names are a no-op.
+  void Clear(const std::string& name);
+
+  /// Disarms everything.
+  void ClearAll();
+
+  /// Snapshot of every armed failpoint (sorted by name).
+  std::vector<FailpointStatus> List() const;
+
+  /// Evaluates `name`. Returns true with `*out_hit` filled when the
+  /// call site must inject a failure (error / errno / short write);
+  /// delay sleeps internally and returns false, abort never returns.
+  /// Prefer the DAMOCLES_FAILPOINT macro, which short-circuits on the
+  /// armed-count fast path and compiles out entirely in Release.
+  bool Evaluate(const char* name, FailpointHit* out_hit);
+
+  /// True when at least one failpoint is armed (relaxed load).
+  bool AnyActive() const;
+
+ private:
+  Failpoints();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace damocles::common
+
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+#define DAMOCLES_FAILPOINT(name, out_hit)                     \
+  (::damocles::common::Failpoints::Instance().AnyActive() &&  \
+   ::damocles::common::Failpoints::Instance().Evaluate((name), (out_hit)))
+#else
+#define DAMOCLES_FAILPOINT(name, out_hit) (static_cast<void>(out_hit), false)
+#endif

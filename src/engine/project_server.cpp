@@ -1,6 +1,8 @@
 #include "engine/project_server.hpp"
 
+#include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "blueprint/parser.hpp"
 #include "common/error.hpp"
@@ -218,31 +220,212 @@ void ProjectServer::ReplayOps(const std::vector<events::WalOpEntry>& ops) {
 
 void ProjectServer::FlushWal() {
   if (!durable()) return;
-  switch (options_.wal_fsync) {
-    case events::FsyncPolicy::kBatch:
-      ops_writer_->Sync();
-      for (auto& writer : row_writers_) writer->Sync();
+  // While degraded the writers are known-failing; buffered tails are
+  // discarded by the WalReopen() heal, so re-driving them here would
+  // only burn the retry budget on every drain.
+  if (degraded_.load(std::memory_order_acquire)) return;
+  const auto flush_all = [this] {
+    switch (options_.wal_fsync) {
+      case events::FsyncPolicy::kBatch:
+        ops_writer_->Sync();
+        for (auto& writer : row_writers_) writer->Sync();
+        break;
+      case events::FsyncPolicy::kEveryRecord:
+        // Each append group already fsynced itself.
+        ops_writer_->Flush();
+        for (auto& writer : row_writers_) writer->Flush();
+        break;
+      case events::FsyncPolicy::kNone:
+        // Best-effort tier: records stay in the writers' buffers until
+        // a buffer fills, a checkpoint syncs, or the server shuts down
+        // cleanly. Draining costs no syscalls; a kill -9 can lose the
+        // buffered tail (recovery then resumes from the durable prefix
+        // — the crash fuzz exercises exactly this).
+        break;
+    }
+  };
+  // Drains run after their mutations applied and were (or will be)
+  // acked, so a flush failure must not throw back through the caller:
+  // retry on the shared schedule, then degrade and keep serving reads.
+  common::BackoffState backoff(options_.wal_retry);
+  for (;;) {
+    try {
+      flush_all();
       break;
-    case events::FsyncPolicy::kEveryRecord:
-      // Each append group already fsynced itself.
-      ops_writer_->Flush();
-      for (auto& writer : row_writers_) writer->Flush();
-      break;
-    case events::FsyncPolicy::kNone:
-      // Best-effort tier: records stay in the writers' stdio buffers
-      // until a buffer fills, a checkpoint syncs, or the server shuts
-      // down cleanly. Draining costs no syscalls; a kill -9 can lose
-      // the buffered tail (recovery then resumes from the durable
-      // prefix — the crash fuzz exercises exactly this).
-      break;
+    } catch (const WalIoError& error) {
+      wal_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (!backoff.ShouldRetry()) {
+        TripDegraded(error.what());
+        return;
+      }
+      wal_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(backoff.NextDelay());
+    }
+  }
+  // The fail-soft sinks run inside engine worker threads and cannot
+  // throw; a row they dropped is only visible in the writer's failure
+  // record. Surface it here so the next mutation is rejected instead of
+  // acked against a mirror that would lose its row at the next
+  // checkpoint.
+  for (const auto& writer : row_writers_) {
+    if (!writer->ok()) {
+      wal_failures_.fetch_add(1, std::memory_order_relaxed);
+      TripDegraded("row mirror '" + writer->stream() +
+                   "' failed: " + writer->failure());
+      return;
+    }
   }
 }
 
 void ProjectServer::MaybeAutoCheckpoint() {
   if (!durable() || replaying_) return;
+  if (degraded_.load(std::memory_order_acquire)) return;
   if (options_.checkpoint_every_ops == 0) return;
   if (ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
-    WalCheckpoint();
+    try {
+      WalCheckpoint();
+    } catch (const Error& error) {
+      // A failed checkpoint (disk full mid-write, torn manifest) leaves
+      // the previous manifest chain valid — recovery falls back to it.
+      // The triggering mutation already applied and logged, so swallow
+      // and let the next operation retry the checkpoint.
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+      ops_since_checkpoint_ = options_.checkpoint_every_ops;
+    }
+  }
+}
+
+void ProjectServer::TripDegraded(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(degraded_reason_mutex_);
+    if (degraded_reason_.empty()) degraded_reason_ = reason;
+  }
+  degraded_.store(true, std::memory_order_release);
+}
+
+void ProjectServer::RequireWritable() const {
+  if (replaying_) return;
+  if (!degraded_.load(std::memory_order_acquire)) return;
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(degraded_reason_mutex_);
+    reason = degraded_reason_;
+  }
+  throw DegradedError("server is read-only (" + reason +
+                      "); heal with wal-reopen");
+}
+
+void ProjectServer::RetryFailedAppend(
+    const std::function<void(uint64_t)>& append, uint64_t seq,
+    std::string last_error, bool frame_buffered, bool pre_apply) {
+  wal_failures_.fetch_add(1, std::memory_order_relaxed);
+  common::BackoffState backoff(options_.wal_retry);
+  while (backoff.ShouldRetry()) {
+    wal_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(backoff.NextDelay());
+    const uint64_t mark = ops_writer_->frames_appended();
+    try {
+      if (frame_buffered) {
+        // The record is already framed in the writer's buffer (the
+        // flush behind it failed); re-drive the I/O. Re-appending would
+        // write the op twice.
+        if (options_.wal_fsync == events::FsyncPolicy::kEveryRecord) {
+          ops_writer_->Sync();
+        } else {
+          ops_writer_->Flush();
+        }
+      } else {
+        append(seq);
+      }
+      return;  // Transient fault: healed within the retry budget.
+    } catch (const WalIoError& error) {
+      wal_failures_.fetch_add(1, std::memory_order_relaxed);
+      last_error = error.what();
+      frame_buffered =
+          frame_buffered || ops_writer_->frames_appended() != mark;
+    }
+  }
+  TripDegraded(last_error);
+  if (pre_apply) {
+    // The mutation has not executed; rejecting it is truthful. (Its
+    // frame may still have reached disk — such a "ghost" op carries
+    // op_seq <= the heal checkpoint's and is never replayed.)
+    throw DegradedError("mutation rejected, WAL unavailable (" + last_error +
+                        "); heal with wal-reopen");
+  }
+  // Post-apply ops: the mutation is live in memory and the client gets
+  // its ack; the WalReopen() heal checkpoint makes it durable again.
+}
+
+ServerHealth ProjectServer::GetHealth() const {
+  ServerHealth health;
+  health.durable = durable();
+  health.degraded = degraded_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(degraded_reason_mutex_);
+    health.reason = degraded_reason_;
+  }
+  health.wal_failures = wal_failures_.load(std::memory_order_relaxed);
+  health.wal_retries = wal_retries_.load(std::memory_order_relaxed);
+  health.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  health.heals = heals_.load(std::memory_order_relaxed);
+  return health;
+}
+
+uint64_t ProjectServer::WalReopen() {
+  if (!durable()) {
+    throw Error("wal-reopen: durability is off (no wal_dir configured)");
+  }
+  // Quiesce the engine without touching the wedged writers (FlushWal
+  // no-ops while degraded; the sinks are fail-soft).
+  if (sharded_ != nullptr) {
+    sharded_->Drain();
+  } else {
+    engine_->ProcessAll();
+  }
+  // Discard the writers and their buffered tails. Anything buffered but
+  // not durable is unrecoverable through a failing fd anyway; the
+  // checkpoint below re-captures it from memory.
+  for (events::EventJournal* journal : sink_journals_) {
+    journal->SetSink(nullptr);
+  }
+  sink_journals_.clear();
+  row_writers_.clear();
+  ops_writer_.reset();
+  // Re-verify the tail: drop any torn suffix a partial flush left, so
+  // the reopened writers continue from a CRC-valid prefix.
+  for (const std::string& stream : events::ListWalStreams(options_.wal_dir)) {
+    const events::WalStreamData data =
+        events::ReadWalStream(options_.wal_dir, stream);
+    events::TruncateWalStream(options_.wal_dir, stream, data.valid_end);
+  }
+  try {
+    AttachWal();
+    // The fail-soft sinks may have dropped rows while the WAL was
+    // failing, so the truncated mirrors can be short of the in-memory
+    // journals. Re-mirror each journal in full (reset + every row);
+    // the checkpoint below then records stream offsets that cover it.
+    for (size_t i = 0; i < sink_journals_.size(); ++i) {
+      row_writers_[i]->MirrorJournal(*sink_journals_[i]);
+    }
+    // Re-baseline durability at the live state. This closes the fsync
+    // ambiguity window: ghost ops (durable but rejected) sit below the
+    // new manifest's op_seq and are never replayed; applied ops whose
+    // frames were lost are inside the checkpointed state.
+    degraded_.store(false, std::memory_order_release);
+    const uint64_t id = WalCheckpoint();
+    {
+      std::lock_guard<std::mutex> lock(degraded_reason_mutex_);
+      degraded_reason_.clear();
+    }
+    heals_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  } catch (const Error& error) {
+    // Still failing: back to degraded, writers in whatever state the
+    // failure left them (a later wal-reopen starts over cleanly).
+    TripDegraded(error.what());
+    throw;
   }
 }
 
@@ -251,6 +434,16 @@ uint64_t ProjectServer::WalCheckpoint() {
     throw Error("wal-checkpoint: durability is off (no wal_dir configured)");
   }
   Drain();
+  // Self-heal stale mirrors before freezing offsets: a fail-soft sink
+  // that dropped rows leaves its stream short of the in-memory journal,
+  // and a checkpoint taken over the short mirror would lose those rows
+  // forever on recovery. Re-mirroring throws if the stream still fails,
+  // which fails the checkpoint — the previous manifest stays in charge.
+  for (size_t i = 0; i < row_writers_.size(); ++i) {
+    if (!row_writers_[i]->ok()) {
+      row_writers_[i]->MirrorJournal(*sink_journals_[i]);
+    }
+  }
   ops_writer_->Sync();
   for (auto& writer : row_writers_) writer->Sync();
 
@@ -324,6 +517,7 @@ void ProjectServer::PostToEngine(events::EventMessage event) {
 }
 
 void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
+  RequireWritable();
   EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
   blueprint::Blueprint parsed = blueprint::ParseBlueprint(rule_file_text);
   if (sharded_ != nullptr) {
@@ -335,7 +529,11 @@ void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
   // every shard index in step), so shard 0's engine covers both modes.
   if (options_.retemplate_on_init) engine().RetemplateLinks();
   blueprint_text_ = std::string(rule_file_text);
-  if (logging()) ops_writer_->AppendBlueprintOp(NextOpSeq(), blueprint_text_);
+  if (logging()) {
+    LogOp(/*pre_apply=*/false, [this](uint64_t seq) {
+      ops_writer_->AppendBlueprintOp(seq, blueprint_text_);
+    });
+  }
   MaybeAutoCheckpoint();
 }
 
@@ -364,11 +562,14 @@ metadb::Oid ProjectServer::CheckIn(std::string_view block,
                                    std::string_view view,
                                    std::string_view content,
                                    std::string_view user) {
+  RequireWritable();
   EnforcePolicy(policy::Operation::kCheckIn, user, view, block);
   const metadb::Oid oid =
       workspace_.CheckIn(block, view, content, user, clock_.NowSeconds());
   if (logging()) {
-    ops_writer_->AppendCheckInOp(NextOpSeq(), block, view, content, user);
+    LogOp(/*pre_apply=*/false, [&](uint64_t seq) {
+      ops_writer_->AppendCheckInOp(seq, block, view, content, user);
+    });
   }
   if (options_.auto_drain) Drain();
   MaybeAutoCheckpoint();
@@ -385,6 +586,7 @@ metadb::Oid ProjectServer::CheckOut(std::string_view block,
 metadb::LinkId ProjectServer::RegisterLink(metadb::LinkKind kind,
                                            const metadb::Oid& from,
                                            const metadb::Oid& to) {
+  RequireWritable();
   EnforcePolicy(policy::Operation::kRegisterLink, "", to.view, to.block);
   const auto from_id = db_.FindObject(from);
   const auto to_id = db_.FindObject(to);
@@ -396,8 +598,9 @@ metadb::LinkId ProjectServer::RegisterLink(metadb::LinkKind kind,
       sharded_ != nullptr ? sharded_->OnCreateLink(kind, *from_id, *to_id)
                           : engine_->OnCreateLink(kind, *from_id, *to_id);
   if (logging()) {
-    ops_writer_->AppendLinkOp(NextOpSeq(), static_cast<uint8_t>(kind), from,
-                              to);
+    LogOp(/*pre_apply=*/false, [&](uint64_t seq) {
+      ops_writer_->AppendLinkOp(seq, static_cast<uint8_t>(kind), from, to);
+    });
   }
   MaybeAutoCheckpoint();
   return link;
@@ -411,14 +614,19 @@ void ProjectServer::SubmitWireLine(std::string_view line,
 }
 
 void ProjectServer::Submit(events::EventMessage event) {
+  RequireWritable();
   // Policies gate designer-originated traffic; events the engine's own
   // rules post internally are not re-checked.
   EnforcePolicy(policy::Operation::kPostEvent, event.user, event.name,
                 event.target.block);
   // Logged before the move hands the fields to the engine; intake is a
   // queue push that cannot fail once the policy gate passed, and replay
-  // tolerates ops that re-fail.
-  if (logging()) ops_writer_->AppendEventOp(NextOpSeq(), event);
+  // tolerates ops that re-fail. pre_apply: nothing executed yet, so an
+  // exhausted retry budget rejects the event outright.
+  if (logging()) {
+    LogOp(/*pre_apply=*/true,
+          [&](uint64_t seq) { ops_writer_->AppendEventOp(seq, event); });
+  }
   PostToEngine(std::move(event));
   if (options_.auto_drain) Drain();
   MaybeAutoCheckpoint();
@@ -432,8 +640,13 @@ size_t ProjectServer::Drain() {
 }
 
 void ProjectServer::AdvanceClock(int64_t seconds) {
+  RequireWritable();
   clock_.Advance(seconds);
-  if (logging()) ops_writer_->AppendClockOp(NextOpSeq(), clock_.NowSeconds());
+  if (logging()) {
+    LogOp(/*pre_apply=*/false, [this](uint64_t seq) {
+      ops_writer_->AppendClockOp(seq, clock_.NowSeconds());
+    });
+  }
   MaybeAutoCheckpoint();
 }
 

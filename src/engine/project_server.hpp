@@ -10,12 +10,17 @@
 //    a const reference to the database.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/clock.hpp"
+#include "common/error.hpp"
 #include "engine/run_time_engine.hpp"
 #include "engine/sharded_engine.hpp"
 #include "events/wal.hpp"
@@ -68,6 +73,22 @@ struct ServerOptions {
   bool auto_recover = true;
   /// Crash-harness hook observing durable extents; not owned.
   events::WalAppendObserver* wal_observer = nullptr;
+  /// WAL append/flush/fsync failures retry on this jittered-exponential
+  /// schedule before the server trips into degraded read-only mode
+  /// (attempts = 0 degrades on the first failure).
+  common::BackoffPolicy wal_retry{3, std::chrono::milliseconds(1),
+                                  std::chrono::milliseconds(50), 2.0, 0.5};
+};
+
+/// Fault-tolerance snapshot (the wire "health" command's payload).
+struct ServerHealth {
+  bool durable = false;
+  bool degraded = false;    ///< WAL failing; mutations rejected in-band.
+  std::string reason;       ///< Failure that tripped degraded mode.
+  uint64_t wal_failures = 0;         ///< WAL I/O failures observed.
+  uint64_t wal_retries = 0;          ///< Backoff retry attempts made.
+  uint64_t checkpoint_failures = 0;  ///< Auto-checkpoints that failed.
+  uint64_t heals = 0;                ///< Successful WalReopen() calls.
 };
 
 /// Durability-state snapshot (the wire "wal-status" command's payload).
@@ -156,6 +177,37 @@ class ProjectServer {
   /// Current durability state (recovery provenance included).
   WalStatus GetWalStatus() const;
 
+  // --- Fault tolerance -----------------------------------------------------
+
+  /// True while the server is in degraded read-only mode: the WAL hit
+  /// an unrecoverable I/O failure, mutations are rejected with
+  /// DegradedError, reads keep serving from pinned snapshots. Safe to
+  /// call from any thread.
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Fault-tolerance counters + degraded reason. Safe from any thread.
+  ServerHealth GetHealth() const;
+
+  /// Heals a degraded server once the fault cleared: quiesces the
+  /// engine, discards the (possibly wedged) writers, re-verifies every
+  /// stream's tail by truncating to its CRC-valid prefix, reopens fresh
+  /// writers and takes a checkpoint re-baselining durability at the
+  /// current in-memory state. The checkpoint neutralizes both halves of
+  /// the fsync ambiguity: operations that reached disk but were
+  /// rejected ("ghosts") carry op_seq <= the new manifest's and are
+  /// never replayed; applied operations whose frames were lost are
+  /// captured by the checkpointed state itself. Returns the checkpoint
+  /// id; throws (and stays degraded) while the fault persists. Also
+  /// valid on a healthy server (rolls every stream onto fresh
+  /// segments). Callers must serialize this against mutations — the
+  /// session mux runs it on the apply thread.
+  uint64_t WalReopen();
+
+  /// Throws DegradedError when mutations are currently rejected.
+  void RequireWritable() const;
+
   /// Replays the complete operation history of another WAL directory
   /// into this server (full-genesis replay: checkpoints in `dir` are
   /// ignored, the ops stream alone is the source). Intended for
@@ -230,10 +282,43 @@ class ProjectServer {
   /// Replays the post-checkpoint ops tail at construction.
   void ReplayOps(const std::vector<events::WalOpEntry>& ops);
 
-  /// Applies the fsync policy at drain boundaries.
+  /// Applies the fsync policy at drain boundaries. Never throws: a
+  /// failure retries on options_.wal_retry, then trips degraded mode
+  /// (the drained mutations already applied and were acked).
   void FlushWal();
 
   void MaybeAutoCheckpoint();
+
+  /// Logs one ops-stream record, assigning its op_seq. The happy path
+  /// is exactly one inlined Append*Op call; WalIoError diverts to the
+  /// cold retry/degrade path. `pre_apply` marks ops logged before their
+  /// mutation executes (Submit): those throw DegradedError on
+  /// exhaustion because rejecting the client is still truthful. Ops
+  /// logged after their mutation applied swallow the failure instead —
+  /// the client is acked and durability re-baselines at WalReopen().
+  template <typename AppendFn>
+  void LogOp(bool pre_apply, AppendFn&& append) {
+    const uint64_t seq = NextOpSeq();
+    const uint64_t mark = ops_writer_->frames_appended();
+    try {
+      append(seq);
+    } catch (const WalIoError& error) {
+      RetryFailedAppend([&append](uint64_t s) { append(s); }, seq,
+                        error.what(),
+                        ops_writer_->frames_appended() != mark, pre_apply);
+    }
+  }
+
+  /// Cold path behind LogOp: bounded jittered-exponential retry, then
+  /// TripDegraded. When the failed append already framed its record
+  /// into the writer's buffer, retries re-drive the I/O (Flush/Sync)
+  /// instead of re-appending — a second frame would duplicate the op.
+  void RetryFailedAppend(const std::function<void(uint64_t)>& append,
+                         uint64_t seq, std::string last_error,
+                         bool frame_buffered, bool pre_apply);
+
+  /// Enters degraded read-only mode (idempotent).
+  void TripDegraded(const std::string& reason);
 
   std::string project_name_;
   ServerOptions options_;
@@ -264,6 +349,17 @@ class ProjectServer {
   size_t restored_rows_ = 0;
   size_t manifests_skipped_ = 0;
   uint64_t checkpoints_taken_ = 0;
+
+  // Fault-tolerance state. The atomics are read by concurrent health /
+  // read sessions while the apply thread mutates; the reason string is
+  // guarded separately.
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> wal_failures_{0};
+  std::atomic<uint64_t> wal_retries_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> heals_{0};
+  mutable std::mutex degraded_reason_mutex_;
+  std::string degraded_reason_;
 };
 
 }  // namespace damocles::engine

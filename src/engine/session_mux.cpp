@@ -1,5 +1,9 @@
 #include "engine/session_mux.hpp"
 
+#include <algorithm>
+
+#include "common/failpoint.hpp"
+
 namespace damocles::engine {
 
 SessionMux::SessionMux(ProjectServer& server, SessionMuxOptions options)
@@ -38,26 +42,46 @@ std::string SessionMux::Session::Execute(std::string_view line) {
 
 std::string SessionMux::SubmitMutation(Session& session,
                                        std::string_view line) {
+  // Degraded fast-path: while the server is read-only, mutations that
+  // are not part of the heal surface (wal-reopen, failpoint) are
+  // rejected here in-band, without burning a queue slot or apply-thread
+  // time. Racing a trip that lands after this check is fine — the
+  // server rejects the mutation with the same "degraded:" response
+  // when the apply thread reaches it.
+  if (server_.degraded() && !WireLineAllowedDegraded(line)) {
+    return "degraded: server is read-only (" + server_.GetHealth().reason +
+           "); heal with wal-reopen\n";
+  }
+
+  // A hit forces this submission down the saturation path (straight
+  // to the "busy: ..." rejection) without actually filling the queue.
+  common::FailpointHit fault;
+  const bool forced_busy = DAMOCLES_FAILPOINT("mux.queue.full", &fault);
+
   std::promise<std::string> promise;
   std::future<std::string> future = promise.get_future();
+  uint64_t ticket = 0;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (stop_) return "error: session mux is shutting down\n";
-    if (queue_.size() >= options_.mutation_queue_capacity) {
-      // Bounded retry: wait (with growing backoff) for the apply
-      // thread to make space, then re-check. Attempts exhausted or
-      // shutdown mid-wait falls through to the busy rejection.
-      const auto& retry = options_.mutation_retry;
+    if (forced_busy || queue_.size() >= options_.mutation_queue_capacity) {
+      // Bounded retry: wait (with jittered exponential backoff) for
+      // the apply thread to make space, then re-check. Attempts
+      // exhausted or shutdown mid-wait falls through to the busy
+      // rejection.
       bool admitted = false;
-      for (size_t attempt = 0; attempt < retry.attempts; ++attempt) {
-        space_cv_.wait_for(lock, retry.backoff * (attempt + 1), [this] {
-          return stop_ || queue_.size() < options_.mutation_queue_capacity;
-        });
-        if (stop_) return "error: session mux is shutting down\n";
-        if (queue_.size() < options_.mutation_queue_capacity) {
-          mutation_retries_.fetch_add(1, std::memory_order_relaxed);
-          admitted = true;
-          break;
+      if (!forced_busy) {
+        common::BackoffState backoff(options_.mutation_retry);
+        while (backoff.ShouldRetry()) {
+          space_cv_.wait_for(lock, backoff.NextDelay(), [this] {
+            return stop_ || queue_.size() < options_.mutation_queue_capacity;
+          });
+          if (stop_) return "error: session mux is shutting down\n";
+          if (queue_.size() < options_.mutation_queue_capacity) {
+            mutation_retries_.fetch_add(1, std::memory_order_relaxed);
+            admitted = true;
+            break;
+          }
         }
       }
       if (!admitted) {
@@ -69,10 +93,35 @@ std::string SessionMux::SubmitMutation(Session& session,
     PendingMutation pending;
     pending.line = std::string(line);
     pending.session = &session;
+    pending.ticket = ticket = ++next_ticket_;
     pending.promise = std::move(promise);
     queue_.push_back(std::move(pending));
   }
   queue_cv_.notify_one();
+
+  const auto deadline = options_.mutation_deadline;
+  if (deadline.count() <= 0) return future.get();
+
+  // Deadline wait: if the apply thread has not picked the entry up in
+  // time, withdraw it from the queue — it is guaranteed unapplied, so
+  // "timeout: ..." is truthful and the client may safely resubmit. An
+  // entry already popped is being applied; its real response is the
+  // only honest answer, so block for it.
+  if (future.wait_for(deadline) == std::future_status::ready) {
+    return future.get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [ticket](const PendingMutation& p) { return p.ticket == ticket; });
+    if (it != queue_.end()) {
+      queue_.erase(it);
+      mutation_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return "timeout: mutation waited past deadline (" +
+             std::to_string(deadline.count()) + " ms) unapplied; retry\n";
+    }
+  }
   return future.get();
 }
 
@@ -90,6 +139,12 @@ void SessionMux::ApplyLoop() {
       queue_.pop_front();
     }
     space_cv_.notify_all();
+
+    // Chaos hook: a delay-action hit here stalls the apply thread the
+    // way a slow wave or blocked fsync would, so tests can drive the
+    // deadline/timeout path deterministically.
+    common::FailpointHit stall;
+    static_cast<void>(DAMOCLES_FAILPOINT("mux.apply.stall", &stall));
 
     // The single-writer step: the session's writer-side WireSession
     // applies the mutation (events drain through the plain engine or

@@ -21,7 +21,12 @@
 //  * BACKPRESSURE is in-band: when the mutation queue is full the
 //    command is rejected immediately with a "busy: ..." response
 //    (count in busy_rejections()) instead of blocking the session —
-//    a remote client must never be able to wedge the server.
+//    a remote client must never be able to wedge the server. A
+//    mutation that was admitted but waits in the queue longer than
+//    the configured deadline is withdrawn unapplied and answered
+//    "timeout: ..." — so a stalled apply thread cannot hold every
+//    session hostage either. Degraded-mode rejections from the
+//    server ("degraded: ...") flow back the same in-band way.
 //
 // Every applied mutation is recorded in the mutation log
 // {seq, user, line, response, epoch_after}; replaying the log against
@@ -42,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "engine/wire_session.hpp"
 
 namespace damocles::engine {
@@ -60,15 +66,24 @@ struct SessionMuxOptions {
 
   /// Bounded retry when the mutation queue is full. With attempts = 0
   /// (the default) a full queue rejects immediately ("busy: ...");
-  /// with attempts = N the submitting session waits for queue space —
-  /// backoff, 2*backoff, ... N*backoff — and only rejects after all
-  /// attempts saturate. The wait is bounded so a wedged apply thread
-  /// still cannot hold a remote client forever.
-  struct MutationRetry {
-    size_t attempts = 0;
-    std::chrono::milliseconds backoff{2};
-  };
-  MutationRetry mutation_retry;
+  /// with attempts = N the submitting session waits for queue space
+  /// under jittered exponential backoff (initial, initial*multiplier,
+  /// ... capped at max, each scaled by a random jitter factor so
+  /// saturated sessions don't wake in lockstep) and only rejects
+  /// after all attempts saturate. The wait is bounded so a wedged
+  /// apply thread still cannot hold a remote client forever.
+  common::BackoffPolicy mutation_retry{/*attempts=*/0,
+                                       std::chrono::milliseconds(2),
+                                       std::chrono::milliseconds(64)};
+
+  /// Per-mutation queue-wait deadline. Zero (the default) waits
+  /// forever. Otherwise a mutation still sitting in the queue when
+  /// the deadline expires is withdrawn — guaranteed not applied —
+  /// and its session gets an in-band "timeout: ..." response. A
+  /// mutation the apply thread has already started is never
+  /// abandoned: its real response is returned however long it takes
+  /// (abandoning it would leave the client unsure whether it ran).
+  std::chrono::milliseconds mutation_deadline{0};
 };
 
 /// One applied mutation, in apply order (seq ascends from 1).
@@ -147,6 +162,10 @@ class SessionMux {
   uint64_t mutation_retries() const noexcept {
     return mutation_retries_.load(std::memory_order_relaxed);
   }
+  /// Mutations withdrawn unapplied after waiting past the deadline.
+  uint64_t mutation_timeouts() const noexcept {
+    return mutation_timeouts_.load(std::memory_order_relaxed);
+  }
 
   /// Copy of the mutation log (apply order).
   std::vector<MuxLogEntry> MutationLog() const;
@@ -157,6 +176,11 @@ class SessionMux {
   struct PendingMutation {
     std::string line;
     Session* session = nullptr;
+    /// Identifies this entry so a deadline-expired submitter can find
+    /// and withdraw it. The submitter stays blocked until its entry is
+    /// either withdrawn by itself or popped by the apply thread, so
+    /// `session` can never dangle.
+    uint64_t ticket = 0;
     std::promise<std::string> promise;
   };
 
@@ -172,6 +196,7 @@ class SessionMux {
   /// retry wait wake to re-check for queue space.
   std::condition_variable space_cv_;
   std::deque<PendingMutation> queue_;
+  uint64_t next_ticket_ = 0;  ///< Guarded by queue_mutex_.
   bool stop_ = false;
 
   mutable std::mutex log_mutex_;
@@ -180,6 +205,7 @@ class SessionMux {
   std::atomic<uint64_t> mutations_applied_{0};
   std::atomic<uint64_t> busy_rejections_{0};
   std::atomic<uint64_t> mutation_retries_{0};
+  std::atomic<uint64_t> mutation_timeouts_{0};
 
   std::thread apply_thread_;
 };

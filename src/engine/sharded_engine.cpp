@@ -16,6 +16,7 @@
 
 #include "blueprint/parser.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/log.hpp"
 
 namespace damocles::engine {
@@ -691,7 +692,11 @@ struct ShardedEngine::Lane {
       PushSub(std::move(task), overflow_counter);
       return;
     }
-    if (!overflowed.load(std::memory_order_acquire) &&
+    // Chaos hook: a hit forces this task onto the overflow deque as
+    // if the lock-free ring were full, exercising the spill path.
+    common::FailpointHit spill;
+    if (!DAMOCLES_FAILPOINT("sharded.ring.spill", &spill) &&
+        !overflowed.load(std::memory_order_acquire) &&
         ring->TryPush(std::move(task))) {
       return;
     }
@@ -705,7 +710,9 @@ struct ShardedEngine::Lane {
 
   void PushSub(Task&& task, std::atomic<size_t>& overflow_counter) {
     queued_subwaves.fetch_add(1, std::memory_order_release);
-    if (!sub_overflowed.load(std::memory_order_acquire) &&
+    common::FailpointHit spill;
+    if (!DAMOCLES_FAILPOINT("sharded.ring.spill", &spill) &&
+        !sub_overflowed.load(std::memory_order_acquire) &&
         sub_ring->TryPush(std::move(task))) {
       return;
     }

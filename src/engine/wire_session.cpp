@@ -2,6 +2,7 @@
 
 #include "blueprint/validator.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "metadb/config_builder.hpp"
 #include "query/report.hpp"
@@ -99,10 +100,25 @@ WireCommandKind ClassifyWireLine(std::string_view line) {
   return WireCommandKind::kRead;
 }
 
+bool WireLineAllowedDegraded(std::string_view line) {
+  std::string_view rest = line;
+  const std::string command = NextWord(rest);
+  for (const WireCommandInfo& info : WireCommands()) {
+    if (info.name != command) continue;
+    return info.kind == WireCommandKind::kRead || info.allowed_degraded;
+  }
+  return true;  // Unknown lines answer in-band errors; always allowed.
+}
+
 std::string WireSession::HandleLine(std::string_view line) {
   ++commands_handled_;
   try {
     return Dispatch(line);
+  } catch (const DegradedError& error) {
+    // Read-only mode rejections are a distinct in-band class so
+    // clients (and the chaos harness) can tell "retry after heal"
+    // apart from "your command was wrong".
+    return std::string("degraded: ") + error.what() + "\n";
   } catch (const Error& error) {
     return std::string("error: ") + error.what() + "\n";
   }
@@ -341,6 +357,64 @@ std::string WireSession::CmdRecover(Context& ctx) {
   return "ok replayed " + std::to_string(applied) + " op(s)\n";
 }
 
+std::string WireSession::CmdHealth(Context& ctx) {
+  (void)ctx;
+  const ServerHealth health = server_.GetHealth();
+  std::string out =
+      std::string("health ") + (health.degraded ? "degraded" : "ok") + "\n";
+  if (!health.reason.empty()) out += "  reason: " + health.reason + "\n";
+  out += std::string("  wal ") + (health.durable ? "on" : "off") +
+         ", failures " + std::to_string(health.wal_failures) + ", retries " +
+         std::to_string(health.wal_retries) + "\n";
+  out += "  checkpoint failures " + std::to_string(health.checkpoint_failures) +
+         ", heals " + std::to_string(health.heals) + "\n";
+  return out;
+}
+
+std::string WireSession::CmdWalReopen(Context& ctx) {
+  (void)ctx;
+  const uint64_t id = server_.WalReopen();
+  return "ok healed at checkpoint " + std::to_string(id) + "\n";
+}
+
+std::string WireSession::CmdFailpoint(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string verb = NextWord(rest);
+  common::Failpoints& failpoints = common::Failpoints::Instance();
+  if (verb == "set") {
+    const std::string name = NextWord(rest);
+    const std::string config = NextWord(rest);
+    if (name.empty() || config.empty()) {
+      return "error: usage: failpoint set <name> <config>\n";
+    }
+    failpoints.Configure(name, config);
+    return "ok failpoint '" + name + "' armed\n";
+  }
+  if (verb == "clear") {
+    const std::string name = NextWord(rest);
+    if (name.empty()) return "error: usage: failpoint clear <name>|all\n";
+    if (name == "all") {
+      failpoints.ClearAll();
+    } else {
+      failpoints.Clear(name);
+    }
+    return "ok\n";
+  }
+  if (verb == "list") {
+    const auto statuses = failpoints.List();
+    if (statuses.empty()) return "no failpoints armed\n";
+    std::string out;
+    for (const common::FailpointStatus& status : statuses) {
+      out += status.name + " " + status.config + " (evaluated " +
+             std::to_string(status.evaluations) + ", hit " +
+             std::to_string(status.hits) + ")\n";
+    }
+    return out;
+  }
+  return "error: usage: failpoint set <name> <config> | clear <name>|all | "
+         "list\n";
+}
+
 std::string WireSession::CmdHelp(Context& ctx) {
   (void)ctx;
   return WireCommandHelp();
@@ -405,6 +479,18 @@ const std::vector<WireSession::Entry>& WireSession::Registry() {
         "Replay another WAL directory's full operation history here.",
         Kind::kMutate, false, ""},
        &WireSession::CmdRecover},
+      {{"health", "health",
+        "Fault-tolerance state: degraded flag, WAL failure counters.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdHealth},
+      {{"wal-reopen", "wal-reopen",
+        "Heal a degraded server: reopen the WAL and resume writes.",
+        Kind::kMutate, false, "", /*allowed_degraded=*/true},
+       &WireSession::CmdWalReopen},
+      {{"failpoint", "failpoint set <name> <config>|clear <name>|list",
+        "Arm, clear or list fault-injection points (failpoint builds only).",
+        Kind::kMutate, false, "", /*allowed_degraded=*/true},
+       &WireSession::CmdFailpoint},
       {{"help", "help", "This command list.", Kind::kRead, false, ""},
        &WireSession::CmdHelp},
       {{"snapshot", "snapshot <name>",

@@ -38,6 +38,10 @@ struct WireCommandInfo {
   WireCommandKind kind = WireCommandKind::kRead;
   bool deprecated = false;
   std::string_view replacement;  ///< Successor name (deprecated only).
+  /// Mutate commands the mux must still admit while the server is in
+  /// degraded read-only mode — the heal/observability surface
+  /// (wal-reopen, failpoint). Reads are always admitted.
+  bool allowed_degraded = false;
 };
 
 /// The command registry, in the order `help` lists commands.
@@ -54,6 +58,10 @@ std::string WireCommandMarkdownTable();
 /// commands classify as reads so they are answered (with an in-band
 /// error) immediately instead of entering the mutation queue.
 WireCommandKind ClassifyWireLine(std::string_view line);
+
+/// True when `line` may run even while the server is degraded: every
+/// read, plus the mutate commands flagged allowed_degraded above.
+bool WireLineAllowedDegraded(std::string_view line);
 
 /// One authenticated session (the user is fixed at construction, the
 /// way a per-connection identity would be).
@@ -114,6 +122,9 @@ class WireSession {
   std::string CmdWalStatus(Context& ctx);
   std::string CmdWalCheckpoint(Context& ctx);
   std::string CmdRecover(Context& ctx);
+  std::string CmdHealth(Context& ctx);
+  std::string CmdWalReopen(Context& ctx);
+  std::string CmdFailpoint(Context& ctx);
   std::string CmdHelp(Context& ctx);
 
   ProjectServer& server_;

@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 
 namespace damocles::events {
@@ -528,7 +529,8 @@ void WalWriter::OpenSegment() {
           WalSegmentFileName(options_.stream, segment_index_);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
-    throw Error("wal: cannot create segment " + path_);
+    throw WalIoError("wal: cannot create segment " + path_ + ": " +
+                     std::strerror(errno));
   }
   write_buffer_.clear();
   write_buffer_.reserve(kWalWriteBufferBytes);
@@ -557,6 +559,13 @@ void WalWriter::CloseSegment() {
 
 void WalWriter::MaybeRoll() {
   if (file_bytes_ < options_.segment_bytes) return;
+  common::FailpointHit hit;
+  if (DAMOCLES_FAILPOINT("wal.roll", &hit)) {
+    throw WalIoError("wal: injected segment-roll failure on stream '" +
+                     options_.stream + "' (failpoint wal.roll)");
+  }
+  // CloseSegment flushes; a failed flush leaves this segment open (with
+  // the unwritten tail still buffered) so a retried append can resume.
   CloseSegment();
   base_offset_ += file_bytes_;
   ++segment_index_;
@@ -594,6 +603,9 @@ void WalWriter::EndRecord(size_t mark) {
   write_buffer_.append(reinterpret_cast<const char*>(tail), sizeof tail);
   file_bytes_ += payload_size + kWalFrameOverhead;
   dirty_ = true;
+  // Count before the spill check below: the frame is committed to the
+  // buffer even when the flush it triggers fails.
+  ++frames_appended_;
   // The spill check runs at frame granularity — a mid-record durable
   // extent is exactly the torn tail recovery truncates (the crash fuzz
   // exercises these offsets). Between BeginRecord and EndRecord nothing
@@ -635,9 +647,38 @@ void WalWriter::EndAppendGroup() {
   if (options_.fsync == FsyncPolicy::kEveryRecord) Sync();
 }
 
+void WalWriter::CheckAppendFailpoint() {
+  common::FailpointHit hit;
+  if (DAMOCLES_FAILPOINT("wal.append", &hit)) {
+    throw WalIoError("wal: injected append failure on stream '" +
+                     options_.stream + "' (failpoint wal.append)");
+  }
+}
+
 void WalWriter::OnAppend(const EventJournal& journal) {
+  // Fail-soft: this runs as a JournalSink inside engine worker threads,
+  // where a throw would be fatal. After the first failure later rows
+  // are dropped (the mirror is incomplete either way); the server heals
+  // by truncating to the CRC-valid prefix and re-checkpointing, which
+  // never re-reads the dropped region.
+  if (!failure_.empty()) return;
+  try {
+    AppendRowOrThrow(journal);
+  } catch (const Error& error) {
+    failure_ = error.what();
+  }
+}
+
+// Throwing body of OnAppend; only the fail-soft wrapper above calls it.
+void WalWriter::AppendRowOrThrow(const EventJournal& journal) {
+  CheckAppendFailpoint();
   MaybeRoll();
-  const EventJournal::Row& row = journal.RawRow(journal.Size() - 1);
+  AppendRowAt(journal, journal.Size() - 1);
+  EndAppendGroup();
+}
+
+void WalWriter::AppendRowAt(const EventJournal& journal, size_t index) {
+  const EventJournal::Row& row = journal.RawRow(index);
   // Intern every symbol before the row frame opens: a first-sight
   // symbol emits its own kSymbol record, which must precede the row's
   // frame in the stream (the encode below then only hits the cache).
@@ -671,19 +712,51 @@ void WalWriter::OnAppend(const EventJournal& journal) {
     p += 4;
   }
   EndRecord(mark);
-  EndAppendGroup();
+}
+
+void WalWriter::MirrorJournal(const EventJournal& journal) {
+  try {
+    CheckAppendFailpoint();
+    MaybeRoll();
+    WriteRecord(WalRecordType::kReset, {});
+    // Recovery only restores rows past the reset, so the mirror below
+    // is the stream's whole visible content regardless of what the
+    // truncated prefix held.
+    journal_symbol_cache_.clear();
+    for (size_t i = 0; i < journal.Size(); ++i) {
+      MaybeRoll();
+      AppendRowAt(journal, i);
+    }
+    EndAppendGroup();
+    // The stream covers the complete journal again; the fail-soft sink
+    // path resumes appending from here.
+    failure_.clear();
+  } catch (const Error& error) {
+    // A partial mirror (reset + some rows) must keep dropping later
+    // sink appends — recovery would otherwise restore a gapped row
+    // sequence.
+    failure_ = error.what();
+    throw;
+  }
 }
 
 void WalWriter::OnClear(const EventJournal& /*journal*/) {
-  MaybeRoll();
-  WriteRecord(WalRecordType::kReset, {});
-  EndAppendGroup();
+  if (!failure_.empty()) return;
+  try {
+    CheckAppendFailpoint();
+    MaybeRoll();
+    WriteRecord(WalRecordType::kReset, {});
+    EndAppendGroup();
+  } catch (const Error& error) {
+    failure_ = error.what();
+  }
   // The journal rebuilt its symbol table from scratch; cached ids no
   // longer name the same text.
   journal_symbol_cache_.clear();
 }
 
 void WalWriter::AppendOp(const WalOpRecord& op) {
+  CheckAppendFailpoint();
   MaybeRoll();
   WriteRecord(op.type, EncodeWalOp(op));
   EndAppendGroup();
@@ -693,6 +766,7 @@ void WalWriter::AppendCheckInOp(uint64_t op_seq, std::string_view block,
                                 std::string_view view,
                                 std::string_view content,
                                 std::string_view user) {
+  CheckAppendFailpoint();
   MaybeRoll();
   const size_t mark = BeginRecord(WalRecordType::kOpCheckIn);
   EncodeCheckInPayload(write_buffer_, op_seq, block, view, content, user);
@@ -701,6 +775,7 @@ void WalWriter::AppendCheckInOp(uint64_t op_seq, std::string_view block,
 }
 
 void WalWriter::AppendEventOp(uint64_t op_seq, const EventMessage& event) {
+  CheckAppendFailpoint();
   MaybeRoll();
   const size_t mark = BeginRecord(WalRecordType::kOpEvent);
   try {
@@ -716,6 +791,7 @@ void WalWriter::AppendEventOp(uint64_t op_seq, const EventMessage& event) {
 
 void WalWriter::AppendLinkOp(uint64_t op_seq, uint8_t link_kind,
                              const metadb::Oid& from, const metadb::Oid& to) {
+  CheckAppendFailpoint();
   MaybeRoll();
   const size_t mark = BeginRecord(WalRecordType::kOpLink);
   EncodeLinkPayload(write_buffer_, op_seq, link_kind, from, to);
@@ -724,6 +800,7 @@ void WalWriter::AppendLinkOp(uint64_t op_seq, uint8_t link_kind,
 }
 
 void WalWriter::AppendBlueprintOp(uint64_t op_seq, std::string_view text) {
+  CheckAppendFailpoint();
   MaybeRoll();
   const size_t mark = BeginRecord(WalRecordType::kOpBlueprint);
   EncodeBlueprintPayload(write_buffer_, op_seq, text);
@@ -732,6 +809,7 @@ void WalWriter::AppendBlueprintOp(uint64_t op_seq, std::string_view text) {
 }
 
 void WalWriter::AppendClockOp(uint64_t op_seq, int64_t clock_seconds) {
+  CheckAppendFailpoint();
   MaybeRoll();
   const size_t mark = BeginRecord(WalRecordType::kOpClock);
   EncodeClockPayload(write_buffer_, op_seq, clock_seconds);
@@ -741,19 +819,51 @@ void WalWriter::AppendClockOp(uint64_t op_seq, int64_t clock_seconds) {
 
 void WalWriter::Flush() {
   if (fd_ < 0 || !dirty_) return;
+  // "wal.flush" failpoint: fail outright (error / errno), or tear the
+  // write — only `short:<n>` bytes reach the file before the failure,
+  // exactly what a disk filling up mid-write leaves behind.
+  bool inject_fail = false;
+  int inject_errno = EIO;
+  size_t inject_cap = 0;
+  common::FailpointHit hit;
+  if (DAMOCLES_FAILPOINT("wal.flush", &hit)) {
+    inject_fail = true;
+    if (hit.action == common::FailpointAction::kErrno) {
+      inject_errno = hit.error_number;
+    }
+    if (hit.action == common::FailpointAction::kShortWrite) {
+      inject_cap = static_cast<size_t>(hit.param);
+    }
+  }
   const char* data = write_buffer_.data();
   size_t left = write_buffer_.size();
+  size_t written = 0;
   while (left > 0) {
-    const ssize_t wrote = ::write(fd_, data, left);
+    size_t ask = left;
+    if (inject_fail) {
+      if (inject_cap <= written) break;
+      ask = std::min(ask, inject_cap - written);
+    }
+    const ssize_t wrote = ::write(fd_, data, ask);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      throw Error("wal: write failed on " + path_);
+      break;
     }
-    if (wrote == 0) {
-      throw Error("wal: short write on " + path_);
-    }
+    if (wrote == 0) break;
     data += wrote;
     left -= static_cast<size_t>(wrote);
+    written += static_cast<size_t>(wrote);
+  }
+  if (left > 0) {
+    const int err = inject_fail ? inject_errno : errno;
+    // Consume what did reach the file so a retry after backoff starts
+    // at the first unwritten byte — re-writing the whole buffer would
+    // splice duplicate bytes mid-stream and corrupt every later frame.
+    write_buffer_.erase(0, written);
+    throw WalIoError("wal: write failed on " + path_ + " after " +
+                     std::to_string(written) + " bytes: " +
+                     std::strerror(err) +
+                     (inject_fail ? " (injected)" : ""));
   }
   write_buffer_.clear();
   dirty_ = false;
@@ -765,8 +875,17 @@ void WalWriter::Flush() {
 void WalWriter::Sync() {
   if (fd_ < 0) return;
   Flush();
+  common::FailpointHit hit;
+  if (DAMOCLES_FAILPOINT("wal.fsync", &hit)) {
+    const int err = hit.action == common::FailpointAction::kErrno
+                        ? hit.error_number
+                        : EIO;
+    throw WalIoError("wal: fsync failed on " + path_ + ": " +
+                     std::strerror(err) + " (injected)");
+  }
   if (::fsync(fd_) != 0) {
-    throw Error("wal: fsync failed on " + path_);
+    throw WalIoError("wal: fsync failed on " + path_ + ": " +
+                     std::strerror(errno));
   }
 }
 
@@ -996,7 +1115,8 @@ void TruncateWalStream(const std::string& dir, const std::string& stream,
   }
 }
 
-std::string FormatWalInspection(const std::string& dir) {
+std::string FormatWalInspection(const std::string& dir, bool* any_torn) {
+  if (any_torn != nullptr) *any_torn = false;
   std::string out = "wal directory: " + dir + "\n";
   const std::vector<std::string> streams = ListWalStreams(dir);
   if (streams.empty()) {
@@ -1005,6 +1125,7 @@ std::string FormatWalInspection(const std::string& dir) {
   }
   for (const std::string& stream : streams) {
     const WalStreamData data = ReadWalStream(dir, stream);
+    if (data.torn && any_torn != nullptr) *any_torn = true;
     out += "stream \"" + stream + "\": " +
            std::to_string(data.segments.size()) +
            " segment(s), valid through offset " +
@@ -1025,7 +1146,10 @@ std::string FormatWalInspection(const std::string& dir) {
              std::to_string(info.records) + " record(s), " +
              std::to_string(info.symbols) + " symbol(s)";
       if (info.torn) {
-        out += " — TORN: " + info.error;
+        // The physical offset where the intact prefix ends — the torn
+        // tail begins at this byte of the segment file.
+        out += " — TORN: " + info.error + " (torn tail at byte " +
+               std::to_string(info.valid_bytes) + ")";
       } else if (!info.error.empty()) {
         out += " — " + info.error;
       } else {

@@ -164,6 +164,15 @@ class WalWriter final : public JournalSink {
   /// Logs one operation record (the caller fills op_seq).
   void AppendOp(const WalOpRecord& op);
 
+  /// Rewrites the stream to mirror the journal's full current
+  /// contents: one kReset record (recovery drops everything before it)
+  /// followed by every row. The heal path uses this on freshly
+  /// reopened writers, because the fail-soft sink may have dropped
+  /// rows while the WAL was failing — after the mirror, the stream's
+  /// end offset covers the complete in-memory journal again. Throws
+  /// WalIoError on failure.
+  void MirrorJournal(const EventJournal& journal);
+
   // Zero-copy logging for the hot server operations: encodes straight
   // from the caller's fields into the reused scratch buffer, skipping
   // the WalOpRecord (and its string copies) entirely. Byte-identical to
@@ -177,14 +186,34 @@ class WalWriter final : public JournalSink {
   void AppendBlueprintOp(uint64_t op_seq, std::string_view text);
   void AppendClockOp(uint64_t op_seq, int64_t clock_seconds);
 
-  /// Hands buffered bytes to the OS and notifies the observer.
+  /// Hands buffered bytes to the OS and notifies the observer. Throws
+  /// WalIoError on write failure; already-written bytes are consumed
+  /// from the buffer first, so a retry continues where the last attempt
+  /// stopped instead of duplicating bytes mid-stream.
   void Flush();
 
-  /// Flush + fsync (durable against power loss).
+  /// Flush + fsync (durable against power loss). Throws WalIoError on
+  /// failure. After a failed fsync the kernel may have dropped the
+  /// dirty pages, so callers must treat the unflushed tail as lost and
+  /// heal by re-checkpointing, not by retrying the fsync.
   void Sync();
+
+  /// Empty while every mirrored row reached the stream. The JournalSink
+  /// paths (OnAppend / OnClear) are fail-soft — they must not throw
+  /// through engine worker threads — so the first I/O failure is
+  /// recorded here and later rows are dropped. The row mirror is then
+  /// incomplete; ProjectServer::WalReopen() rebuilds it by truncating
+  /// to the CRC-valid prefix and taking a fresh checkpoint.
+  const std::string& failure() const noexcept { return failure_; }
+  bool ok() const noexcept { return failure_.empty(); }
 
   /// Logical end offset of the stream (base + bytes in the open segment).
   uint64_t logical_end() const noexcept { return base_offset_ + file_bytes_; }
+
+  /// Frames committed to the buffer so far (flushed or not). Lets the
+  /// retry path tell "append failed before framing — re-append" from
+  /// "frame is buffered, the flush failed — re-drive the I/O only".
+  uint64_t frames_appended() const noexcept { return frames_appended_; }
 
   const std::string& stream() const noexcept { return options_.stream; }
   uint64_t segment_index() const noexcept { return segment_index_; }
@@ -206,6 +235,13 @@ class WalWriter final : public JournalSink {
   /// trailer and runs the spill check.
   void EndRecord(size_t mark);
   void WriteRaw(const void* data, size_t size);
+  /// Evaluates the "wal.append" failpoint; throws WalIoError on a hit.
+  void CheckAppendFailpoint();
+  /// Throwing body of OnAppend (the override wraps it fail-soft).
+  void AppendRowOrThrow(const EventJournal& journal);
+  /// Frames one journal row (symbols first). No failpoint check, no
+  /// append-group end — callers own both.
+  void AppendRowAt(const EventJournal& journal, size_t index);
   /// Returns the segment-local id for `text`, emitting a kSymbol record
   /// on first sight within the current segment.
   uint32_t InternStreamSymbol(const std::string& text);
@@ -225,6 +261,8 @@ class WalWriter final : public JournalSink {
   uint64_t base_offset_ = 0;
   uint64_t file_bytes_ = 0;
   bool dirty_ = false;
+  uint64_t frames_appended_ = 0;
+  std::string failure_;  ///< First fail-soft sink failure; see failure().
   std::unordered_map<std::string, uint32_t> stream_symbols_;
   /// Journal SymbolId -> segment-local id; invalidated with
   /// stream_symbols_ at segment open and when the journal resets its
@@ -294,8 +332,12 @@ void TruncateWalStream(const std::string& dir, const std::string& stream,
                        uint64_t logical_offset);
 
 /// Multi-line human-readable report over every stream in `dir` (segment
-/// headers, record counts, CRC verification, truncation points). The
-/// wal-inspect CLI prints exactly this.
-std::string FormatWalInspection(const std::string& dir);
+/// headers, record counts, CRC verification, truncation points; torn
+/// segments include the physical byte offset where the tail begins).
+/// The wal-inspect CLI prints exactly this. When `any_torn` is given it
+/// is set to whether any stream failed CRC verification, so callers get
+/// the verdict from the same single scan that built the report.
+std::string FormatWalInspection(const std::string& dir,
+                                bool* any_torn = nullptr);
 
 }  // namespace damocles::events

@@ -4,11 +4,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "metadb/persistence.hpp"
 
@@ -98,18 +101,38 @@ bool ReadFileToString(const std::string& path, std::string& out) {
 
 /// Writes + fsyncs a file, throwing on failure; notifies the observer
 /// with the final size so the crash harness can cut inside it.
+///
+/// "checkpoint.write" failpoint: `short:<n>` writes only the first n
+/// bytes before failing (the partial file a real ENOSPC leaves behind);
+/// `error` / `errno:<E>` fail after the full write. Either way the
+/// previous manifest chain stays untouched — the manifest pointing at
+/// this file is never written.
 void WriteFileDurable(const std::string& path, const std::string& content,
                       events::WalAppendObserver* observer) {
+  common::FailpointHit hit;
+  const bool injected = DAMOCLES_FAILPOINT("checkpoint.write", &hit);
+  std::string_view body(content);
+  if (injected && hit.action == common::FailpointAction::kShortWrite) {
+    body = body.substr(0, static_cast<size_t>(hit.param));
+  }
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
-    throw Error("checkpoint: cannot create " + path);
+    throw Error("checkpoint: cannot create " + path + ": " +
+                std::strerror(errno));
   }
   const bool write_ok =
-      content.empty() ||
-      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+      body.empty() ||
+      std::fwrite(body.data(), 1, body.size(), file) == body.size();
   const bool flush_ok = std::fflush(file) == 0;
   const bool sync_ok = ::fsync(fileno(file)) == 0;
   std::fclose(file);
+  if (injected) {
+    const int err = hit.action == common::FailpointAction::kErrno
+                        ? hit.error_number
+                        : EIO;
+    throw Error("checkpoint: write failed on " + path + ": " +
+                std::strerror(err) + " (injected)");
+  }
   if (!write_ok || !flush_ok || !sync_ok) {
     throw Error("checkpoint: write failed on " + path);
   }
@@ -517,6 +540,13 @@ uint64_t WriteWalCheckpoint(const std::string& wal_dir,
   const std::string final_path = wal_dir + "/" + ManifestFileName(id);
   const std::string tmp_path = final_path + ".tmp";
   WriteFileDurable(tmp_path, manifest_text, nullptr);
+  common::FailpointHit hit;
+  if (DAMOCLES_FAILPOINT("checkpoint.manifest.rename", &hit)) {
+    // The tmp file stays behind, exactly like a crash between write and
+    // rename; PrepareWalDirectory sweeps *.tmp on the next recovery.
+    throw Error("checkpoint: cannot rename " + tmp_path +
+                ": injected failure (failpoint checkpoint.manifest.rename)");
+  }
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
   if (ec) {

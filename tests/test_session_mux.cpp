@@ -12,8 +12,11 @@
 #include "engine/session_mux.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <random>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "test_util.hpp"
 
 namespace damocles::engine {
@@ -231,7 +235,8 @@ TEST(SessionMuxTest, RetryWithBackoffAcceptsEveryMutationUnderSaturation) {
   SessionMuxOptions options;
   options.mutation_queue_capacity = 1;  // Saturates immediately.
   options.mutation_retry.attempts = 1000;
-  options.mutation_retry.backoff = std::chrono::milliseconds(1);
+  options.mutation_retry.initial = std::chrono::milliseconds(1);
+  options.mutation_retry.max = std::chrono::milliseconds(4);
   SessionMux mux(*server, options);
 
   constexpr int kWriters = 6;
@@ -289,6 +294,134 @@ TEST(SessionMuxTest, RetryDisabledStillRejectsWhenFull) {
   EXPECT_EQ(mux.busy_rejections(), busy.load());
   EXPECT_EQ(mux.mutation_retries(), 0u);
 }
+
+// --- Fault injection: deadlines, degraded flow-through --------------------
+
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+
+/// Scratch WAL directory, removed on destruction.
+class MuxTempDir {
+ public:
+  explicit MuxTempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("damocles-mux-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~MuxTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+class MuxFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { common::Failpoints::Instance().ClearAll(); }
+};
+
+TEST_F(MuxFailpointTest, QueueFullFailpointForcesBusyRejection) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+  auto session = mux.Connect("alice");
+  common::Failpoints::Instance().Configure("mux.queue.full", "error,count=1");
+  const std::string rejected = session->Execute("checkin CPU HDL_model \"m\"");
+  EXPECT_EQ(rejected.rfind("busy:", 0), 0u) << rejected;
+  EXPECT_EQ(mux.busy_rejections(), 1u);
+  EXPECT_EQ(mux.mutations_applied(), 0u);
+  // The failpoint disarmed itself; the resubmit goes through.
+  EXPECT_EQ(session->Execute("checkin CPU HDL_model \"m\""),
+            "ok CPU,HDL_model,1\n");
+}
+
+TEST_F(MuxFailpointTest, DeadlineWithdrawsQueuedMutationWhileApplyStalls) {
+  auto server = MakeEdtcServer();
+  SessionMuxOptions options;
+  options.mutation_deadline = std::chrono::milliseconds(50);
+  SessionMux mux(*server, options);
+
+  // The stall fires on the FIRST pop after arming and sleeps the apply
+  // thread well past the second submission's deadline.
+  common::Failpoints::Instance().Configure("mux.apply.stall",
+                                           "delay:400,count=1");
+  std::thread first([&] {
+    auto session = mux.Connect("alice");
+    const std::string response =
+        session->Execute("checkin CPU HDL_model \"m\"");
+    // Popped entries are never abandoned: the stalled-but-applied
+    // mutation still answers "ok" (slow, not lost).
+    EXPECT_EQ(response.rfind("ok ", 0), 0u) << response;
+  });
+  // Let the apply thread pop the first mutation and enter the stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto session = mux.Connect("bob");
+  const std::string timed_out =
+      session->Execute("checkin FPU HDL_model \"m\"");
+  EXPECT_EQ(timed_out.rfind("timeout:", 0), 0u) << timed_out;
+  first.join();
+
+  // The withdrawn mutation was never applied — resubmitting it now
+  // cannot double-apply (version numbering proves single application).
+  EXPECT_EQ(mux.mutation_timeouts(), 1u);
+  EXPECT_EQ(mux.mutations_applied(), 1u);
+  EXPECT_EQ(session->Execute("checkin FPU HDL_model \"m\""),
+            "ok FPU,HDL_model,1\n");
+  EXPECT_EQ(mux.mutations_applied(), 2u);
+}
+
+TEST_F(MuxFailpointTest, DegradedServerRejectsInBandAndHealsThroughTheMux) {
+  MuxTempDir dir("degraded");
+  engine::ServerOptions server_options;
+  server_options.wal_dir = dir.str();
+  server_options.wal_retry.attempts = 1;
+  server_options.wal_retry.initial = std::chrono::milliseconds(0);
+  server_options.wal_retry.max = std::chrono::milliseconds(1);
+  auto server = MakeEdtcServer(server_options);
+  SessionMux mux(*server);
+  auto session = mux.Connect("alice");
+
+  EXPECT_EQ(session->Execute("checkin CPU HDL_model \"m\""),
+            "ok CPU,HDL_model,1\n");
+
+  // Every append now fails. The checkin logs post-apply, so it is
+  // still applied and acked (durability pending heal) — the exhausted
+  // retry budget trips degraded for everything after it.
+  common::Failpoints::Instance().Configure("wal.append", "error");
+  EXPECT_EQ(session->Execute("checkin CPU HDL_model \"m2\""),
+            "ok CPU,HDL_model,2\n");
+  EXPECT_TRUE(server->degraded());
+
+  // Reads keep serving from pinned snapshots while degraded, and the
+  // mux fast-path rejects further mutations without queueing them.
+  EXPECT_NE(session->Execute("query block CPU").find("2 object(s)"),
+            std::string::npos);
+  EXPECT_EQ(session->Execute("health").rfind("health degraded", 0), 0u);
+  const uint64_t applied_before = mux.mutations_applied();
+  const std::string fast_reject =
+      session->Execute("checkin CPU HDL_model \"m3\"");
+  EXPECT_EQ(fast_reject.rfind("degraded:", 0), 0u) << fast_reject;
+  EXPECT_EQ(mux.mutations_applied(), applied_before);
+
+  // The heal surface stays admitted: clear the fault and reopen the
+  // WAL through the same session.
+  EXPECT_EQ(session->Execute("failpoint clear wal.append"), "ok\n");
+  const std::string healed = session->Execute("wal-reopen");
+  EXPECT_EQ(healed.rfind("ok healed", 0), 0u) << healed;
+  EXPECT_FALSE(server->degraded());
+  EXPECT_EQ(session->Execute("health").rfind("health ok", 0), 0u);
+
+  // Writes resume; the rejected mutation (m3) was never applied, so the
+  // version counter continues from the acked m2.
+  EXPECT_EQ(session->Execute("checkin CPU HDL_model \"m4\""),
+            "ok CPU,HDL_model,3\n");
+  EXPECT_EQ(server->GetHealth().heals, 1u);
+}
+
+#endif  // DAMOCLES_FAILPOINTS_ENABLED
 
 // --- Concurrent differential ---------------------------------------------
 

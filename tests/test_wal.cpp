@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "engine/project_server.hpp"
 #include "engine/wire_session.hpp"
 #include "events/journal.hpp"
@@ -576,6 +577,83 @@ TEST(ServerDurability, TornCheckpointFallsBackToThePreviousOne) {
   EXPECT_EQ(status.manifests_skipped, 1u);
   EXPECT_EQ(ServerJournalLines(*recovered), lines);
 }
+
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+
+// ENOSPC mid-checkpoint: the partially-written checkpoint file must not
+// be adopted — the previous manifest chain stays in charge and a fresh
+// server recovers from it plus the ops tail.
+TEST(ServerDurability, EnospcMidCheckpointKeepsPreviousManifest) {
+  TempDir dir("srv-enospc-ckpt");
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+    RunSampleWorkload(*server);
+    EXPECT_EQ(server->WalCheckpoint(), 1u);
+    server->CheckIn("FPU", "HDL_model", "module fpu;", "carol");
+    server->Drain();
+
+    // Disk full 64 bytes into the next checkpoint's first file.
+    common::Failpoints::Instance().Configure("checkpoint.write", "short:64");
+    EXPECT_THROW(server->WalCheckpoint(), Error);
+    common::Failpoints::Instance().ClearAll();
+
+    // The failed checkpoint must not have poisoned the server: it keeps
+    // serving and a later checkpoint succeeds.
+    EXPECT_FALSE(server->degraded());
+    server->CheckIn("FPU", "schematic", "fpu gates", "carol");
+    server->Drain();
+    lines = ServerJournalLines(*server);
+    db_text = metadb::SaveDatabaseString(server->database());
+  }
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  const engine::WalStatus status = recovered->GetWalStatus();
+  EXPECT_TRUE(status.recovered);
+  EXPECT_EQ(status.checkpoint_id, 1u);  // The ENOSPC one was never adopted.
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(metadb::SaveDatabaseString(recovered->database()), db_text);
+}
+
+// Crash-equivalent failure between manifest write and rename: the .tmp
+// manifest stays behind; recovery sweeps it and loads the previous one.
+TEST(ServerDurability, ManifestRenameFailureLeavesTmpAndFallsBack) {
+  TempDir dir("srv-rename-ckpt");
+  std::vector<std::string> lines;
+  {
+    auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+    RunSampleWorkload(*server);
+    EXPECT_EQ(server->WalCheckpoint(), 1u);
+    server->CheckIn("FPU", "HDL_model", "module fpu;", "carol");
+    server->Drain();
+
+    common::Failpoints::Instance().Configure("checkpoint.manifest.rename",
+                                             "error,count=1");
+    EXPECT_THROW(server->WalCheckpoint(), Error);
+    common::Failpoints::Instance().ClearAll();
+    lines = ServerJournalLines(*server);
+  }
+  // The torn attempt left its manifest as *.tmp only.
+  bool saw_tmp = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".tmp") saw_tmp = true;
+  }
+  EXPECT_TRUE(saw_tmp);
+
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  const engine::WalStatus status = recovered->GetWalStatus();
+  EXPECT_TRUE(status.recovered);
+  EXPECT_EQ(status.checkpoint_id, 1u);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  // The sweep removed the tmp leftover.
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+#endif  // DAMOCLES_FAILPOINTS_ENABLED
 
 TEST(ServerDurability, ShardedServerRecoversEpochCeiling) {
   TempDir dir("srv-sharded");
