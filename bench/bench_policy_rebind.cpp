@@ -1,0 +1,155 @@
+// Policy-version rebind costs: promote latency and wave throughput
+// while the live rule set keeps changing.
+//
+// The versioned policy lifecycle recompiles a promoted version through
+// the compiled-rules generation counter; engines rebind per-OID rule
+// caches lazily at the next delivery instead of stopping the world.
+// Two questions matter operationally:
+//   1. how long does policy-promote itself take (parse + compile +
+//      retemplate every live link), and
+//   2. what does steady-state event throughput look like when
+//      promotions keep invalidating the binding caches mid-stream.
+// Both run single-shard and 4-shard (the structural path delegates to
+// shard 0 either way, but the rebind fans out to every lane engine).
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "engine/project_server.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using damocles::engine::ProjectServer;
+using damocles::engine::ServerOptions;
+using damocles::workload::FlowSpec;
+using damocles::workload::InstantiateFlow;
+using damocles::workload::MakeFlowBlueprint;
+
+struct RebindRun {
+  uint64_t promotes = 0;
+  double promote_seconds = 0.0;
+  uint64_t processed = 0;
+  double wave_seconds = 0.0;
+};
+
+/// Alternates promoting a strict and a loosened flow blueprint, posting
+/// a burst of ckin waves after every promotion.
+RebindRun RunRebind(uint32_t shards, int n_blocks, int rounds,
+                    int events_per_round) {
+  ServerOptions options;
+  options.num_shards = shards;
+  options.auto_drain = false;
+  ProjectServer server("bench", options);
+
+  FlowSpec strict;
+  strict.n_views = 5;
+  FlowSpec loose = strict;
+  loose.propagation_cutoff = 0;
+  loose.post_outofdate_on_ckin = false;
+
+  server.InitializeBlueprint(MakeFlowBlueprint(strict, "bench"));
+  for (int i = 0; i < n_blocks; ++i) {
+    InstantiateFlow(server, strict, "blk" + std::to_string(i));
+  }
+  const uint64_t strict_id = server.PolicyPropose(
+      MakeFlowBlueprint(strict, "bench"), "bench", "strict phase");
+  server.PolicyValidate(strict_id);
+  const uint64_t loose_id = server.PolicyPropose(
+      MakeFlowBlueprint(loose, "bench"), "bench", "loosened phase");
+  server.PolicyValidate(loose_id);
+
+  RebindRun run;
+  bool promote_loose = true;
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t target = promote_loose ? loose_id : strict_id;
+    promote_loose = !promote_loose;
+    const auto p0 = std::chrono::steady_clock::now();
+    server.PolicyPromote(target);
+    run.promote_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+            .count();
+    ++run.promotes;
+
+    const auto w0 = std::chrono::steady_clock::now();
+    for (int e = 0; e < events_per_round; ++e) {
+      server.SubmitWireLine("postEvent ckin down blk" +
+                                std::to_string(e % n_blocks) + ",view_0,1",
+                            "bench");
+    }
+    run.processed += server.Drain();
+    run.wave_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+            .count();
+  }
+  return run;
+}
+
+void PrintRebindSeries() {
+  damocles::benchutil::PrintHeader(
+      "Policy rebind", "paper §3.2: loosening/tightening the BluePrint",
+      "promote latency + wave throughput during repeated live rebinds");
+
+  const int n_blocks = damocles::benchutil::SeriesScale(8, 2);
+  const int rounds = damocles::benchutil::SeriesScale(40, 4);
+  const int events = damocles::benchutil::SeriesScale(200, 20);
+
+  std::printf("%-8s %-10s %-16s %-12s %-16s\n", "shards", "promotes",
+              "promote us/op", "events", "events/sec");
+  for (const uint32_t shards : {1u, 4u}) {
+    const RebindRun run = RunRebind(shards, n_blocks, rounds, events);
+    const double promote_ns =
+        run.promotes > 0
+            ? run.promote_seconds * 1e9 / static_cast<double>(run.promotes)
+            : 0.0;
+    const double events_per_sec =
+        run.wave_seconds > 0.0
+            ? static_cast<double>(run.processed) / run.wave_seconds
+            : 0.0;
+    damocles::benchutil::AddBenchJson(
+        "policy_promote_s" + std::to_string(shards), promote_ns,
+        promote_ns > 0.0 ? 1e9 / promote_ns : 0.0);
+    damocles::benchutil::AddBenchJson(
+        "rebind_wave_s" + std::to_string(shards),
+        events_per_sec > 0.0 ? 1e9 / events_per_sec : 0.0, events_per_sec);
+    std::printf("%-8u %-10llu %-16.1f %-12llu %-16.0f\n", shards,
+                static_cast<unsigned long long>(run.promotes),
+                promote_ns / 1e3,
+                static_cast<unsigned long long>(run.processed),
+                events_per_sec);
+  }
+  std::printf(
+      "\nExpected shape: promote cost is dominated by retemplating live "
+      "links; event\nthroughput should stay the same order as a "
+      "rebind-free run because bindings\nre-resolve lazily per OID.\n\n");
+}
+
+/// google-benchmark view of one promote/rollback pair (the minimal
+/// rebind cycle: two recompiles + two retemplating passes).
+void BM_PromoteRollback(benchmark::State& state) {
+  ProjectServer server("bench");
+  FlowSpec strict;
+  strict.n_views = 4;
+  FlowSpec loose = strict;
+  loose.propagation_cutoff = 0;
+  server.InitializeBlueprint(MakeFlowBlueprint(strict, "bench"));
+  InstantiateFlow(server, strict, "blk0");
+  const uint64_t loose_id = server.PolicyPropose(
+      MakeFlowBlueprint(loose, "bench"), "bench", "loosened phase");
+  server.PolicyValidate(loose_id);
+  for (auto _ : state) {
+    server.PolicyPromote(loose_id);
+    server.PolicyRollback();
+  }
+}
+BENCHMARK(BM_PromoteRollback);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintRebindSeries();
+  damocles::benchutil::RunBenchmarks(argc, argv);
+  damocles::benchutil::WriteBenchJson();
+  return 0;
+}

@@ -25,9 +25,11 @@ void CompiledRules::AppendActions(const RuntimeRule& rule,
   }
 }
 
-void CompiledRules::Compile(const Blueprint& blueprint, SymbolTable& symbols) {
+void CompiledRules::Compile(const Blueprint& blueprint, SymbolTable& symbols,
+                            uint64_t source_version) {
   Clear();
   ++generation_;
+  source_version_ = source_version;
 
   const ViewTemplate* default_view = blueprint.DefaultView();
   if (default_view != nullptr) {

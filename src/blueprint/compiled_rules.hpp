@@ -65,13 +65,23 @@ class CompiledRules {
   /// Flattens `blueprint` into the tables, interning every view and
   /// event name through `symbols`. Pointers into `blueprint` are kept;
   /// it must outlive the tables (the engine recompiles on install).
-  void Compile(const Blueprint& blueprint, SymbolTable& symbols);
+  /// `source_version` stamps the PolicyStore version the blueprint was
+  /// compiled from (0 = unversioned / direct install), so every cached
+  /// rule binding can be traced back to a commit-chain entry.
+  void Compile(const Blueprint& blueprint, SymbolTable& symbols,
+               uint64_t source_version = 0);
 
   void Clear();
 
   /// Monotonic compile counter (0 = never compiled); the engine uses it
   /// to invalidate cached Bindings across blueprint reloads.
   uint32_t generation() const noexcept { return generation_; }
+
+  /// PolicyStore version id the current tables were compiled from
+  /// (0 = unversioned). Travels with generation(): a generation bump
+  /// re-stamps the source version, which is how a pinned reader can
+  /// name the exact policy commit its bindings came from.
+  uint64_t source_version() const noexcept { return source_version_; }
 
   /// Resolves an interned view name to its rule tables.
   Binding Resolve(SymbolId view_sym) const;
@@ -122,6 +132,7 @@ class CompiledRules {
   /// Default view's continuous assignments, for untracked views.
   std::vector<const ContinuousAssignment*> default_assignments_;
   uint32_t generation_ = 0;
+  uint64_t source_version_ = 0;
 };
 
 }  // namespace damocles::blueprint

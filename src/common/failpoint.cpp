@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -143,6 +144,7 @@ Failpoints::Failpoints() : impl_(new Impl) {
   // Env activation: DAMOCLES_FAILPOINTS_CONFIG="name=config;..."
   // Malformed entries are reported and skipped rather than thrown —
   // this runs lazily from arbitrary call sites.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("DAMOCLES_FAILPOINTS_CONFIG");
   if (env == nullptr) return;
   const std::string text(env);
@@ -203,6 +205,13 @@ std::vector<FailpointStatus> Failpoints::List() const {
     status.hits = entry.hits;
     out.push_back(std::move(status));
   }
+  // Name order is part of the contract (the wire "failpoint list"
+  // output must be deterministic for scripted clients), not an
+  // accident of the storage container.
+  std::sort(out.begin(), out.end(),
+            [](const FailpointStatus& a, const FailpointStatus& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 

@@ -62,12 +62,24 @@ ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
   });
 
   if (plan.have_checkpoint) {
-    // Re-install the checkpointed rules (suppressing op logging), then
-    // the pre-checkpoint journal rows and the epoch bookkeeping —
-    // sinks are not attached yet, so none of this re-enters the WAL.
+    // Restore the policy commit chain, then re-install the checkpointed
+    // rules (suppressing op logging), then the pre-checkpoint journal
+    // rows and the epoch bookkeeping — sinks are not attached yet, so
+    // none of this re-enters the WAL. The restored store is
+    // authoritative: the rule text is re-installed directly (no Adopt),
+    // stamped with the recovered active version id. Pre-versioning
+    // checkpoints carry no policy text; their blueprint goes through
+    // InitializeBlueprint and is adopted as version 1.
+    if (!plan.policy_text.empty()) {
+      policy_store_.RestoreFromText(plan.policy_text);
+    }
     if (!blueprint_text_.empty()) {
       replaying_ = true;
-      InitializeBlueprint(blueprint_text_);
+      if (policy_store_.active_id() != 0) {
+        InstallBlueprintRules(blueprint_text_, policy_store_.active_id());
+      } else {
+        InitializeBlueprint(blueprint_text_);
+      }
       replaying_ = false;
     }
     for (const metadb::RecoveredStream& stream : plan.streams) {
@@ -193,6 +205,20 @@ void ProjectServer::ApplyOp(const events::WalOpRecord& op) {
       if (op.clock_seconds > clock_.NowSeconds()) {
         clock_.Advance(op.clock_seconds - clock_.NowSeconds());
       }
+      break;
+    case events::WalRecordType::kOpPolicyPropose:
+      // The id is re-derived from store state: replay re-executes every
+      // propose in logged order, so the dense id sequence matches.
+      PolicyPropose(op.text, op.user, op.content);
+      break;
+    case events::WalRecordType::kOpPolicyValidate:
+      PolicyValidate(op.policy_version);
+      break;
+    case events::WalRecordType::kOpPolicyPromote:
+      PolicyPromote(op.policy_version);
+      break;
+    case events::WalRecordType::kOpPolicyRollback:
+      PolicyRollback();
       break;
     default:
       throw Error("ApplyOp: record type " +
@@ -459,6 +485,11 @@ uint64_t ProjectServer::WalCheckpoint() {
   request.db_text = metadb::SaveDatabaseString(db_);
   request.blueprint_text = blueprint_text_;
   request.workspace_text = metadb::SaveWorkspaceText(workspace_);
+  // Only serialized once versions exist, so pre-versioning WAL
+  // directories keep producing byte-identical manifests.
+  if (policy_store_.size() > 0) {
+    request.policy_text = policy_store_.SerializeText();
+  }
   for (const auto& writer : row_writers_) {
     request.streams.emplace_back(writer->stream(), writer->logical_end());
   }
@@ -516,25 +547,94 @@ void ProjectServer::PostToEngine(events::EventMessage event) {
   }
 }
 
-void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
-  RequireWritable();
-  EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
+void ProjectServer::InstallBlueprintRules(std::string_view rule_file_text,
+                                          uint64_t version_id) {
   blueprint::Blueprint parsed = blueprint::ParseBlueprint(rule_file_text);
   if (sharded_ != nullptr) {
-    sharded_->LoadBlueprint(parsed);
+    sharded_->LoadBlueprint(parsed, version_id);
   } else {
-    engine_->LoadBlueprint(std::move(parsed));
+    engine_->LoadBlueprint(std::move(parsed), version_id);
   }
   // Retemplating only mutates the shared meta-database (observers keep
   // every shard index in step), so shard 0's engine covers both modes.
   if (options_.retemplate_on_init) engine().RetemplateLinks();
   blueprint_text_ = std::string(rule_file_text);
+}
+
+void ProjectServer::InitializeBlueprint(std::string_view rule_file_text) {
+  RequireWritable();
+  EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
+  // Adopt parses first and throws ParseError before any state moves.
+  const uint64_t version_id = policy_store_.Adopt(
+      std::string(rule_file_text), "", "initializeBlueprint");
+  InstallBlueprintRules(rule_file_text, version_id);
   if (logging()) {
     LogOp(/*pre_apply=*/false, [this](uint64_t seq) {
       ops_writer_->AppendBlueprintOp(seq, blueprint_text_);
     });
   }
   MaybeAutoCheckpoint();
+}
+
+uint64_t ProjectServer::PolicyPropose(std::string_view blueprint_text,
+                                      std::string_view author,
+                                      std::string_view message) {
+  RequireWritable();
+  EnforcePolicy(policy::Operation::kReinitBlueprint, author, "", "");
+  const uint64_t id =
+      policy_store_.Propose(std::string(blueprint_text), std::string(author),
+                            std::string(message));
+  if (logging()) {
+    LogOp(/*pre_apply=*/false, [&](uint64_t seq) {
+      ops_writer_->AppendPolicyProposeOp(seq, blueprint_text, author, message);
+    });
+  }
+  MaybeAutoCheckpoint();
+  return id;
+}
+
+blueprint::ValidationReport ProjectServer::PolicyValidate(uint64_t id) {
+  RequireWritable();
+  blueprint::ValidationReport report = policy_store_.Validate(id);
+  if (logging()) {
+    LogOp(/*pre_apply=*/false, [&](uint64_t seq) {
+      ops_writer_->AppendPolicyVersionOp(
+          events::WalRecordType::kOpPolicyValidate, seq, id);
+    });
+  }
+  MaybeAutoCheckpoint();
+  return report;
+}
+
+policy::PolicyVersion ProjectServer::PolicyPromote(uint64_t id) {
+  RequireWritable();
+  EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
+  const policy::PolicyVersion version = policy_store_.Promote(id);
+  // The text parsed at propose time, so the install cannot throw and
+  // the store transition above stays consistent with the live rules.
+  InstallBlueprintRules(version.blueprint_text, version.id);
+  if (logging()) {
+    LogOp(/*pre_apply=*/false, [&](uint64_t seq) {
+      ops_writer_->AppendPolicyVersionOp(
+          events::WalRecordType::kOpPolicyPromote, seq, id);
+    });
+  }
+  MaybeAutoCheckpoint();
+  return version;
+}
+
+policy::PolicyVersion ProjectServer::PolicyRollback() {
+  RequireWritable();
+  EnforcePolicy(policy::Operation::kReinitBlueprint, "", "", "");
+  const policy::PolicyVersion version = policy_store_.Rollback();
+  InstallBlueprintRules(version.blueprint_text, version.id);
+  if (logging()) {
+    LogOp(/*pre_apply=*/false, [this](uint64_t seq) {
+      ops_writer_->AppendPolicyRollbackOp(seq);
+    });
+  }
+  MaybeAutoCheckpoint();
+  return version;
 }
 
 void ProjectServer::SetProjectPhase(std::string phase) {

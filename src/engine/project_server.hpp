@@ -29,6 +29,7 @@
 #include "metadb/recovery.hpp"
 #include "metadb/workspace.hpp"
 #include "policy/policy_engine.hpp"
+#include "policy/policy_store.hpp"
 
 namespace damocles::engine {
 
@@ -122,7 +123,41 @@ class ProjectServer {
 
   /// Initializes (or re-initializes, between project phases) the
   /// blueprint from rule-file text. Throws ParseError on bad input.
+  /// The text is adopted into the policy store as a directly installed
+  /// (already promoted) version, keeping the commit chain complete.
   void InitializeBlueprint(std::string_view rule_file_text);
+
+  // --- Versioned policy lifecycle ----------------------------------------
+  //
+  // The gated path to changing the live rule set:
+  //   PolicyPropose -> PolicyValidate -> PolicyPromote -> PolicyRollback
+  // Promotion and rollback recompile the chosen version through the
+  // compiled-rules generation counter, so live engines (plain or
+  // sharded) rebind per-OID rule caches lazily — no stop-the-world
+  // reload. All four are durable structural operations: they append to
+  // the WAL post-apply and replay through the same methods.
+
+  /// Registers a candidate rule file. Throws ParseError on malformed
+  /// text; never touches the live engines. Returns the version id.
+  uint64_t PolicyPropose(std::string_view blueprint_text,
+                         std::string_view author, std::string_view message);
+
+  /// Statically validates a proposed version (kValidated / kRejected).
+  blueprint::ValidationReport PolicyValidate(uint64_t id);
+
+  /// Makes a validated (or previously active) version the live rule
+  /// set. Returns a copy of the newly active version.
+  policy::PolicyVersion PolicyPromote(uint64_t id);
+
+  /// Restores the previously promoted version's compiled tables without
+  /// a restart. Returns a copy of the re-activated version.
+  policy::PolicyVersion PolicyRollback();
+
+  /// The versioned policy table (thread-safe; hands out copies).
+  policy::PolicyStore& policy_store() noexcept { return policy_store_; }
+  const policy::PolicyStore& policy_store() const noexcept {
+    return policy_store_;
+  }
 
   // --- Project policies --------------------------------------------------
 
@@ -251,6 +286,13 @@ class ProjectServer {
   /// Routes one event to the plain engine or the sharded intake rings.
   void PostToEngine(events::EventMessage event);
 
+  /// Parses `rule_file_text` and installs it into the live engines,
+  /// stamping the compiled rules with `version_id` so bindings rebind.
+  /// Shared by InitializeBlueprint, promote/rollback and the recovery
+  /// re-install; does not touch the policy store and never logs.
+  void InstallBlueprintRules(std::string_view rule_file_text,
+                             uint64_t version_id);
+
   // --- Durability internals ----------------------------------------------
 
   /// The journal a WAL row stream mirrors ("shard<K>" -> lane K,
@@ -328,6 +370,7 @@ class ProjectServer {
   std::unique_ptr<ShardedEngine> sharded_;  ///< num_shards > 1.
   metadb::Workspace workspace_;
   policy::PolicyEngine* policy_ = nullptr;
+  policy::PolicyStore policy_store_;
   std::string phase_;
 
   // Durability state (all inert when wal_dir is empty).

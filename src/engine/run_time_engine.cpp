@@ -31,13 +31,15 @@ RunTimeEngine::RunTimeEngine(metadb::MetaDatabase& db, SimClock& clock,
 
 RunTimeEngine::~RunTimeEngine() { db_.RemoveLinkObserver(this); }
 
-void RunTimeEngine::LoadBlueprint(Blueprint blueprint) {
+void RunTimeEngine::LoadBlueprint(Blueprint blueprint,
+                                  uint64_t policy_version) {
   blueprint_ = std::make_unique<Blueprint>(std::move(blueprint));
+  policy_version_ = policy_version;
   if (options_.interned_fast_path) {
     // Rule-table compile point. Cached OidBindings re-resolve lazily
     // against the bumped generation; SymbolIds themselves stay valid
     // (the interner only grows).
-    compiled_.Compile(*blueprint_, symbols_);
+    compiled_.Compile(*blueprint_, symbols_, policy_version);
   }
   // Blueprint install is the index build point (and heals any direct
   // GetLinkMutable edits made outside the observer protocol).

@@ -167,7 +167,12 @@ class RunTimeEngine : private metadb::LinkObserver {
   /// untouched, only future events see the new rules. Call
   /// RetemplateLinks() afterwards to also refresh link annotations.
   /// Rule tables are recompiled and the propagation index rebuilt here.
-  void LoadBlueprint(blueprint::Blueprint blueprint);
+  /// `policy_version` stamps the PolicyStore commit the blueprint came
+  /// from (0 = direct/unversioned install); it travels with the
+  /// compiled generation, so cached per-OID bindings rebind lazily to
+  /// the new version without a stop-the-world reload.
+  void LoadBlueprint(blueprint::Blueprint blueprint,
+                     uint64_t policy_version = 0);
 
   /// Re-applies the current blueprint's link templates to every live
   /// link: PROPAGATE, TYPE and the carry policy are refreshed (links
@@ -289,6 +294,12 @@ class RunTimeEngine : private metadb::LinkObserver {
   const blueprint::CompiledRules& compiled_rules() const noexcept {
     return compiled_;
   }
+
+  /// PolicyStore version id the installed blueprint was compiled from
+  /// (0 = unversioned). On the interned fast path this equals
+  /// compiled_rules().source_version(); the interpreted baseline tracks
+  /// it here so differential engines agree on version identity.
+  uint64_t policy_version() const noexcept { return policy_version_; }
 
   /// Zeroes the statistics (benchmark warm-up support). Gauges
   /// (interner size) are re-seeded from live state.
@@ -460,6 +471,7 @@ class RunTimeEngine : private metadb::LinkObserver {
   SimClock& clock_;
   EngineOptions options_;
   std::unique_ptr<blueprint::Blueprint> blueprint_;
+  uint64_t policy_version_ = 0;
   ScriptExecutor* executor_ = nullptr;
   WaveRouter* router_ = nullptr;
   NotificationSink notification_sink_;

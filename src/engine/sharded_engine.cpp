@@ -986,17 +986,23 @@ uint64_t ShardedEngine::MinLiveEpoch() const noexcept {
 
 // --- Structural operations ---------------------------------------------------
 
-void ShardedEngine::LoadBlueprint(const blueprint::Blueprint& blueprint) {
+void ShardedEngine::LoadBlueprint(const blueprint::Blueprint& blueprint,
+                                  uint64_t policy_version) {
   for (auto& lane : lanes_) {
-    lane->engine->LoadBlueprint(blueprint.Clone());
+    lane->engine->LoadBlueprint(blueprint.Clone(), policy_version);
   }
   for (auto& context : steal_contexts_) {
-    context->engine->LoadBlueprint(blueprint.Clone());
+    context->engine->LoadBlueprint(blueprint.Clone(), policy_version);
   }
 }
 
-void ShardedEngine::LoadBlueprintText(std::string_view text) {
-  LoadBlueprint(blueprint::ParseBlueprint(text));
+void ShardedEngine::LoadBlueprintText(std::string_view text,
+                                      uint64_t policy_version) {
+  LoadBlueprint(blueprint::ParseBlueprint(text), policy_version);
+}
+
+uint64_t ShardedEngine::policy_version() const {
+  return lanes_.front()->engine->policy_version();
 }
 
 OidId ShardedEngine::OnCreateObject(std::string_view block,

@@ -228,10 +228,18 @@ class ShardedEngine {
 
   /// Installs the blueprint on every shard engine (deep copies; each
   /// engine compiles its own rule tables against its own interner).
-  void LoadBlueprint(const blueprint::Blueprint& blueprint);
+  /// `policy_version` stamps the PolicyStore commit the blueprint came
+  /// from (0 = direct install); every shard's compiled generation
+  /// carries it, so live rebinds stay version-traceable per shard.
+  void LoadBlueprint(const blueprint::Blueprint& blueprint,
+                     uint64_t policy_version = 0);
 
   /// Parses rule-file text and installs it. Throws ParseError.
-  void LoadBlueprintText(std::string_view text);
+  void LoadBlueprintText(std::string_view text, uint64_t policy_version = 0);
+
+  /// PolicyStore version id the installed blueprint was compiled from
+  /// (0 = unversioned); identical across shards by construction.
+  uint64_t policy_version() const;
 
   /// Creation notifications, template application included. Delegated
   /// to shard 0's engine: template application only mutates the shared

@@ -1,5 +1,6 @@
 #include "engine/wire_session.hpp"
 
+#include "blueprint/parser.hpp"
 #include "blueprint/validator.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
@@ -415,6 +416,127 @@ std::string WireSession::CmdFailpoint(Context& ctx) {
          "list\n";
 }
 
+std::string WireSession::CmdPolicyPropose(Context& ctx) {
+  const std::string_view trimmed = Trim(ctx.rest);
+  std::string text;
+  std::string message;
+  if (!trimmed.empty() && trimmed.front() == '"') {
+    size_t pos = 0;
+    if (!UnquoteString(trimmed, pos, text)) {
+      return "error: usage: policy-propose \"<rule-text>\" [\"message\"]\n";
+    }
+    message = RestArgument(trimmed.substr(pos));
+  } else {
+    text = std::string(trimmed);
+  }
+  if (text.empty()) {
+    return "error: usage: policy-propose \"<rule-text>\" [\"message\"]\n";
+  }
+  const uint64_t id = server_.PolicyPropose(text, user_, message);
+  return "ok proposed version " + std::to_string(id) + "\n";
+}
+
+std::string WireSession::CmdPolicyValidate(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string id_word = NextWord(rest);
+  uint64_t id = 0;
+  try {
+    id = std::stoull(id_word);
+  } catch (const std::exception&) {
+    return "error: usage: policy-validate <version-id>\n";
+  }
+  const blueprint::ValidationReport report = server_.PolicyValidate(id);
+  const policy::PolicyVersion version = server_.policy_store().Get(id);
+  return "version " + std::to_string(id) + " " +
+         policy::PolicyVersionStatusName(version.status) + "\n" +
+         blueprint::FormatValidationReport(report);
+}
+
+std::string WireSession::CmdPolicyPromote(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string id_word = NextWord(rest);
+  uint64_t id = 0;
+  try {
+    id = std::stoull(id_word);
+  } catch (const std::exception&) {
+    return "error: usage: policy-promote <version-id>\n";
+  }
+  const policy::PolicyVersion version = server_.PolicyPromote(id);
+  return "ok promoted version " + std::to_string(version.id) +
+         " (engine generation " +
+         std::to_string(server_.engine().compiled_rules().generation()) + ")\n";
+}
+
+std::string WireSession::CmdPolicyRollback(Context& ctx) {
+  (void)ctx;
+  const policy::PolicyVersion version = server_.PolicyRollback();
+  return "ok rolled back to version " + std::to_string(version.id) +
+         " (engine generation " +
+         std::to_string(server_.engine().compiled_rules().generation()) + ")\n";
+}
+
+std::string WireSession::CmdPolicyLog(Context& ctx) {
+  (void)ctx;
+  const policy::PolicyStore& store = server_.policy_store();
+  const std::vector<policy::PolicyVersion> versions = store.Versions();
+  if (versions.empty()) return "no policy versions\n";
+  std::string out;
+  for (const policy::PolicyVersion& version : versions) {
+    out += std::to_string(version.id) + " parent " +
+           std::to_string(version.parent) + " " +
+           policy::PolicyVersionStatusName(version.status);
+    if (!version.author.empty()) out += " by " + version.author;
+    if (!version.message.empty()) {
+      out += " " + QuoteString(version.message);
+    }
+    out += "\n";
+  }
+  out += "active " + std::to_string(store.active_id()) + "\n";
+  return out;
+}
+
+std::string WireSession::CmdShadowWave(Context& ctx) {
+  std::string_view rest = ctx.rest;
+  const std::string id_word = NextWord(rest);
+  const std::string event = NextWord(rest);
+  const std::string dir_word = NextWord(rest);
+  const std::string oid_word = NextWord(rest);
+  const std::string depth_word = NextWord(rest);
+  const char* usage =
+      "error: usage: shadow-wave <version-id> <event> <up|down> "
+      "<block,view,version> [depth]\n";
+  uint64_t id = 0;
+  try {
+    id = std::stoull(id_word);
+  } catch (const std::exception&) {
+    return usage;
+  }
+  if (event.empty() || oid_word.empty()) return usage;
+  events::Direction direction;
+  if (dir_word == "up") {
+    direction = events::Direction::kUp;
+  } else if (dir_word == "down") {
+    direction = events::Direction::kDown;
+  } else {
+    return usage;
+  }
+  policy::ShadowWaveOptions options;
+  if (!depth_word.empty()) {
+    try {
+      options.depth_cap = std::stoull(depth_word);
+    } catch (const std::exception&) {
+      return usage;
+    }
+  }
+  const policy::PolicyVersion version = server_.policy_store().Get(id);
+  const blueprint::Blueprint proposed =
+      blueprint::ParseBlueprint(version.blueprint_text);
+  return query::FormatShadowWaveReport(
+      policy::TraceShadowWave(ctx.snap.db(), proposed, version.id, event,
+                              direction, metadb::ParseOidWire(oid_word),
+                              options));
+}
+
 std::string WireSession::CmdHelp(Context& ctx) {
   (void)ctx;
   return WireCommandHelp();
@@ -491,6 +613,32 @@ const std::vector<WireSession::Entry>& WireSession::Registry() {
         "Arm, clear or list fault-injection points (failpoint builds only).",
         Kind::kMutate, false, "", /*allowed_degraded=*/true},
        &WireSession::CmdFailpoint},
+      {{"policy-propose", "policy-propose \"<rule-text>\" [\"message\"]",
+        "Register a candidate blueprint version (parsed, not installed).",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdPolicyPropose},
+      {{"policy-validate", "policy-validate <version-id>",
+        "Statically validate a proposed version; records the verdict.",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdPolicyValidate},
+      {{"policy-promote", "policy-promote <version-id>",
+        "Make a validated version the live rule set (no restart).",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdPolicyPromote},
+      {{"policy-rollback", "policy-rollback",
+        "Restore the previously promoted version's compiled tables.",
+        Kind::kMutate, false, ""},
+       &WireSession::CmdPolicyRollback},
+      {{"policy-log", "policy-log",
+        "The policy commit chain: every version, status and the active id.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdPolicyLog},
+      {{"shadow-wave",
+        "shadow-wave <version-id> <event> <up|down> <block,view,version> "
+        "[depth]",
+        "Dry-run impact trace of a proposed version; touches nothing.",
+        Kind::kRead, false, ""},
+       &WireSession::CmdShadowWave},
       {{"help", "help", "This command list.", Kind::kRead, false, ""},
        &WireSession::CmdHelp},
       {{"snapshot", "snapshot <name>",

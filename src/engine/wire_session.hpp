@@ -125,6 +125,12 @@ class WireSession {
   std::string CmdHealth(Context& ctx);
   std::string CmdWalReopen(Context& ctx);
   std::string CmdFailpoint(Context& ctx);
+  std::string CmdPolicyPropose(Context& ctx);
+  std::string CmdPolicyValidate(Context& ctx);
+  std::string CmdPolicyPromote(Context& ctx);
+  std::string CmdPolicyRollback(Context& ctx);
+  std::string CmdPolicyLog(Context& ctx);
+  std::string CmdShadowWave(Context& ctx);
   std::string CmdHelp(Context& ctx);
 
   ProjectServer& server_;

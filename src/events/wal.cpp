@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -419,6 +420,26 @@ void EncodeClockPayload(std::string& out, uint64_t op_seq, int64_t seconds) {
   AppendI64(out, seconds);
 }
 
+void EncodePolicyProposePayload(std::string& out, uint64_t op_seq,
+                                std::string_view text,
+                                std::string_view author,
+                                std::string_view message) {
+  AppendU64(out, op_seq);
+  AppendString(out, text);
+  AppendString(out, author);
+  AppendString(out, message);
+}
+
+void EncodePolicyVersionPayload(std::string& out, uint64_t op_seq,
+                                uint64_t policy_version) {
+  AppendU64(out, op_seq);
+  AppendU64(out, policy_version);
+}
+
+void EncodePolicyRollbackPayload(std::string& out, uint64_t op_seq) {
+  AppendU64(out, op_seq);
+}
+
 }  // namespace
 
 std::string EncodeWalOp(const WalOpRecord& op) {
@@ -440,6 +461,17 @@ std::string EncodeWalOp(const WalOpRecord& op) {
       break;
     case WalRecordType::kOpClock:
       EncodeClockPayload(payload, op.op_seq, op.clock_seconds);
+      break;
+    case WalRecordType::kOpPolicyPropose:
+      EncodePolicyProposePayload(payload, op.op_seq, op.text, op.user,
+                                 op.content);
+      break;
+    case WalRecordType::kOpPolicyValidate:
+    case WalRecordType::kOpPolicyPromote:
+      EncodePolicyVersionPayload(payload, op.op_seq, op.policy_version);
+      break;
+    case WalRecordType::kOpPolicyRollback:
+      EncodePolicyRollbackPayload(payload, op.op_seq);
       break;
     default:
       throw Error("EncodeWalOp: record type " +
@@ -474,6 +506,17 @@ WalOpRecord DecodeWalOp(WalRecordType type, std::string_view payload) {
       break;
     case WalRecordType::kOpClock:
       op.clock_seconds = reader.I64();
+      break;
+    case WalRecordType::kOpPolicyPropose:
+      op.text = reader.String();
+      op.user = reader.String();
+      op.content = reader.String();
+      break;
+    case WalRecordType::kOpPolicyValidate:
+    case WalRecordType::kOpPolicyPromote:
+      op.policy_version = reader.U64();
+      break;
+    case WalRecordType::kOpPolicyRollback:
       break;
     default:
       throw WireFormatError("DecodeWalOp: record type " +
@@ -530,7 +573,7 @@ void WalWriter::OpenSegment() {
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     throw WalIoError("wal: cannot create segment " + path_ + ": " +
-                     std::strerror(errno));
+                     std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
   write_buffer_.clear();
   write_buffer_.reserve(kWalWriteBufferBytes);
@@ -817,6 +860,42 @@ void WalWriter::AppendClockOp(uint64_t op_seq, int64_t clock_seconds) {
   EndAppendGroup();
 }
 
+void WalWriter::AppendPolicyProposeOp(uint64_t op_seq, std::string_view text,
+                                      std::string_view author,
+                                      std::string_view message) {
+  CheckAppendFailpoint();
+  MaybeRoll();
+  const size_t mark = BeginRecord(WalRecordType::kOpPolicyPropose);
+  EncodePolicyProposePayload(write_buffer_, op_seq, text, author, message);
+  EndRecord(mark);
+  EndAppendGroup();
+}
+
+void WalWriter::AppendPolicyVersionOp(WalRecordType type, uint64_t op_seq,
+                                      uint64_t policy_version) {
+  if (type != WalRecordType::kOpPolicyValidate &&
+      type != WalRecordType::kOpPolicyPromote) {
+    throw Error("AppendPolicyVersionOp: record type " +
+                std::to_string(static_cast<int>(type)) +
+                " carries no version id");
+  }
+  CheckAppendFailpoint();
+  MaybeRoll();
+  const size_t mark = BeginRecord(type);
+  EncodePolicyVersionPayload(write_buffer_, op_seq, policy_version);
+  EndRecord(mark);
+  EndAppendGroup();
+}
+
+void WalWriter::AppendPolicyRollbackOp(uint64_t op_seq) {
+  CheckAppendFailpoint();
+  MaybeRoll();
+  const size_t mark = BeginRecord(WalRecordType::kOpPolicyRollback);
+  EncodePolicyRollbackPayload(write_buffer_, op_seq);
+  EndRecord(mark);
+  EndAppendGroup();
+}
+
 void WalWriter::Flush() {
   if (fd_ < 0 || !dirty_) return;
   // "wal.flush" failpoint: fail outright (error / errno), or tear the
@@ -862,7 +941,7 @@ void WalWriter::Flush() {
     write_buffer_.erase(0, written);
     throw WalIoError("wal: write failed on " + path_ + " after " +
                      std::to_string(written) + " bytes: " +
-                     std::strerror(err) +
+                     std::strerror(err) +  // NOLINT(concurrency-mt-unsafe)
                      (inject_fail ? " (injected)" : ""));
   }
   write_buffer_.clear();
@@ -881,11 +960,12 @@ void WalWriter::Sync() {
                         ? hit.error_number
                         : EIO;
     throw WalIoError("wal: fsync failed on " + path_ + ": " +
+                     // NOLINTNEXTLINE(concurrency-mt-unsafe)
                      std::strerror(err) + " (injected)");
   }
   if (::fsync(fd_) != 0) {
     throw WalIoError("wal: fsync failed on " + path_ + ": " +
-                     std::strerror(errno));
+                     std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
 }
 
@@ -1161,6 +1241,96 @@ std::string FormatWalInspection(const std::string& dir, bool* any_torn) {
            std::to_string(data.resets.size()) + ", ops " +
            std::to_string(data.ops.size()) + "\n";
   }
+  return out;
+}
+
+namespace {
+
+/// Minimal JSON string escaper — stream names and error messages only
+/// contain text we generate, but a hostile segment error must not break
+/// the document.
+std::string JsonQuote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+const char* JsonBool(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+std::string FormatWalInspectionJson(const std::string& dir, bool* any_torn) {
+  bool torn_somewhere = false;
+  std::string out = "{\"dir\": " + JsonQuote(dir) + ", \"streams\": [";
+  const std::vector<std::string> streams = ListWalStreams(dir);
+  for (size_t s = 0; s < streams.size(); ++s) {
+    const WalStreamData data = ReadWalStream(dir, streams[s]);
+    if (data.torn) torn_somewhere = true;
+    if (s != 0) out += ", ";
+    out += "{\"name\": " + JsonQuote(streams[s]) +
+           ", \"valid_end\": " + std::to_string(data.valid_end) +
+           ", \"torn\": " + JsonBool(data.torn) +
+           ", \"error\": " + JsonQuote(data.error) +
+           ", \"rows\": " + std::to_string(data.rows.size()) +
+           ", \"resets\": " + std::to_string(data.resets.size()) +
+           ", \"ops\": " + std::to_string(data.ops.size()) +
+           ", \"segments\": [";
+    for (size_t i = 0; i < data.segments.size(); ++i) {
+      const WalSegmentInfo& info = data.segments[i];
+      if (i != 0) out += ", ";
+      out += "{\"file\": " +
+             JsonQuote(std::filesystem::path(info.path).filename().string()) +
+             ", \"index\": " + std::to_string(info.index) +
+             ", \"version\": " + std::to_string(info.version) +
+             ", \"shard\": " + std::to_string(info.shard_id) +
+             ", \"base_offset\": " + std::to_string(info.base_offset) +
+             ", \"epoch_floor\": " + std::to_string(info.epoch_floor) +
+             ", \"file_bytes\": " + std::to_string(info.file_bytes) +
+             ", \"valid_bytes\": " + std::to_string(info.valid_bytes) +
+             ", \"records\": " + std::to_string(info.records) +
+             ", \"symbols\": " + std::to_string(info.symbols) +
+             ", \"header_valid\": " + JsonBool(info.header_valid) +
+             ", \"torn\": " + JsonBool(info.torn);
+      if (info.torn) {
+        // Same convention as the text report: the torn tail begins at
+        // the first byte past the intact record prefix.
+        out += ", \"torn_offset\": " + std::to_string(info.valid_bytes);
+      }
+      out += ", \"error\": " + JsonQuote(info.error) + "}";
+    }
+    out += "]}";
+  }
+  out += "], \"torn\": ";
+  out += JsonBool(torn_somewhere);
+  out += "}\n";
+  if (any_torn != nullptr) *any_torn = torn_somewhere;
   return out;
 }
 

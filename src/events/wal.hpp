@@ -62,6 +62,10 @@ enum class WalRecordType : uint8_t {
   kOpLink = 0x12,     ///< ProjectServer::RegisterLink.
   kOpBlueprint = 0x13,  ///< ProjectServer::InitializeBlueprint.
   kOpClock = 0x14,    ///< ProjectServer::AdvanceClock (absolute seconds).
+  kOpPolicyPropose = 0x15,   ///< ProjectServer::PolicyPropose.
+  kOpPolicyValidate = 0x16,  ///< ProjectServer::PolicyValidate.
+  kOpPolicyPromote = 0x17,   ///< ProjectServer::PolicyPromote.
+  kOpPolicyRollback = 0x18,  ///< ProjectServer::PolicyRollback.
 };
 
 /// True for the operation record types (the "ops" stream).
@@ -105,9 +109,15 @@ struct WalOpRecord {
   metadb::Oid link_from;   ///< kOpLink.
   metadb::Oid link_to;     ///< kOpLink.
 
-  std::string text;  ///< kOpBlueprint (rule-file text).
+  std::string text;  ///< kOpBlueprint / kOpPolicyPropose (rule-file text).
 
   int64_t clock_seconds = 0;  ///< kOpClock (absolute simulated time).
+
+  /// kOpPolicyValidate / kOpPolicyPromote: the PolicyStore version id
+  /// the operation addressed. kOpPolicyPropose reuses `text` (proposed
+  /// rule-file text), `user` (author) and `content` (commit message);
+  /// replay re-derives the id from the store, so it is not encoded.
+  uint64_t policy_version = 0;
 };
 
 /// Serializes the payload of an operation record (framing excluded).
@@ -185,6 +195,13 @@ class WalWriter final : public JournalSink {
                     const metadb::Oid& from, const metadb::Oid& to);
   void AppendBlueprintOp(uint64_t op_seq, std::string_view text);
   void AppendClockOp(uint64_t op_seq, int64_t clock_seconds);
+  void AppendPolicyProposeOp(uint64_t op_seq, std::string_view text,
+                             std::string_view author,
+                             std::string_view message);
+  /// kOpPolicyValidate or kOpPolicyPromote (both carry one version id).
+  void AppendPolicyVersionOp(WalRecordType type, uint64_t op_seq,
+                             uint64_t policy_version);
+  void AppendPolicyRollbackOp(uint64_t op_seq);
 
   /// Hands buffered bytes to the OS and notifies the observer. Throws
   /// WalIoError on write failure; already-written bytes are consumed
@@ -339,5 +356,16 @@ void TruncateWalStream(const std::string& dir, const std::string& stream,
 /// the verdict from the same single scan that built the report.
 std::string FormatWalInspection(const std::string& dir,
                                 bool* any_torn = nullptr);
+
+/// Machine-readable sibling of FormatWalInspection: one JSON object
+/// over the same single scan ({"dir", "torn", "streams": [{"name",
+/// "valid_end", "torn", "torn_offset", "rows", "resets", "ops",
+/// "segments": [...]}, ...]}). Segment entries carry the header fields
+/// (index, version, shard, base offset, epoch floor), the byte extents
+/// (file vs CRC-valid) and record/symbol counts; a torn segment's
+/// `torn_offset` is the physical byte offset where the tail begins.
+/// The wal_inspect CLI prints exactly this under --json.
+std::string FormatWalInspectionJson(const std::string& dir,
+                                    bool* any_torn = nullptr);
 
 }  // namespace damocles::events

@@ -118,7 +118,7 @@ void WriteFileDurable(const std::string& path, const std::string& content,
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     throw Error("checkpoint: cannot create " + path + ": " +
-                std::strerror(errno));
+                std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
   const bool write_ok =
       body.empty() ||
@@ -131,6 +131,7 @@ void WriteFileDurable(const std::string& path, const std::string& content,
                         ? hit.error_number
                         : EIO;
     throw Error("checkpoint: write failed on " + path + ": " +
+                // NOLINTNEXTLINE(concurrency-mt-unsafe)
                 std::strerror(err) + " (injected)");
   }
   if (!write_ok || !flush_ok || !sync_ok) {
@@ -188,6 +189,12 @@ std::string FormatWalManifest(const WalManifest& manifest) {
          std::to_string(manifest.blueprint_bytes) + "\n";
   out += "workspace " + QuoteString(manifest.workspace_file) + " " +
          std::to_string(manifest.workspace_bytes) + "\n";
+  if (!manifest.policy_file.empty()) {
+    // Written only when a policy store was checkpointed, so manifests
+    // stay byte-stable for servers predating policy versioning.
+    out += "policy " + QuoteString(manifest.policy_file) + " " +
+           std::to_string(manifest.policy_bytes) + "\n";
+  }
   for (const auto& [name, offset] : manifest.streams) {
     out += "stream " + QuoteString(name) + " " + std::to_string(offset) + "\n";
   }
@@ -248,6 +255,10 @@ WalManifest ParseWalManifest(const std::string& text) {
       manifest.workspace_file = cursor.Quoted("file name");
       manifest.workspace_bytes = cursor.U64("byte count");
       saw_workspace = true;
+    } else if (key == "policy") {
+      // Optional: absent on manifests from before policy versioning.
+      manifest.policy_file = cursor.Quoted("file name");
+      manifest.policy_bytes = cursor.U64("byte count");
     } else if (key == "stream") {
       const std::string name = cursor.Quoted("stream name");
       const uint64_t offset = cursor.U64("offset");
@@ -371,6 +382,7 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
     std::string db_text;
     std::string blueprint_text;
     std::string workspace_text;
+    std::string policy_text;
     bool valid = ReadFileToString(path, text);
     if (valid) {
       try {
@@ -394,6 +406,12 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
     if (valid) {
       valid = load_part(manifest.workspace_file, manifest.workspace_bytes,
                         workspace_text);
+    }
+    if (valid) {
+      // Trusted at the size level like the blueprint text; the server
+      // parses it (and fails recovery loudly) when rebuilding the store.
+      valid = load_part(manifest.policy_file, manifest.policy_bytes,
+                        policy_text);
     }
     if (valid) {
       try {
@@ -427,6 +445,7 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
     plan.db_text = std::move(db_text);
     plan.blueprint_text = std::move(blueprint_text);
     plan.workspace_text = std::move(workspace_text);
+    plan.policy_text = std::move(policy_text);
     break;
   }
 
@@ -474,7 +493,7 @@ void PrepareWalDirectory(const std::string& wal_dir,
   for (const auto& [id, path] : ListManifests(wal_dir)) {
     if (id <= keep_id) continue;
     fs::remove(path, ec);
-    for (const char* ext : {"db", "bp", "ws"}) {
+    for (const char* ext : {"db", "bp", "ws", "ps"}) {
       fs::remove(wal_dir + "/" + CheckpointFileName(id, ext), ec);
     }
   }
@@ -525,6 +544,10 @@ uint64_t WriteWalCheckpoint(const std::string& wal_dir,
   manifest.blueprint_bytes = request.blueprint_text.size();
   manifest.workspace_file = CheckpointFileName(id, "ws");
   manifest.workspace_bytes = request.workspace_text.size();
+  if (!request.policy_text.empty()) {
+    manifest.policy_file = CheckpointFileName(id, "ps");
+    manifest.policy_bytes = request.policy_text.size();
+  }
   manifest.streams = request.streams;
 
   WriteFileDurable(wal_dir + "/" + manifest.db_file, request.db_text,
@@ -533,6 +556,10 @@ uint64_t WriteWalCheckpoint(const std::string& wal_dir,
                    request.blueprint_text, request.observer);
   WriteFileDurable(wal_dir + "/" + manifest.workspace_file,
                    request.workspace_text, request.observer);
+  if (!manifest.policy_file.empty()) {
+    WriteFileDurable(wal_dir + "/" + manifest.policy_file,
+                     request.policy_text, request.observer);
+  }
 
   // Manifest last, via temp + rename: a crash mid-checkpoint leaves the
   // previous manifest chain intact and this one invisible.

@@ -47,6 +47,12 @@ struct WalManifest {
   uint64_t blueprint_bytes = 0;
   std::string workspace_file;
   uint64_t workspace_bytes = 0;
+  /// Serialized PolicyStore (commit chain + promotion stack). Empty
+  /// file name on manifests written before policy versioning existed;
+  /// such checkpoints load with an empty store and the blueprint is
+  /// re-adopted as version 1.
+  std::string policy_file;
+  uint64_t policy_bytes = 0;
   /// (row stream name, logical offset at checkpoint time).
   std::vector<std::pair<std::string, uint64_t>> streams;
 };
@@ -92,6 +98,7 @@ struct RecoveryPlan {
   std::string db_text;        ///< Checkpoint database dump.
   std::string blueprint_text; ///< Checkpoint blueprint (may be empty).
   std::string workspace_text; ///< Checkpoint workspace dump.
+  std::string policy_text;    ///< Checkpoint PolicyStore dump (may be empty).
   /// Pre-checkpoint journal rows per row stream (already cut to the
   /// manifest offsets, with resets applied).
   std::vector<RecoveredStream> streams;
@@ -135,6 +142,7 @@ struct CheckpointRequest {
   std::string db_text;
   std::string blueprint_text;
   std::string workspace_text;
+  std::string policy_text;
   std::vector<std::pair<std::string, uint64_t>> streams;
   /// Observed (like WAL appends) so the crash harness can cut inside a
   /// checkpoint write; production leaves it unset.

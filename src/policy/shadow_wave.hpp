@@ -1,0 +1,77 @@
+// Shadow waves: dry-run change-propagation impact analysis.
+//
+// Before promoting a proposed policy version, an administrator wants to
+// know what a given event *would* touch under the candidate rule set.
+// A shadow wave answers that without risking anything: it walks the
+// same batched-BFS adjacency the run-time engine walks (OutLinks for
+// `down`, InLinks for `up`), but recomputes each link's PROPAGATE list
+// from the *proposed* blueprint's link templates instead of the live
+// ones — exactly what RetemplateLinks would install if the version were
+// promoted. The trace reads a const database (typically a pinned
+// snapshot), mutates no property state, claims nothing and records no
+// journal rows; the differential suite asserts the engine is
+// byte-identical before and after.
+//
+// Every reached OID is reported as an impact path: DIRECT (depth 1,
+// one link from the start) or TRANSITIVE (deeper), with the link chain
+// that carried the event there and the number of proposed rules that
+// would fire at the target's view. Expansion stops at a configurable
+// depth cap; `truncated` reports whether the cap cut a live frontier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blueprint/ast.hpp"
+#include "events/event.hpp"
+#include "metadb/meta_database.hpp"
+
+namespace damocles::policy {
+
+struct ShadowWaveOptions {
+  /// Maximum path depth expanded (1 = direct receivers only).
+  size_t depth_cap = 8;
+  /// Safety valve mirroring the engine's max_wave_deliveries.
+  size_t max_targets = 4096;
+};
+
+/// One impacted OID and how the event would reach it.
+struct ShadowWavePath {
+  metadb::Oid target;
+  size_t depth = 0;  ///< Links traversed from the start (>= 1).
+  bool direct = false;  ///< depth == 1 (paper: direct receiver).
+  /// The OID chain start -> ... -> target that first reached it (BFS
+  /// order, so it is a shortest path under the proposed templates).
+  std::vector<metadb::Oid> chain;
+  /// Proposed rules matching the event at the target's view (specific
+  /// view + default view), i.e. how many rule bodies would fire there.
+  size_t matched_rules = 0;
+};
+
+/// The full dry-run impact report for one (version, event, start).
+struct ShadowWaveReport {
+  uint64_t version_id = 0;
+  std::string event;
+  events::Direction direction = events::Direction::kDown;
+  metadb::Oid start;
+  size_t depth_cap = 0;
+  bool truncated = false;    ///< The cap cut a non-empty frontier.
+  size_t direct_count = 0;
+  size_t transitive_count = 0;
+  std::vector<ShadowWavePath> paths;  ///< BFS discovery order.
+};
+
+/// Traces the wave `event_name`/`direction` from `start` as the
+/// proposed blueprint would propagate it. Read-only on `db`; throws
+/// NotFoundError when `start` is not registered.
+ShadowWaveReport TraceShadowWave(const metadb::MetaDatabase& db,
+                                 const blueprint::Blueprint& proposed,
+                                 uint64_t version_id,
+                                 std::string_view event_name,
+                                 events::Direction direction,
+                                 const metadb::Oid& start,
+                                 const ShadowWaveOptions& options = {});
+
+}  // namespace damocles::policy

@@ -54,6 +54,31 @@ std::string FormatProjectReport(const ProjectReport& report) {
   return out;
 }
 
+std::string FormatShadowWaveReport(const policy::ShadowWaveReport& report) {
+  std::string out;
+  out += "shadow-wave version " + std::to_string(report.version_id) +
+         " event '" + report.event + "' " +
+         events::DirectionName(report.direction) + " from " +
+         metadb::FormatOid(report.start) + " depth-cap " +
+         std::to_string(report.depth_cap) + "\n";
+  for (const policy::ShadowWavePath& path : report.paths) {
+    out += "  ";
+    out += path.direct ? "DIRECT    " : "TRANSITIVE";
+    out += " depth " + std::to_string(path.depth) + " " +
+           metadb::FormatOid(path.target) + " rules " +
+           std::to_string(path.matched_rules) + " via";
+    for (const metadb::Oid& hop : path.chain) {
+      out += " " + metadb::FormatOidWire(hop);
+    }
+    out += "\n";
+  }
+  out += "impacted " + std::to_string(report.paths.size()) + "  direct " +
+         std::to_string(report.direct_count) + "  transitive " +
+         std::to_string(report.transitive_count) +
+         (report.truncated ? "  (truncated)" : "") + "\n";
+  return out;
+}
+
 std::string FormatBlockers(const std::vector<Blocker>& blockers) {
   if (blockers.empty()) return "planned state reached: no blockers\n";
   std::string out = "blockers before planned state:\n";

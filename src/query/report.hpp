@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "metadb/meta_database.hpp"
+#include "policy/shadow_wave.hpp"
 #include "query/query.hpp"
 
 namespace damocles::query {
@@ -45,5 +46,10 @@ std::string FormatProjectReport(const ProjectReport& report);
 /// Renders the blockers of a planned state ("what still needs to be
 /// modified before reaching a planned state").
 std::string FormatBlockers(const std::vector<Blocker>& blockers);
+
+/// Renders a shadow-wave impact report: one line per impacted OID with
+/// its DIRECT/TRANSITIVE classification, depth, matched-rule count and
+/// the link chain that would carry the event there.
+std::string FormatShadowWaveReport(const policy::ShadowWaveReport& report);
 
 }  // namespace damocles::query

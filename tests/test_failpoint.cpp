@@ -139,6 +139,29 @@ TEST_F(FailpointTest, ListReportsCountersAndClearDisarms) {
   EXPECT_TRUE(failpoints.List().empty());
 }
 
+TEST_F(FailpointTest, ListIsSortedByNameRegardlessOfArmingOrder) {
+  // Name order is part of the wire contract: "failpoint list" output
+  // must be deterministic for scripted clients.
+  auto& failpoints = Failpoints::Instance();
+  for (const char* name : {"fp.zeta", "fp.alpha", "fp.mid", "fp.beta"}) {
+    failpoints.Configure(name, "error");
+  }
+  const std::vector<FailpointStatus> list = failpoints.List();
+  ASSERT_EQ(list.size(), 4u);
+  std::vector<std::string> names;
+  names.reserve(list.size());
+  for (const FailpointStatus& status : list) names.push_back(status.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"fp.alpha", "fp.beta", "fp.mid",
+                                             "fp.zeta"}));
+  // Re-arming one entry must not disturb the order.
+  failpoints.Configure("fp.mid", "errno:EIO");
+  const std::vector<FailpointStatus> again = failpoints.List();
+  ASSERT_EQ(again.size(), 4u);
+  for (size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].name, names[i]);
+  }
+}
+
 TEST_F(FailpointTest, AbortActionDies) {
   EXPECT_DEATH(
       {

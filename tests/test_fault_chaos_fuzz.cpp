@@ -60,7 +60,6 @@ view default
   when ckin do checked = yes done
 endview
 view hdl
-  link_from hdl propagates edit, ckin type derived
   when edit do edited = yes done
   when ckin do checked = yes done
   when note do noted = yes done
@@ -80,8 +79,45 @@ view sink
 endview
 endblueprint)";
 
+// A loosened variant for the policy-lifecycle steps: same views and
+// constant-valued rules, fewer propagated events.
+constexpr const char* kChaosBlueprintLoose = R"(blueprint chaos_fuzz
+view default
+  when edit do edited = yes done
+  when ckin do checked = yes done
+endview
+view hdl
+  when edit do edited = yes done
+  when ckin do checked = yes done
+  when note do noted = yes done
+endview
+view relay
+  link_from hdl propagates edit type derived
+  when edit do edited = yes done
+  when note do noted = yes done
+  when ckin do checked = yes done
+endview
+view sink
+  link_from relay propagates note type derived
+  link_from hdl propagates ckin type derived
+  when note do noted = yes done
+  when edit do edited = yes done
+  when ckin do checked = yes done
+endview
+endblueprint)";
+
 struct Step {
-  enum Kind { kCheckIn, kLink, kEvent, kAdvance, kCheckpoint } kind = kCheckIn;
+  enum Kind {
+    kCheckIn,
+    kLink,
+    kEvent,
+    kAdvance,
+    kCheckpoint,
+    kPolicyPropose,
+    kPolicyValidate,
+    kPolicyPromote,
+    kPolicyRollback,
+  } kind = kCheckIn;
   std::string block;
   std::string view;
   std::string content;
@@ -90,6 +126,84 @@ struct Step {
   std::string event;
   int version = 1;
   int64_t seconds = 0;
+  uint64_t policy_id = 0;
+  bool policy_loose = false;
+};
+
+/// Mirrors the PolicyStore lifecycle so the plan only emits legal
+/// transitions — every policy step is applied (or rejected solely with
+/// DegradedError) and logs exactly one WAL op. Version 1 is the
+/// initializeBlueprint adoption.
+struct PolicyModel {
+  enum Status { kProposed, kValidated, kPromoted, kSuperseded, kRolledBack };
+  uint64_t next_id = 2;
+  std::vector<uint64_t> stack{1};
+  std::map<uint64_t, Status> status{{1, kPromoted}};
+
+  Step Propose() {
+    Step step;
+    step.kind = Step::kPolicyPropose;
+    step.policy_id = next_id++;
+    step.policy_loose = step.policy_id % 2 == 0;
+    status[step.policy_id] = kProposed;
+    return step;
+  }
+
+  std::vector<uint64_t> WithStatus(std::initializer_list<Status> wanted,
+                                   uint64_t exclude) const {
+    std::vector<uint64_t> out;
+    for (const auto& [id, st] : status) {
+      if (id == exclude) continue;
+      for (const Status w : wanted) {
+        if (st == w) {
+          out.push_back(id);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Emits one random legal lifecycle step (falls back to propose).
+  Step RandomStep(Rng& rng) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return Propose();
+      case 1: {
+        const std::vector<uint64_t> ids = WithStatus({kProposed}, 0);
+        if (ids.empty()) return Propose();
+        Step step;
+        step.kind = Step::kPolicyValidate;
+        step.policy_id = ids[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+        // Both blueprint variants validate cleanly.
+        status[step.policy_id] = kValidated;
+        return step;
+      }
+      case 2: {
+        const std::vector<uint64_t> ids =
+            WithStatus({kValidated, kSuperseded, kRolledBack}, stack.back());
+        if (ids.empty()) return Propose();
+        Step step;
+        step.kind = Step::kPolicyPromote;
+        step.policy_id = ids[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+        status[stack.back()] = kSuperseded;
+        stack.push_back(step.policy_id);
+        status[step.policy_id] = kPromoted;
+        return step;
+      }
+      default: {
+        if (stack.size() < 2) return Propose();
+        Step step;
+        step.kind = Step::kPolicyRollback;
+        status[stack.back()] = kRolledBack;
+        stack.pop_back();
+        status[stack.back()] = kPromoted;
+        return step;
+      }
+    }
+  }
 };
 
 std::vector<Step> MakePlan(uint64_t seed) {
@@ -101,12 +215,13 @@ std::vector<Step> MakePlan(uint64_t seed) {
 
   std::map<std::pair<std::string, std::string>, int> versions;
   std::vector<Oid> oids;
+  PolicyModel policy;
 
   const int steps = static_cast<int>(rng.UniformInt(20, 30));
   for (int i = 0; i < steps; ++i) {
     Step step;
     const double draw = oids.empty() ? 0.0 : rng.UniformDouble();
-    if (draw < 0.35) {
+    if (draw < 0.30) {
       step.kind = Step::kCheckIn;
       step.block = "blk" + std::to_string(rng.UniformInt(0, blocks - 1));
       step.view = kViews[rng.UniformInt(0, 3)];
@@ -114,14 +229,14 @@ std::vector<Step> MakePlan(uint64_t seed) {
       step.content = step.block + "/" + step.view + " v" +
                      std::to_string(version) + " seed" + std::to_string(seed);
       oids.push_back(Oid{step.block, step.view, version});
-    } else if (draw < 0.5 && oids.size() >= 2) {
+    } else if (draw < 0.45 && oids.size() >= 2) {
       step.kind = Step::kLink;
       step.link_from = oids[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
       step.link_to = oids[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
       if (step.link_from == step.link_to) continue;
-    } else if (draw < 0.8) {
+    } else if (draw < 0.70) {
       step.kind = Step::kEvent;
       const Oid& target = oids[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
@@ -129,11 +244,13 @@ std::vector<Step> MakePlan(uint64_t seed) {
       step.view = target.view;
       step.version = target.version;
       step.event = kEvents[rng.UniformInt(0, 2)];
-    } else if (draw < 0.9) {
+    } else if (draw < 0.78) {
       step.kind = Step::kAdvance;
       step.seconds = rng.UniformInt(1, 600);
-    } else {
+    } else if (draw < 0.85) {
       step.kind = Step::kCheckpoint;
+    } else {
+      step = policy.RandomStep(rng);
     }
     plan.push_back(std::move(step));
   }
@@ -178,6 +295,23 @@ void DoStep(ProjectServer& server, const Step& step) {
         // A faulted checkpoint leaves the previous manifest in charge.
       }
       break;
+    // Policy lifecycle ops throw DegradedError only before mutating the
+    // store (RequireWritable at entry), so the heal-and-retry loop
+    // never double-applies them.
+    case Step::kPolicyPropose:
+      server.PolicyPropose(
+          step.policy_loose ? kChaosBlueprintLoose : kChaosBlueprint, "chaos",
+          "proposal " + std::to_string(step.policy_id));
+      break;
+    case Step::kPolicyValidate:
+      server.PolicyValidate(step.policy_id);
+      break;
+    case Step::kPolicyPromote:
+      server.PolicyPromote(step.policy_id);
+      break;
+    case Step::kPolicyRollback:
+      server.PolicyRollback();
+      break;
   }
 }
 
@@ -187,6 +321,8 @@ struct Fingerprint {
   std::string workspace_text;
   int64_t clock_seconds = 0;
   uint64_t epoch_ceiling = 0;
+  std::string policy_text;      ///< Serialized policy commit chain.
+  uint64_t policy_version = 0;  ///< Version the engines are bound to.
 };
 
 Fingerprint Capture(ProjectServer& server) {
@@ -207,6 +343,8 @@ Fingerprint Capture(ProjectServer& server) {
   fp.db_text = metadb::SaveDatabaseString(server.database());
   fp.workspace_text = metadb::SaveWorkspaceText(server.workspace());
   fp.clock_seconds = server.clock().NowSeconds();
+  fp.policy_text = server.policy_store().SerializeText();
+  fp.policy_version = server.engine().policy_version();
   return fp;
 }
 
@@ -352,6 +490,9 @@ void RunSeed(uint64_t seed) {
         << "seed " << seed;
     ASSERT_EQ(actual.epoch_ceiling, expected.epoch_ceiling)
         << "seed " << seed;
+    ASSERT_EQ(actual.policy_text, expected.policy_text) << "seed " << seed;
+    ASSERT_EQ(actual.policy_version, expected.policy_version)
+        << "seed " << seed;
 
     // Make the healed state durable, then prove it below.
     server->WalCheckpoint();
@@ -372,6 +513,10 @@ void RunSeed(uint64_t seed) {
     ASSERT_EQ(actual.workspace_text, expected.workspace_text)
         << "seed " << seed << " (recovered)";
     ASSERT_EQ(actual.clock_seconds, expected.clock_seconds)
+        << "seed " << seed << " (recovered)";
+    ASSERT_EQ(actual.policy_text, expected.policy_text)
+        << "seed " << seed << " (recovered)";
+    ASSERT_EQ(actual.policy_version, expected.policy_version)
         << "seed " << seed << " (recovered)";
   }
 

@@ -27,6 +27,7 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "test_util.hpp"
+#include "viz/flow_viz.hpp"
 
 namespace damocles::engine {
 namespace {
@@ -606,6 +607,106 @@ TEST(SessionMuxDifferentialTest, ShardedServerMatchesSerializedReplay) {
     EXPECT_EQ(replay->database().PublishSnapshot().epoch(), entry.epoch_after)
         << "epoch diverged at seq " << entry.seq;
   }
+}
+
+// --- Policy promote/rollback through the mux ------------------------------
+
+TEST(SessionMuxPolicyTest, PinnedEpochKeepsRuleBindingsAcrossPromote) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+  auto session = mux.Connect("admin");
+
+  ASSERT_EQ(session->Execute("checkin CPU HDL_model \"m\""),
+            "ok CPU,HDL_model,1\n");
+  ASSERT_EQ(session->Execute("checkin CPU schematic \"s\""),
+            "ok CPU,schematic,1\n");
+  ASSERT_EQ(session->Execute("link derive CPU,HDL_model,1 CPU,schematic,1"),
+            "ok\n");
+
+  // Pin the pre-promote epoch the way a reader session does.
+  const Snapshot pinned = server->database().Latest();
+  ASSERT_TRUE(pinned.pinned());
+  const uint64_t epoch_e = pinned.epoch();
+  const std::string dot_at_e = viz::ExportDot(pinned);
+  EXPECT_NE(dot_at_e.find("outofdate"), std::string::npos)
+      << "the strict binding must label the derive link";
+
+  const uint64_t loose_id = server->PolicyPropose(
+      workload::EdtcLoosenedBlueprintText(), "admin", "loosen");
+  server->PolicyValidate(loose_id);
+  const std::string promoted =
+      session->Execute("policy-promote " + std::to_string(loose_id));
+  ASSERT_EQ(promoted.rfind("ok promoted version", 0), 0u) << promoted;
+  EXPECT_GT(mux.head_epoch(), epoch_e)
+      << "retemplating the live links must mint a new epoch";
+
+  // New reads rebind to the loosened rule set...
+  const std::string dot_live = session->Execute("viz dot");
+  EXPECT_EQ(dot_live.find("outofdate"), std::string::npos) << dot_live;
+  EXPECT_EQ(session->last_read_epoch(), mux.head_epoch());
+
+  // ...while the session pinned at epoch E keeps the old bindings
+  // byte-identical, both through its handle and through AtEpoch.
+  EXPECT_EQ(pinned.epoch(), epoch_e);
+  EXPECT_EQ(viz::ExportDot(pinned), dot_at_e);
+  EXPECT_EQ(viz::ExportDot(server->database().AtEpoch(epoch_e)), dot_at_e);
+
+  // Rollback restores the strict tables without restart: a fresh read
+  // reproduces the epoch-E rendering exactly.
+  const std::string rolled = session->Execute("policy-rollback");
+  ASSERT_EQ(rolled.rfind("ok rolled back to version 1", 0), 0u) << rolled;
+  EXPECT_EQ(session->Execute("viz dot"), dot_at_e);
+}
+
+TEST(SessionMuxPolicyTest, RollbackRestoresPropagationOracle) {
+  auto server = MakeEdtcServer();
+  SessionMux mux(*server);
+  auto session = mux.Connect("admin");
+
+  ASSERT_EQ(session->Execute("checkin CPU HDL_model \"m1\""),
+            "ok CPU,HDL_model,1\n");
+  ASSERT_EQ(session->Execute("checkin CPU schematic \"s1\""),
+            "ok CPU,schematic,1\n");
+  ASSERT_EQ(session->Execute("link derive CPU,HDL_model,1 CPU,schematic,1"),
+            "ok\n");
+
+  const auto outofdate = [&] { return session->Execute("query outofdate"); };
+
+  // Strict phase: a new HDL version invalidates the derived schematic.
+  ASSERT_EQ(session->Execute("checkin CPU HDL_model \"m2\""),
+            "ok CPU,HDL_model,2\n");
+  const std::string strict_before = outofdate();
+  EXPECT_NE(strict_before.find("<CPU.schematic.1>"), std::string::npos)
+      << strict_before;
+  // A check-in event on the schematic marks it up to date again.
+  session->Execute("postEvent ckin down CPU,schematic,1");
+  EXPECT_EQ(outofdate().find("<CPU.schematic.1>"), std::string::npos);
+
+  const uint64_t loose_id = server->PolicyPropose(
+      workload::EdtcLoosenedBlueprintText(), "admin", "loosen");
+  server->PolicyValidate(loose_id);
+  const uint64_t generation_before =
+      server->engine().compiled_rules().generation();
+  ASSERT_EQ(session->Execute("policy-promote " + std::to_string(loose_id))
+                .rfind("ok promoted", 0),
+            0u);
+  EXPECT_GT(server->engine().compiled_rules().generation(), generation_before);
+  EXPECT_EQ(server->engine().policy_version(), loose_id);
+
+  // Loosened phase: the identical mutation no longer propagates.
+  ASSERT_EQ(session->Execute("checkin CPU HDL_model \"m3\""),
+            "ok CPU,HDL_model,3\n");
+  EXPECT_EQ(outofdate().find("<CPU.schematic.1>"), std::string::npos);
+
+  // Rollback, then the identical mutation propagates exactly as it did
+  // before the promote — the before/after oracle for restored tables.
+  ASSERT_EQ(session->Execute("policy-rollback")
+                .rfind("ok rolled back to version 1", 0),
+            0u);
+  EXPECT_EQ(server->engine().policy_version(), 1u);
+  ASSERT_EQ(session->Execute("checkin CPU HDL_model \"m4\""),
+            "ok CPU,HDL_model,4\n");
+  EXPECT_EQ(outofdate(), strict_before);
 }
 
 // --- Documentation drift --------------------------------------------------

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "events/wal.hpp"
 #include "test_util.hpp"
 #include "tools/scheduler.hpp"
 #include "tools/script_registry.hpp"
@@ -244,6 +250,128 @@ TEST(Wrapper, PostWireGoesThroughCodec) {
   Probe probe(*server);
   probe.Fire();
   EXPECT_EQ(LatestProp(*server, "CPU", "HDL_model", "sim_result"), "good");
+}
+
+// --- wal_inspect --json ---------------------------------------------------
+
+/// Scratch WAL directory, removed on destruction.
+class ToolTempDir {
+ public:
+  explicit ToolTempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("damocles-tools-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ToolTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+void WriteSomeWal(const std::string& dir) {
+  engine::ServerOptions options;
+  options.wal_dir = dir;
+  auto server = MakeEdtcServer(options);
+  server->CheckIn("CPU", "HDL_model", "m1", "alice");
+  server->CheckIn("CPU", "schematic", "s1", "alice");
+  server->CheckIn("CPU", "HDL_model", "m2", "alice");
+  server->Drain();
+}
+
+TEST(WalInspectJson, RoundTripsAgainstStreamData) {
+  ToolTempDir dir("waljson");
+  WriteSomeWal(dir.str());
+
+  bool torn = true;
+  const std::string json = events::FormatWalInspectionJson(dir.str(), &torn);
+  EXPECT_FALSE(torn);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"torn\": false}"), std::string::npos);
+
+  // Round trip: every stream, segment header and record count the scan
+  // API reports appears verbatim in the JSON report.
+  const std::vector<std::string> streams = events::ListWalStreams(dir.str());
+  ASSERT_FALSE(streams.empty());
+  for (const std::string& stream : streams) {
+    const events::WalStreamData data = events::ReadWalStream(dir.str(), stream);
+    EXPECT_NE(json.find("\"name\": \"" + stream + "\""), std::string::npos);
+    EXPECT_NE(json.find("\"valid_end\": " + std::to_string(data.valid_end)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rows\": " + std::to_string(data.rows.size())),
+              std::string::npos);
+    for (const events::WalSegmentInfo& info : data.segments) {
+      const std::string file =
+          std::filesystem::path(info.path).filename().string();
+      EXPECT_NE(json.find("\"file\": \"" + file + "\""), std::string::npos);
+      EXPECT_NE(json.find("\"records\": " + std::to_string(info.records)),
+                std::string::npos);
+      EXPECT_NE(
+          json.find("\"base_offset\": " + std::to_string(info.base_offset)),
+          std::string::npos);
+      EXPECT_FALSE(info.torn);
+    }
+  }
+  EXPECT_EQ(json.find("\"torn_offset\""), std::string::npos)
+      << "a clean directory must not report a torn tail";
+}
+
+TEST(WalInspectJson, TornTailOffsetMatchesTextReport) {
+  ToolTempDir dir("waltorn");
+  WriteSomeWal(dir.str());
+
+  // Tear a segment mid-record: drop the last 3 bytes of one that holds
+  // records (a record is always longer than 3 bytes, so the cut cannot
+  // land on a boundary).
+  std::string victim_stream;
+  std::string victim_path;
+  for (const std::string& stream : events::ListWalStreams(dir.str())) {
+    const events::WalStreamData data = events::ReadWalStream(dir.str(), stream);
+    for (const events::WalSegmentInfo& info : data.segments) {
+      if (info.records > 0 && info.file_bytes > 3) {
+        victim_stream = stream;
+        victim_path = info.path;
+      }
+    }
+  }
+  ASSERT_FALSE(victim_path.empty());
+  std::filesystem::resize_file(
+      victim_path, std::filesystem::file_size(victim_path) - 3);
+
+  bool torn_json = false;
+  const std::string json =
+      events::FormatWalInspectionJson(dir.str(), &torn_json);
+  EXPECT_TRUE(torn_json);
+  EXPECT_NE(json.find("\"torn\": true"), std::string::npos);
+
+  // The scanner, the JSON report and the text report must agree on the
+  // byte where the intact prefix ends.
+  const events::WalStreamData data =
+      events::ReadWalStream(dir.str(), victim_stream);
+  uint64_t torn_offset = 0;
+  bool found = false;
+  for (const events::WalSegmentInfo& info : data.segments) {
+    if (info.path == victim_path) {
+      EXPECT_TRUE(info.torn);
+      torn_offset = info.valid_bytes;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_NE(json.find("\"torn_offset\": " + std::to_string(torn_offset)),
+            std::string::npos);
+
+  bool torn_text = false;
+  const std::string text = events::FormatWalInspection(dir.str(), &torn_text);
+  EXPECT_TRUE(torn_text);
+  EXPECT_NE(
+      text.find("torn tail at byte " + std::to_string(torn_offset)),
+      std::string::npos);
 }
 
 }  // namespace

@@ -57,7 +57,6 @@ view default
   when ckin do checked = yes done
 endview
 view hdl
-  link_from hdl propagates edit, ckin type derived
   when edit do edited = yes done
   when ckin do checked = yes done
   when note do noted = yes done
@@ -77,10 +76,48 @@ view sink
 endview
 endblueprint)";
 
+// A loosened variant proposed/promoted by the policy-lifecycle steps:
+// same views and constant-valued rules (still schedule-invariant), but
+// fewer events propagate, so promotions genuinely change wave shapes.
+constexpr const char* kCrashBlueprintLoose = R"(blueprint crash_fuzz
+view default
+  when edit do edited = yes done
+  when ckin do checked = yes done
+endview
+view hdl
+  when edit do edited = yes done
+  when ckin do checked = yes done
+  when note do noted = yes done
+endview
+view relay
+  link_from hdl propagates edit type derived
+  when edit do edited = yes done
+  when note do noted = yes done
+  when ckin do checked = yes done
+endview
+view sink
+  link_from relay propagates note type derived
+  link_from hdl propagates ckin type derived
+  when note do noted = yes done
+  when edit do edited = yes done
+  when ckin do checked = yes done
+endview
+endblueprint)";
+
 /// One deterministic workload step. The plan is a pure function of the
 /// seed, so the resumed run replays byte-identical operations.
 struct Step {
-  enum Kind { kCheckIn, kLink, kEvent, kAdvance, kCheckpoint } kind = kCheckIn;
+  enum Kind {
+    kCheckIn,
+    kLink,
+    kEvent,
+    kAdvance,
+    kCheckpoint,
+    kPolicyPropose,
+    kPolicyValidate,
+    kPolicyPromote,
+    kPolicyRollback,
+  } kind = kCheckIn;
   std::string block;
   std::string view;
   std::string content;   ///< kCheckIn.
@@ -89,6 +126,84 @@ struct Step {
   std::string event;     ///< kEvent.
   int version = 1;       ///< kEvent target version.
   int64_t seconds = 0;   ///< kAdvance.
+  uint64_t policy_id = 0;     ///< kPolicyValidate / kPolicyPromote.
+  bool policy_loose = false;  ///< kPolicyPropose text variant.
+};
+
+/// Mirror of the PolicyStore lifecycle, so MakePlan only emits legal
+/// transitions (every policy step then logs exactly one WAL op, which
+/// the op->step resume mapping depends on). Version 1 is the adopted
+/// InitializeBlueprint install.
+struct PolicyModel {
+  enum Status { kProposed, kValidated, kPromoted, kSuperseded, kRolledBack };
+  uint64_t next_id = 2;
+  std::vector<uint64_t> stack{1};
+  std::map<uint64_t, Status> status{{1, kPromoted}};
+
+  Step Propose() {
+    Step step;
+    step.kind = Step::kPolicyPropose;
+    step.policy_id = next_id++;
+    step.policy_loose = step.policy_id % 2 == 0;
+    status[step.policy_id] = kProposed;
+    return step;
+  }
+
+  std::vector<uint64_t> WithStatus(std::initializer_list<Status> wanted,
+                                   uint64_t exclude) const {
+    std::vector<uint64_t> out;
+    for (const auto& [id, st] : status) {
+      if (id == exclude) continue;
+      for (const Status w : wanted) {
+        if (st == w) {
+          out.push_back(id);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Emits one random legal lifecycle step (falls back to propose).
+  Step RandomStep(Rng& rng) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return Propose();
+      case 1: {
+        const std::vector<uint64_t> ids = WithStatus({kProposed}, 0);
+        if (ids.empty()) return Propose();
+        Step step;
+        step.kind = Step::kPolicyValidate;
+        step.policy_id = ids[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+        // Both blueprint variants validate cleanly.
+        status[step.policy_id] = kValidated;
+        return step;
+      }
+      case 2: {
+        const std::vector<uint64_t> ids =
+            WithStatus({kValidated, kSuperseded, kRolledBack}, stack.back());
+        if (ids.empty()) return Propose();
+        Step step;
+        step.kind = Step::kPolicyPromote;
+        step.policy_id = ids[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+        status[stack.back()] = kSuperseded;
+        stack.push_back(step.policy_id);
+        status[step.policy_id] = kPromoted;
+        return step;
+      }
+      default: {
+        if (stack.size() < 2) return Propose();
+        Step step;
+        step.kind = Step::kPolicyRollback;
+        status[stack.back()] = kRolledBack;
+        stack.pop_back();
+        status[stack.back()] = kPromoted;
+        return step;
+      }
+    }
+  }
 };
 
 struct Plan {
@@ -105,12 +220,13 @@ Plan MakePlan(uint64_t seed) {
   // Model of workspace state, so later steps reference OIDs that exist.
   std::map<std::pair<std::string, std::string>, int> versions;
   std::vector<Oid> oids;
+  PolicyModel policy;
 
   const int steps = static_cast<int>(rng.UniformInt(20, 30));
   for (int i = 0; i < steps; ++i) {
     Step step;
     const double draw = oids.empty() ? 0.0 : rng.UniformDouble();
-    if (draw < 0.35) {
+    if (draw < 0.30) {
       step.kind = Step::kCheckIn;
       step.block = "blk" + std::to_string(rng.UniformInt(0, blocks - 1));
       step.view = kViews[rng.UniformInt(0, 3)];
@@ -118,14 +234,14 @@ Plan MakePlan(uint64_t seed) {
       step.content = step.block + "/" + step.view + " v" +
                      std::to_string(version) + " seed" + std::to_string(seed);
       oids.push_back(Oid{step.block, step.view, version});
-    } else if (draw < 0.5 && oids.size() >= 2) {
+    } else if (draw < 0.45 && oids.size() >= 2) {
       step.kind = Step::kLink;
       step.link_from = oids[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
       step.link_to = oids[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
       if (step.link_from == step.link_to) continue;
-    } else if (draw < 0.8) {
+    } else if (draw < 0.70) {
       step.kind = Step::kEvent;
       const Oid& target = oids[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
@@ -133,11 +249,15 @@ Plan MakePlan(uint64_t seed) {
       step.view = target.view;
       step.version = target.version;
       step.event = kEvents[rng.UniformInt(0, 2)];
-    } else if (draw < 0.9) {
+    } else if (draw < 0.78) {
       step.kind = Step::kAdvance;
       step.seconds = rng.UniformInt(1, 600);
-    } else {
+    } else if (draw < 0.85) {
       step.kind = Step::kCheckpoint;
+    } else {
+      // Policy lifecycle: propose/validate/promote/rollback, legal by
+      // construction (mid-promote kill points are the interesting part).
+      step = policy.RandomStep(rng);
     }
     plan.steps.push_back(std::move(step));
   }
@@ -180,6 +300,20 @@ void RunSteps(ProjectServer& server, const Plan& plan, size_t from,
       case Step::kCheckpoint:
         server.WalCheckpoint();
         break;
+      case Step::kPolicyPropose:
+        server.PolicyPropose(
+            step.policy_loose ? kCrashBlueprintLoose : kCrashBlueprint,
+            "fuzz", "proposal " + std::to_string(step.policy_id));
+        break;
+      case Step::kPolicyValidate:
+        server.PolicyValidate(step.policy_id);
+        break;
+      case Step::kPolicyPromote:
+        server.PolicyPromote(step.policy_id);
+        break;
+      case Step::kPolicyRollback:
+        server.PolicyRollback();
+        break;
     }
     if (op_to_step != nullptr) {
       // Record which step produced each op_seq (one op per op-bearing
@@ -201,6 +335,8 @@ struct Fingerprint {
   std::string workspace_text;
   int64_t clock_seconds = 0;
   uint64_t epoch_ceiling = 0;
+  std::string policy_text;      ///< Serialized policy commit chain.
+  uint64_t policy_version = 0;  ///< Version the engines are bound to.
 };
 
 Fingerprint Capture(ProjectServer& server) {
@@ -221,6 +357,8 @@ Fingerprint Capture(ProjectServer& server) {
   fp.db_text = metadb::SaveDatabaseString(server.database());
   fp.workspace_text = metadb::SaveWorkspaceText(server.workspace());
   fp.clock_seconds = server.clock().NowSeconds();
+  fp.policy_text = server.policy_store().SerializeText();
+  fp.policy_version = server.engine().policy_version();
   return fp;
 }
 
@@ -355,6 +493,9 @@ void RunSeed(uint64_t seed) {
     ASSERT_EQ(actual.clock_seconds, expected.clock_seconds)
         << "seed " << seed;
     ASSERT_EQ(actual.epoch_ceiling, expected.epoch_ceiling)
+        << "seed " << seed;
+    ASSERT_EQ(actual.policy_text, expected.policy_text) << "seed " << seed;
+    ASSERT_EQ(actual.policy_version, expected.policy_version)
         << "seed " << seed;
   }
 
