@@ -1,0 +1,33 @@
+#include "common/errno_string.hpp"
+
+#include <cstring>
+
+namespace damocles::common {
+namespace {
+
+// Dispatch on the two strerror_r flavors without guessing the macro
+// soup: glibc's GNU variant returns char* (possibly a static string,
+// possibly `buf`), the XSI/POSIX variant returns int and always fills
+// `buf`. Overload resolution picks the right adapter for whichever one
+// <cstring> declared.
+[[maybe_unused]] const char* AdaptStrerror(char* result, const char* /*buf*/) {
+  return result;  // GNU variant: the returned pointer is the message.
+}
+
+[[maybe_unused]] const char* AdaptStrerror(int result, const char* buf) {
+  return result == 0 ? buf : nullptr;  // XSI variant: message is in buf.
+}
+
+}  // namespace
+
+std::string ErrnoString(int errno_value) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* message = AdaptStrerror(strerror_r(errno_value, buf, sizeof buf), buf);
+  if (message == nullptr || message[0] == '\0') {
+    return "errno " + std::to_string(errno_value);
+  }
+  return message;
+}
+
+}  // namespace damocles::common

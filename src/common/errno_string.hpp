@@ -1,0 +1,19 @@
+// Thread-safe errno formatting.
+//
+// std::strerror returns a pointer into internal (possibly shared)
+// storage and is flagged concurrency-mt-unsafe by clang-tidy; the WAL
+// writer and the background checkpoint thread both format errno on
+// failure paths that can race. ErrnoString wraps strerror_r and always
+// returns an owned std::string.
+#pragma once
+
+#include <string>
+
+namespace damocles::common {
+
+/// The message for `errno_value` ("No space left on device"), owned by
+/// the caller. Safe from any thread. Unknown values format as
+/// "errno <n>".
+std::string ErrnoString(int errno_value);
+
+}  // namespace damocles::common

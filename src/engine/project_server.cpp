@@ -10,27 +10,61 @@
 #include "metadb/persistence.hpp"
 
 namespace damocles::engine {
+namespace {
+
+/// steady_clock now, in milliseconds — the currency of the checkpoint
+/// retry deadline atomic.
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
     : project_name_(std::move(project_name)),
       options_(options),
-      workspace_(project_name_ + ".workspace") {
+      workspace_(project_name_ + ".workspace"),
+      checkpoint_backoff_(options_.wal_retry) {
   const bool durable = !options_.wal_dir.empty();
   metadb::RecoveryPlan plan;
   if (durable) {
     std::filesystem::create_directories(options_.wal_dir);
     if (options_.auto_recover) {
       plan = metadb::BuildRecoveryPlan(options_.wal_dir);
-      metadb::PrepareWalDirectory(options_.wal_dir, plan);
+      const metadb::WalGcStats gc =
+          metadb::PrepareWalDirectory(options_.wal_dir, plan);
+      gc_artifacts_removed_.store(gc.artifacts_removed,
+                                  std::memory_order_relaxed);
+      failed_removals_.store(gc.failed_removals, std::memory_order_relaxed);
     }
     if (plan.have_checkpoint) {
       // Load the checkpoint before any engine exists: move-assigning
       // the database is only safe while its observer list is empty.
+      // The plan's db text is the chain's full base; deltas layer the
+      // dirty slots of each chained checkpoint on top, in order.
       db_ = metadb::LoadDatabaseString(plan.db_text);
+      for (const std::string& delta : plan.db_deltas) {
+        metadb::ApplyDatabaseDeltaString(delta, db_);
+      }
       metadb::LoadWorkspaceText(plan.workspace_text, workspace_);
       clock_.Advance(plan.manifest.clock_seconds - clock_.NowSeconds());
       blueprint_text_ = plan.blueprint_text;
+      committed_checkpoint_id_.store(plan.manifest.checkpoint_id,
+                                     std::memory_order_relaxed);
+      committed_checkpoint_delta_.store(plan.manifest.delta,
+                                        std::memory_order_relaxed);
+      committed_chain_base_.store(plan.chain_ids.front(),
+                                  std::memory_order_relaxed);
+      committed_chain_length_.store(plan.chain_ids.size(),
+                                    std::memory_order_relaxed);
     }
+    // Track dirty slots from here on: every mutation below (blueprint
+    // retemplating, replayed ops, live traffic) lands in the delta of
+    // the next chained checkpoint, whose base is exactly the state
+    // loaded above.
+    db_.EnableDirtyTracking();
   }
 
   if (options_.num_shards > 1) {
@@ -106,15 +140,32 @@ ProjectServer::ProjectServer(std::string project_name, ServerOptions options)
     op_seq_ = plan.last_op_seq;
     replayed_ops_offset_ = plan.replay_ops_end;
     if (!plan.replay_ops.empty()) ReplayOps(plan.replay_ops);
+    if (options_.background_checkpoints) {
+      checkpoint_thread_ =
+          std::thread([this] { CheckpointWorkerLoop(); });
+    }
   }
 }
 
 ProjectServer::~ProjectServer() {
+  StopCheckpointWorker();
   // Detach sinks before the writers die; the journals (inside the
   // engines) outlive the writers by declaration order.
   for (events::EventJournal* journal : sink_journals_) {
     journal->SetSink(nullptr);
   }
+}
+
+void ProjectServer::StopCheckpointWorker() {
+  if (!checkpoint_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    checkpoint_shutdown_ = true;
+    // A cut still pending is dropped: the process is exiting and the
+    // WAL tail past the previous checkpoint covers the same state.
+    checkpoint_cv_.notify_all();
+  }
+  checkpoint_thread_.join();
 }
 
 events::EventJournal* ProjectServer::JournalForStream(
@@ -307,17 +358,38 @@ void ProjectServer::MaybeAutoCheckpoint() {
   if (!durable() || replaying_) return;
   if (degraded_.load(std::memory_order_acquire)) return;
   if (options_.checkpoint_every_ops == 0) return;
-  if (ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
-    try {
-      WalCheckpoint();
-    } catch (const Error& error) {
-      // A failed checkpoint (disk full mid-write, torn manifest) leaves
-      // the previous manifest chain valid — recovery falls back to it.
-      // The triggering mutation already applied and logged, so swallow
-      // and let the next operation retry the checkpoint.
-      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
-      ops_since_checkpoint_ = options_.checkpoint_every_ops;
+  if (ops_since_checkpoint_.load(std::memory_order_relaxed) <
+      options_.checkpoint_every_ops) {
+    return;
+  }
+  // Failed attempts re-arm on the shared backoff schedule instead of
+  // re-attempting on every subsequent op (the checkpoint-failure
+  // storm); a disk that stays broken costs one attempt per backoff
+  // interval, not one per mutation.
+  if (SteadyNowMs() < checkpoint_retry_at_ms_.load(std::memory_order_acquire)) {
+    return;
+  }
+  try {
+    if (options_.background_checkpoints && checkpoint_thread_.joinable()) {
+      // Fire and forget: skip when the worker is already on a cut.
+      {
+        std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+        if (checkpoint_busy_ || checkpoint_shutdown_) return;
+      }
+      CheckpointCut cut = BuildCheckpointCut(options_.auto_checkpoint_mode);
+      std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+      pending_cut_.emplace(std::move(cut));
+      checkpoint_busy_ = true;
+      ++checkpoint_ticket_;
+      checkpoint_cv_.notify_all();
+    } else {
+      WalCheckpoint(options_.auto_checkpoint_mode);
     }
+  } catch (const Error&) {
+    // A failed checkpoint (disk full mid-write, torn manifest) leaves
+    // the previous manifest chain valid — recovery falls back to it.
+    // The triggering mutation already applied and logged, so swallow;
+    // HandleCheckpointFailure already armed the backoff deadline.
   }
 }
 
@@ -395,7 +467,11 @@ ServerHealth ProjectServer::GetHealth() const {
   health.wal_retries = wal_retries_.load(std::memory_order_relaxed);
   health.checkpoint_failures =
       checkpoint_failures_.load(std::memory_order_relaxed);
+  health.checkpoint_retries =
+      checkpoint_retries_.load(std::memory_order_relaxed);
   health.heals = heals_.load(std::memory_order_relaxed);
+  health.failed_removals = failed_removals_.load(std::memory_order_relaxed);
+  health.prune_behind = health.failed_removals > 0;
   return health;
 }
 
@@ -455,9 +531,40 @@ uint64_t ProjectServer::WalReopen() {
   }
 }
 
-uint64_t ProjectServer::WalCheckpoint() {
+uint64_t ProjectServer::WalCheckpoint(CheckpointMode mode) {
   if (!durable()) {
     throw Error("wal-checkpoint: durability is off (no wal_dir configured)");
+  }
+  const bool background =
+      options_.background_checkpoints && checkpoint_thread_.joinable();
+  if (background) {
+    // One cut pending or in flight at a time; synchronous callers queue
+    // behind whatever the worker is writing.
+    std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+    checkpoint_cv_.wait(lock, [this] { return !checkpoint_busy_; });
+  }
+  CheckpointCut cut;
+  try {
+    cut = BuildCheckpointCut(mode);
+  } catch (const Error&) {
+    // The cut never froze (a drain/sync failure): no dirty marks were
+    // consumed, but arm the retry deadline so auto-attempts don't storm.
+    HandleCheckpointFailure(CheckpointCut{});
+    throw;
+  }
+  return background ? CheckpointThroughWorker(std::move(cut))
+                    : CheckpointInline(std::move(cut));
+}
+
+ProjectServer::CheckpointCut ProjectServer::BuildCheckpointCut(
+    CheckpointMode mode) {
+  {
+    // Failed cuts parked their dirty sets; restamp them before cutting
+    // so the next delta re-covers those slots. Apply thread only — the
+    // tracker's stamp arrays may grow under structural appends, which
+    // only this thread performs.
+    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    MergeBackFailedDirtyLocked();
   }
   Drain();
   // Self-heal stale mirrors before freezing offsets: a fail-soft sink
@@ -473,32 +580,196 @@ uint64_t ProjectServer::WalCheckpoint() {
   ops_writer_->Sync();
   for (auto& writer : row_writers_) writer->Sync();
 
-  metadb::CheckpointRequest request;
-  request.op_seq = op_seq_;
-  request.ops_offset = ops_writer_->logical_end();
-  request.clock_seconds = clock_.NowSeconds();
+  CheckpointCut cut;
+  const uint64_t base =
+      committed_checkpoint_id_.load(std::memory_order_relaxed);
+  cut.delta = mode == CheckpointMode::kDelta && base != 0 &&
+              db_.dirty_tracking_enabled() &&
+              committed_chain_length_.load(std::memory_order_relaxed) <
+                  options_.checkpoint_chain_limit;
+  cut.base_id = cut.delta ? base : 0;
+  cut.op_seq = op_seq_;
+  cut.ops_offset = ops_writer_->logical_end();
+  cut.clock_seconds = clock_.NowSeconds();
   if (sharded_ != nullptr) {
-    request.epoch_next = sharded_->epoch_ceiling();
-    request.epoch_waves = sharded_->stats().wave_epochs;
+    cut.epoch_next = sharded_->epoch_ceiling();
+    cut.epoch_waves = sharded_->stats().wave_epochs;
   }
-  request.num_shards = options_.num_shards;
-  request.db_text = metadb::SaveDatabaseString(db_);
-  request.blueprint_text = blueprint_text_;
-  request.workspace_text = metadb::SaveWorkspaceText(workspace_);
+  cut.blueprint_text = blueprint_text_;
+  cut.workspace_text = metadb::SaveWorkspaceText(workspace_);
   // Only serialized once versions exist, so pre-versioning WAL
   // directories keep producing byte-identical manifests.
   if (policy_store_.size() > 0) {
-    request.policy_text = policy_store_.SerializeText();
+    cut.policy_text = policy_store_.SerializeText();
   }
   for (const auto& writer : row_writers_) {
-    request.streams.emplace_back(writer->stream(), writer->logical_end());
+    cut.streams.emplace_back(writer->stream(), writer->logical_end());
   }
-  request.observer = options_.wal_observer;
+  // Retention floors: everything below the checkpointed ops offset is
+  // covered by the chain; row-stream rows below the writer's last
+  // journal reset are invisible to recovery (0 = no reset yet, keep
+  // the stream whole).
+  cut.prune_floors.emplace_back("ops", cut.ops_offset);
+  for (const auto& writer : row_writers_) {
+    cut.prune_floors.emplace_back(writer->stream(), writer->last_reset_end());
+  }
+  // The dirty cut and the snapshot pin come last, after everything that
+  // can throw: a failed build must never consume marks.
+  if (db_.dirty_tracking_enabled()) cut.dirty = db_.CutDirtySet();
+  // Background writes serialize off-thread from a pinned immutable
+  // version; inline writes serialize right here and can use the live
+  // database without paying the publish copy.
+  cut.snap = options_.background_checkpoints ? db_.PublishSnapshot()
+                                             : metadb::Snapshot::Live(db_);
+  return cut;
+}
 
-  const uint64_t id = metadb::WriteWalCheckpoint(options_.wal_dir, request);
-  ops_since_checkpoint_ = 0;
-  ++checkpoints_taken_;
-  return id;
+uint64_t ProjectServer::RunCheckpointWrite(const CheckpointCut& cut) {
+  metadb::CheckpointRequest request;
+  request.delta = cut.delta;
+  request.base_id = cut.base_id;
+  request.op_seq = cut.op_seq;
+  request.ops_offset = cut.ops_offset;
+  request.clock_seconds = cut.clock_seconds;
+  request.epoch_next = cut.epoch_next;
+  request.epoch_waves = cut.epoch_waves;
+  request.num_shards = options_.num_shards;
+  request.db_text =
+      cut.delta ? metadb::SaveDatabaseDeltaString(cut.snap.db(), cut.dirty)
+                : metadb::SaveDatabaseString(cut.snap.db());
+  request.blueprint_text = cut.blueprint_text;
+  request.workspace_text = cut.workspace_text;
+  request.policy_text = cut.policy_text;
+  request.streams = cut.streams;
+  request.observer = options_.wal_observer;
+  return metadb::WriteWalCheckpoint(options_.wal_dir, request);
+}
+
+void ProjectServer::CommitCheckpoint(const CheckpointCut& cut, uint64_t id) {
+  committed_checkpoint_id_.store(id, std::memory_order_relaxed);
+  committed_checkpoint_delta_.store(cut.delta, std::memory_order_relaxed);
+  if (cut.delta) {
+    committed_chain_length_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    committed_chain_base_.store(id, std::memory_order_relaxed);
+    committed_chain_length_.store(1, std::memory_order_relaxed);
+  }
+  ops_since_checkpoint_.store(0, std::memory_order_relaxed);
+  checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_retry_at_ms_.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  checkpoint_backoff_.Reset();
+}
+
+void ProjectServer::PruneAfterCommit(const CheckpointCut& cut) {
+  if (options_.wal_retain_segments < 0) return;
+  for (const auto& [stream, floor] : cut.prune_floors) {
+    if (floor == 0) continue;
+    try {
+      const events::WalPruneStats stats = events::PruneWalSegments(
+          options_.wal_dir, stream, floor, options_.wal_retain_segments);
+      segments_pruned_.fetch_add(stats.segments_removed,
+                                 std::memory_order_relaxed);
+      bytes_pruned_.fetch_add(stats.bytes_removed, std::memory_order_relaxed);
+      failed_removals_.fetch_add(stats.failed_removals,
+                                 std::memory_order_relaxed);
+    } catch (const Error&) {
+      // A prune interrupted mid-loop leaves removed-prefix + intact
+      // suffix; recovery's orphaned-prefix sweep finishes the job.
+      // Count it and move on — the checkpoint already committed.
+      failed_removals_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t keep_from =
+      committed_chain_base_.load(std::memory_order_relaxed);
+  if (keep_from > 0) {
+    const metadb::WalGcStats gc =
+        metadb::PruneWalCheckpoints(options_.wal_dir, keep_from);
+    checkpoints_pruned_.fetch_add(gc.artifacts_removed,
+                                  std::memory_order_relaxed);
+    failed_removals_.fetch_add(gc.failed_removals, std::memory_order_relaxed);
+  }
+}
+
+uint64_t ProjectServer::CheckpointInline(CheckpointCut&& cut) {
+  try {
+    const uint64_t id = RunCheckpointWrite(cut);
+    CommitCheckpoint(cut, id);
+    PruneAfterCommit(cut);
+    return id;
+  } catch (const Error&) {
+    HandleCheckpointFailure(std::move(cut));
+    throw;
+  }
+}
+
+uint64_t ProjectServer::CheckpointThroughWorker(CheckpointCut&& cut) {
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  if (checkpoint_shutdown_) {
+    throw Error("wal-checkpoint: checkpoint worker is shut down");
+  }
+  pending_cut_.emplace(std::move(cut));
+  checkpoint_busy_ = true;
+  const uint64_t ticket = ++checkpoint_ticket_;
+  checkpoint_cv_.notify_all();
+  checkpoint_cv_.wait(lock,
+                      [this, ticket] { return checkpoint_done_ >= ticket; });
+  // Single producer: our ticket completed last, so the slots are ours.
+  if (last_worker_error_ != nullptr) {
+    std::rethrow_exception(last_worker_error_);
+  }
+  return last_worker_id_;
+}
+
+void ProjectServer::CheckpointWorkerLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  for (;;) {
+    checkpoint_cv_.wait(lock, [this] {
+      return checkpoint_shutdown_ || pending_cut_.has_value();
+    });
+    if (checkpoint_shutdown_) return;
+    CheckpointCut cut = std::move(*pending_cut_);
+    pending_cut_.reset();
+    lock.unlock();
+    uint64_t id = 0;
+    std::exception_ptr error;
+    try {
+      id = RunCheckpointWrite(cut);
+      CommitCheckpoint(cut, id);
+      PruneAfterCommit(cut);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (error != nullptr) HandleCheckpointFailure(std::move(cut));
+    lock.lock();
+    ++checkpoint_done_;
+    last_worker_id_ = id;
+    last_worker_error_ = error;
+    checkpoint_busy_ = false;
+    checkpoint_cv_.notify_all();
+  }
+}
+
+void ProjectServer::HandleCheckpointFailure(CheckpointCut&& cut) {
+  checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_retries_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  if (!cut.dirty.empty()) failed_dirty_.push_back(std::move(cut.dirty));
+  // Walk the shared schedule; once exhausted, keep re-arming at the cap
+  // instead of giving up — the next success resets the walk.
+  std::chrono::milliseconds delay = options_.wal_retry.max;
+  if (checkpoint_backoff_.ShouldRetry()) {
+    delay = checkpoint_backoff_.NextDelay();
+  }
+  checkpoint_retry_at_ms_.store(SteadyNowMs() + delay.count(),
+                                std::memory_order_release);
+}
+
+void ProjectServer::MergeBackFailedDirtyLocked() {
+  for (const metadb::DirtySet& dirty : failed_dirty_) {
+    db_.MergeBackDirtySet(dirty);
+  }
+  failed_dirty_.clear();
 }
 
 WalStatus ProjectServer::GetWalStatus() const {
@@ -516,7 +787,24 @@ WalStatus ProjectServer::GetWalStatus() const {
   status.ops_logged = op_seq_;
   status.ops_end_offset =
       ops_writer_ != nullptr ? ops_writer_->logical_end() : 0;
-  status.checkpoints_taken = checkpoints_taken_;
+  status.checkpoints_taken =
+      checkpoints_taken_.load(std::memory_order_relaxed);
+  status.last_checkpoint_id =
+      committed_checkpoint_id_.load(std::memory_order_relaxed);
+  status.last_checkpoint_delta =
+      committed_checkpoint_delta_.load(std::memory_order_relaxed);
+  status.chain_base_id = committed_chain_base_.load(std::memory_order_relaxed);
+  status.chain_length = static_cast<size_t>(
+      committed_chain_length_.load(std::memory_order_relaxed));
+  status.background = options_.background_checkpoints;
+  status.retain_segments = options_.wal_retain_segments;
+  status.segments_pruned = segments_pruned_.load(std::memory_order_relaxed);
+  status.bytes_pruned = bytes_pruned_.load(std::memory_order_relaxed);
+  status.checkpoints_pruned =
+      checkpoints_pruned_.load(std::memory_order_relaxed);
+  status.gc_artifacts_removed =
+      gc_artifacts_removed_.load(std::memory_order_relaxed);
+  status.failed_removals = failed_removals_.load(std::memory_order_relaxed);
   return status;
 }
 

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/backoff.hpp"
@@ -32,6 +35,12 @@
 #include "policy/policy_store.hpp"
 
 namespace damocles::engine {
+
+/// What a checkpoint writes: the complete database dump, or only the
+/// slots dirtied since the previous checkpoint. Delta checkpoints chain
+/// onto their base manifest (base → delta → delta …); recovery loads
+/// the base, applies the deltas in order, then replays the ops tail.
+enum class CheckpointMode { kFull, kDelta };
 
 /// Server configuration.
 struct ServerOptions {
@@ -79,6 +88,28 @@ struct ServerOptions {
   /// (attempts = 0 degrades on the first failure).
   common::BackoffPolicy wal_retry{3, std::chrono::milliseconds(1),
                                   std::chrono::milliseconds(50), 2.0, 0.5};
+  /// Kind of checkpoint the auto-checkpoint path takes. Delta (default)
+  /// writes only the dirty slots since the last committed checkpoint;
+  /// the first checkpoint (no base on record) is always full, and every
+  /// checkpoint_chain_limit-th forces a full to re-anchor the chain.
+  CheckpointMode auto_checkpoint_mode = CheckpointMode::kDelta;
+  /// Manifests a base→delta chain may span before the next checkpoint
+  /// is forced full, bounding recovery's base + deltas + tail work.
+  size_t checkpoint_chain_limit = 8;
+  /// Write checkpoints on a dedicated background thread: the apply
+  /// thread only builds the cut (pinned snapshot, dirty delta, stream
+  /// offsets) and keeps serving mutations while the worker serializes,
+  /// writes and commits. Synchronous WalCheckpoint() calls enqueue and
+  /// wait; auto-checkpoints enqueue and return.
+  bool background_checkpoints = false;
+  /// Segment retention: after a checkpoint commits, WAL segments wholly
+  /// below the committed floor (ops offset for "ops", last journal
+  /// reset for row streams) are pruned, keeping this many prunable
+  /// segments as a safety margin. Negative (default) never prunes —
+  /// RecoverFrom()-style full-genesis replay needs the complete ops
+  /// history. Checkpoint chains older than the committed base are
+  /// pruned under the same knob.
+  int wal_retain_segments = -1;
 };
 
 /// Fault-tolerance snapshot (the wire "health" command's payload).
@@ -88,8 +119,15 @@ struct ServerHealth {
   std::string reason;       ///< Failure that tripped degraded mode.
   uint64_t wal_failures = 0;         ///< WAL I/O failures observed.
   uint64_t wal_retries = 0;          ///< Backoff retry attempts made.
-  uint64_t checkpoint_failures = 0;  ///< Auto-checkpoints that failed.
+  uint64_t checkpoint_failures = 0;  ///< Checkpoint attempts that failed.
+  uint64_t checkpoint_retries = 0;   ///< Backoff-gated checkpoint re-arms.
   uint64_t heals = 0;                ///< Successful WalReopen() calls.
+  /// Garbage collection (segment retention, checkpoint pruning, startup
+  /// sweeps) has observed fs::remove failures: disk is leaking and
+  /// pruning is falling behind. A warning, not degraded mode — the
+  /// durable state itself is intact.
+  bool prune_behind = false;
+  uint64_t failed_removals = 0;      ///< fs::remove failures across GC paths.
 };
 
 /// Durability-state snapshot (the wire "wal-status" command's payload).
@@ -107,6 +145,19 @@ struct WalStatus {
   uint64_t ops_logged = 0;          ///< Current operation sequence number.
   uint64_t ops_end_offset = 0;      ///< Ops stream logical end, now.
   uint64_t checkpoints_taken = 0;   ///< Checkpoints this process wrote.
+
+  // Incremental-checkpoint chain + retention state.
+  uint64_t last_checkpoint_id = 0;  ///< Newest committed checkpoint.
+  bool last_checkpoint_delta = false;  ///< Its kind (true = delta).
+  uint64_t chain_base_id = 0;       ///< Full checkpoint anchoring the chain.
+  size_t chain_length = 0;          ///< Manifests in the chain (1 = full only).
+  bool background = false;          ///< Background checkpointing enabled.
+  int retain_segments = -1;         ///< Retention knob (-1 = never prune).
+  uint64_t segments_pruned = 0;     ///< WAL segments removed by retention.
+  uint64_t bytes_pruned = 0;        ///< Bytes those segments held.
+  uint64_t checkpoints_pruned = 0;  ///< Superseded manifest/checkpoint files.
+  uint64_t gc_artifacts_removed = 0;  ///< Startup-sweep removals (tmp, orphans).
+  uint64_t failed_removals = 0;     ///< fs::remove failures across GC paths.
 };
 
 /// Facade bundling the tracking system's moving parts.
@@ -206,8 +257,13 @@ class ProjectServer {
 
   /// Drains, syncs every stream and writes a checkpoint (database,
   /// blueprint, workspace, per-stream offsets). Returns the checkpoint
-  /// id. Throws Error when durability is off.
-  uint64_t WalCheckpoint();
+  /// id. Throws Error when durability is off. kFull (default) dumps the
+  /// complete database; kDelta writes only the slots dirtied since the
+  /// last committed checkpoint and chains onto it (silently upgraded to
+  /// full when no base exists or the chain hit checkpoint_chain_limit).
+  /// With background_checkpoints on, the call enqueues the cut to the
+  /// worker thread and waits for the commit.
+  uint64_t WalCheckpoint(CheckpointMode mode = CheckpointMode::kFull);
 
   /// Current durability state (recovery provenance included).
   WalStatus GetWalStatus() const;
@@ -331,6 +387,72 @@ class ProjectServer {
 
   void MaybeAutoCheckpoint();
 
+  // --- Incremental / background checkpointing ------------------------------
+
+  /// Everything a checkpoint write needs, frozen on the apply thread at
+  /// a drain-quiescent point. The snapshot pins the database version
+  /// (background mode) or wraps it live (inline mode); serialization
+  /// happens wherever the write runs, so with background checkpointing
+  /// on the apply thread never pays the dump cost.
+  struct CheckpointCut {
+    bool delta = false;
+    uint64_t base_id = 0;
+    uint64_t op_seq = 0;
+    uint64_t ops_offset = 0;
+    int64_t clock_seconds = 0;
+    uint64_t epoch_next = 0;
+    uint64_t epoch_waves = 0;
+    metadb::Snapshot snap;
+    metadb::DirtySet dirty;
+    std::string blueprint_text;
+    std::string workspace_text;
+    std::string policy_text;
+    std::vector<std::pair<std::string, uint64_t>> streams;
+    /// Segment-retention floors captured at cut time: the checkpoint
+    /// ops offset for "ops", each row writer's last-reset end (0 keeps
+    /// the stream untouched). Applied only after the write commits.
+    std::vector<std::pair<std::string, uint64_t>> prune_floors;
+  };
+
+  /// Apply-thread half: drains, heals stale mirrors, syncs every
+  /// stream, then freezes offsets + snapshot + dirty delta. Anything
+  /// that can throw runs before the dirty cut, so a failed build never
+  /// loses dirty marks. Resolves kDelta down to full when no base
+  /// exists or the chain hit its limit.
+  CheckpointCut BuildCheckpointCut(CheckpointMode mode);
+
+  /// Write half (worker thread in background mode): serializes the
+  /// database from the cut's snapshot and writes checkpoint files +
+  /// manifest. Returns the new checkpoint id.
+  uint64_t RunCheckpointWrite(const CheckpointCut& cut);
+
+  /// Publishes a committed checkpoint: chain/floor atomics, counter
+  /// resets, backoff re-arm. Worker thread in background mode — touches
+  /// atomics and the checkpoint mutex only, never the live database.
+  void CommitCheckpoint(const CheckpointCut& cut, uint64_t id);
+
+  /// Retention after a commit: prunes WAL segments wholly below the
+  /// cut's floors and checkpoint chains below the committed base.
+  /// Failures surface as counters (prune-behind warning), never as a
+  /// checkpoint failure — the manifest already committed.
+  void PruneAfterCommit(const CheckpointCut& cut);
+
+  /// Failure bookkeeping shared by the inline and worker paths: counts
+  /// the failure, parks the cut's dirty set for merge-back on the apply
+  /// thread, and arms the next auto-attempt on the backoff schedule
+  /// (after the schedule exhausts, re-attempts keep the max interval —
+  /// never once-per-op).
+  void HandleCheckpointFailure(CheckpointCut&& cut);
+
+  /// Re-marks dirty sets parked by failed checkpoints (apply thread
+  /// only; caller holds checkpoint_mutex_).
+  void MergeBackFailedDirtyLocked();
+
+  uint64_t CheckpointInline(CheckpointCut&& cut);
+  uint64_t CheckpointThroughWorker(CheckpointCut&& cut);
+  void CheckpointWorkerLoop();
+  void StopCheckpointWorker();
+
   /// Logs one ops-stream record, assigning its op_seq. The happy path
   /// is exactly one inlined Append*Op call; WalIoError diverts to the
   /// cold retry/degrade path. `pre_apply` marks ops logged before their
@@ -379,7 +501,9 @@ class ProjectServer {
   /// Journals with an attached sink, for detaching at destruction.
   std::vector<events::EventJournal*> sink_journals_;
   uint64_t op_seq_ = 0;
-  size_t ops_since_checkpoint_ = 0;
+  /// Ops since the last *committed* checkpoint (reset at commit, which
+  /// runs on the worker thread in background mode — hence atomic).
+  std::atomic<size_t> ops_since_checkpoint_{0};
   bool replaying_ = false;
   /// The active blueprint's source text (checkpointed alongside the
   /// database so recovery can re-install the rules).
@@ -391,7 +515,43 @@ class ProjectServer {
   uint64_t replayed_ops_offset_ = 0;
   size_t restored_rows_ = 0;
   size_t manifests_skipped_ = 0;
-  uint64_t checkpoints_taken_ = 0;
+  std::atomic<uint64_t> checkpoints_taken_{0};
+
+  // Committed-checkpoint chain + retention state. Written by whichever
+  // thread commits (worker in background mode), read by health/status
+  // sessions — atomics throughout.
+  std::atomic<uint64_t> committed_checkpoint_id_{0};
+  std::atomic<bool> committed_checkpoint_delta_{false};
+  std::atomic<uint64_t> committed_chain_base_{0};
+  std::atomic<uint64_t> committed_chain_length_{0};
+  std::atomic<uint64_t> segments_pruned_{0};
+  std::atomic<uint64_t> bytes_pruned_{0};
+  std::atomic<uint64_t> checkpoints_pruned_{0};
+  std::atomic<uint64_t> gc_artifacts_removed_{0};
+  std::atomic<uint64_t> failed_removals_{0};
+  std::atomic<uint64_t> checkpoint_retries_{0};
+  /// steady_clock deadline (ms since epoch) before which the
+  /// auto-checkpoint path will not re-attempt after a failure. The fix
+  /// for the checkpoint-failure storm: failures used to reset the op
+  /// counter to the threshold, re-attempting on *every* subsequent op.
+  std::atomic<int64_t> checkpoint_retry_at_ms_{0};
+
+  // Background-checkpoint worker. One cut pending or in flight at a
+  // time; only the apply thread enqueues.
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+  std::thread checkpoint_thread_;
+  bool checkpoint_shutdown_ = false;
+  bool checkpoint_busy_ = false;  ///< A cut is pending or being written.
+  std::optional<CheckpointCut> pending_cut_;
+  uint64_t checkpoint_ticket_ = 0;  ///< Cuts enqueued.
+  uint64_t checkpoint_done_ = 0;    ///< Cuts completed (either way).
+  uint64_t last_worker_id_ = 0;     ///< Id from the last completed cut.
+  std::exception_ptr last_worker_error_;  ///< Its failure, if any.
+  /// Dirty sets from failed cuts, parked until the apply thread can
+  /// safely restamp them (the tracker's arrays may grow concurrently).
+  std::vector<metadb::DirtySet> failed_dirty_;
+  common::BackoffState checkpoint_backoff_;
 
   // Fault-tolerance state. The atomics are read by concurrent health /
   // read sessions while the apply thread mutates; the reason string is

@@ -342,13 +342,53 @@ std::string WireSession::CmdWalStatus(Context& ctx) {
          ", stream end " + std::to_string(status.ops_end_offset) +
          ", checkpoints taken " + std::to_string(status.checkpoints_taken) +
          "\n";
+  if (status.last_checkpoint_id > 0) {
+    out += "  chain tip " + std::to_string(status.last_checkpoint_id) +
+           (status.last_checkpoint_delta ? " (delta)" : " (full)") + ", base " +
+           std::to_string(status.chain_base_id) + ", length " +
+           std::to_string(status.chain_length) + "\n";
+  }
+  out += std::string("  checkpoints ") +
+         (status.background ? "background" : "inline") + ", retention ";
+  if (status.retain_segments < 0) {
+    out += "off\n";
+  } else {
+    out += "keep " + std::to_string(status.retain_segments) + ", pruned " +
+           std::to_string(status.segments_pruned) + " segment(s) / " +
+           std::to_string(status.bytes_pruned) + " byte(s), " +
+           std::to_string(status.checkpoints_pruned) +
+           " checkpoint file(s)\n";
+  }
+  if (status.gc_artifacts_removed > 0) {
+    out += "  gc removed " + std::to_string(status.gc_artifacts_removed) +
+           " orphaned artifact(s)\n";
+  }
+  if (status.failed_removals > 0) {
+    out += "  warning: " + std::to_string(status.failed_removals) +
+           " failed removal(s) — pruning is behind, disk may be leaking\n";
+  }
   return out;
 }
 
 std::string WireSession::CmdWalCheckpoint(Context& ctx) {
-  (void)ctx;
-  const uint64_t id = server_.WalCheckpoint();
-  return "ok checkpoint " + std::to_string(id) + "\n";
+  std::string_view rest = ctx.rest;
+  const std::string kind = NextWord(rest);
+  CheckpointMode mode = CheckpointMode::kFull;
+  if (kind == "delta") {
+    mode = CheckpointMode::kDelta;
+  } else if (!kind.empty() && kind != "full") {
+    return "error: usage: wal-checkpoint [full|delta]\n";
+  }
+  const uint64_t id = server_.WalCheckpoint(mode);
+  // Full checkpoints keep the pre-incremental reply byte-stable; a
+  // delta (the request may have been silently upgraded to full when no
+  // base existed) reports what it chained onto.
+  const WalStatus status = server_.GetWalStatus();
+  std::string out = "ok checkpoint " + std::to_string(id);
+  if (status.last_checkpoint_id == id && status.last_checkpoint_delta) {
+    out += " delta base " + std::to_string(status.chain_base_id);
+  }
+  return out + "\n";
 }
 
 std::string WireSession::CmdRecover(Context& ctx) {
@@ -368,7 +408,13 @@ std::string WireSession::CmdHealth(Context& ctx) {
          ", failures " + std::to_string(health.wal_failures) + ", retries " +
          std::to_string(health.wal_retries) + "\n";
   out += "  checkpoint failures " + std::to_string(health.checkpoint_failures) +
-         ", heals " + std::to_string(health.heals) + "\n";
+         ", retries " + std::to_string(health.checkpoint_retries) + ", heals " +
+         std::to_string(health.heals) + "\n";
+  if (health.prune_behind) {
+    out += "  warning: pruning behind (" +
+           std::to_string(health.failed_removals) +
+           " failed removal(s)) — disk may be leaking\n";
+  }
   return out;
 }
 
@@ -593,9 +639,11 @@ const std::vector<WireSession::Entry>& WireSession::Registry() {
         "Durability state: WAL dir, fsync policy, recovery provenance.",
         Kind::kRead, false, ""},
        &WireSession::CmdWalStatus},
-      {{"wal-checkpoint", "wal-checkpoint",
-        "Sync the WAL and write a durable checkpoint now.", Kind::kMutate,
-        false, ""},
+      {{"wal-checkpoint", "wal-checkpoint [full|delta]",
+        "Sync the WAL and write a durable checkpoint now: the complete "
+        "database (full, default), or only the slots dirtied since the "
+        "last checkpoint, chained onto it (delta).",
+        Kind::kMutate, false, ""},
        &WireSession::CmdWalCheckpoint},
       {{"recover", "recover <wal-dir>",
         "Replay another WAL directory's full operation history here.",

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/errno_string.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/strings.hpp"
@@ -573,7 +574,7 @@ void WalWriter::OpenSegment() {
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     throw WalIoError("wal: cannot create segment " + path_ + ": " +
-                     std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
+                     common::ErrnoString(errno));
   }
   write_buffer_.clear();
   write_buffer_.reserve(kWalWriteBufferBytes);
@@ -762,6 +763,7 @@ void WalWriter::MirrorJournal(const EventJournal& journal) {
     CheckAppendFailpoint();
     MaybeRoll();
     WriteRecord(WalRecordType::kReset, {});
+    last_reset_end_ = logical_end();
     // Recovery only restores rows past the reset, so the mirror below
     // is the stream's whole visible content regardless of what the
     // truncated prefix held.
@@ -789,6 +791,7 @@ void WalWriter::OnClear(const EventJournal& /*journal*/) {
     CheckAppendFailpoint();
     MaybeRoll();
     WriteRecord(WalRecordType::kReset, {});
+    last_reset_end_ = logical_end();
     EndAppendGroup();
   } catch (const Error& error) {
     failure_ = error.what();
@@ -941,7 +944,7 @@ void WalWriter::Flush() {
     write_buffer_.erase(0, written);
     throw WalIoError("wal: write failed on " + path_ + " after " +
                      std::to_string(written) + " bytes: " +
-                     std::strerror(err) +  // NOLINT(concurrency-mt-unsafe)
+                     common::ErrnoString(err) +
                      (inject_fail ? " (injected)" : ""));
   }
   write_buffer_.clear();
@@ -960,12 +963,11 @@ void WalWriter::Sync() {
                         ? hit.error_number
                         : EIO;
     throw WalIoError("wal: fsync failed on " + path_ + ": " +
-                     // NOLINTNEXTLINE(concurrency-mt-unsafe)
-                     std::strerror(err) + " (injected)");
+                     common::ErrnoString(err) + " (injected)");
   }
   if (::fsync(fd_) != 0) {
     throw WalIoError("wal: fsync failed on " + path_ + ": " +
-                     std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
+                     common::ErrnoString(errno));
   }
 }
 
@@ -1034,6 +1036,23 @@ WalStreamData ReadWalStream(const std::string& dir, const std::string& stream) {
     }
 
     if (seg == 0) {
+      data.valid_end = info.base_offset;
+    } else if (info.base_offset > data.valid_end) {
+      // Forward gap: the segments below this one were (partially)
+      // pruned — a retention pass interrupted mid-prune can persist a
+      // later unlink without the earlier ones. Everything below the gap
+      // is an orphaned prefix of data the committed checkpoint already
+      // covers; drop what was collected and restart at this segment,
+      // exactly as if the whole prefix had been pruned.
+      data.rows.clear();
+      data.resets.clear();
+      data.ops.clear();
+      for (WalSegmentInfo& prior : data.segments) {
+        if (prior.error.empty()) {
+          prior.error = "orphaned prefix (pruned gap below segment " +
+                        std::to_string(index) + ")";
+        }
+      }
       data.valid_end = info.base_offset;
     } else if (info.base_offset != data.valid_end) {
       info.torn = true;
@@ -1156,14 +1175,18 @@ WalStreamData ReadWalStream(const std::string& dir, const std::string& stream) {
 }
 
 void TruncateWalStream(const std::string& dir, const std::string& stream,
-                       uint64_t logical_offset) {
+                       uint64_t logical_offset, size_t* failed_removals) {
   namespace fs = std::filesystem;
   const auto segments = ListSegments(dir, stream);
   bool delete_rest = false;
-  for (const auto& [index, path] : segments) {
+  const auto remove_counted = [failed_removals](const std::string& path) {
     std::error_code ec;
+    fs::remove(path, ec);
+    if (ec && failed_removals != nullptr) ++*failed_removals;
+  };
+  for (const auto& [index, path] : segments) {
     if (delete_rest) {
-      fs::remove(path, ec);
+      remove_counted(path);
       continue;
     }
     std::string bytes;
@@ -1172,19 +1195,20 @@ void TruncateWalStream(const std::string& dir, const std::string& stream,
     if (!ReadFileBytes(path, bytes, io_error) ||
         !ParseSegmentHeader(bytes, info)) {
       // Unreadable header: nothing past this point is recoverable.
-      fs::remove(path, ec);
+      remove_counted(path);
       delete_rest = true;
       continue;
     }
     const uint64_t end = info.base_offset + bytes.size();
     if (info.base_offset >= logical_offset) {
-      fs::remove(path, ec);
+      remove_counted(path);
       delete_rest = true;
     } else if (end > logical_offset) {
       const uint64_t keep = logical_offset - info.base_offset;
       if (keep < kWalHeaderSize) {
-        fs::remove(path, ec);
+        remove_counted(path);
       } else {
+        std::error_code ec;
         fs::resize_file(path, keep, ec);
         if (ec) {
           throw Error("wal: cannot truncate " + path + ": " + ec.message());
@@ -1193,6 +1217,92 @@ void TruncateWalStream(const std::string& dir, const std::string& stream,
       delete_rest = true;
     }
   }
+}
+
+WalPruneStats PruneWalSegments(const std::string& dir,
+                               const std::string& stream,
+                               uint64_t floor_offset, int retain_segments) {
+  namespace fs = std::filesystem;
+  WalPruneStats stats;
+  if (retain_segments < 0) return stats;  // Retention disabled.
+  const auto segments = ListSegments(dir, stream);
+  if (segments.size() <= 1) return stats;  // Never touch the newest segment.
+
+  // The prunable prefix: consecutive leading segments wholly below the
+  // committed floor. Stop at the first segment recovery might need.
+  std::vector<std::pair<std::string, uint64_t>> prunable;  // (path, bytes)
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    const auto& [index, path] = segments[i];
+    std::string bytes;
+    std::string io_error;
+    WalSegmentInfo info;
+    if (!ReadFileBytes(path, bytes, io_error) ||
+        !ParseSegmentHeader(bytes, info)) {
+      break;  // Unreadable header: leave it for recovery to judge.
+    }
+    if (info.base_offset + bytes.size() > floor_offset) break;
+    prunable.emplace_back(path, bytes.size());
+  }
+  if (prunable.size() <= static_cast<size_t>(retain_segments)) return stats;
+
+  // Oldest first, so an interrupted prune leaves a removed prefix plus
+  // a contiguous remainder (never a mid-chain hole).
+  const size_t remove_count =
+      prunable.size() - static_cast<size_t>(retain_segments);
+  for (size_t i = 0; i < remove_count; ++i) {
+    std::error_code ec;
+    common::FailpointHit hit;
+    if (DAMOCLES_FAILPOINT("wal.prune", &hit)) {
+      throw WalIoError("wal: prune failed on " + prunable[i].first +
+                       ": injected failure (failpoint wal.prune)");
+    }
+    if (fs::remove(prunable[i].first, ec)) {
+      ++stats.segments_removed;
+      stats.bytes_removed += prunable[i].second;
+    } else if (ec) {
+      ++stats.failed_removals;
+    }
+  }
+  return stats;
+}
+
+WalPruneStats RemoveOrphanedWalPrefix(const std::string& dir,
+                                      const std::string& stream) {
+  namespace fs = std::filesystem;
+  WalPruneStats stats;
+  const auto segments = ListSegments(dir, stream);
+  if (segments.size() <= 1) return stats;
+
+  // Find the last forward gap in the chain; everything below it is the
+  // orphaned prefix ReadWalStream's gap handling already skips.
+  size_t first_reachable = 0;
+  uint64_t expected_end = 0;
+  bool have_end = false;
+  std::vector<uint64_t> sizes(segments.size(), 0);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [index, path] = segments[i];
+    std::string bytes;
+    std::string io_error;
+    WalSegmentInfo info;
+    if (!ReadFileBytes(path, bytes, io_error) ||
+        !ParseSegmentHeader(bytes, info)) {
+      break;  // Torn tail territory: recovery's truncation owns it.
+    }
+    sizes[i] = bytes.size();
+    if (have_end && info.base_offset > expected_end) first_reachable = i;
+    expected_end = info.base_offset + bytes.size();
+    have_end = true;
+  }
+  for (size_t i = 0; i < first_reachable; ++i) {
+    std::error_code ec;
+    if (fs::remove(segments[i].second, ec)) {
+      ++stats.segments_removed;
+      stats.bytes_removed += sizes[i];
+    } else if (ec) {
+      ++stats.failed_removals;
+    }
+  }
+  return stats;
 }
 
 std::string FormatWalInspection(const std::string& dir, bool* any_torn) {

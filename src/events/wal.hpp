@@ -227,6 +227,12 @@ class WalWriter final : public JournalSink {
   /// Logical end offset of the stream (base + bytes in the open segment).
   uint64_t logical_end() const noexcept { return base_offset_ + file_bytes_; }
 
+  /// End offset of the newest kReset record this writer appended (0 when
+  /// it appended none). Recovery drops every row before the last reset,
+  /// so segment retention may prune row-stream segments wholly below
+  /// this floor; 0 conservatively disables pruning for the stream.
+  uint64_t last_reset_end() const noexcept { return last_reset_end_; }
+
   /// Frames committed to the buffer so far (flushed or not). Lets the
   /// retry path tell "append failed before framing — re-append" from
   /// "frame is buffered, the flush failed — re-drive the I/O only".
@@ -279,6 +285,7 @@ class WalWriter final : public JournalSink {
   uint64_t file_bytes_ = 0;
   bool dirty_ = false;
   uint64_t frames_appended_ = 0;
+  uint64_t last_reset_end_ = 0;
   std::string failure_;  ///< First fail-soft sink failure; see failure().
   std::unordered_map<std::string, uint32_t> stream_symbols_;
   /// Journal SymbolId -> segment-local id; invalidated with
@@ -344,9 +351,41 @@ WalStreamData ReadWalStream(const std::string& dir, const std::string& stream);
 /// Physically truncates a stream to `logical_offset`: later segments are
 /// deleted, the segment containing the offset is resized (and deleted
 /// when the cut falls inside its header). Writers opened afterwards
-/// continue at exactly `logical_offset` in a fresh segment.
+/// continue at exactly `logical_offset` in a fresh segment. When
+/// `failed_removals` is given, fs::remove failures are counted into it
+/// instead of being silently ignored (they leak disk until the next
+/// sweep; the server surfaces the count through wal-status).
 void TruncateWalStream(const std::string& dir, const std::string& stream,
-                       uint64_t logical_offset);
+                       uint64_t logical_offset,
+                       size_t* failed_removals = nullptr);
+
+/// Outcome of PruneWalSegments / RemoveOrphanedWalPrefix.
+struct WalPruneStats {
+  size_t segments_removed = 0;
+  size_t failed_removals = 0;   ///< fs::remove errors (disk still leaked).
+  uint64_t bytes_removed = 0;   ///< Physical bytes reclaimed.
+};
+
+/// WAL segment retention: removes segments of `stream` that lie wholly
+/// below `floor_offset` (the committed checkpoint's logical offset for
+/// this stream — recovery never reads below it), oldest first, keeping
+/// the newest `retain_segments` of the prunable prefix as margin. The
+/// newest segment of a stream is never pruned (the writer's
+/// continuation point lives there), and removal is strictly ascending
+/// by segment index so a crash mid-prune leaves a removed prefix plus a
+/// contiguous remainder, which ReadWalStream absorbs like any pruned
+/// prefix. A negative `retain_segments` disables pruning entirely.
+WalPruneStats PruneWalSegments(const std::string& dir,
+                               const std::string& stream,
+                               uint64_t floor_offset, int retain_segments);
+
+/// Garbage-collects segments stranded below a base-offset discontinuity
+/// (a prune interrupted before its directory update fully persisted):
+/// everything below the LAST forward gap in the segment chain is
+/// removed, matching what ReadWalStream's gap handling already refuses
+/// to read. No-op on contiguous streams.
+WalPruneStats RemoveOrphanedWalPrefix(const std::string& dir,
+                                      const std::string& stream);
 
 /// Multi-line human-readable report over every stream in `dir` (segment
 /// headers, record counts, CRC verification, truncation points; torn

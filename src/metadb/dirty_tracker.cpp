@@ -1,0 +1,72 @@
+#include "metadb/dirty_tracker.hpp"
+
+#include <algorithm>
+
+namespace damocles::metadb {
+
+void DirtyTracker::Mark(StampArray& array, size_t slot) noexcept {
+  if (slot >= array.size) {
+    // Only slot appends reach here, and appends are single-writer and
+    // never concurrent with marking workers (the same contract that
+    // makes the database's own vector push_backs safe).
+    Grow(array, slot + 1);
+  }
+  array.stamps[slot].store(generation_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+void DirtyTracker::Grow(StampArray& array, size_t needed) {
+  if (needed > array.capacity) {
+    size_t capacity = std::max<size_t>(array.capacity * 2, 64);
+    capacity = std::max(capacity, needed);
+    auto stamps = std::make_unique<std::atomic<uint64_t>[]>(capacity);
+    for (size_t i = 0; i < array.size; ++i) {
+      stamps[i].store(array.stamps[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    for (size_t i = array.size; i < capacity; ++i) {
+      stamps[i].store(0, std::memory_order_relaxed);
+    }
+    array.stamps = std::move(stamps);
+    array.capacity = capacity;
+  }
+  array.size = needed;
+}
+
+void DirtyTracker::Collect(const StampArray& array, uint64_t generation,
+                           std::vector<uint32_t>& out) {
+  for (size_t i = 0; i < array.size; ++i) {
+    if (array.stamps[i].load(std::memory_order_relaxed) == generation) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+void DirtyTracker::Restamp(StampArray& array,
+                           const std::vector<uint32_t>& slots,
+                           uint64_t generation) noexcept {
+  for (const uint32_t slot : slots) {
+    if (slot < array.size) {
+      array.stamps[slot].store(generation, std::memory_order_relaxed);
+    }
+  }
+}
+
+DirtySet DirtyTracker::Cut() {
+  const uint64_t generation = generation_.load(std::memory_order_relaxed);
+  DirtySet set;
+  Collect(objects_, generation, set.objects);
+  Collect(links_, generation, set.links);
+  Collect(configs_, generation, set.configs);
+  generation_.store(generation + 1, std::memory_order_relaxed);
+  return set;
+}
+
+void DirtyTracker::MergeBack(const DirtySet& set) noexcept {
+  const uint64_t generation = generation_.load(std::memory_order_relaxed);
+  Restamp(objects_, set.objects, generation);
+  Restamp(links_, set.links, generation);
+  Restamp(configs_, set.configs, generation);
+}
+
+}  // namespace damocles::metadb

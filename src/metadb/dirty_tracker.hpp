@@ -1,0 +1,88 @@
+// Dirty-slot tracking for incremental (delta) checkpoints.
+//
+// A full checkpoint serializes every slot of the MetaDatabase; under
+// heavy traffic that is an O(total state) stall per checkpoint. The
+// DirtyTracker records which object/link/configuration slots mutated
+// since the last checkpoint cut so the server can write a delta
+// containing only those slots (metadb/persistence's
+// SaveDatabaseDeltaString), chained onto the previous checkpoint by
+// the manifest's base pointer.
+//
+// Thread contract (the MetaDatabase mutation contract, verbatim):
+// structural mutations (slot appends, which grow the stamp arrays) are
+// single-writer and never concurrent with wave workers; property
+// writes from workers of disjoint shards may mark concurrently, so
+// stamps are relaxed atomics. Cut() and MergeBack() are writer-side
+// and quiescent-only, exactly like MetaDatabase::PublishSnapshot().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace damocles::metadb {
+
+/// The slots that mutated between two checkpoint cuts, per kind,
+/// ascending. Returned by DirtyTracker::Cut(); consumed by
+/// SaveDatabaseDeltaString and (on checkpoint failure) MergeBack.
+struct DirtySet {
+  std::vector<uint32_t> objects;
+  std::vector<uint32_t> links;
+  std::vector<uint32_t> configs;
+
+  bool empty() const noexcept {
+    return objects.empty() && links.empty() && configs.empty();
+  }
+  size_t size() const noexcept {
+    return objects.size() + links.size() + configs.size();
+  }
+};
+
+/// Per-slot dirty stamps. Each stamp holds the cut generation the slot
+/// was last marked under; Cut() collects stamps equal to the current
+/// generation (every mark since the previous cut stored exactly that
+/// value) and advances it.
+class DirtyTracker {
+ public:
+  void MarkObject(size_t slot) noexcept { Mark(objects_, slot); }
+  void MarkLink(size_t slot) noexcept { Mark(links_, slot); }
+  void MarkConfig(size_t slot) noexcept { Mark(configs_, slot); }
+
+  /// Collects every slot marked since the previous cut and starts the
+  /// next generation. Quiescent callers only.
+  DirtySet Cut();
+
+  /// Re-marks `set`'s slots under the current generation so a failed
+  /// checkpoint's dirty set is carried into the next cut instead of
+  /// being lost. Quiescent callers only.
+  void MergeBack(const DirtySet& set) noexcept;
+
+  /// Cuts taken so far plus one (the generation new marks stamp).
+  uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct StampArray {
+    std::unique_ptr<std::atomic<uint64_t>[]> stamps;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  void Mark(StampArray& array, size_t slot) noexcept;
+  static void Grow(StampArray& array, size_t needed);
+  static void Collect(const StampArray& array, uint64_t generation,
+                      std::vector<uint32_t>& out);
+  static void Restamp(StampArray& array, const std::vector<uint32_t>& slots,
+                      uint64_t generation) noexcept;
+
+  /// Relaxed: marks read it mid-mutation, Cut/MergeBack write it only
+  /// at quiescent points.
+  std::atomic<uint64_t> generation_{1};
+  StampArray objects_;
+  StampArray links_;
+  StampArray configs_;
+};
+
+}  // namespace damocles::metadb

@@ -51,6 +51,7 @@ OidId MetaDatabase::CreateObject(const Oid& oid, std::string_view user,
   by_oid_.emplace(oid, id);
   chain.push_back(id);
   Touch();
+  MarkObjectDirty(id.value());
   for (LinkObserver* observer : link_observers_) {
     observer->OnObjectCreated(id, objects_[id.value()]);
   }
@@ -81,6 +82,7 @@ void MetaDatabase::DeleteObject(OidId id) {
   for (const LinkId link : in) DeleteLink(link);
   by_oid_.erase(object.oid);
   Touch();
+  MarkObjectDirty(id.value());
 }
 
 // --- Lookup --------------------------------------------------------------------
@@ -135,6 +137,7 @@ const MetaObject& MetaDatabase::GetObject(OidId id) const {
 MetaObject& MetaDatabase::GetObjectMutable(OidId id) {
   CheckObjectHandle(id);
   Touch();  // Conservative: the caller holds a mutable reference.
+  MarkObjectDirty(id.value());
   return objects_[id.value()];
 }
 
@@ -145,6 +148,7 @@ void MetaDatabase::SetProperty(OidId id, const std::string& name,
   CheckObjectHandle(id);
   objects_[id.value()].properties[name] = value;
   Touch();
+  MarkObjectDirty(id.value());
 }
 
 const std::string* MetaDatabase::GetProperty(OidId id,
@@ -158,7 +162,10 @@ const std::string* MetaDatabase::GetProperty(OidId id,
 bool MetaDatabase::RemoveProperty(OidId id, const std::string& name) {
   CheckObjectHandle(id);
   const bool removed = objects_[id.value()].properties.erase(name) > 0;
-  if (removed) Touch();
+  if (removed) {
+    Touch();
+    MarkObjectDirty(id.value());
+  }
   return removed;
 }
 
@@ -197,6 +204,7 @@ LinkId MetaDatabase::CreateLink(LinkKind kind, OidId from, OidId to,
   out_links_[from.value()].push_back(id);
   in_links_[to.value()].push_back(id);
   Touch();
+  MarkLinkDirty(id.value());
   for (LinkObserver* observer : link_observers_) {
     observer->OnLinkAdded(id, links_[id.value()]);
   }
@@ -213,6 +221,7 @@ void MetaDatabase::DeleteLink(LinkId id) {
   DetachLinkFromAdjacency(id);
   link.alive = false;
   Touch();
+  MarkLinkDirty(id.value());
 }
 
 const Link& MetaDatabase::GetLink(LinkId id) const {
@@ -223,6 +232,7 @@ const Link& MetaDatabase::GetLink(LinkId id) const {
 Link& MetaDatabase::GetLinkMutable(LinkId id) {
   CheckLinkHandle(id);
   Touch();  // Conservative: the caller holds a mutable reference.
+  MarkLinkDirty(id.value());
   return links_[id.value()];
 }
 
@@ -260,6 +270,7 @@ void MetaDatabase::MoveLinkEndpoint(LinkId id, bool endpoint_from,
                                  : in_links_[new_endpoint.value()];
   new_list.push_back(id);
   Touch();
+  MarkLinkDirty(id.value());
   for (LinkObserver* observer : link_observers_) {
     observer->OnLinkEndpointMoved(id, endpoint_from, old_endpoint, link);
   }
@@ -276,6 +287,7 @@ void MetaDatabase::SetLinkPropagates(LinkId id,
   std::vector<std::string> old_propagates = std::move(link.propagates);
   link.propagates = std::move(propagates);
   Touch();
+  MarkLinkDirty(id.value());
   for (LinkObserver* observer : link_observers_) {
     observer->OnLinkPropagatesChanged(id, old_propagates, link);
   }
@@ -318,11 +330,13 @@ ConfigId MetaDatabase::SaveConfiguration(Configuration config) {
   const auto it = config_by_name_.find(config.name);
   if (it != config_by_name_.end()) {
     configurations_[it->second.value()] = std::move(config);
+    MarkConfigDirty(it->second.value());
     return it->second;
   }
   const ConfigId id(static_cast<uint32_t>(configurations_.size()));
   config_by_name_.emplace(config.name, id);
   configurations_.push_back(std::move(config));
+  MarkConfigDirty(id.value());
   return id;
 }
 
@@ -407,6 +421,7 @@ OidId MetaDatabase::RestoreObjectSlot(MetaObject object) {
   out_links_.emplace_back();
   in_links_.emplace_back();
   Touch();
+  MarkObjectDirty(id.value());
   for (LinkObserver* observer : link_observers_) {
     observer->OnObjectCreated(id, objects_[id.value()]);
   }
@@ -424,6 +439,7 @@ LinkId MetaDatabase::RestoreLinkSlot(Link link) {
   }
   links_.push_back(std::move(link));
   Touch();
+  MarkLinkDirty(id.value());
   if (alive) {
     for (LinkObserver* observer : link_observers_) {
       observer->OnLinkAdded(id, links_[id.value()]);
@@ -437,7 +453,93 @@ ConfigId MetaDatabase::RestoreConfigurationSlot(Configuration config) {
   if (!config.name.empty()) config_by_name_.emplace(config.name, id);
   configurations_.push_back(std::move(config));
   Touch();
+  MarkConfigDirty(id.value());
   return id;
+}
+
+// --- Delta-checkpoint support ------------------------------------------------
+
+void MetaDatabase::ApplyObjectSlot(size_t slot, MetaObject object) {
+  if (slot > objects_.size()) {
+    throw IntegrityError("ApplyObjectSlot: slot " + std::to_string(slot) +
+                         " past the end (" + std::to_string(objects_.size()) +
+                         " slots)");
+  }
+  if (slot == objects_.size()) {
+    RestoreObjectSlot(std::move(object));
+    return;
+  }
+  MetaObject& existing = objects_[slot];
+  if (!(existing.oid == object.oid)) {
+    throw IntegrityError("ApplyObjectSlot: delta rewrites slot " +
+                         std::to_string(slot) + " from " +
+                         FormatOid(existing.oid) + " to " +
+                         FormatOid(object.oid) + " (OIDs are immutable)");
+  }
+  if (existing.alive && !object.alive) {
+    by_oid_.erase(existing.oid);
+  } else if (!existing.alive && object.alive) {
+    by_oid_.emplace(object.oid, OidId(static_cast<uint32_t>(slot)));
+  }
+  existing = std::move(object);
+  Touch();
+  MarkObjectDirty(slot);
+}
+
+void MetaDatabase::ApplyLinkSlot(size_t slot, Link link) {
+  if (slot > links_.size()) {
+    throw IntegrityError("ApplyLinkSlot: slot " + std::to_string(slot) +
+                         " past the end (" + std::to_string(links_.size()) +
+                         " slots)");
+  }
+  if (link.alive) {
+    CheckObjectHandle(link.from);
+    CheckObjectHandle(link.to);
+  }
+  if (slot == links_.size()) {
+    links_.push_back(std::move(link));
+  } else {
+    links_[slot] = std::move(link);
+  }
+  Touch();
+  MarkLinkDirty(slot);
+}
+
+void MetaDatabase::ApplyConfigurationSlot(size_t slot, Configuration config) {
+  if (slot > configurations_.size()) {
+    throw IntegrityError("ApplyConfigurationSlot: slot " +
+                         std::to_string(slot) + " past the end (" +
+                         std::to_string(configurations_.size()) + " slots)");
+  }
+  for (const OidId oid : config.oids) CheckObjectHandle(oid);
+  for (const LinkId link : config.links) CheckLinkHandle(link);
+  const ConfigId id(static_cast<uint32_t>(slot));
+  if (slot == configurations_.size()) {
+    configurations_.push_back(std::move(config));
+  } else {
+    Configuration& existing = configurations_[slot];
+    if (existing.name != config.name && !existing.name.empty()) {
+      config_by_name_.erase(existing.name);
+    }
+    existing = std::move(config);
+  }
+  if (!configurations_[slot].name.empty()) {
+    config_by_name_[configurations_[slot].name] = id;
+  }
+  Touch();
+  MarkConfigDirty(slot);
+}
+
+void MetaDatabase::RebuildLinkAdjacency() {
+  out_links_.assign(objects_.size(), {});
+  in_links_.assign(objects_.size(), {});
+  for (size_t i = 0; i < links_.size(); ++i) {
+    const Link& link = links_[i];
+    if (!link.alive) continue;
+    const LinkId id(static_cast<uint32_t>(i));
+    out_links_[link.from.value()].push_back(id);
+    in_links_[link.to.value()].push_back(id);
+  }
 }
 
 // --- Snapshot reads ----------------------------------------------------------

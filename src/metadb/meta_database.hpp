@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "metadb/configuration.hpp"
+#include "metadb/dirty_tracker.hpp"
 #include "metadb/ids.hpp"
 #include "metadb/link.hpp"
 #include "metadb/meta_object.hpp"
@@ -270,6 +271,52 @@ class MetaDatabase {
   /// Appends a configuration slot verbatim.
   ConfigId RestoreConfigurationSlot(Configuration config);
 
+  // --- Delta-checkpoint support ----------------------------------------
+  // Slot-addressed writes used by ApplyDatabaseDeltaString to replay a
+  // base→delta checkpoint chain, plus the dirty tracking that decides
+  // what a delta contains. Apply* deliberately skips adjacency
+  // maintenance — call RebuildLinkAdjacency() once after the whole
+  // chain is applied.
+
+  /// Overwrites object `slot` (same Oid, new alive/properties state) or
+  /// appends it when `slot` == ObjectSlotCount(). Keeps by_oid_ and the
+  /// version chains consistent. Throws IntegrityError past the end.
+  void ApplyObjectSlot(size_t slot, MetaObject object);
+
+  /// Overwrites link `slot` or appends it when `slot` == LinkSlotCount().
+  /// Adjacency is NOT updated; RebuildLinkAdjacency() must follow.
+  void ApplyLinkSlot(size_t slot, Link link);
+
+  /// Overwrites configuration `slot` or appends it at the end, keeping
+  /// the by-name index consistent.
+  void ApplyConfigurationSlot(size_t slot, Configuration config);
+
+  /// Clears and rebuilds out/in link adjacency in link-slot order — the
+  /// same order a full-checkpoint load produces, so recovery through a
+  /// delta chain is indistinguishable from a full load.
+  void RebuildLinkAdjacency();
+
+  /// Starts recording mutated slots for delta checkpoints. Existing
+  /// slots become the clean baseline; only later mutations are dirty.
+  void EnableDirtyTracking() {
+    if (dirty_ == nullptr) dirty_ = std::make_unique<DirtyTracker>();
+  }
+
+  bool dirty_tracking_enabled() const noexcept { return dirty_ != nullptr; }
+
+  /// Collects every slot mutated since the previous cut and starts the
+  /// next tracking generation. Quiescent callers only (the
+  /// PublishSnapshot contract). Empty when tracking is disabled.
+  DirtySet CutDirtySet() {
+    return dirty_ == nullptr ? DirtySet{} : dirty_->Cut();
+  }
+
+  /// Returns a failed checkpoint's cut to the dirty set so the next
+  /// delta still covers those slots. Quiescent callers only.
+  void MergeBackDirtySet(const DirtySet& set) noexcept {
+    if (dirty_ != nullptr) dirty_->MergeBack(set);
+  }
+
  private:
   void CheckObjectHandle(OidId id) const;
   void CheckLinkHandle(LinkId id) const;
@@ -279,6 +326,19 @@ class MetaDatabase {
   /// workers of disjoint shards may record concurrently).
   void Touch() noexcept {
     if (snapshots_ != nullptr) snapshots_->Touch();
+  }
+
+  // Dirty-slot marks mirror Touch(): same call sites, same thread
+  // contract (concurrent relaxed marks from disjoint-shard workers;
+  // array growth only on single-writer structural paths).
+  void MarkObjectDirty(size_t slot) noexcept {
+    if (dirty_ != nullptr) dirty_->MarkObject(slot);
+  }
+  void MarkLinkDirty(size_t slot) noexcept {
+    if (dirty_ != nullptr) dirty_->MarkLink(slot);
+  }
+  void MarkConfigDirty(size_t slot) noexcept {
+    if (dirty_ != nullptr) dirty_->MarkConfig(slot);
   }
 
   std::vector<MetaObject> objects_;
@@ -297,6 +357,10 @@ class MetaDatabase {
   /// The epoch-versioned snapshot machinery. Behind a unique_ptr so the
   /// database stays movable (the store holds atomics and a mutex).
   std::unique_ptr<SnapshotStore> snapshots_;
+
+  /// Dirty-slot tracking for delta checkpoints; null until
+  /// EnableDirtyTracking() (non-durable databases never pay for marks).
+  std::unique_ptr<DirtyTracker> dirty_;
 };
 
 }  // namespace damocles::metadb

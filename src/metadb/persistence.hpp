@@ -5,11 +5,22 @@
 // tombstoned ones — are saved so that handles (OidId / LinkId) are
 // bit-identical after a round trip; configurations store raw handles
 // and would otherwise dangle.
+//
+// Two shapes share the per-slot record format:
+//  * the FULL checkpoint ("damocles-metadb v1") — every slot, loaded
+//    from scratch by LoadDatabaseText;
+//  * the DELTA checkpoint ("damocles-metadb-delta v1") — only the
+//    slots in a DirtyTracker cut, applied on top of an existing
+//    database by ApplyDatabaseDeltaText. A delta records the slot
+//    totals the database must have after application, so a delta
+//    applied to the wrong base fails loudly instead of corrupting
+//    state.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "metadb/dirty_tracker.hpp"
 #include "metadb/meta_database.hpp"
 
 namespace damocles::metadb {
@@ -25,5 +36,23 @@ MetaDatabase LoadDatabaseText(std::istream& in);
 /// Convenience wrappers over string buffers.
 std::string SaveDatabaseString(const MetaDatabase& db);
 MetaDatabase LoadDatabaseString(const std::string& text);
+
+/// Writes only `dirty`'s slots (ascending, full record per slot) plus
+/// the post-application slot totals. Deterministic like the full save.
+void SaveDatabaseDeltaText(const MetaDatabase& db, const DirtySet& dirty,
+                           std::ostream& out);
+
+/// Applies a delta produced by SaveDatabaseDeltaText on top of `db`
+/// (the base checkpoint state plus any earlier deltas in the chain).
+/// Rebuilds link adjacency afterwards so the result is
+/// indistinguishable from a full-checkpoint load. Throws
+/// WireFormatError on malformed input or when the post-application
+/// slot totals do not match (delta applied to the wrong base).
+void ApplyDatabaseDeltaText(std::istream& in, MetaDatabase& db);
+
+/// Convenience wrappers over string buffers.
+std::string SaveDatabaseDeltaString(const MetaDatabase& db,
+                                    const DirtySet& dirty);
+void ApplyDatabaseDeltaString(const std::string& text, MetaDatabase& db);
 
 }  // namespace damocles::metadb

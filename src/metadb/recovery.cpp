@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <map>
 
+#include "common/errno_string.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/strings.hpp"
@@ -118,7 +119,7 @@ void WriteFileDurable(const std::string& path, const std::string& content,
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     throw Error("checkpoint: cannot create " + path + ": " +
-                std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
+                common::ErrnoString(errno));
   }
   const bool write_ok =
       body.empty() ||
@@ -131,8 +132,7 @@ void WriteFileDurable(const std::string& path, const std::string& content,
                         ? hit.error_number
                         : EIO;
     throw Error("checkpoint: write failed on " + path + ": " +
-                // NOLINTNEXTLINE(concurrency-mt-unsafe)
-                std::strerror(err) + " (injected)");
+                common::ErrnoString(err) + " (injected)");
   }
   if (!write_ok || !flush_ok || !sync_ok) {
     throw Error("checkpoint: write failed on " + path);
@@ -177,6 +177,12 @@ std::string FormatWalManifest(const WalManifest& manifest) {
   std::string out = kManifestMagic;
   out += "\n";
   out += "checkpoint " + std::to_string(manifest.checkpoint_id) + "\n";
+  if (manifest.delta) {
+    // Written only for delta checkpoints, so full manifests stay
+    // byte-stable for servers predating incremental checkpoints.
+    out += "kind delta\n";
+    out += "base " + std::to_string(manifest.base_id) + "\n";
+  }
   out += "op-seq " + std::to_string(manifest.op_seq) + "\n";
   out += "ops-offset " + std::to_string(manifest.ops_offset) + "\n";
   out += "clock " + std::to_string(manifest.clock_seconds) + "\n";
@@ -232,6 +238,18 @@ WalManifest ParseWalManifest(const std::string& text) {
                       line_no, kWhat};
     if (key == "checkpoint") {
       manifest.checkpoint_id = cursor.U64("checkpoint id");
+    } else if (key == "kind") {
+      // Optional: absent (meaning "full") on manifests from before
+      // incremental checkpoints.
+      const std::string kind(Trim(line.substr(cursor.pos)));
+      cursor.pos = line.size();
+      if (kind == "delta") {
+        manifest.delta = true;
+      } else if (kind != "full") {
+        FailLine(kWhat, line_no, "unknown checkpoint kind '" + kind + "'");
+      }
+    } else if (key == "base") {
+      manifest.base_id = cursor.U64("base checkpoint id");
     } else if (key == "op-seq") {
       manifest.op_seq = cursor.U64("op-seq");
     } else if (key == "ops-offset") {
@@ -272,6 +290,16 @@ WalManifest ParseWalManifest(const std::string& text) {
   if (!saw_db) FailLine(kWhat, lines.size(), "missing 'db' entry");
   if (!saw_workspace) {
     FailLine(kWhat, lines.size(), "missing 'workspace' entry");
+  }
+  if (manifest.delta && manifest.base_id == 0) {
+    FailLine(kWhat, lines.size(), "delta manifest missing 'base'");
+  }
+  if (!manifest.delta && manifest.base_id != 0) {
+    FailLine(kWhat, lines.size(), "'base' entry on a full manifest");
+  }
+  if (manifest.delta && manifest.base_id >= manifest.checkpoint_id) {
+    FailLine(kWhat, lines.size(),
+             "delta base must precede the checkpoint id (chain must descend)");
   }
   return manifest;
 }
@@ -373,49 +401,80 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
   }
 
   // Newest manifest whose checkpoint fully validates wins; torn or
-  // incomplete checkpoint writes fall back to their predecessor.
+  // incomplete checkpoint writes fall back to their predecessor. A
+  // delta manifest validates only if its whole base→delta chain does:
+  // every member's manifest and db/dbd file must load, and the deltas
+  // must apply cleanly onto the base in order. A delta tip with a
+  // broken chain is skipped exactly like a torn full checkpoint (its
+  // own base, one step shorter, is tried next).
   auto manifests = ListManifests(wal_dir);
+  const std::map<uint64_t, std::string> manifest_paths(manifests.begin(),
+                                                       manifests.end());
+  const auto load_part = [&](const std::string& file, uint64_t bytes,
+                             std::string& out) {
+    if (file.empty()) return bytes == 0;
+    if (!ReadFileToString(wal_dir + "/" + file, out)) return false;
+    return out.size() == bytes;
+  };
   for (auto it = manifests.rbegin(); it != manifests.rend(); ++it) {
-    const auto& [id, path] = *it;
-    std::string text;
-    WalManifest manifest;
-    std::string db_text;
+    const uint64_t tip_id = it->first;
+    // (manifest, db text), tip first while following base pointers.
+    std::vector<std::pair<WalManifest, std::string>> members;
     std::string blueprint_text;
     std::string workspace_text;
     std::string policy_text;
-    bool valid = ReadFileToString(path, text);
-    if (valid) {
-      try {
-        manifest = ParseWalManifest(text);
-      } catch (const WireFormatError&) {
+    bool valid = true;
+    uint64_t next_id = tip_id;
+    while (valid) {
+      const auto path_it = manifest_paths.find(next_id);
+      if (path_it == manifest_paths.end()) {
         valid = false;
+        break;
       }
+      std::string text;
+      WalManifest manifest;
+      valid = ReadFileToString(path_it->second, text);
+      if (valid) {
+        try {
+          manifest = ParseWalManifest(text);
+        } catch (const WireFormatError&) {
+          valid = false;
+        }
+      }
+      if (valid && manifest.checkpoint_id != next_id) valid = false;
+      std::string db_text;
+      if (valid) {
+        valid = load_part(manifest.db_file, manifest.db_bytes, db_text);
+      }
+      if (!valid) break;
+      const bool is_delta = manifest.delta;
+      const uint64_t base_id = manifest.base_id;
+      members.emplace_back(std::move(manifest), std::move(db_text));
+      if (!is_delta) break;  // Reached the chain's full base.
+      // ParseWalManifest enforces base < id, so the walk strictly
+      // descends and cannot cycle.
+      next_id = base_id;
     }
-    if (valid && manifest.checkpoint_id != id) valid = false;
-    const auto load_part = [&](const std::string& file, uint64_t bytes,
-                               std::string& out) {
-      if (file.empty()) return bytes == 0;
-      if (!ReadFileToString(wal_dir + "/" + file, out)) return false;
-      return out.size() == bytes;
-    };
-    if (valid) valid = load_part(manifest.db_file, manifest.db_bytes, db_text);
     if (valid) {
-      valid = load_part(manifest.blueprint_file, manifest.blueprint_bytes,
-                        blueprint_text);
+      const WalManifest& tip = members.front().first;
+      valid = load_part(tip.blueprint_file, tip.blueprint_bytes,
+                        blueprint_text) &&
+              load_part(tip.workspace_file, tip.workspace_bytes,
+                        workspace_text) &&
+              // Trusted at the size level like the blueprint text; the
+              // server parses it (and fails recovery loudly) when
+              // rebuilding the store.
+              load_part(tip.policy_file, tip.policy_bytes, policy_text);
     }
     if (valid) {
-      valid = load_part(manifest.workspace_file, manifest.workspace_bytes,
-                        workspace_text);
-    }
-    if (valid) {
-      // Trusted at the size level like the blueprint text; the server
-      // parses it (and fails recovery loudly) when rebuilding the store.
-      valid = load_part(manifest.policy_file, manifest.policy_bytes,
-                        policy_text);
-    }
-    if (valid) {
+      // Parse proof over the whole chain: load the base, apply every
+      // delta in order. A delta written against a different base (or
+      // torn mid-write) fails here and the chain is passed over.
       try {
-        LoadDatabaseString(db_text);
+        MetaDatabase proof = LoadDatabaseString(members.back().second);
+        for (size_t i = members.size() - 1; i-- > 0;) {
+          ApplyDatabaseDeltaString(members[i].second, proof);
+        }
         Workspace scratch("recovery-scratch");
         LoadWorkspaceText(workspace_text, scratch);
       } catch (const Error&) {
@@ -426,7 +485,7 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
       // Every checkpointed row offset must lie inside the stream's
       // intact prefix, or the pre-checkpoint journal is unrecoverable
       // from this manifest.
-      for (const auto& [name, offset] : manifest.streams) {
+      for (const auto& [name, offset] : members.front().first.streams) {
         const auto stream_it = row_streams.find(name);
         const uint64_t valid_end =
             stream_it == row_streams.end() ? 0 : stream_it->second.valid_end;
@@ -441,8 +500,14 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
       continue;
     }
     plan.have_checkpoint = true;
-    plan.manifest = std::move(manifest);
-    plan.db_text = std::move(db_text);
+    plan.manifest = members.front().first;
+    plan.db_text = std::move(members.back().second);
+    for (size_t i = members.size() - 1; i-- > 0;) {
+      plan.db_deltas.push_back(std::move(members[i].second));
+    }
+    for (auto member = members.rbegin(); member != members.rend(); ++member) {
+      plan.chain_ids.push_back(member->first.checkpoint_id);
+    }
     plan.blueprint_text = std::move(blueprint_text);
     plan.workspace_text = std::move(workspace_text);
     plan.policy_text = std::move(policy_text);
@@ -481,33 +546,137 @@ RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir) {
   return plan;
 }
 
-void PrepareWalDirectory(const std::string& wal_dir,
-                         const RecoveryPlan& plan) {
+std::string FormatWalCheckpointChains(const std::string& wal_dir) {
+  namespace fs = std::filesystem;
+  std::string out = "checkpoints:\n";
+  const auto manifests = ListManifests(wal_dir);
+  if (manifests.empty()) {
+    return "checkpoints: none\n";
+  }
+  for (const auto& [id, path] : manifests) {
+    out += "  manifest " + std::to_string(id) + ": ";
+    WalManifest manifest;
+    std::string text;
+    if (!ReadFileToString(path, text)) {
+      out += "UNREADABLE (cannot read " + path + ")\n";
+      continue;
+    }
+    try {
+      manifest = ParseWalManifest(text);
+    } catch (const Error& error) {
+      out += std::string("UNREADABLE (") + error.what() + ")\n";
+      continue;
+    }
+    out += manifest.delta
+               ? "delta base " + std::to_string(manifest.base_id)
+               : "full";
+    out += ", op-seq " + std::to_string(manifest.op_seq) + ", ops-offset " +
+           std::to_string(manifest.ops_offset);
+    std::error_code ec;
+    const uint64_t db_bytes = fs::file_size(wal_dir + "/" + manifest.db_file, ec);
+    out += ", db " + manifest.db_file +
+           (ec ? " (MISSING)" : " (" + std::to_string(db_bytes) + " bytes)");
+    out += "\n";
+  }
+  const RecoveryPlan plan = BuildRecoveryPlan(wal_dir);
+  if (!plan.have_checkpoint) {
+    out += "recovery chain: none (no valid checkpoint)\n";
+    return out;
+  }
+  out += "recovery chain:";
+  for (const uint64_t id : plan.chain_ids) {
+    out += (id == plan.chain_ids.front() ? " " : " -> ") + std::to_string(id);
+  }
+  out += " (tip " + std::to_string(plan.manifest.checkpoint_id) +
+         ", replays " + std::to_string(plan.replay_ops.size()) +
+         " op(s) past offset " + std::to_string(plan.manifest.ops_offset) +
+         ")\n";
+  return out;
+}
+
+namespace {
+
+constexpr const char* kCheckpointExts[] = {"db", "dbd", "bp", "ws", "ps"};
+
+/// Removes `path` counting the outcome: removed vs failed (a missing
+/// file is neither). fs::remove errors were previously discarded here,
+/// silently leaking disk.
+void RemoveCounted(const std::string& path, WalGcStats& stats) {
   namespace fs = std::filesystem;
   std::error_code ec;
+  if (fs::remove(path, ec)) {
+    ++stats.artifacts_removed;
+  } else if (ec) {
+    ++stats.failed_removals;
+  }
+}
 
-  // Drop manifests newer than the chosen checkpoint (torn or invalid)
-  // together with their checkpoint files, plus temp leftovers.
+}  // namespace
+
+WalGcStats PrepareWalDirectory(const std::string& wal_dir,
+                               const RecoveryPlan& plan) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  WalGcStats stats;
+
+  // Drop manifests newer than the chosen chain tip (torn or invalid)
+  // together with their checkpoint files, plus temp leftovers from
+  // killed manifest renames. Chain members all have ids <= the tip, so
+  // a delta chain's base and intermediates are never touched.
   const uint64_t keep_id =
       plan.have_checkpoint ? plan.manifest.checkpoint_id : 0;
   for (const auto& [id, path] : ListManifests(wal_dir)) {
     if (id <= keep_id) continue;
-    fs::remove(path, ec);
-    for (const char* ext : {"db", "bp", "ws", "ps"}) {
-      fs::remove(wal_dir + "/" + CheckpointFileName(id, ext), ec);
+    RemoveCounted(path, stats);
+    for (const char* ext : kCheckpointExts) {
+      RemoveCounted(wal_dir + "/" + CheckpointFileName(id, ext), stats);
     }
   }
   for (const auto& entry : fs::directory_iterator(wal_dir, ec)) {
     if (EndsWith(entry.path().filename().string(), ".tmp")) {
-      std::error_code remove_ec;
-      fs::remove(entry.path(), remove_ec);
+      RemoveCounted(entry.path().string(), stats);
     }
   }
 
+  // Orphaned checkpoint files — written but never covered by a manifest
+  // (a crash between the file writes and the manifest rename). Without
+  // a manifest nothing can ever reference them; remove them by name.
+  std::vector<std::string> orphans;
+  {
+    std::map<uint64_t, bool> manifest_ids;
+    for (const auto& [id, path] : ListManifests(wal_dir)) {
+      manifest_ids[id] = true;
+    }
+    std::error_code iter_ec;
+    for (const auto& entry : fs::directory_iterator(wal_dir, iter_ec)) {
+      const std::string name = entry.path().filename().string();
+      if (!StartsWith(name, "checkpoint-")) continue;
+      const size_t dot = name.rfind('.');
+      if (dot == std::string::npos || dot <= 11) continue;
+      const std::string digits = name.substr(11, dot - 11);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      if (manifest_ids.find(std::stoull(digits)) == manifest_ids.end()) {
+        orphans.push_back(entry.path().string());
+      }
+    }
+  }
+  for (const std::string& orphan : orphans) RemoveCounted(orphan, stats);
+
   // Cut the torn ops tail; cut every row stream back to its checkpoint
   // offset (replayed ops regenerate the rows past it). Streams the
-  // manifest does not know restart from zero.
-  events::TruncateWalStream(wal_dir, "ops", plan.replay_ops_end);
+  // manifest does not know restart from zero. Segments stranded below a
+  // pruned gap (an interrupted retention pass) are swept first.
+  for (const std::string& name : events::ListWalStreams(wal_dir)) {
+    const events::WalPruneStats orphan_stats =
+        events::RemoveOrphanedWalPrefix(wal_dir, name);
+    stats.artifacts_removed += orphan_stats.segments_removed;
+    stats.failed_removals += orphan_stats.failed_removals;
+  }
+  events::TruncateWalStream(wal_dir, "ops", plan.replay_ops_end,
+                            &stats.failed_removals);
   for (const std::string& name : events::ListWalStreams(wal_dir)) {
     if (name == "ops") continue;
     uint64_t offset = 0;
@@ -519,8 +688,22 @@ void PrepareWalDirectory(const std::string& wal_dir,
         }
       }
     }
-    events::TruncateWalStream(wal_dir, name, offset);
+    events::TruncateWalStream(wal_dir, name, offset, &stats.failed_removals);
   }
+  return stats;
+}
+
+WalGcStats PruneWalCheckpoints(const std::string& wal_dir,
+                               uint64_t keep_from_id) {
+  WalGcStats stats;
+  for (const auto& [id, path] : ListManifests(wal_dir)) {
+    if (id >= keep_from_id) continue;
+    RemoveCounted(path, stats);
+    for (const char* ext : kCheckpointExts) {
+      RemoveCounted(wal_dir + "/" + CheckpointFileName(id, ext), stats);
+    }
+  }
+  return stats;
 }
 
 // --- Checkpointing ---------------------------------------------------------
@@ -532,13 +715,17 @@ uint64_t WriteWalCheckpoint(const std::string& wal_dir,
 
   WalManifest manifest;
   manifest.checkpoint_id = id;
+  manifest.delta = request.delta;
+  manifest.base_id = request.delta ? request.base_id : 0;
   manifest.op_seq = request.op_seq;
   manifest.ops_offset = request.ops_offset;
   manifest.clock_seconds = request.clock_seconds;
   manifest.epoch_next = request.epoch_next;
   manifest.epoch_waves = request.epoch_waves;
   manifest.num_shards = request.num_shards;
-  manifest.db_file = CheckpointFileName(id, "db");
+  // Delta checkpoints store the dirty-slot delta under the "dbd"
+  // extension so a delta file can never be mistaken for a full dump.
+  manifest.db_file = CheckpointFileName(id, request.delta ? "dbd" : "db");
   manifest.db_bytes = request.db_text.size();
   manifest.blueprint_file = CheckpointFileName(id, "bp");
   manifest.blueprint_bytes = request.blueprint_text.size();

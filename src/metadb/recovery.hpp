@@ -30,6 +30,13 @@ namespace damocles::metadb {
 /// stream reached when the checkpoint was taken.
 struct WalManifest {
   uint64_t checkpoint_id = 0;
+  /// Delta checkpoints record only the dirty slots since `base_id` and
+  /// chain onto it (base → delta → delta …). Full checkpoints stand
+  /// alone. The manifest text carries `kind delta` + `base <id>` lines
+  /// only for deltas, so full manifests stay byte-stable for servers
+  /// predating incremental checkpoints.
+  bool delta = false;
+  uint64_t base_id = 0;
   /// Last operation sequence number covered by the checkpoint; recovery
   /// replays ops with op_seq greater than this.
   uint64_t op_seq = 0;
@@ -94,8 +101,14 @@ struct RecoveredStream {
 /// Everything a server needs to rebuild its state from a WAL directory.
 struct RecoveryPlan {
   bool have_checkpoint = false;
-  WalManifest manifest;       ///< Valid when have_checkpoint.
-  std::string db_text;        ///< Checkpoint database dump.
+  WalManifest manifest;       ///< The chain TIP when have_checkpoint.
+  std::string db_text;        ///< Base (full) checkpoint database dump.
+  /// Delta texts to apply on top of db_text, base-to-tip order. Empty
+  /// when the tip is itself a full checkpoint.
+  std::vector<std::string> db_deltas;
+  /// Manifest ids of the loaded chain, base first, tip last. One entry
+  /// (the tip) for full checkpoints; empty without a checkpoint.
+  std::vector<uint64_t> chain_ids;
   std::string blueprint_text; ///< Checkpoint blueprint (may be empty).
   std::string workspace_text; ///< Checkpoint workspace dump.
   std::string policy_text;    ///< Checkpoint PolicyStore dump (may be empty).
@@ -121,18 +134,51 @@ struct RecoveryPlan {
 /// a missing or empty directory yields an empty plan.
 RecoveryPlan BuildRecoveryPlan(const std::string& wal_dir);
 
+/// Human-readable report over the checkpoint manifests in `wal_dir`:
+/// one line per manifest (kind, base, op-seq, ops offset, db payload
+/// size) plus the base→tip chain recovery would load. Read-only; the
+/// wal_inspect CLI appends this to the stream report.
+std::string FormatWalCheckpointChains(const std::string& wal_dir);
+
+/// Garbage-collection outcome of PrepareWalDirectory /
+/// PruneWalCheckpoints. `failed_removals` counts fs::remove calls whose
+/// error code reported failure — previously ignored, silently leaking
+/// disk; the server surfaces the count through wal-status and trips a
+/// pruning-behind warning (not degraded mode).
+struct WalGcStats {
+  size_t artifacts_removed = 0;
+  size_t failed_removals = 0;
+};
+
 /// Makes the directory consistent with `plan` before writers re-attach:
 /// truncates the ops stream at its torn tail, cuts every row stream back
 /// to its manifest offset (streams unknown to the manifest are removed),
-/// and deletes manifests newer than the chosen checkpoint together with
-/// their checkpoint files.
-void PrepareWalDirectory(const std::string& wal_dir, const RecoveryPlan& plan);
+/// deletes manifests newer than the chosen chain tip together with
+/// their checkpoint files, sweeps `*.tmp` leftovers from killed
+/// manifest renames, and removes orphaned checkpoint files that no
+/// manifest on disk references. Returns what was (and could not be)
+/// garbage-collected.
+WalGcStats PrepareWalDirectory(const std::string& wal_dir,
+                               const RecoveryPlan& plan);
+
+/// Removes every manifest (and its checkpoint files) with id strictly
+/// below `keep_from_id` — the retention path after a committed
+/// checkpoint supersedes older chains. Never touches ids >=
+/// `keep_from_id`. Returns removal/failure counts like
+/// PrepareWalDirectory.
+WalGcStats PruneWalCheckpoints(const std::string& wal_dir,
+                               uint64_t keep_from_id);
 
 // --- Checkpointing ---------------------------------------------------------
 
 /// Input to WriteWalCheckpoint; the server fills it after draining and
 /// syncing every stream.
 struct CheckpointRequest {
+  /// Delta checkpoints carry the dirty-slot delta in db_text (the
+  /// "dbd" checkpoint file) and chain onto manifest `base_id`; full
+  /// checkpoints carry the complete database dump ("db" file).
+  bool delta = false;
+  uint64_t base_id = 0;
   uint64_t op_seq = 0;
   uint64_t ops_offset = 0;
   int64_t clock_seconds = 0;

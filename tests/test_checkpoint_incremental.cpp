@@ -1,0 +1,581 @@
+// Incremental + background checkpointing and WAL segment retention:
+//  * delta persistence round-trips and rejects wrong bases;
+//  * base -> delta -> delta chains recover byte-equal state;
+//  * the chain limit and a missing base silently force full checkpoints;
+//  * failed auto-checkpoints re-arm on the backoff schedule instead of
+//    re-attempting on every op (the checkpoint-failure storm);
+//  * segment retention prunes below the committed floor, failed
+//    removals surface as a prune-behind warning, and recovery handles
+//    leftover .tmp manifests, orphaned checkpoint files and partially
+//    pruned segment directories.
+// The randomized crash-point fuzz lives in test_wal_crash_fuzz.cpp.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "engine/project_server.hpp"
+#include "engine/wire_session.hpp"
+#include "events/journal.hpp"
+#include "metadb/persistence.hpp"
+#include "metadb/recovery.hpp"
+#include "test_util.hpp"
+
+namespace damocles {
+namespace {
+
+using engine::CheckpointMode;
+using engine::ProjectServer;
+using engine::ServerHealth;
+using engine::ServerOptions;
+using engine::WalStatus;
+using engine::WireSession;
+
+/// A per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("damocles-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  std::filesystem::path path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+ServerOptions DurableOptions(const std::string& wal_dir, uint32_t shards = 1) {
+  ServerOptions options;
+  options.wal_dir = wal_dir;
+  options.num_shards = shards;
+  if (shards > 1) options.deterministic_shards = true;
+  return options;
+}
+
+std::vector<std::string> ServerJournalLines(ProjectServer& server) {
+  if (server.is_sharded()) return server.sharded_engine()->JournalLines();
+  std::vector<std::string> lines;
+  const events::EventJournal& journal = server.engine().journal();
+  for (size_t i = 0; i < journal.Size(); ++i) {
+    const events::JournalRecord record = journal.At(i);
+    lines.push_back("[" +
+                    std::string(events::EventOriginName(record.event.origin)) +
+                    "] " + events::FormatEvent(record.event));
+  }
+  return lines;
+}
+
+/// One logged mutation with per-call distinct content (dirties the
+/// object table, advances the simulated clock).
+void MutateOnce(ProjectServer& server, int i) {
+  server.CheckIn("CPU", "HDL_model", "module cpu; // rev " + std::to_string(i),
+                 "alice");
+  server.AdvanceClock(1);
+}
+
+std::string DbText(ProjectServer& server) {
+  return metadb::SaveDatabaseString(server.database());
+}
+
+/// Sorted "ops" segment file paths in `dir`.
+std::vector<std::filesystem::path> OpsSegments(const std::string& dir) {
+  std::vector<std::filesystem::path> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ops-", 0) == 0 &&
+        name.size() > 4 + 4 &&
+        name.substr(name.size() - 4) == ".wal") {
+      segments.push_back(entry.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+// --- Delta persistence ------------------------------------------------------
+
+TEST(DeltaCheckpoint, DeltaTextRoundTripsOntoBase) {
+  TempDir dir("delta-roundtrip");
+  auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+  MutateOnce(*server, 0);
+  server->WalCheckpoint(CheckpointMode::kFull);  // Clears the dirty set.
+  const std::string base_text = DbText(*server);
+
+  MutateOnce(*server, 1);
+  server->CheckIn("CPU", "schematic", "cpu gates", "bob");
+  server->Drain();
+  const metadb::DirtySet dirty = server->database().CutDirtySet();
+  EXPECT_FALSE(dirty.empty());
+  const std::string delta =
+      metadb::SaveDatabaseDeltaString(server->database(), dirty);
+  // The delta carries the dirty slots, not the whole database.
+  EXPECT_LT(delta.size(), DbText(*server).size());
+
+  metadb::MetaDatabase restored = metadb::LoadDatabaseString(base_text);
+  metadb::ApplyDatabaseDeltaString(delta, restored);
+  EXPECT_EQ(metadb::SaveDatabaseString(restored), DbText(*server));
+}
+
+TEST(DeltaCheckpoint, WrongBaseIsRejected) {
+  TempDir dir("delta-wrong-base");
+  auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+  MutateOnce(*server, 0);
+  MutateOnce(*server, 1);
+  server->WalCheckpoint(CheckpointMode::kFull);
+  MutateOnce(*server, 2);
+  server->Drain();
+  const metadb::DirtySet dirty = server->database().CutDirtySet();
+  const std::string delta =
+      metadb::SaveDatabaseDeltaString(server->database(), dirty);
+  // Applying onto an empty database: the post-application slot totals
+  // cannot match, so the load is refused instead of silently merging.
+  metadb::MetaDatabase empty;
+  EXPECT_THROW(metadb::ApplyDatabaseDeltaString(delta, empty),
+               WireFormatError);
+}
+
+// --- Chain recovery ---------------------------------------------------------
+
+TEST(DeltaCheckpoint, ChainRecoversByteEqualState) {
+  TempDir dir("delta-chain");
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+    MutateOnce(*server, 0);
+    const uint64_t full_id = server->WalCheckpoint(CheckpointMode::kFull);
+    EXPECT_EQ(full_id, 1u);
+    MutateOnce(*server, 1);
+    EXPECT_EQ(server->WalCheckpoint(CheckpointMode::kDelta), 2u);
+    MutateOnce(*server, 2);
+    server->CheckIn("ALU", "HDL_model", "module alu;", "bob");
+    EXPECT_EQ(server->WalCheckpoint(CheckpointMode::kDelta), 3u);
+    MutateOnce(*server, 3);  // Ops tail past the chain tip.
+
+    const WalStatus status = server->GetWalStatus();
+    EXPECT_EQ(status.last_checkpoint_id, 3u);
+    EXPECT_TRUE(status.last_checkpoint_delta);
+    EXPECT_EQ(status.chain_base_id, 1u);
+    EXPECT_EQ(status.chain_length, 3u);
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  const WalStatus status = recovered->GetWalStatus();
+  EXPECT_TRUE(status.recovered);
+  EXPECT_EQ(status.checkpoint_id, 3u);   // Chain tip.
+  EXPECT_EQ(status.chain_base_id, 1u);   // Chain survives the restart.
+  EXPECT_EQ(status.chain_length, 3u);
+  EXPECT_GT(status.replayed_ops, 0u);    // The tail past checkpoint 3.
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+TEST(DeltaCheckpoint, FirstDeltaRequestUpgradesToFull) {
+  TempDir dir("delta-first");
+  auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+  MutateOnce(*server, 0);
+  EXPECT_EQ(server->WalCheckpoint(CheckpointMode::kDelta), 1u);
+  const WalStatus status = server->GetWalStatus();
+  EXPECT_FALSE(status.last_checkpoint_delta);  // No base existed.
+  EXPECT_EQ(status.chain_base_id, 1u);
+  EXPECT_EQ(status.chain_length, 1u);
+}
+
+TEST(DeltaCheckpoint, ChainLimitForcesPeriodicFull) {
+  TempDir dir("delta-chain-limit");
+  ServerOptions options = DurableOptions(dir.str());
+  options.checkpoint_chain_limit = 2;
+  auto server = testutil::MakeEdtcServer(options);
+  MutateOnce(*server, 0);
+  server->WalCheckpoint(CheckpointMode::kFull);   // id 1, chain length 1.
+  MutateOnce(*server, 1);
+  server->WalCheckpoint(CheckpointMode::kDelta);  // id 2, chain length 2.
+  EXPECT_TRUE(server->GetWalStatus().last_checkpoint_delta);
+  MutateOnce(*server, 2);
+  server->WalCheckpoint(CheckpointMode::kDelta);  // Limit hit: forced full.
+  const WalStatus status = server->GetWalStatus();
+  EXPECT_FALSE(status.last_checkpoint_delta);
+  EXPECT_EQ(status.chain_base_id, 3u);  // Chain re-anchored.
+  EXPECT_EQ(status.chain_length, 1u);
+}
+
+TEST(DeltaCheckpoint, AutoCheckpointsChainAndRecover) {
+  TempDir dir("delta-auto");
+  ServerOptions options = DurableOptions(dir.str());
+  options.checkpoint_every_ops = 5;  // auto_checkpoint_mode defaults to delta.
+  std::vector<std::string> lines;
+  std::string db_text;
+  uint64_t taken = 0;
+  {
+    auto server = testutil::MakeEdtcServer(options);
+    // 20 ops at threshold 5: a handful of checkpoints, comfortably
+    // inside the chain limit so the tip is still a delta.
+    for (int i = 0; i < 10; ++i) MutateOnce(*server, i);
+    const WalStatus status = server->GetWalStatus();
+    taken = status.checkpoints_taken;
+    EXPECT_GE(taken, 2u);  // First full, later ones delta.
+    EXPECT_TRUE(status.last_checkpoint_delta);
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_TRUE(recovered->GetWalStatus().recovered);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+// --- Background checkpointing -----------------------------------------------
+
+TEST(BackgroundCheckpoint, SynchronousCallsCommitThroughWorker) {
+  TempDir dir("bg-sync");
+  ServerOptions options = DurableOptions(dir.str());
+  options.background_checkpoints = true;
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(options);
+    MutateOnce(*server, 0);
+    EXPECT_EQ(server->WalCheckpoint(CheckpointMode::kFull), 1u);
+    MutateOnce(*server, 1);
+    EXPECT_EQ(server->WalCheckpoint(CheckpointMode::kDelta), 2u);
+    MutateOnce(*server, 2);
+    const WalStatus status = server->GetWalStatus();
+    EXPECT_TRUE(status.background);
+    EXPECT_EQ(status.last_checkpoint_id, 2u);
+    EXPECT_TRUE(status.last_checkpoint_delta);
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_TRUE(recovered->GetWalStatus().recovered);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+TEST(BackgroundCheckpoint, AutoCheckpointsCommitEventually) {
+  TempDir dir("bg-auto");
+  ServerOptions options = DurableOptions(dir.str());
+  options.background_checkpoints = true;
+  options.checkpoint_every_ops = 4;
+  auto server = testutil::MakeEdtcServer(options);
+  for (int i = 0; i < 20; ++i) MutateOnce(*server, i);
+  // Auto-checkpoints are fire-and-forget; give the worker a moment.
+  for (int spin = 0; spin < 200; ++spin) {
+    if (server->GetWalStatus().checkpoints_taken > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(server->GetWalStatus().checkpoints_taken, 0u);
+  EXPECT_EQ(server->GetHealth().checkpoint_failures, 0u);
+}
+
+// --- Satellite 1: the checkpoint-failure storm ------------------------------
+
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+
+TEST(CheckpointBackoff, FailedAutoCheckpointsDoNotStorm) {
+  TempDir dir("ckpt-storm");
+  ServerOptions options = DurableOptions(dir.str());
+  options.checkpoint_every_ops = 4;
+  // Deterministic schedule: one retry step at 100ms, then re-arm at the
+  // 200ms cap forever.
+  options.wal_retry = common::BackoffPolicy{
+      1, std::chrono::milliseconds(100), std::chrono::milliseconds(200),
+      2.0, 0.0, 7};
+  auto server = testutil::MakeEdtcServer(options);
+  common::Failpoints::Instance().Configure("checkpoint.write", "error");
+
+  // A rapid burst far past the threshold. The storm bug reset the op
+  // counter to the threshold on failure, so every one of these ops
+  // re-attempted (and re-failed) a checkpoint: ~37 failures. With the
+  // backoff gate a burst this fast fits in one or two intervals.
+  for (int i = 0; i < 40; ++i) MutateOnce(*server, i);
+  const ServerHealth stormy = server->GetHealth();
+  EXPECT_GE(stormy.checkpoint_failures, 1u);
+  EXPECT_LE(stormy.checkpoint_failures, 6u);
+  EXPECT_GE(stormy.checkpoint_retries, 1u);
+  EXPECT_EQ(server->GetWalStatus().checkpoints_taken, 0u);
+  EXPECT_FALSE(server->degraded());  // Checkpoint failures never degrade.
+
+  // Fault clears; once the armed deadline passes, the very next op
+  // retries and commits (the op counter was never reset).
+  common::Failpoints::Instance().ClearAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  MutateOnce(*server, 40);
+  const WalStatus status = server->GetWalStatus();
+  EXPECT_GE(status.checkpoints_taken, 1u);
+  EXPECT_GT(status.last_checkpoint_id, 0u);
+  EXPECT_EQ(server->GetHealth().checkpoint_failures,
+            stormy.checkpoint_failures);
+}
+
+TEST(CheckpointBackoff, FailedDeltaMarksAreNotLost) {
+  TempDir dir("ckpt-dirty-merge");
+  auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+  MutateOnce(*server, 0);
+  server->WalCheckpoint(CheckpointMode::kFull);
+  MutateOnce(*server, 1);  // Dirties slots the next delta must carry.
+  std::vector<std::string> lines = ServerJournalLines(*server);
+
+  common::Failpoints::Instance().Configure("checkpoint.write", "error,count=1");
+  EXPECT_THROW(server->WalCheckpoint(CheckpointMode::kDelta), Error);
+  common::Failpoints::Instance().ClearAll();
+
+  // The failed cut consumed the dirty set; the retry must merge it back
+  // or the committed delta would silently miss those slots.
+  EXPECT_EQ(server->WalCheckpoint(CheckpointMode::kDelta), 2u);
+  const std::string db_text = DbText(*server);
+  server.reset();
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_EQ(recovered->GetWalStatus().checkpoint_id, 2u);
+  EXPECT_EQ(DbText(*recovered), db_text);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+}
+
+#endif  // DAMOCLES_FAILPOINTS_ENABLED
+
+// --- Segment retention ------------------------------------------------------
+
+ServerOptions RetentionOptions(const std::string& wal_dir) {
+  ServerOptions options = DurableOptions(wal_dir);
+  options.wal_segment_bytes = 256;  // Roll segments constantly.
+  options.wal_retain_segments = 0;
+  return options;
+}
+
+TEST(SegmentRetention, PrunesBelowCommittedFloorAndRecovers) {
+  TempDir dir("retention-prune");
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(RetentionOptions(dir.str()));
+    for (int i = 0; i < 30; ++i) MutateOnce(*server, i);
+    EXPECT_GT(OpsSegments(dir.str()).size(), 3u);
+    server->WalCheckpoint(CheckpointMode::kFull);
+    const WalStatus status = server->GetWalStatus();
+    EXPECT_GT(status.segments_pruned, 0u);
+    EXPECT_GT(status.bytes_pruned, 0u);
+    EXPECT_EQ(status.failed_removals, 0u);
+    // Everything below the floor went; the writer's segment stays.
+    EXPECT_LE(OpsSegments(dir.str()).size(), 2u);
+    MutateOnce(*server, 30);  // Tail past the checkpoint.
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_TRUE(recovered->GetWalStatus().recovered);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+TEST(SegmentRetention, SupersededCheckpointChainsArePruned) {
+  TempDir dir("retention-chains");
+  auto server = testutil::MakeEdtcServer(RetentionOptions(dir.str()));
+  MutateOnce(*server, 0);
+  server->WalCheckpoint(CheckpointMode::kFull);  // id 1.
+  MutateOnce(*server, 1);
+  server->WalCheckpoint(CheckpointMode::kDelta);  // id 2 chains onto 1.
+  MutateOnce(*server, 2);
+  server->WalCheckpoint(CheckpointMode::kFull);  // id 3 re-anchors.
+  const WalStatus status = server->GetWalStatus();
+  EXPECT_GT(status.checkpoints_pruned, 0u);
+  // The superseded chain (manifests 1 and 2) is gone; the live full
+  // checkpoint remains.
+  EXPECT_FALSE(std::filesystem::exists(dir.path() /
+                                       metadb::ManifestFileName(1)));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() /
+                                       metadb::ManifestFileName(2)));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() /
+                                      metadb::ManifestFileName(3)));
+}
+
+TEST(SegmentRetention, DefaultNeverPrunes) {
+  TempDir dir("retention-off");
+  ServerOptions options = DurableOptions(dir.str());
+  options.wal_segment_bytes = 256;  // retain_segments stays -1.
+  auto server = testutil::MakeEdtcServer(options);
+  for (int i = 0; i < 20; ++i) MutateOnce(*server, i);
+  const size_t segments_before = OpsSegments(dir.str()).size();
+  EXPECT_GT(segments_before, 2u);
+  server->WalCheckpoint(CheckpointMode::kFull);
+  const WalStatus status = server->GetWalStatus();
+  EXPECT_EQ(status.segments_pruned, 0u);
+  EXPECT_EQ(status.checkpoints_pruned, 0u);
+  EXPECT_EQ(OpsSegments(dir.str()).size(), segments_before);
+}
+
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+
+TEST(SegmentRetention, InterruptedPruneWarnsAndStillRecovers) {
+  TempDir dir("retention-interrupted");
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(RetentionOptions(dir.str()));
+    for (int i = 0; i < 30; ++i) MutateOnce(*server, i);
+    common::Failpoints::Instance().Configure("wal.prune", "error,count=1");
+    // The checkpoint itself commits; only the retention pass trips.
+    const uint64_t id = server->WalCheckpoint(CheckpointMode::kFull);
+    common::Failpoints::Instance().ClearAll();
+    EXPECT_GT(id, 0u);
+    const ServerHealth health = server->GetHealth();
+    EXPECT_TRUE(health.prune_behind);
+    EXPECT_GE(health.failed_removals, 1u);
+    EXPECT_FALSE(server->degraded());  // A warning, not an outage.
+    EXPECT_GE(server->GetWalStatus().failed_removals, 1u);
+    MutateOnce(*server, 30);
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_TRUE(recovered->GetWalStatus().recovered);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+#endif  // DAMOCLES_FAILPOINTS_ENABLED
+
+// --- Satellite 4: recovery negatives ----------------------------------------
+
+TEST(RecoveryNegatives, LeftoverManifestTmpIsSwept) {
+  TempDir dir("gc-tmp");
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+    MutateOnce(*server, 0);
+    server->WalCheckpoint(CheckpointMode::kFull);
+    MutateOnce(*server, 1);
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  // A crash between manifest write and rename leaves the temp file.
+  const std::filesystem::path tmp =
+      dir.path() / (metadb::ManifestFileName(99) + ".tmp");
+  std::ofstream(tmp) << "torn manifest garbage\n";
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  EXPECT_GT(recovered->GetWalStatus().gc_artifacts_removed, 0u);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+TEST(RecoveryNegatives, StaleCheckpointFileWithoutManifestIsSwept) {
+  TempDir dir("gc-orphan");
+  std::string db_text;
+  {
+    auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+    MutateOnce(*server, 0);
+    server->WalCheckpoint(CheckpointMode::kFull);
+    db_text = DbText(*server);
+  }
+  // Checkpoint files whose manifest never landed (or was deleted).
+  const std::filesystem::path orphan_db =
+      dir.path() / metadb::CheckpointFileName(42, "db");
+  const std::filesystem::path orphan_delta =
+      dir.path() / metadb::CheckpointFileName(42, "dbd");
+  std::ofstream(orphan_db) << "stale checkpoint payload\n";
+  std::ofstream(orphan_delta) << "stale delta payload\n";
+
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  EXPECT_FALSE(std::filesystem::exists(orphan_db));
+  EXPECT_FALSE(std::filesystem::exists(orphan_delta));
+  EXPECT_GT(recovered->GetWalStatus().gc_artifacts_removed, 0u);
+  EXPECT_TRUE(recovered->GetWalStatus().recovered);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+TEST(RecoveryNegatives, PartiallyPrunedSegmentDirectoryRecovers) {
+  TempDir dir("gc-partial-prune");
+  std::vector<std::string> lines;
+  std::string db_text;
+  {
+    ServerOptions options = DurableOptions(dir.str());
+    options.wal_segment_bytes = 256;  // Many small segments, no pruning.
+    auto server = testutil::MakeEdtcServer(options);
+    for (int i = 0; i < 30; ++i) MutateOnce(*server, i);
+    server->WalCheckpoint(CheckpointMode::kFull);  // Floor covers them all.
+    MutateOnce(*server, 30);  // Tail in the newest segment.
+    lines = ServerJournalLines(*server);
+    db_text = DbText(*server);
+  }
+  // A prune killed mid-loop removes an ascending prefix; simulate the
+  // worst leftover — a gap (removal succeeded for segment 2 but not 1),
+  // stranding segment 1 below the discontinuity.
+  std::vector<std::filesystem::path> segments = OpsSegments(dir.str());
+  ASSERT_GE(segments.size(), 3u);
+  std::filesystem::remove(segments[1]);
+
+  auto recovered =
+      std::make_unique<ProjectServer>("edtc", DurableOptions(dir.str()));
+  // The stranded below-gap prefix was garbage-collected...
+  EXPECT_FALSE(std::filesystem::exists(segments[0]));
+  EXPECT_GT(recovered->GetWalStatus().gc_artifacts_removed, 0u);
+  // ...and recovery never needed ops below the committed floor.
+  EXPECT_TRUE(recovered->GetWalStatus().recovered);
+  EXPECT_EQ(ServerJournalLines(*recovered), lines);
+  EXPECT_EQ(DbText(*recovered), db_text);
+}
+
+// --- Wire surface -----------------------------------------------------------
+
+TEST(WireCheckpoint, DeltaCommandAndStatusChain) {
+  TempDir dir("wire-delta");
+  auto server = testutil::MakeEdtcServer(DurableOptions(dir.str()));
+  WireSession session(*server, "alice");
+  EXPECT_EQ(session.HandleLine("checkin CPU HDL_model \"module cpu;\""),
+            "ok CPU,HDL_model,1\n");
+  EXPECT_EQ(session.HandleLine("wal-checkpoint"), "ok checkpoint 1\n");
+  EXPECT_EQ(session.HandleLine("checkin CPU HDL_model \"module cpu; //2\""),
+            "ok CPU,HDL_model,2\n");
+  EXPECT_EQ(session.HandleLine("wal-checkpoint delta"),
+            "ok checkpoint 2 delta base 1\n");
+  EXPECT_EQ(session.HandleLine("wal-checkpoint bogus"),
+            "error: usage: wal-checkpoint [full|delta]\n");
+  const std::string status = session.HandleLine("wal-status");
+  EXPECT_NE(status.find("chain tip 2 (delta), base 1, length 2"),
+            std::string::npos);
+  EXPECT_NE(status.find("checkpoints inline, retention off"),
+            std::string::npos);
+}
+
+TEST(WireCheckpoint, StatusShowsRetentionCounters) {
+  TempDir dir("wire-retention");
+  auto server = testutil::MakeEdtcServer(RetentionOptions(dir.str()));
+  WireSession session(*server, "alice");
+  for (int i = 0; i < 30; ++i) MutateOnce(*server, i);
+  EXPECT_EQ(session.HandleLine("wal-checkpoint").rfind("ok checkpoint", 0),
+            0u);
+  const std::string status = session.HandleLine("wal-status");
+  EXPECT_NE(status.find("retention keep 0"), std::string::npos);
+  EXPECT_NE(status.find("segment(s)"), std::string::npos);
+  EXPECT_EQ(status.find("pruning is behind"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace damocles

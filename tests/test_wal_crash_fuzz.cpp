@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "engine/project_server.hpp"
 #include "events/wal.hpp"
@@ -124,6 +125,7 @@ struct Step {
   Oid link_from;         ///< kLink.
   Oid link_to;           ///< kLink.
   std::string event;     ///< kEvent.
+  bool delta = false;    ///< kCheckpoint kind (delta chains onto the base).
   int version = 1;       ///< kEvent target version.
   int64_t seconds = 0;   ///< kAdvance.
   uint64_t policy_id = 0;     ///< kPolicyValidate / kPolicyPromote.
@@ -254,6 +256,9 @@ Plan MakePlan(uint64_t seed) {
       step.seconds = rng.UniformInt(1, 600);
     } else if (draw < 0.85) {
       step.kind = Step::kCheckpoint;
+      // Half the explicit checkpoints are deltas, so kill points land
+      // inside delta file writes and mid-chain manifest renames too.
+      step.delta = rng.UniformInt(0, 1) == 1;
     } else {
       // Policy lifecycle: propose/validate/promote/rollback, legal by
       // construction (mid-promote kill points are the interesting part).
@@ -298,7 +303,8 @@ void RunSteps(ProjectServer& server, const Plan& plan, size_t from,
         server.AdvanceClock(step.seconds);
         break;
       case Step::kCheckpoint:
-        server.WalCheckpoint();
+        server.WalCheckpoint(step.delta ? engine::CheckpointMode::kDelta
+                                        : engine::CheckpointMode::kFull);
         break;
       case Step::kPolicyPropose:
         server.PolicyPropose(
@@ -509,6 +515,160 @@ void RunSeedRange(uint64_t first_seed, uint64_t last_seed) {
   }
 }
 
+// --- Retention fuzz: mid-prune kill points ----------------------------------
+
+/// Disarms every failpoint on scope exit (failure paths included).
+struct FailpointGuard {
+  ~FailpointGuard() { common::Failpoints::Instance().ClearAll(); }
+};
+
+uint64_t DirBytes(const std::filesystem::path& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+/// Like RunSeed, with segment retention enabled and prunes randomly
+/// aborted mid-loop by the "wal.prune" failpoint (each removal is
+/// atomic, so an aborted loop leaves exactly what a kill -9 between
+/// removals leaves: a partial prefix or a gap). Because pruned segments
+/// cannot be resurrected by rewinding the final directory, the kill
+/// point is restricted to the last committed manifest or later — every
+/// earlier cut could need ops legitimately below the committed floor.
+/// Returns the full run's pruned-segment count so the batch can assert
+/// retention actually fired.
+uint64_t RunRetentionSeed(uint64_t seed) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("damocles-crash-ret-" + std::to_string(::getpid()) + "-" +
+       std::to_string(seed));
+  std::filesystem::remove_all(dir);
+
+  const Plan plan = MakePlan(seed);
+  AppendTrace trace;
+  Fingerprint expected;
+  std::vector<size_t> op_to_step;
+  uint64_t segments_pruned = 0;
+
+  auto retention_options = [&dir, seed](AppendTrace* t) {
+    ServerOptions options = MakeOptions(seed, dir.string(), t);
+    options.wal_segment_bytes = static_cast<size_t>(
+        Rng(seed ^ 0x5e9).UniformInt(256, 1024));  // Roll constantly.
+    options.wal_retain_segments = static_cast<int>(seed % 2);
+    return options;
+  };
+
+  {
+    FailpointGuard guard;
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+    // Abort a fraction of prune loops partway: the committed manifest
+    // stays in charge, the directory keeps a partial/gapped prefix.
+    common::Failpoints::Instance().Configure(
+        "wal.prune", "error,prob=0.4,seed=" + std::to_string(seed));
+#endif
+    auto server =
+        std::make_unique<ProjectServer>("crash", retention_options(&trace));
+    server->InitializeBlueprint(kCrashBlueprint);
+    RunSteps(*server, plan, 0, &op_to_step);
+    expected = Capture(*server);
+    segments_pruned = server->GetWalStatus().segments_pruned;
+    // The disk-bound the retention knob promises: segments + checkpoint
+    // files for this bounded workload stay far under the cap even with
+    // some prunes aborted.
+    EXPECT_LE(DirBytes(dir), 256u * 1024u) << "seed " << seed;
+  }
+
+  const std::vector<AppendTrace::Extent> extents = trace.Snapshot();
+  if (extents.empty()) {
+    std::filesystem::remove_all(dir);
+    return segments_pruned;
+  }
+
+  // Find the last committed manifest extent (final rename target); cuts
+  // start there. Cutting exactly at it keeps the manifest whole — the
+  // crash-right-after-commit / mid-prune point.
+  size_t first_valid = 0;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    const std::string name =
+        std::filesystem::path(extents[i].path).filename().string();
+    if (name.rfind("manifest-", 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".txt") {
+      first_valid = i;
+    }
+  }
+  Rng cut_rng(seed ^ 0xdeadbeef);
+  const size_t cut_index = static_cast<size_t>(cut_rng.UniformInt(
+      static_cast<int64_t>(first_valid),
+      static_cast<int64_t>(extents.size()) - 1));
+  uint64_t prev_end = 0;
+  for (size_t i = 0; i < cut_index; ++i) {
+    if (extents[i].path == extents[cut_index].path) {
+      prev_end = std::max(prev_end, extents[i].end);
+    }
+  }
+  uint64_t cut_bytes =
+      prev_end + static_cast<uint64_t>(cut_rng.UniformInt(
+                     0, static_cast<int64_t>(extents[cut_index].end -
+                                             prev_end)));
+  if (cut_index == first_valid) cut_bytes = extents[cut_index].end;
+  ApplyCut(dir, extents, cut_index, cut_bytes);
+
+  {
+    FailpointGuard guard;
+#if defined(DAMOCLES_FAILPOINTS_ENABLED)
+    common::Failpoints::Instance().Configure(
+        "wal.prune", "error,prob=0.4,seed=" + std::to_string(seed ^ 0xf00d));
+#endif
+    auto recovered =
+        std::make_unique<ProjectServer>("crash", retention_options(nullptr));
+    const engine::WalStatus status = recovered->GetWalStatus();
+    size_t resume_from = 0;
+    if (status.ops_logged == 0) {
+      recovered->InitializeBlueprint(kCrashBlueprint);
+    } else if (status.ops_logged >= 2) {
+      EXPECT_LT(status.ops_logged, op_to_step.size()) << "seed " << seed;
+      if (status.ops_logged >= op_to_step.size()) {
+        std::filesystem::remove_all(dir);
+        return segments_pruned;
+      }
+      resume_from = op_to_step[static_cast<size_t>(status.ops_logged)] + 1;
+    }
+    RunSteps(*recovered, plan, resume_from, nullptr);
+
+    const Fingerprint actual = Capture(*recovered);
+    EXPECT_EQ(actual.journal, expected.journal)
+        << "seed " << seed << " cut " << cut_index << "/" << extents.size()
+        << " at byte " << cut_bytes << " in " << extents[cut_index].path;
+    EXPECT_EQ(actual.db_text, expected.db_text) << "seed " << seed;
+    EXPECT_EQ(actual.workspace_text, expected.workspace_text)
+        << "seed " << seed;
+    EXPECT_EQ(actual.clock_seconds, expected.clock_seconds) << "seed " << seed;
+    EXPECT_EQ(actual.epoch_ceiling, expected.epoch_ceiling) << "seed " << seed;
+    EXPECT_EQ(actual.policy_text, expected.policy_text) << "seed " << seed;
+    EXPECT_EQ(actual.policy_version, expected.policy_version)
+        << "seed " << seed;
+  }
+
+  std::filesystem::remove_all(dir);
+  return segments_pruned;
+}
+
+void RunRetentionSeedRange(uint64_t first_seed, uint64_t last_seed) {
+  uint64_t total_pruned = 0;
+  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    total_pruned += RunRetentionSeed(seed);
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      return;
+    }
+  }
+  // Retention must actually have pruned somewhere in the batch, or the
+  // disk-cap assertion above is vacuous.
+  EXPECT_GT(total_pruned, 0u) << "seeds " << first_seed << ".." << last_seed;
+}
+
 // 4 × 40 = 160 seeded kill points, split so ctest parallelism spreads
 // them across cores. Even seeds run 1-shard, odd seeds 4-shard
 // (deterministic and threaded alternating).
@@ -526,6 +686,17 @@ TEST(WalCrashFuzz, RecoverResumeEqualsContinuousSeeds80To119) {
 
 TEST(WalCrashFuzz, RecoverResumeEqualsContinuousSeeds120To159) {
   RunSeedRange(120, 159);
+}
+
+// Retention variant: segment pruning on (retain 0 or 1 by seed), prune
+// loops randomly aborted mid-removal, kill points at or after the last
+// committed manifest. Even seeds 1-shard, odd seeds 4-shard as above.
+TEST(WalCrashFuzz, RetentionRecoverResumeSeeds200To239) {
+  RunRetentionSeedRange(200, 239);
+}
+
+TEST(WalCrashFuzz, RetentionRecoverResumeSeeds240To279) {
+  RunRetentionSeedRange(240, 279);
 }
 
 }  // namespace

@@ -4,17 +4,21 @@
 //   wal_inspect [--json] <wal-dir>
 //
 // Prints the same report FormatWalInspection produces for the unit
-// tests; --json switches to the machine-readable single-object form
-// (FormatWalInspectionJson: segment headers, record counts and the
-// torn-tail offset per stream). Exits 0 when every stream scans clean,
-// 1 when any stream is torn (its report line shows where the intact
-// prefix ends), 2 on usage errors.
+// tests, followed by the checkpoint-manifest report (one line per
+// manifest — kind, delta base, op-seq, db payload size — plus the
+// base→tip chain recovery would load); --json switches to the
+// machine-readable single-object form (FormatWalInspectionJson:
+// segment headers, record counts and the torn-tail offset per stream).
+// Exits 0 when every stream scans clean, 1 when any stream is torn
+// (its report line shows where the intact prefix ends), 2 on usage
+// errors.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/error.hpp"
 #include "events/wal.hpp"
+#include "metadb/recovery.hpp"
 
 int main(int argc, char** argv) {
   bool json = false;
@@ -36,9 +40,12 @@ int main(int argc, char** argv) {
   const std::string dir = dir_arg;
   try {
     bool any_torn = false;
-    const std::string report =
+    std::string report =
         json ? damocles::events::FormatWalInspectionJson(dir, &any_torn)
              : damocles::events::FormatWalInspection(dir, &any_torn);
+    if (!json) {
+      report += damocles::metadb::FormatWalCheckpointChains(dir);
+    }
     std::fputs(report.c_str(), stdout);
     if (any_torn) return 1;  // CRC failure: report shows the torn offset.
   } catch (const damocles::Error& error) {
